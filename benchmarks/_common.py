@@ -1,0 +1,102 @@
+"""Shared infrastructure for the table/figure reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the experiments, renders the same rows/series the paper reports, writes
+them to ``benchmarks/results/<name>.txt`` (and stdout), and asserts the
+paper's qualitative shape.
+
+Environment knobs
+-----------------
+``REPRO_REFS``
+    Measured references per thread (default 12000 for benches — enough
+    for stable shapes at the default 1/16 scale; raise it for smoother
+    curves).
+``REPRO_SEED``
+    Base seed (default 1).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.experiment import ExperimentResult, ExperimentSpec, run_experiment
+from repro.core.metrics import VMMetrics
+
+BENCH_REFS = int(os.environ.get("REPRO_REFS", "12000"))
+BENCH_WARMUP = BENCH_REFS // 2
+BENCH_SEED = int(os.environ.get("REPRO_SEED", "1"))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: canonical paper display names
+PRETTY = {"tpcw": "TPC-W", "tpch": "TPC-H", "specjbb": "SPECjbb",
+          "specweb": "SPECweb"}
+
+#: the four sharing configurations of Figures 2-3, paper labels
+ISOLATION_SHARINGS = [("shared", "shared"), ("shared-8", "2-LL$"),
+                      ("shared-4", "4-LL$"), ("private", "private")]
+
+HOMOGENEOUS = [("mixA", "tpcw"), ("mixB", "tpch"), ("mixC", "specjbb"),
+               ("mixD", "specweb")]
+
+HETEROGENEOUS = [f"mix{i}" for i in range(1, 10)]
+
+POLICIES = ["rr", "affinity", "rr-aff", "random"]
+
+
+def spec(mix: str, sharing: str = "shared-4", policy: str = "affinity",
+         **overrides) -> ExperimentSpec:
+    params = dict(mix=mix, sharing=sharing, policy=policy, seed=BENCH_SEED,
+                  measured_refs=BENCH_REFS, warmup_refs=BENCH_WARMUP)
+    params.update(overrides)
+    return ExperimentSpec(**params)
+
+
+def run(mix: str, sharing: str = "shared-4", policy: str = "affinity",
+        **overrides) -> ExperimentResult:
+    return run_experiment(spec(mix, sharing, policy, **overrides))
+
+
+def isolation_baseline(workload: str, sharing: str = "shared",
+                       policy: str = "affinity") -> VMMetrics:
+    """The paper's normalization run: one instance, 16 MB fully shared
+    (or the stated sharing), affinity."""
+    return run(f"iso-{workload}", sharing=sharing, policy=policy).vm_metrics[0]
+
+
+def mean(values: List[float]) -> float:
+    return sum(values) / len(values)
+
+
+def workload_means(result: ExperimentResult) -> Dict[str, Dict[str, float]]:
+    """Per-workload instance-averaged raw metrics of one run."""
+    out: Dict[str, Dict[str, float]] = {}
+    for workload in dict.fromkeys(result.workloads):
+        vms = result.metrics_for(workload)
+        out[workload] = {
+            "cycles": mean([vm.cycles for vm in vms]),
+            "miss_rate": mean([vm.miss_rate for vm in vms]),
+            "miss_latency": mean([vm.mean_miss_latency for vm in vms]),
+        }
+    return out
+
+
+def emit(name: str, text: str) -> Path:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+def once(benchmark, fn):
+    """Run a figure-regeneration exactly once under pytest-benchmark.
+
+    The experiment cache makes repeated rounds meaningless (they would
+    time dict lookups), so every bench uses a single round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Assemble benchmarks/results/*.txt into one REPORT.md.
+
+Run after the benchmark suite:
+
+    pytest benchmarks/ --benchmark-only
+    python benchmarks/build_report.py          # writes benchmarks/REPORT.md
+
+The report orders sections like the paper (tables, then figures, then
+the extensions) so a reviewer can read the whole reproduction top to
+bottom.
+"""
+
+from __future__ import annotations
+
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent / "results"
+REPORT = Path(__file__).resolve().parent / "REPORT.md"
+
+ORDER = [
+    ("Tables", ["table1_descriptions", "table2_workload_stats",
+                "table3_machine_config", "table4_mixes"]),
+    ("Isolation figures", ["fig2_isolated_performance",
+                           "fig2_interconnect_claim",
+                           "fig3_isolated_missrates",
+                           "fig4_isolated_misslatency"]),
+    ("Homogeneous mixes", ["fig5_homogeneous_performance",
+                           "fig6_homogeneous_misslatency",
+                           "fig7_homogeneous_missrates"]),
+    ("Heterogeneous mixes", ["fig8_heterogeneous_performance",
+                             "fig9_heterogeneous_missrates",
+                             "fig10_heterogeneous_misslatency",
+                             "fig11_sharing_degree"]),
+    ("Snapshots", ["fig12_replication", "fig13_occupancy"]),
+    ("Calibration & appendix", ["noc_calibration", "noc_zero_load",
+                                "appendix_locality",
+                                "appendix_breakdown"]),
+    ("Ablations & extensions", ["ablation_scheduling",
+                                "ablation_variability",
+                                "ablation_overcommit",
+                                "ablation_dynamic",
+                                "ablation_start_times",
+                                "ablation_phases",
+                                "ablation_scaling",
+                                "ablation_fairness",
+                                "ablation_dircache",
+                                "extension_interference_matrix"]),
+]
+
+
+def main() -> int:
+    if not RESULTS.exists():
+        print("no benchmarks/results directory; run the bench suite first",
+              file=sys.stderr)
+        return 1
+    lines = [
+        "# Reproduction report",
+        "",
+        f"Generated {datetime.now(timezone.utc).isoformat(timespec='seconds')} "
+        "from benchmarks/results/.",
+        "",
+    ]
+    seen = set()
+    for section, names in ORDER:
+        block = []
+        for name in names:
+            path = RESULTS / f"{name}.txt"
+            if path.exists():
+                seen.add(path.name)
+                block.append("```")
+                block.append(path.read_text().rstrip())
+                block.append("```")
+                block.append("")
+        if block:
+            lines.append(f"## {section}")
+            lines.append("")
+            lines.extend(block)
+    leftovers = sorted(
+        p.name for p in RESULTS.glob("*.txt") if p.name not in seen
+    )
+    if leftovers:
+        lines.append("## Other results")
+        lines.append("")
+        for name in leftovers:
+            lines.append("```")
+            lines.append((RESULTS / name).read_text().rstrip())
+            lines.append("```")
+            lines.append("")
+    REPORT.write_text("\n".join(lines) + "\n")
+    print(f"wrote {REPORT} ({len(seen) + len(leftovers)} result blocks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

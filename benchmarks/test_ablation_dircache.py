@@ -1,0 +1,54 @@
+"""Directory-cache ablation.
+
+The paper's methodology augments each core with a directory cache "to
+reduce the number of off-chip references" (Section IV-A) but never
+quantifies it.  This ablation sweeps the per-tile directory-cache
+capacity and measures its effect on hit rate and miss latency — the
+design-choice justification DESIGN.md calls out.
+"""
+
+import pytest
+
+from _common import emit, mean, once, run
+from repro.analysis.report import format_table
+
+# entries per home tile (the default machine uses 16K)
+SIZES = (64, 1024, 16 * 1024, 64 * 1024)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return {
+        entries: run("mixA", policy="rr", dir_cache_entries=entries)
+        for entries in SIZES
+    }
+
+
+def test_ablation_dircache(benchmark, data):
+    def build():
+        rows = []
+        for entries in SIZES:
+            result = data[entries]
+            vms = result.vm_metrics
+            rows.append([
+                entries,
+                result.chip_summary.directory_cache_hit_rate,
+                mean([vm.mean_miss_latency for vm in vms]),
+                mean([vm.cycles for vm in vms]),
+            ])
+        return rows
+
+    rows = once(benchmark, build)
+    emit("ablation_dircache", format_table(
+        ["Entries/tile", "Dir-cache hit rate", "Miss latency", "Mean cycles"],
+        rows, title="Directory-cache ablation (mixA, RR): why the paper "
+                    "adds directory caches"))
+
+    hit_rates = [row[1] for row in rows]
+    latencies = [row[2] for row in rows]
+    # bigger directory caches hit more and cut miss latency
+    assert hit_rates == sorted(hit_rates)
+    assert latencies == sorted(latencies, reverse=True)
+    # an undersized directory cache costs real latency relative to a
+    # footprint-covering one
+    assert latencies[0] > latencies[-1] * 1.05

@@ -1,0 +1,67 @@
+"""Scaling ablation (Section VII).
+
+"Studying higher degrees of consolidation ... would allow researchers
+to accurately forecast behavior even further into the future."  This
+bench runs a 16-instance consolidation (64 threads) on a 64-core, 8x8
+mesh with shared-4-way caches, alongside the paper's 16-core runs, and
+checks whether the 16-core trends survive the 4x scale-up.
+"""
+
+import pytest
+
+from _common import emit, mean, once, run
+from repro.analysis.report import format_table
+from repro.core.mixes import Mix, register_mix
+from repro.errors import ConfigurationError
+
+try:
+    register_mix(Mix("scale64", (("specjbb", 8), ("tpch", 8))))
+except ConfigurationError:
+    pass  # already registered in this session
+
+
+@pytest.fixture(scope="module")
+def data():
+    out = {}
+    for policy in ("affinity", "rr"):
+        out[("16-core", policy)] = run("mix5", policy=policy)
+        out[("64-core", policy)] = run("scale64", policy=policy,
+                                       num_cores=64)
+    return out
+
+
+def test_ablation_scaling(benchmark, data):
+    def build():
+        rows = []
+        for machine in ("16-core", "64-core"):
+            for policy in ("affinity", "rr"):
+                result = data[(machine, policy)]
+                jbb = result.metrics_for("specjbb")
+                tpch = result.metrics_for("tpch")
+                rows.append([
+                    machine, policy,
+                    mean([vm.miss_rate for vm in jbb]),
+                    mean([vm.miss_rate for vm in tpch]),
+                    mean([vm.mean_miss_latency for vm in jbb]),
+                    result.chip_summary.mesh_mean_hops,
+                ])
+        return rows
+
+    rows = once(benchmark, build)
+    emit("ablation_scaling", format_table(
+        ["Machine", "Policy", "SPECjbb miss rate", "TPC-H miss rate",
+         "SPECjbb miss latency", "Mesh mean hops"],
+        rows, title="Scaling ablation: 16-core mix5 vs 64-core "
+                    "(8x SPECjbb + 8x TPC-H)"))
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    # the affinity-beats-RR trend survives the scale-up, for both
+    # workloads' miss rates
+    for machine in ("16-core", "64-core"):
+        assert (by_key[(machine, "rr")][2]
+                > by_key[(machine, "affinity")][2]), machine
+        assert (by_key[(machine, "rr")][3]
+                > by_key[(machine, "affinity")][3]), machine
+    # a bigger mesh means longer average routes
+    assert (by_key[("64-core", "rr")][5]
+            > by_key[("16-core", "rr")][5])

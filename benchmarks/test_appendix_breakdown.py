@@ -1,0 +1,63 @@
+"""Appendix: miss-latency composition.
+
+Not a numbered figure — the decomposition behind the paper's
+explanations: how much of each workload's stall time is cache access,
+interconnect, directory, and memory, and how scheduling moves it.
+Affinity converts SPECjbb/TPC-H interconnect+memory cycles into local
+cache cycles; TPC-W stays memory-bound regardless.
+"""
+
+import pytest
+
+from _common import emit, once, run
+from repro.analysis.report import format_table
+
+CASES = [("mixB", "tpch"), ("mixC", "specjbb"), ("mixA", "tpcw")]
+
+
+@pytest.fixture(scope="module")
+def data():
+    out = {}
+    for mix, workload in CASES:
+        for policy in ("affinity", "rr"):
+            result = run(mix, policy=policy)
+            vms = result.metrics_for(workload)
+            total = sum(vm.latency_cycles for vm in vms)
+            out[(mix, policy)] = {
+                "cache": sum(vm.cache_cycles for vm in vms) / total,
+                "network": sum(vm.network_cycles for vm in vms) / total,
+                "directory": sum(vm.directory_cycles for vm in vms) / total,
+                "memory": sum(vm.memory_cycles for vm in vms) / total,
+            }
+    return out
+
+
+def test_appendix_breakdown(benchmark, data):
+    def build():
+        rows = []
+        for (mix, policy), shares in data.items():
+            rows.append([
+                f"{mix}/{policy}",
+                shares["cache"], shares["network"],
+                shares["directory"], shares["memory"],
+            ])
+        return rows
+
+    rows = once(benchmark, build)
+    emit("appendix_breakdown", format_table(
+        ["Run", "cache", "network", "directory", "memory"],
+        rows, title="Appendix: stall-cycle composition per workload "
+                    "(fraction of total latency cycles)"))
+
+    for (mix, policy), shares in data.items():
+        assert sum(shares.values()) == pytest.approx(1.0, abs=1e-9)
+
+    # TPC-W is memory-bound under both policies
+    assert data[("mixA", "affinity")]["memory"] > 0.3
+    assert data[("mixA", "rr")]["memory"] > 0.3
+
+    # RR pushes the share-heavy workloads toward the network:
+    # their interconnect share grows vs affinity
+    for mix in ("mixB", "mixC"):
+        assert (data[(mix, "rr")]["network"]
+                > data[(mix, "affinity")]["network"])

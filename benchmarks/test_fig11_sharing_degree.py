@@ -1,0 +1,74 @@
+"""Figure 11 — varying the degree of sharing for heterogeneous mixes.
+
+Miss latency of Mixes 1-9 at shared-2-way, shared-4-way, and
+shared-8-way caches under affinity scheduling, normalized to the
+shared-4-way isolation latencies (the paper's basis).
+
+Paper shapes asserted:
+* TPC-H does best at shared-4-way — one cache per workload gives it
+  zero replication and no interference from bigger-footprint
+  co-runners; at shared-8-way it must share space and suffers;
+* SPECjbb benefits from shared-8-way when combined with TPC-H (the
+  flexible capacity helps; TPC-H pressures the cache little).
+"""
+
+import pytest
+
+from _common import HETEROGENEOUS, emit, mean, once, run
+from repro.analysis.report import format_series
+
+SHARINGS = [("shared-2", "8-LL$"), ("shared-4", "4-LL$"), ("shared-8", "2-LL$")]
+WORKLOADS = ("tpcw", "tpch", "specjbb")
+
+
+@pytest.fixture(scope="module")
+def data():
+    baselines = {
+        w: run(f"iso-{w}", sharing="shared-4",
+               policy="affinity").vm_metrics[0].mean_miss_latency
+        for w in WORKLOADS
+    }
+    out = {}
+    for mix in HETEROGENEOUS:
+        for sharing, label in SHARINGS:
+            result = run(mix, sharing=sharing, policy="affinity")
+            for workload in dict.fromkeys(result.workloads):
+                vms = result.metrics_for(workload)
+                out[(mix, label, workload)] = mean(
+                    [vm.mean_miss_latency for vm in vms]) / baselines[workload]
+    return out
+
+
+def test_fig11_sharing_degree(benchmark, data):
+    def build():
+        series = {}
+        for mix in HETEROGENEOUS:
+            for _sharing, label in SHARINGS:
+                row = {}
+                for workload in WORKLOADS:
+                    if (mix, label, workload) in data:
+                        row[workload] = data[(mix, label, workload)]
+                series[f"{mix}/{label}"] = row
+        return format_series(
+            "Figure 11: Miss latency vs sharing degree (affinity, "
+            "normalized to shared-4-way isolation)", series)
+
+    emit("fig11_sharing_degree", once(benchmark, build))
+
+    # TPC-H: shared-4-way (its own cache) beats shared-8-way (sharing
+    # with a bigger-footprint workload), averaged over its mixes
+    tpch_mixes = ("mix1", "mix2", "mix3", "mix4", "mix5", "mix6")
+    own_cache = mean([data[(m, "4-LL$", "tpch")] for m in tpch_mixes])
+    shared8 = mean([data[(m, "2-LL$", "tpch")] for m in tpch_mixes])
+    assert own_cache < shared8
+
+    # SPECjbb benefits from the flexible 8MB caches when its co-runner
+    # is TPC-H (mixes 4-6): shared-8-way <= shared-2-way
+    jbb_tpch = ("mix4", "mix5", "mix6")
+    jbb8 = mean([data[(m, "2-LL$", "specjbb")] for m in jbb_tpch])
+    jbb2 = mean([data[(m, "8-LL$", "specjbb")] for m in jbb_tpch])
+    assert jbb8 < jbb2 * 1.05
+
+    # everything stays within a plausible normalized band
+    for key, value in data.items():
+        assert 0.5 < value < 4.0, key

@@ -1,0 +1,62 @@
+"""Figure 12 — percentage of replicated lines in the last level cache.
+
+End-of-run residency snapshots of the homogeneous mixes (the paper
+samples at 500M instructions) on shared-4-way caches for round robin,
+RR-affinity and random scheduling, plus the private configuration as
+the maximum-replication reference.  Affinity is omitted, as in the
+paper: with each workload owning one cache it cannot replicate.
+
+Paper shapes asserted:
+* round robin replicates the most among the shared-4-way policies;
+* the hybrid and random policies replicate less than round robin;
+* SPECjbb and SPECweb are the replication-heavy workloads;
+* private caches give (near-)maximal replication.
+"""
+
+import pytest
+
+from _common import HOMOGENEOUS, emit, once, run
+from repro.analysis.replication import measure_replication
+from repro.analysis.report import format_series
+
+POLICIES = ["rr", "rr-aff", "random"]
+
+
+@pytest.fixture(scope="module")
+def data():
+    out = {}
+    for mix, _workload in HOMOGENEOUS:
+        for policy in POLICIES:
+            result = run(mix, policy=policy)
+            out[(mix, policy)] = measure_replication(
+                result.residency).replicated_fraction
+        result = run(mix, sharing="private", policy="rr")
+        out[(mix, "private")] = measure_replication(
+            result.residency).replicated_fraction
+    return out
+
+
+def test_fig12_replication(benchmark, data):
+    def build():
+        series = {}
+        for mix, workload in HOMOGENEOUS:
+            series[f"{mix}({workload})"] = {
+                policy: 100 * data[(mix, policy)]
+                for policy in POLICIES + ["private"]
+            }
+        return format_series(
+            "Figure 12: % replicated lines in the LLC (homogeneous "
+            "mixes, snapshot at end of run)", series, precision=1)
+
+    emit("fig12_replication", once(benchmark, build))
+
+    for mix, _workload in HOMOGENEOUS:
+        # RR replicates the most among the shared-4-way policies
+        assert data[(mix, "rr")] >= data[(mix, "rr-aff")]
+        assert data[(mix, "rr")] >= data[(mix, "random")] * 0.95
+        # private is the maximum-replication reference
+        assert data[(mix, "private")] >= data[(mix, "rr")] * 0.9
+
+    # SPECjbb and SPECweb replicate more than TPC-W under RR
+    assert data[("mixC", "rr")] > data[("mixA", "rr")]
+    assert data[("mixD", "rr")] > data[("mixA", "rr")]

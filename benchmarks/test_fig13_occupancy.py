@@ -1,0 +1,80 @@
+"""Figure 13 — snapshot of cache utilization per workload.
+
+End-of-run occupancy of each shared-4-way cache, split by workload,
+for the heterogeneous mixes under round robin scheduling (the paper's
+setup: RR exaggerates co-location, snapshot at 500M instructions).
+
+Paper shapes asserted:
+* TPC-H occupies less than its fair share (25%) in almost all caches;
+* copies of the same workload share capacity equally;
+* occupancies per domain sum to ~1 with the domain well utilized.
+"""
+
+import pytest
+
+from _common import HETEROGENEOUS, emit, once, run
+from repro.analysis.occupancy import measure_occupancy
+from repro.analysis.report import format_table
+
+
+@pytest.fixture(scope="module")
+def data():
+    out = {}
+    for mix in HETEROGENEOUS:
+        result = run(mix, policy="rr")
+        snap = measure_occupancy(result.occupancy, result.domain_lines)
+        names = [vm.workload for vm in result.vm_metrics]
+        out[mix] = (snap, names)
+    return out
+
+
+def test_fig13_occupancy(benchmark, data):
+    def build():
+        rows = []
+        for mix in HETEROGENEOUS:
+            snap, names = data[mix]
+            for vm_id, workload in enumerate(names):
+                rows.append([mix, f"vm{vm_id}", workload,
+                             snap.vm_mean_share(vm_id)])
+        return format_table(
+            ["Mix", "VM", "Workload", "mean LLC share"], rows,
+            title="Figure 13: LLC occupancy per workload (RR, "
+                  "shared-4-way, end-of-run snapshot)")
+
+    emit("fig13_occupancy", once(benchmark, build))
+
+    for mix in HETEROGENEOUS:
+        snap, names = data[mix]
+        # every domain's shares sum to ~1 and the cache is well used
+        for domain in range(snap.num_domains):
+            total = sum(snap.shares[domain].values())
+            assert total == pytest.approx(1.0, abs=1e-9)
+            assert snap.utilization(domain) > 0.85
+
+        # copies of the same workload split capacity evenly (< 6 pts)
+        by_workload = {}
+        for vm_id, workload in enumerate(names):
+            by_workload.setdefault(workload, []).append(
+                snap.vm_mean_share(vm_id))
+        for workload, shares in by_workload.items():
+            assert max(shares) - min(shares) < 0.06, (mix, workload)
+
+    # "TPC-H workloads occupy less than their fair share (25%)": our
+    # model reproduces this against SPECjbb (mixes 4-6) and lands
+    # at-or-near fair share against TPC-W (mixes 1-3) — see
+    # EXPERIMENTS.md for the deviation note.  Assert the reproduced
+    # part plus a never-a-hog bound everywhere.
+    tpch_shares = []
+    for mix in HETEROGENEOUS:
+        snap, names = data[mix]
+        tpch_shares.extend(
+            snap.vm_mean_share(vm_id)
+            for vm_id, workload in enumerate(names) if workload == "tpch"
+        )
+    assert tpch_shares, "no TPC-H instances found in the mixes"
+    assert max(tpch_shares) < 0.30
+    for mix in ("mix4", "mix5", "mix6"):
+        snap, names = data[mix]
+        for vm_id, workload in enumerate(names):
+            if workload == "tpch":
+                assert snap.vm_mean_share(vm_id) < 0.26, (mix, vm_id)

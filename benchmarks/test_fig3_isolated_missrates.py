@@ -1,0 +1,62 @@
+"""Figure 3 — miss rates for workloads run in isolation.
+
+Same sweep as Figure 2, reporting the per-VM L2 miss rate normalized to
+the fully-shared affinity run.
+
+Paper shapes asserted:
+* misses grow as the last-level cache seen by each thread shrinks;
+* at shared-4-way, round robin has the worst miss rate (it replicates
+  read-shared data in every cache it spreads threads across);
+* affinity minimizes the miss-rate growth for the share-intensive
+  workloads (SPECjbb, TPC-H).
+"""
+
+import pytest
+
+from _common import ISOLATION_SHARINGS, emit, isolation_baseline, once, run
+from repro.analysis.report import format_series
+
+WORKLOADS = ["tpcw", "specjbb", "tpch", "specweb"]
+POLICIES = ["rr", "affinity"]
+
+
+@pytest.fixture(scope="module")
+def data():
+    out = {}
+    for workload in WORKLOADS:
+        base = isolation_baseline(workload).miss_rate
+        for sharing, label in ISOLATION_SHARINGS:
+            for policy in POLICIES:
+                vm = run(f"iso-{workload}", sharing=sharing,
+                         policy=policy).vm_metrics[0]
+                out[(workload, label, policy)] = vm.miss_rate / base
+    return out
+
+
+def test_fig3_isolated_missrates(benchmark, data):
+    def build():
+        series = {}
+        for workload in WORKLOADS:
+            for _sharing, label in ISOLATION_SHARINGS:
+                row = series.setdefault(f"{workload}/{label}", {})
+                for policy in POLICIES:
+                    row[policy] = data[(workload, label, policy)]
+        return format_series(
+            "Figure 3: Isolated miss rates (normalized to fully shared "
+            "16MB, affinity)", series)
+
+    emit("fig3_isolated_missrates", once(benchmark, build))
+
+    # capacity: private miss rate >= fully shared, every workload
+    for workload in WORKLOADS:
+        assert (data[(workload, "private", "affinity")]
+                >= data[(workload, "shared", "affinity")])
+
+    # replication: RR's miss rate at shared-4-way beats affinity's for
+    # the share-intensive workloads
+    for workload in ("specjbb", "tpch", "specweb"):
+        assert (data[(workload, "4-LL$", "rr")]
+                > data[(workload, "4-LL$", "affinity")])
+
+    # TPC-H affinity at 4-LL$ is nearly flat vs the 16MB cache
+    assert data[("tpch", "4-LL$", "affinity")] < 1.3

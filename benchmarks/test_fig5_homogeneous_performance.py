@@ -1,0 +1,69 @@
+"""Figure 5 — single-workload performance for homogeneous mixes.
+
+Four copies of the same workload fill the chip (Mixes A-D, shared-4-way
+L2s); runtime per instance is normalized to the workload running alone
+with the fully shared 16 MB cache, for all four scheduling policies.
+
+Paper shapes asserted:
+* affinity is the best policy for every homogeneous mix;
+* SPECjbb and SPECweb show significant degradation under round robin;
+* the hybrid and random policies land between affinity and RR for the
+  share-intensive workloads.
+"""
+
+import pytest
+
+from _common import (
+    HOMOGENEOUS,
+    POLICIES,
+    emit,
+    isolation_baseline,
+    mean,
+    once,
+    run,
+)
+from repro.analysis.report import format_series
+
+
+@pytest.fixture(scope="module")
+def data():
+    out = {}
+    for mix, workload in HOMOGENEOUS:
+        base = isolation_baseline(workload).cycles
+        for policy in POLICIES:
+            result = run(mix, policy=policy)
+            out[(mix, policy)] = mean(
+                [vm.cycles for vm in result.vm_metrics]) / base
+    return out
+
+
+def test_fig5_homogeneous_performance(benchmark, data):
+    def build():
+        series = {}
+        for mix, workload in HOMOGENEOUS:
+            series[f"{mix}({workload})"] = {
+                policy: data[(mix, policy)] for policy in POLICIES
+            }
+        return format_series(
+            "Figure 5: Homogeneous-mix performance (normalized runtime vs "
+            "isolation, shared-4-way)", series)
+
+    emit("fig5_homogeneous_performance", once(benchmark, build))
+
+    # consolidation never speeds a workload up
+    for value in data.values():
+        assert value > 0.95
+
+    # affinity is the best policy for every mix
+    for mix, _workload in HOMOGENEOUS:
+        best = min(POLICIES, key=lambda policy: data[(mix, policy)])
+        assert best == "affinity", f"{mix}: expected affinity, got {best}"
+
+    # SPECjbb and SPECweb degrade significantly under round robin
+    assert data[("mixC", "rr")] > data[("mixC", "affinity")] * 1.15
+    assert data[("mixD", "rr")] > data[("mixD", "affinity")] * 1.10
+
+    # hybrid sits between affinity and rr for the share-heavy mixes
+    for mix in ("mixB", "mixC"):
+        assert (data[(mix, "affinity")] < data[(mix, "rr-aff")]
+                < data[(mix, "rr")])

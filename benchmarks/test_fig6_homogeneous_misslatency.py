@@ -1,0 +1,59 @@
+"""Figure 6 — effect of thread scheduling on miss latency (homogeneous).
+
+Average last-private-level miss latency of each homogeneous mix,
+normalized to the workload running in isolation with affinity
+scheduling (the paper's stated basis).
+
+Paper shapes asserted:
+* consolidation raises miss latency (competition spills into the
+  interconnect and memory controllers);
+* TPC-W shows the greatest miss-latency increase going from isolation
+  to a homogeneous mix under affinity — its large footprint thrashes
+  once it must compete for cache space.
+"""
+
+import pytest
+
+from _common import HOMOGENEOUS, POLICIES, emit, mean, once, run
+from repro.analysis.report import format_series
+
+
+@pytest.fixture(scope="module")
+def data():
+    out = {}
+    for mix, workload in HOMOGENEOUS:
+        base = run(f"iso-{workload}", sharing="shared-4",
+                   policy="affinity").vm_metrics[0].mean_miss_latency
+        for policy in POLICIES:
+            result = run(mix, policy=policy)
+            out[(mix, policy)] = mean(
+                [vm.mean_miss_latency for vm in result.vm_metrics]) / base
+    return out
+
+
+def test_fig6_homogeneous_misslatency(benchmark, data):
+    def build():
+        series = {}
+        for mix, workload in HOMOGENEOUS:
+            series[f"{mix}({workload})"] = {
+                policy: data[(mix, policy)] for policy in POLICIES
+            }
+        return format_series(
+            "Figure 6: Homogeneous-mix miss latency (normalized to "
+            "isolation w/ affinity)", series)
+
+    emit("fig6_homogeneous_misslatency", once(benchmark, build))
+
+    # consolidation raises (or at best holds) miss latency
+    for (mix, policy), value in data.items():
+        assert value > 0.85, f"{mix}/{policy} latency dropped implausibly"
+
+    # affinity keeps miss latency lowest for every mix
+    for mix, _workload in HOMOGENEOUS:
+        assert data[(mix, "affinity")] == min(
+            data[(mix, policy)] for policy in POLICIES)
+
+    # TPC-W suffers the largest affinity-policy latency increase
+    tpcw = data[("mixA", "affinity")]
+    for mix in ("mixB", "mixC", "mixD"):
+        assert tpcw >= data[(mix, "affinity")] * 0.95

@@ -1,0 +1,57 @@
+"""Figure 7 — miss rates of homogeneous mixes relative to isolation.
+
+Per-VM L2 miss rate of Mixes A-D, normalized to each workload running
+in isolation (fully shared cache, affinity).
+
+Paper shapes asserted:
+* competing for cache resources raises every workload's miss rate;
+* round robin (maximum replication) is the worst policy for the
+  share-intensive workloads;
+* the miss-rate growth explains the latency growth of Figure 6 (the
+  two are positively associated across mixes/policies).
+"""
+
+import pytest
+
+from _common import HOMOGENEOUS, POLICIES, emit, isolation_baseline, mean, once, run
+from repro.analysis.report import format_series
+
+
+@pytest.fixture(scope="module")
+def data():
+    out = {}
+    for mix, workload in HOMOGENEOUS:
+        base = isolation_baseline(workload).miss_rate
+        for policy in POLICIES:
+            result = run(mix, policy=policy)
+            out[(mix, policy)] = mean(
+                [vm.miss_rate for vm in result.vm_metrics]) / base
+    return out
+
+
+def test_fig7_homogeneous_missrates(benchmark, data):
+    def build():
+        series = {}
+        for mix, workload in HOMOGENEOUS:
+            series[f"{mix}({workload})"] = {
+                policy: data[(mix, policy)] for policy in POLICIES
+            }
+        return format_series(
+            "Figure 7: Homogeneous-mix miss rates (normalized to "
+            "isolation)", series)
+
+    emit("fig7_homogeneous_missrates", once(benchmark, build))
+
+    # competition raises miss rates
+    for (mix, policy), value in data.items():
+        assert value >= 0.95, f"{mix}/{policy} miss rate dropped implausibly"
+
+    # RR is the worst policy for the share-intensive workloads
+    for mix in ("mixB", "mixC", "mixD"):
+        assert data[(mix, "rr")] == max(
+            data[(mix, policy)] for policy in POLICIES)
+
+    # affinity minimizes the increase everywhere
+    for mix, _workload in HOMOGENEOUS:
+        assert data[(mix, "affinity")] == min(
+            data[(mix, policy)] for policy in POLICIES)

@@ -1,0 +1,65 @@
+"""Figure 9 — single-workload miss rates of heterogeneous mixes.
+
+Per-VM L2 miss rates of Mixes 1-9 normalized to isolation with the
+fully shared 16 MB cache.
+
+Paper shapes asserted:
+* TPC-H with affinity sees almost no miss-rate increase with respect
+  to the 16 MB cache;
+* SPECjbb's miss rate balloons when caches are shared across workloads
+  (round robin), its degradation driver in Figure 8;
+* SPECjbb's increase is large in Mixes 7-9 (sharing with TPC-W, which
+  pressures the cache hard).
+"""
+
+import pytest
+
+from _common import HETEROGENEOUS, emit, isolation_baseline, mean, once, run
+from repro.analysis.report import format_series
+
+POLICIES = ["affinity", "rr"]
+
+
+@pytest.fixture(scope="module")
+def data():
+    out = {}
+    baselines = {w: isolation_baseline(w).miss_rate
+                 for w in ("tpcw", "tpch", "specjbb")}
+    for mix in HETEROGENEOUS:
+        for policy in POLICIES:
+            result = run(mix, policy=policy)
+            for workload in dict.fromkeys(result.workloads):
+                vms = result.metrics_for(workload)
+                out[(mix, policy, workload)] = mean(
+                    [vm.miss_rate for vm in vms]) / baselines[workload]
+    return out
+
+
+def test_fig9_heterogeneous_missrates(benchmark, data):
+    def build():
+        series = {}
+        for mix in HETEROGENEOUS:
+            for policy in POLICIES:
+                row = {}
+                for workload in ("tpcw", "tpch", "specjbb"):
+                    if (mix, policy, workload) in data:
+                        row[workload] = data[(mix, policy, workload)]
+                series[f"{mix}/{policy}"] = row
+        return format_series(
+            "Figure 9: Heterogeneous-mix miss rates (normalized to "
+            "isolation w/ 16MB shared)", series)
+
+    emit("fig9_heterogeneous_missrates", once(benchmark, build))
+
+    # TPC-H + affinity: almost no increase vs the 16MB cache
+    for mix in ("mix1", "mix2", "mix3", "mix4", "mix5", "mix6"):
+        assert data[(mix, "affinity", "tpch")] < 1.25, mix
+
+    # SPECjbb + RR: the big miss-rate increase driving Figure 8
+    for mix in ("mix7", "mix8", "mix9"):
+        assert data[(mix, "rr", "specjbb")] > 1.5, mix
+
+    # RR always at least as bad as affinity for SPECjbb
+    for mix in ("mix4", "mix5", "mix6", "mix7", "mix8", "mix9"):
+        assert (data[(mix, "rr", "specjbb")]
+                >= data[(mix, "affinity", "specjbb")])

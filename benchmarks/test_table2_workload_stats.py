@@ -1,0 +1,86 @@
+"""Table II — workload statistics.
+
+Reproduces the paper's characterization run: each workload alone on
+private last-level caches, measuring the fraction of last-private-level
+misses served by cache-to-cache transfers (split clean/dirty) and the
+blocks touched.
+
+Paper's values:
+
+=========  =====  ======  ======  ===============
+Workload   c2c%   clean%  dirty%  blocks accessed
+=========  =====  ======  ======  ===============
+TPC-W       15%    84%     16%    1,125 K
+SPECjbb     52%    94%      6%      606 K
+TPC-H       69%    43%     57%      172 K
+SPECweb     37%    93%      7%      986 K
+=========  =====  ======  ======  ===============
+"""
+
+import pytest
+
+from _common import BENCH_REFS, BENCH_SEED, emit, once
+from repro.analysis.report import format_table
+from repro.workloads.calibrate import measure_workload_statistics
+
+PAPER = {
+    "tpcw": (15, 84, 16, 1_125_000),
+    "specjbb": (52, 94, 6, 606_000),
+    "tpch": (69, 43, 57, 172_000),
+    "specweb": (37, 93, 7, 986_000),
+}
+
+ORDER = ["tpcw", "specjbb", "tpch", "specweb"]
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return {
+        name: measure_workload_statistics(name, measured_refs=BENCH_REFS,
+                                          seed=BENCH_SEED)
+        for name in ORDER
+    }
+
+
+def test_table2_workload_stats(benchmark, stats):
+    def build():
+        headers = ["Workload", "c2c% (paper)", "clean% (paper)",
+                   "dirty% (paper)", "blocks touched (paper)"]
+        rows = []
+        for name in ORDER:
+            s = stats[name]
+            p = PAPER[name]
+            rows.append([
+                name,
+                f"{100 * s.c2c_fraction:.0f} ({p[0]})",
+                f"{100 * s.clean_fraction:.0f} ({p[1]})",
+                f"{100 * s.dirty_fraction:.0f} ({p[2]})",
+                f"{s.blocks_touched_fullscale:,} ({p[3]:,})",
+            ])
+        return format_table(headers, rows, title="Table II: Workload Statistics")
+
+    table = once(benchmark, build)
+    emit("table2_workload_stats", table)
+
+    # --- quantitative bands (±8 points on c2c, ±10 on clean/dirty) ---
+    for name in ORDER:
+        s, p = stats[name], PAPER[name]
+        assert abs(100 * s.c2c_fraction - p[0]) <= 8, (
+            f"{name} c2c {100 * s.c2c_fraction:.0f}% vs paper {p[0]}%")
+        assert abs(100 * s.clean_fraction - p[1]) <= 10, (
+            f"{name} clean {100 * s.clean_fraction:.0f}% vs paper {p[1]}%")
+
+
+def test_table2_orderings(stats):
+    """The contrasts the paper draws from Table II."""
+    # c2c intensity: TPC-H > SPECjbb > SPECweb > TPC-W
+    assert (stats["tpch"].c2c_fraction > stats["specjbb"].c2c_fraction
+            > stats["specweb"].c2c_fraction > stats["tpcw"].c2c_fraction)
+    # TPC-H is the only workload whose transfers are mostly dirty
+    assert stats["tpch"].dirty_fraction > 0.4
+    for name in ("tpcw", "specjbb", "specweb"):
+        assert stats[name].dirty_fraction < 0.25
+    # footprint ordering: TPC-W > SPECweb > SPECjbb > TPC-H
+    touched = {name: stats[name].blocks_touched for name in ORDER}
+    assert (touched["tpcw"] > touched["specweb"]
+            > touched["specjbb"] > touched["tpch"])

@@ -1,0 +1,43 @@
+"""Table III — machine configuration.
+
+Regenerates the machine-description table from :class:`MachineConfig`
+defaults and asserts it matches the paper's fixed parameters.
+"""
+
+from _common import emit, once
+from repro.analysis.report import format_kv
+from repro.machine.config import MachineConfig
+
+
+def build_table():
+    return format_kv("Table III: Machine Configuration",
+                     MachineConfig().table3())
+
+
+def test_table3_machine_config(benchmark):
+    table = once(benchmark, build_table)
+    emit("table3_machine_config", table)
+
+    assert "16 in-order" in table
+    assert "2-D Packet-Switched Mesh" in table
+    assert "8KB/1 cycle" in table
+    assert "64KB/2 cycles" in table
+    assert "16MB/6 cycles" in table
+    assert "150 cycles" in table
+    assert "RR, Affinity" in table
+
+
+def test_table3_l2_partitioning(benchmark):
+    """The sharing degrees carve the 16 MB into the paper's partitions."""
+    from repro.machine.config import SharingDegree
+
+    def partitions():
+        return {
+            degree.label(): MachineConfig(sharing=degree).l2_geometry().size_bytes
+            for degree in SharingDegree
+        }
+
+    sizes = once(benchmark, partitions)
+    mb = 1024 * 1024
+    assert sizes == {"private": mb, "8-LL$": 2 * mb, "4-LL$": 4 * mb,
+                     "2-LL$": 8 * mb, "shared": 16 * mb}

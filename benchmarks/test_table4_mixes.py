@@ -1,0 +1,33 @@
+"""Table IV — experimental runs (the mix matrix).
+
+Regenerates the mix table and asserts it is exactly the paper's, and
+that every mix fills (and never over-commits) the 16-core machine.
+"""
+
+from _common import emit, once
+from repro.analysis.report import format_table
+from repro.core.mixes import HETEROGENEOUS_MIXES, HOMOGENEOUS_MIXES, MIXES
+
+
+def build_table():
+    rows = []
+    for name in sorted(HETEROGENEOUS_MIXES):
+        rows.append([name, MIXES[name].describe()])
+    for name in sorted(HOMOGENEOUS_MIXES):
+        rows.append([name, MIXES[name].describe()])
+    return format_table(["Mix", "Composition"], rows,
+                        title="Table IV: Experimental Runs")
+
+
+def test_table4_mixes(benchmark):
+    table = once(benchmark, build_table)
+    emit("table4_mixes", table)
+
+    assert "TPC-W (3) & TPC-H (1)" in table    # Mix 1
+    assert "SPECjbb (1) & TPC-W (3)" in table  # Mix 9
+    assert "SPECweb (4)" in table              # Mix D
+    assert len(HETEROGENEOUS_MIXES) == 9
+    assert len(HOMOGENEOUS_MIXES) == 4
+    for mix in MIXES.values():
+        threads = sum(profile.threads for profile in mix.profiles())
+        assert threads == 16, f"{mix.name} does not fill the machine"

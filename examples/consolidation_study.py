@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Consolidation interference study (the paper's core question).
+
+For each workload, compares:
+  * isolation (4 cores active, fully shared 16 MB L2) — the baseline;
+  * every Table IV heterogeneous mix containing it, under affinity and
+    round robin on shared-4-way caches.
+
+Prints, per (mix, policy), the workload's normalized runtime, miss
+rate, and miss latency — the consolidated view of Figures 8-10 — and
+finishes with the paper's takeaways checked against the numbers.
+
+Run:
+    python examples/consolidation_study.py [workload]
+        workload in {tpcw, tpch, specjbb} (default: specjbb)
+"""
+
+import os
+import sys
+
+from repro import ExperimentSpec, run_experiment
+from repro.analysis import format_table
+from repro.core.mixes import HETEROGENEOUS_MIXES
+
+REFS = int(os.environ.get("REPRO_REFS", "8000"))
+
+
+def spec(mix, policy):
+    return ExperimentSpec(mix=mix, sharing="shared-4", policy=policy,
+                          measured_refs=REFS, warmup_refs=REFS // 2, seed=1)
+
+
+def mean(values):
+    return sum(values) / len(values)
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "specjbb"
+    mixes = [name for name, mix in sorted(HETEROGENEOUS_MIXES.items())
+             if workload in mix.instance_names()]
+    if not mixes:
+        raise SystemExit(
+            f"{workload!r} appears in no heterogeneous mix "
+            "(hint: specweb is homogeneous-only, per the paper)")
+
+    print(f"Baseline: {workload} isolated, fully shared 16MB cache ...")
+    base = run_experiment(
+        ExperimentSpec(mix=f"iso-{workload}", sharing="shared",
+                       policy="affinity", measured_refs=REFS,
+                       warmup_refs=REFS // 2, seed=1)).vm_metrics[0]
+
+    rows = []
+    for mix in mixes:
+        partners = " & ".join(
+            f"{w}({c})" for w, c in HETEROGENEOUS_MIXES[mix].components
+            if w != workload)
+        for policy in ("affinity", "rr"):
+            print(f"  running {mix} / {policy} ...")
+            result = run_experiment(spec(mix, policy))
+            vms = result.metrics_for(workload)
+            rows.append([
+                mix, partners, policy,
+                mean([vm.cycles for vm in vms]) / base.cycles,
+                mean([vm.miss_rate for vm in vms]) / base.miss_rate,
+                mean([vm.mean_miss_latency for vm in vms])
+                / base.mean_miss_latency,
+            ])
+
+    print()
+    print(format_table(
+        ["Mix", "Co-runners", "Policy", "Norm. runtime", "Norm. miss rate",
+         "Norm. miss latency"],
+        rows, title=f"{workload} under consolidation (vs isolation)"))
+
+    aff = [row for row in rows if row[2] == "affinity"]
+    rr = [row for row in rows if row[2] == "rr"]
+    print()
+    print("Takeaways:")
+    print(f"  affinity keeps slowdown at {mean([r[3] for r in aff]):.2f}x "
+          f"on average; round robin costs {mean([r[3] for r in rr]):.2f}x")
+    print(f"  miss-rate inflation: affinity {mean([r[4] for r in aff]):.2f}x,"
+          f" round robin {mean([r[4] for r in rr]):.2f}x — cache sharing"
+          " across workloads is the interference channel")
+
+
+if __name__ == "__main__":
+    main()

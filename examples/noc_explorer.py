@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Flit-level NoC explorer (Table III's interconnect, stand-alone).
+
+Drives the 4x4 mesh of 3-stage speculative virtual-channel routers with
+uniform-random traffic at increasing injection rates and prints the
+latency-vs-load curve, the classic NoC characterization.  Also shows
+the analytical model's prediction side by side — the calibration that
+justifies using the fast model in the consolidation runs.
+
+Run:
+    python examples/noc_explorer.py
+"""
+
+from repro.analysis import format_table
+from repro.interconnect import (
+    AnalyticalMesh,
+    FlitNetwork,
+    MeshTopology,
+    Packet,
+)
+from repro.sim.rng import RngFactory
+
+PACKETS = 300
+DATA_FLITS = 5
+
+
+def run_flit_level(gap, rng):
+    net = FlitNetwork(MeshTopology(4, 4))
+    time = 0
+    for _ in range(PACKETS):
+        src = int(rng.integers(16))
+        dst = int(rng.integers(16))
+        while dst == src:
+            dst = int(rng.integers(16))
+        net.run(gap)
+        time += gap
+        net.inject(Packet(src=src, dst=dst, num_flits=DATA_FLITS,
+                          inject_time=time))
+    net.drain()
+    return net.mean_packet_latency
+
+
+def run_analytical(gap, rng):
+    mesh = AnalyticalMesh(MeshTopology(4, 4))
+    time, total = 0, 0
+    for _ in range(PACKETS):
+        src = int(rng.integers(16))
+        dst = int(rng.integers(16))
+        while dst == src:
+            dst = int(rng.integers(16))
+        time += gap
+        total += mesh.traverse(src, dst, DATA_FLITS, time).latency
+    return total / PACKETS
+
+
+def main() -> None:
+    rows = []
+    for gap in (64, 32, 16, 8, 4, 2):
+        rate = DATA_FLITS / gap  # flits injected per cycle, chip-wide
+        flit = run_flit_level(gap, RngFactory(7).stream("noc"))
+        analytical = run_analytical(gap, RngFactory(7).stream("noc"))
+        rows.append([f"{rate:.2f}", flit, analytical])
+        print(f"injection {rate:5.2f} flits/cyc: flit-level "
+              f"{flit:6.1f} cyc, analytical {analytical:6.1f} cyc")
+
+    print()
+    print(format_table(
+        ["Injection (flits/cyc)", "Flit-level latency", "Analytical latency"],
+        rows, title="4x4 mesh latency vs load (uniform random, 5-flit "
+                    "data packets)", precision=1))
+    print()
+    print("Latency climbs as the network saturates; the analytical model "
+          "tracks the flit-level reference across the operating range "
+          "used by the consolidation simulations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scheduling-policy comparison for one mix (Section III-D in action).
+
+Runs a chosen mix under all four hypervisor scheduling policies and
+reports performance, miss behaviour, replication, and interconnect
+load — showing *why* affinity wins: it trades chip-wide cache capacity
+for zero replication and short dirty-transfer paths.
+
+Run:
+    python examples/scheduling_comparison.py [mix]   (default: mixC)
+"""
+
+import os
+import sys
+
+from repro import ExperimentSpec, run_experiment
+from repro.analysis import format_table, measure_replication
+
+REFS = int(os.environ.get("REPRO_REFS", "8000"))
+POLICIES = ("affinity", "rr-aff", "random", "rr")
+
+
+def main() -> None:
+    mix = sys.argv[1] if len(sys.argv) > 1 else "mixC"
+    rows = []
+    for policy in POLICIES:
+        print(f"running {mix} / {policy} ...")
+        result = run_experiment(ExperimentSpec(
+            mix=mix, sharing="shared-4", policy=policy,
+            measured_refs=REFS, warmup_refs=REFS // 2, seed=1))
+        vms = result.vm_metrics
+        replication = measure_replication(result.residency)
+        summary = result.chip_summary
+        rows.append([
+            policy,
+            sum(vm.cycles for vm in vms) / len(vms),
+            sum(vm.miss_rate for vm in vms) / len(vms),
+            sum(vm.mean_miss_latency for vm in vms) / len(vms),
+            f"{100 * replication.replicated_fraction:.1f}%",
+            summary.mesh_mean_latency,
+            summary.intra_domain_transfers,
+        ])
+
+    print()
+    print(format_table(
+        ["Policy", "Mean cycles", "Miss rate", "Miss latency",
+         "LLC replication", "Mesh latency", "Intra-domain transfers"],
+        rows, title=f"Scheduling policies on {mix} (shared-4-way L2s)"))
+
+    best = min(rows, key=lambda row: row[1])
+    worst = max(rows, key=lambda row: row[1])
+    print()
+    print(f"Best policy: {best[0]}; worst: {worst[0]} "
+          f"({worst[1] / best[1]:.2f}x slower).")
+    print("Affinity eliminates replication by packing each workload into "
+          "one cache; round robin buys capacity at the price of "
+          "replicating every read-shared line per cache.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-build-isolation --no-use-pep517`` on
+offline machines that lack the ``wheel`` package; all real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""repro — a reproduction of *An Evaluation of Server Consolidation
+Workloads for Multi-Core Designs* (Enright Jerger, Vantrease, Lipasti;
+IISWC 2007).
+
+The package simulates multi-threaded commercial workloads (TPC-W,
+TPC-H, SPECjbb, SPECweb) consolidated on a 16-core CMP with a
+configurable last-level-cache sharing degree and thread-scheduling
+policy, and reproduces every table and figure of the paper's
+evaluation.
+
+Quickstart
+----------
+>>> from repro import ExperimentSpec, run_experiment
+>>> result = run_experiment(ExperimentSpec(mix="mix5", sharing="shared-4",
+...                                        policy="affinity",
+...                                        measured_refs=2000))
+>>> [vm.workload for vm in result.vm_metrics]
+['specjbb', 'specjbb', 'tpch', 'tpch']
+
+See ``examples/`` for full studies and ``benchmarks/`` for the
+per-table/figure reproduction harness.
+"""
+
+from .core import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    ExperimentSpec,
+    MIXES,
+    Mix,
+    VMMetrics,
+    clear_result_cache,
+    get_mix,
+    isolated_mix,
+    make_scheduler,
+    normalize_result,
+    normalized_miss_latency,
+    normalized_miss_rate,
+    normalized_runtime,
+    replicate,
+    run_experiment,
+    run_isolated,
+)
+from .errors import (
+    CheckpointError,
+    CoherenceError,
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    WorkloadError,
+)
+from .machine import Chip, MachineConfig, SharingDegree
+from .workloads import (
+    WORKLOADS,
+    WorkloadProfile,
+    get_profile,
+    measure_workload_statistics,
+    workload_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "MIXES",
+    "Mix",
+    "VMMetrics",
+    "clear_result_cache",
+    "get_mix",
+    "isolated_mix",
+    "make_scheduler",
+    "normalize_result",
+    "normalized_miss_latency",
+    "normalized_miss_rate",
+    "normalized_runtime",
+    "replicate",
+    "run_experiment",
+    "run_isolated",
+    "CheckpointError",
+    "CoherenceError",
+    "ConfigurationError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "WorkloadError",
+    "Chip",
+    "MachineConfig",
+    "SharingDegree",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "get_profile",
+    "measure_workload_statistics",
+    "workload_names",
+    "__version__",
+]

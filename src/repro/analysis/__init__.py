@@ -1,0 +1,42 @@
+"""Result analysis: replication, occupancy, locality, persistence,
+and report formatting."""
+
+from .compare import ResultComparison, VMComparison, compare_results
+from .characterize import (
+    ReuseProfile,
+    miss_rate_at,
+    reuse_distances,
+    reuse_profile,
+    working_set_curve,
+)
+from .fairness import FairnessReport, fairness_report, jains_index
+from .occupancy import OccupancySnapshot, measure_occupancy
+from .persist import load_result, result_from_dict, result_to_dict, save_result
+from .replication import ReplicationSnapshot, measure_replication
+from .report import bar, format_kv, format_series, format_table
+
+__all__ = [
+    "ResultComparison",
+    "VMComparison",
+    "compare_results",
+    "ReuseProfile",
+    "miss_rate_at",
+    "reuse_distances",
+    "reuse_profile",
+    "working_set_curve",
+    "FairnessReport",
+    "fairness_report",
+    "jains_index",
+    "OccupancySnapshot",
+    "measure_occupancy",
+    "load_result",
+    "result_from_dict",
+    "result_to_dict",
+    "save_result",
+    "ReplicationSnapshot",
+    "measure_replication",
+    "bar",
+    "format_kv",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,167 @@
+"""Workload characterization: reuse distances and working sets.
+
+Table II characterizes the workloads by sharing behaviour and footprint;
+this module adds the two standard locality views used to reason about
+the cache design space the paper sweeps:
+
+* **LRU reuse (stack) distance** — for each reference, the number of
+  distinct blocks touched since the previous reference to the same
+  block.  The cumulative distribution is the miss-rate curve of a
+  fully-associative LRU cache, so it predicts how a workload responds
+  to the private → fully-shared capacity continuum.
+* **working-set curve** — distinct blocks per window of W references
+  (Denning's working set), showing footprint growth over time.
+
+Distances are computed exactly with a Fenwick (binary indexed) tree in
+``O(n log n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from ..errors import ReproError
+
+__all__ = [
+    "FenwickTree",
+    "reuse_distances",
+    "ReuseProfile",
+    "reuse_profile",
+    "miss_rate_at",
+    "working_set_curve",
+]
+
+
+class FenwickTree:
+    """A binary indexed tree over ``n`` slots (prefix sums in O(log n))."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ReproError("FenwickTree needs a positive size")
+        self.n = n
+        self._tree = [0] * (n + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` at 0-based ``index``."""
+        if not 0 <= index < self.n:
+            raise ReproError(f"index {index} out of range [0, {self.n})")
+        i = index + 1
+        while i <= self.n:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of slots ``[0, index]`` (0-based, inclusive)."""
+        if index < 0:
+            return 0
+        i = min(index, self.n - 1) + 1
+        total = 0
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of slots ``[lo, hi]`` inclusive."""
+        return self.prefix_sum(hi) - self.prefix_sum(lo - 1)
+
+
+def reuse_distances(blocks: Iterable[int]) -> Iterator[int]:
+    """Yield the LRU stack distance of every reference.
+
+    A cold (first-touch) reference yields -1.  Distance 0 means the
+    block was the most recently used; a fully-associative LRU cache of
+    ``C`` lines hits exactly the references with distance ``< C``.
+    """
+    blocks = list(blocks)
+    n = len(blocks)
+    if n == 0:
+        return
+    tree = FenwickTree(n)
+    last_pos: Dict[int, int] = {}
+    for t, block in enumerate(blocks):
+        prev = last_pos.get(block)
+        if prev is None:
+            yield -1
+        else:
+            # distinct blocks touched strictly after prev = marks in (prev, t)
+            yield tree.range_sum(prev + 1, t - 1)
+            tree.add(prev, -1)
+        tree.add(t, 1)
+        last_pos[block] = t
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """Summary of a reference stream's temporal locality."""
+
+    refs: int
+    cold_refs: int
+    #: sorted non-cold distances (kept for exact miss-rate queries)
+    distances: Tuple[int, ...]
+
+    @property
+    def unique_blocks(self) -> int:
+        return self.cold_refs
+
+    def miss_rate(self, cache_lines: int) -> float:
+        """Miss rate of a fully-associative LRU cache of ``cache_lines``
+        (cold misses included)."""
+        if self.refs == 0:
+            return 0.0
+        import bisect
+
+        hits = bisect.bisect_left(self.distances, cache_lines)
+        return 1.0 - hits / self.refs
+
+    def percentile_distance(self, fraction: float) -> int:
+        """The distance below which ``fraction`` of reuses fall."""
+        if not self.distances:
+            return 0
+        if not 0.0 <= fraction <= 1.0:
+            raise ReproError("fraction must be within [0, 1]")
+        index = min(len(self.distances) - 1,
+                    int(fraction * len(self.distances)))
+        return self.distances[index]
+
+
+def reuse_profile(blocks: Iterable[int]) -> ReuseProfile:
+    """Compute a :class:`ReuseProfile` over a reference stream."""
+    cold = 0
+    dists: List[int] = []
+    count = 0
+    for distance in reuse_distances(blocks):
+        count += 1
+        if distance < 0:
+            cold += 1
+        else:
+            dists.append(distance)
+    dists.sort()
+    return ReuseProfile(refs=count, cold_refs=cold, distances=tuple(dists))
+
+
+def miss_rate_at(profile: ReuseProfile,
+                 capacities: Sequence[int]) -> List[Tuple[int, float]]:
+    """Miss-rate curve samples ``[(capacity, miss_rate), ...]``."""
+    return [(c, profile.miss_rate(c)) for c in capacities]
+
+
+def working_set_curve(blocks: Sequence[int],
+                      window_sizes: Sequence[int]) -> List[Tuple[int, float]]:
+    """Mean distinct blocks per window, for each window size.
+
+    Windows are disjoint (tumbling), which is accurate enough for
+    curve shapes and keeps the computation linear.
+    """
+    blocks = list(blocks)
+    out: List[Tuple[int, float]] = []
+    for window in window_sizes:
+        if window <= 0:
+            raise ReproError("window sizes must be positive")
+        sizes = []
+        for start in range(0, len(blocks) - window + 1, window):
+            sizes.append(len(set(blocks[start:start + window])))
+        if sizes:
+            out.append((window, sum(sizes) / len(sizes)))
+    return out

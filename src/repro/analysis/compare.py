@@ -1,0 +1,96 @@
+"""Compare two experiment results.
+
+Consolidation studies are pairwise by nature — affinity vs. round
+robin, shared LRU vs. way quotas, 16 vs. 64 cores.  This module lines
+two results up VM-by-VM (matched by workload, in VM order) and reports
+the metric ratios; the CLI's ``compare`` command and the longer
+examples use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.experiment import ExperimentResult
+from ..core.metrics import VMMetrics
+from ..errors import ReproError
+
+__all__ = ["VMComparison", "ResultComparison", "compare_results"]
+
+
+@dataclass(frozen=True)
+class VMComparison:
+    """Metric ratios (b / a) for one matched VM pair."""
+
+    workload: str
+    vm_a: VMMetrics
+    vm_b: VMMetrics
+
+    @staticmethod
+    def _ratio(numerator: float, denominator: float) -> float:
+        if denominator == 0:
+            return float("inf") if numerator else 1.0
+        return numerator / denominator
+
+    @property
+    def cycles_ratio(self) -> float:
+        return self._ratio(self.vm_b.cycles, self.vm_a.cycles)
+
+    @property
+    def miss_rate_ratio(self) -> float:
+        return self._ratio(self.vm_b.miss_rate, self.vm_a.miss_rate)
+
+    @property
+    def miss_latency_ratio(self) -> float:
+        return self._ratio(self.vm_b.mean_miss_latency,
+                           self.vm_a.mean_miss_latency)
+
+
+@dataclass(frozen=True)
+class ResultComparison:
+    """All matched VM pairs of two runs, plus run labels."""
+
+    label_a: str
+    label_b: str
+    vms: tuple
+
+    def rows(self) -> List[list]:
+        """Table rows: workload, cycles x, miss-rate x, miss-latency x."""
+        return [
+            [f"vm{pair.vm_a.vm_id} ({pair.workload})",
+             pair.cycles_ratio, pair.miss_rate_ratio,
+             pair.miss_latency_ratio]
+            for pair in self.vms
+        ]
+
+    def mean_cycles_ratio(self) -> float:
+        return sum(pair.cycles_ratio for pair in self.vms) / len(self.vms)
+
+    def worst_vm(self) -> VMComparison:
+        """The VM most slowed down going a -> b."""
+        return max(self.vms, key=lambda pair: pair.cycles_ratio)
+
+
+def compare_results(
+    a: ExperimentResult, b: ExperimentResult,
+    label_a: str = "a", label_b: str = "b",
+) -> ResultComparison:
+    """Match the two runs' VMs and compute metric ratios (b over a).
+
+    The runs must have the same mix (same workloads in the same VM
+    order); anything else is a user error worth failing loudly on.
+    """
+    if [vm.workload for vm in a.vm_metrics] != [
+        vm.workload for vm in b.vm_metrics
+    ]:
+        raise ReproError(
+            "results are not comparable: VM workload sequences differ "
+            f"({[v.workload for v in a.vm_metrics]} vs "
+            f"{[v.workload for v in b.vm_metrics]})"
+        )
+    pairs = tuple(
+        VMComparison(workload=vm_a.workload, vm_a=vm_a, vm_b=vm_b)
+        for vm_a, vm_b in zip(a.vm_metrics, b.vm_metrics)
+    )
+    return ResultComparison(label_a=label_a, label_b=label_b, vms=pairs)

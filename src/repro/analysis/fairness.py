@@ -1,0 +1,79 @@
+"""Fairness metrics for consolidated runs.
+
+The paper's conclusion: "When workloads with different cache and memory
+requirements are combined fairness issues need to be considered."
+These metrics quantify that, following the cache-fairness literature
+the paper cites (Kim et al., PACT 2004):
+
+* **per-VM slowdown** — cycles relative to the VM's isolation run;
+* **Jain's fairness index** over slowdowns — 1.0 when every VM suffers
+  equally, approaching ``1/n`` as one VM absorbs all the pain;
+* **max/min slowdown ratio** — the headline unfairness number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.experiment import ExperimentResult
+from ..core.isolation import normalized_runtime
+from ..errors import ReproError
+
+__all__ = ["jains_index", "FairnessReport", "fairness_report"]
+
+
+def jains_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 = perfectly equal; ``1/n`` = maximally concentrated.
+    """
+    values = list(values)
+    if not values:
+        raise ReproError("jains_index needs at least one value")
+    if any(v < 0 for v in values):
+        raise ReproError("jains_index is defined for non-negative values")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Fairness view of one consolidated run."""
+
+    slowdowns: Dict[int, float]  # vm_id -> normalized runtime
+    workloads: Dict[int, str]
+
+    @property
+    def jain(self) -> float:
+        return jains_index(list(self.slowdowns.values()))
+
+    @property
+    def max_min_ratio(self) -> float:
+        values = list(self.slowdowns.values())
+        low = min(values)
+        return max(values) / low if low else float("inf")
+
+    @property
+    def most_penalized(self) -> int:
+        """VM id with the largest slowdown."""
+        return max(self.slowdowns, key=self.slowdowns.get)
+
+    def rows(self) -> List[list]:
+        return [
+            [f"vm{vm_id}", self.workloads[vm_id], slowdown]
+            for vm_id, slowdown in sorted(self.slowdowns.items())
+        ]
+
+
+def fairness_report(result: ExperimentResult) -> FairnessReport:
+    """Build a fairness report (runs/reuses the isolation baselines)."""
+    slowdowns = {
+        vm.vm_id: normalized_runtime(vm, result.spec)
+        for vm in result.vm_metrics
+    }
+    workloads = {vm.vm_id: vm.workload for vm in result.vm_metrics}
+    return FairnessReport(slowdowns=slowdowns, workloads=workloads)

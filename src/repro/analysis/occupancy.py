@@ -1,0 +1,80 @@
+"""Cache-occupancy analysis (Figure 13).
+
+The paper snapshots, per last-level cache, the fraction of resident
+lines each workload owns.  Under round robin every shared-4-way cache
+holds four different workloads, so a workload's *fair share* is 25%;
+TPC-H consistently under-occupies (its footprint is small), while
+TPC-W squeezes SPECjbb well below fair share in Mixes 7-9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["OccupancySnapshot", "measure_occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancySnapshot:
+    """Per-domain, per-VM occupancy shares."""
+
+    #: shares[d][vm_id] = fraction of domain d's *resident* lines
+    shares: tuple
+    #: lines[d][vm_id] = absolute resident line counts
+    lines: tuple
+    domain_capacity: int
+
+    @property
+    def num_domains(self) -> int:
+        return len(self.shares)
+
+    def vm_share_of_domain(self, domain: int, vm_id: int) -> float:
+        return self.shares[domain].get(vm_id, 0.0)
+
+    def vm_total_share(self, vm_id: int) -> float:
+        """A VM's share of all resident LLC lines on the chip."""
+        total = sum(sum(d.values()) for d in self.lines)
+        mine = sum(d.get(vm_id, 0) for d in self.lines)
+        return mine / total if total else 0.0
+
+    def vm_mean_share(self, vm_id: int) -> float:
+        """A VM's occupancy share averaged over domains it appears in."""
+        shares = [
+            d[vm_id] for d in self.shares if vm_id in d and d[vm_id] > 0
+        ]
+        return sum(shares) / len(shares) if shares else 0.0
+
+    def utilization(self, domain: int) -> float:
+        """Fraction of the domain's capacity holding valid lines."""
+        if not self.domain_capacity:
+            return 0.0
+        return sum(self.lines[domain].values()) / self.domain_capacity
+
+
+def measure_occupancy(
+    occupancy: Sequence[Dict[int, int]], domain_capacity: int
+) -> OccupancySnapshot:
+    """Build a snapshot from per-domain VM line counts.
+
+    Parameters
+    ----------
+    occupancy:
+        ``occupancy[d][vm_id] -> lines`` (from
+        :attr:`repro.core.experiment.ExperimentResult.occupancy`).
+    domain_capacity:
+        Lines per domain, for utilization.
+    """
+    shares: List[Dict[int, float]] = []
+    lines: List[Dict[int, int]] = []
+    for domain_counts in occupancy:
+        counts = {vm: n for vm, n in domain_counts.items() if vm >= 0}
+        total = sum(counts.values())
+        lines.append(dict(counts))
+        if total:
+            shares.append({vm: n / total for vm, n in counts.items()})
+        else:
+            shares.append({})
+    return OccupancySnapshot(
+        shares=tuple(shares), lines=tuple(lines), domain_capacity=domain_capacity
+    )

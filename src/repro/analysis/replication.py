@@ -1,0 +1,73 @@
+"""Replication analysis (Figure 12).
+
+A block is *replicated* when it is resident in more than one last-level
+cache at once.  Replication wastes aggregate capacity: the paper shows
+round robin replicates the most (every thread drags the workload's
+read-shared data into its own cache), private caches are the worst
+case, and affinity eliminates replication entirely when a workload fits
+one cache.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence, Set
+
+__all__ = ["ReplicationSnapshot", "measure_replication"]
+
+
+@dataclass(frozen=True)
+class ReplicationSnapshot:
+    """Replication measured over one set of domain residency sets."""
+
+    total_lines: int
+    replicated_lines: int
+    unique_blocks: int
+    max_copies: int
+
+    @property
+    def replicated_fraction(self) -> float:
+        """Fraction of resident lines whose block also lives in at
+        least one other last-level cache (Figure 12's y-axis)."""
+        return self.replicated_lines / self.total_lines if self.total_lines else 0.0
+
+    @property
+    def unreplicated_fraction(self) -> float:
+        """Complement — the paper quotes SPECjbb at 73% unreplicated
+        under round robin."""
+        return 1.0 - self.replicated_fraction
+
+    @property
+    def capacity_waste(self) -> float:
+        """Fraction of resident lines that are redundant copies
+        (copies beyond the first of each block)."""
+        if not self.total_lines:
+            return 0.0
+        return (self.total_lines - self.unique_blocks) / self.total_lines
+
+
+def measure_replication(residency: Sequence[Set[int]]) -> ReplicationSnapshot:
+    """Compute replication over per-domain resident-block sets.
+
+    Parameters
+    ----------
+    residency:
+        ``residency[d]`` is the set of blocks resident in domain ``d``
+        (from :meth:`repro.machine.chip.Chip.l2_resident_sets` or
+        :attr:`repro.core.experiment.ExperimentResult.residency`).
+    """
+    copies: Counter = Counter()
+    for domain_blocks in residency:
+        copies.update(domain_blocks)
+    total_lines = sum(copies.values())
+    replicated_lines = sum(
+        count for count in copies.values() if count > 1
+    )
+    max_copies = max(copies.values()) if copies else 0
+    return ReplicationSnapshot(
+        total_lines=total_lines,
+        replicated_lines=replicated_lines,
+        unique_blocks=len(copies),
+        max_copies=max_copies,
+    )

@@ -1,0 +1,74 @@
+"""Plain-text table and series formatting for the benchmark harness.
+
+Every benchmark prints the rows/series of the table or figure it
+reproduces; these helpers keep the output uniform and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Union
+
+__all__ = ["format_table", "format_series", "format_kv", "bar"]
+
+Number = Union[int, float]
+
+
+def _cell(value, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_cell(value, precision) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: Mapping[str, Mapping[str, Number]],
+    precision: int = 3,
+) -> str:
+    """Render figure-style data: one row per x-label, one column per
+    series (e.g. one column per scheduling policy)."""
+    columns = sorted({key for row in series.values() for key in row})
+    headers = ["x"] + columns
+    rows = []
+    for x_label, row in series.items():
+        rows.append([x_label] + [row.get(col, float("nan")) for col in columns])
+    return format_table(headers, rows, title=title, precision=precision)
+
+
+def format_kv(title: str, pairs: Mapping[str, object]) -> str:
+    """Render a two-column key/value block (Table III style)."""
+    width = max(len(k) for k in pairs) if pairs else 0
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"  {key.ljust(width)}  {value}")
+    return "\n".join(lines)
+
+
+def bar(value: float, scale: float = 40.0, maximum: float = 2.0) -> str:
+    """A crude inline bar for eyeballing normalized values."""
+    clamped = max(0.0, min(value, maximum))
+    return "#" * int(round(clamped / maximum * scale))

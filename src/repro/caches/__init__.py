@@ -1,0 +1,32 @@
+"""Cache substrate: geometries, arrays, replacement, and the hierarchy."""
+
+from .geometry import L0_GEOMETRY, L1_GEOMETRY, CacheGeometry, l2_domain_geometry
+from .hierarchy import CoreCacheStack, L2Domain
+from .line import L2Line, PrivateLine
+from .replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from .setassoc import SetAssocCache
+from .stats import CacheStats
+
+__all__ = [
+    "L0_GEOMETRY",
+    "L1_GEOMETRY",
+    "CacheGeometry",
+    "l2_domain_geometry",
+    "CoreCacheStack",
+    "L2Domain",
+    "L2Line",
+    "PrivateLine",
+    "FifoPolicy",
+    "LruPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+    "SetAssocCache",
+    "CacheStats",
+]

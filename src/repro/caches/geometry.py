@@ -1,0 +1,143 @@
+"""Cache geometry: sizes, associativity, and index/tag arithmetic.
+
+Geometries are expressed in bytes and validated to be realizable
+(power-of-two sets, block-aligned capacity).  Table III of the paper
+fixes the hierarchy this library models by default:
+
+========  ========  =======  ============
+Level     Capacity  Latency  Shared by
+========  ========  =======  ============
+L0        8 KB      1 cycle  1 core
+L1        64 KB     2 cycles 1 core
+L2        16 MB     6 cycles 1..16 cores
+========  ========  =======  ============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sim.records import BLOCK_BYTES
+
+__all__ = ["CacheGeometry", "L0_GEOMETRY", "L1_GEOMETRY", "l2_domain_geometry"]
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape and timing of one cache array.
+
+    Attributes
+    ----------
+    size_bytes:
+        Total capacity.
+    assoc:
+        Ways per set.
+    latency:
+        Access latency in cycles.
+    block_bytes:
+        Line size; 64 bytes everywhere in this study.
+    """
+
+    size_bytes: int
+    assoc: int
+    latency: int
+    block_bytes: int = BLOCK_BYTES
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError(f"cache size must be positive, got {self.size_bytes}")
+        if self.assoc <= 0:
+            raise ConfigurationError(f"associativity must be positive, got {self.assoc}")
+        if self.latency < 0:
+            raise ConfigurationError(f"latency must be non-negative, got {self.latency}")
+        if not _is_pow2(self.block_bytes):
+            raise ConfigurationError(
+                f"block size must be a power of two, got {self.block_bytes}"
+            )
+        if self.size_bytes % (self.assoc * self.block_bytes):
+            raise ConfigurationError(
+                f"size {self.size_bytes} is not divisible by assoc*block "
+                f"({self.assoc}*{self.block_bytes})"
+            )
+        if not _is_pow2(self.num_sets):
+            raise ConfigurationError(
+                f"derived set count {self.num_sets} is not a power of two "
+                f"(size={self.size_bytes}, assoc={self.assoc})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.block_bytes)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.block_bytes
+
+    def set_index(self, block: int) -> int:
+        """Set index for a block number (blocks are already byte>>6)."""
+        return block & (self.num_sets - 1)
+
+    def scaled(self, factor: float) -> "CacheGeometry":
+        """A geometry with capacity scaled by ``factor``.
+
+        Used by the scaled-simulation mode: shrinking caches and
+        workload footprints by the same factor preserves the
+        capacity ratios the paper's results depend on while keeping
+        Python-speed runs in steady state.  Associativity is capped so
+        the scaled cache keeps at least one set.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        new_size = int(self.size_bytes * factor)
+        new_size = max(new_size, self.block_bytes)
+        assoc = min(self.assoc, new_size // self.block_bytes)
+        return CacheGeometry(
+            size_bytes=new_size,
+            assoc=assoc,
+            latency=self.latency,
+            block_bytes=self.block_bytes,
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``"64KB 4-way, 256 sets, 2cyc"``."""
+        size = self.size_bytes
+        if size % (1024 * 1024) == 0:
+            size_s = f"{size // (1024 * 1024)}MB"
+        elif size % 1024 == 0:
+            size_s = f"{size // 1024}KB"
+        else:
+            size_s = f"{size}B"
+        return f"{size_s} {self.assoc}-way, {self.num_sets} sets, {self.latency}cyc"
+
+
+L0_GEOMETRY = CacheGeometry(size_bytes=8 * 1024, assoc=4, latency=1)
+"""Private L0 per Table III: 8 KB, 1 cycle."""
+
+L1_GEOMETRY = CacheGeometry(size_bytes=64 * 1024, assoc=4, latency=2)
+"""Private L1 per Table III: 64 KB, 2 cycles."""
+
+
+def l2_domain_geometry(cores_per_domain: int, total_bytes: int = 16 * 1024 * 1024,
+                       assoc: int = 16, latency: int = 6) -> CacheGeometry:
+    """Geometry of one L2 domain when ``cores_per_domain`` cores share it.
+
+    The paper holds aggregate L2 capacity at 16 MB and carves it into
+    equal partitions: private (1 MB x 16), shared-2-way (2 MB x 8),
+    shared-4-way (4 MB x 4), shared-8-way (8 MB x 2), fully shared
+    (16 MB x 1).
+    """
+    if cores_per_domain <= 0:
+        raise ConfigurationError(
+            f"cores_per_domain must be positive, got {cores_per_domain}"
+        )
+    if total_bytes % 16:
+        raise ConfigurationError("total L2 bytes must be divisible by 16")
+    per_core = total_bytes // 16
+    return CacheGeometry(
+        size_bytes=per_core * cores_per_domain, assoc=assoc, latency=latency
+    )

@@ -1,0 +1,97 @@
+"""Way-quota cache partitioning (performance isolation).
+
+The paper closes by arguing that consolidation's *functional* isolation
+should "feasibly extend ... into performance isolation": one VM's cache
+appetite measurably slows its neighbours (Figures 8-13).  This module
+implements the classic remedy the paper's related-work section points
+at (fair cache sharing/partitioning, Kim et al., PACT 2004): per-VM
+**way quotas** in each shared L2 set.
+
+Mechanism — at insertion into a full set:
+
+1. if the inserting VM is at/above its quota in this set, it victimizes
+   its own LRU line (it cannot grow at a neighbour's expense);
+2. otherwise, if some other VM is over *its* quota, that VM's LRU line
+   is the victim (quotas are reclaimed lazily);
+3. otherwise vanilla LRU decides.
+
+Quotas bound only *growth*; unused ways remain usable by everyone,
+preserving most of the utilization benefit of sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["WayQuota", "equal_quotas"]
+
+
+class WayQuota:
+    """Per-VM way quotas for one L2 domain.
+
+    Parameters
+    ----------
+    quotas:
+        ``vm_id -> ways`` the VM may occupy per set.  VMs not listed
+        are unconstrained (useful for the hypervisor's own traffic).
+    assoc:
+        The domain's set associativity (for validation).
+    """
+
+    def __init__(self, quotas: Dict[int, int], assoc: int):
+        if not quotas:
+            raise ConfigurationError("way quotas need at least one VM")
+        for vm, ways in quotas.items():
+            if ways <= 0:
+                raise ConfigurationError(
+                    f"VM {vm} quota must be positive, got {ways}"
+                )
+            if ways > assoc:
+                raise ConfigurationError(
+                    f"VM {vm} quota {ways} exceeds associativity {assoc}"
+                )
+        self.quotas = dict(quotas)
+        self.assoc = assoc
+        self.self_evictions = 0
+        self.reclaims = 0
+
+    def victim_selector(self, vm_id: int):
+        """A per-insertion victim selector for
+        :meth:`repro.caches.setassoc.SetAssocCache.insert`."""
+        quotas = self.quotas
+        my_quota = quotas.get(vm_id)
+
+        def select(cache_set) -> Optional[int]:
+            counts: Dict[int, int] = {}
+            for line in cache_set.values():
+                owner = line.vm_id
+                counts[owner] = counts.get(owner, 0) + 1
+            if my_quota is not None and counts.get(vm_id, 0) >= my_quota:
+                # rule 1: evict own LRU line
+                for block, line in cache_set.items():
+                    if line.vm_id == vm_id:
+                        self.self_evictions += 1
+                        return block
+            # rule 2: reclaim from an over-quota neighbour
+            for block, line in cache_set.items():
+                owner = line.vm_id
+                quota = quotas.get(owner)
+                if quota is not None and owner != vm_id and counts[owner] > quota:
+                    self.reclaims += 1
+                    return block
+            return None  # rule 3: fall back to vanilla LRU
+
+        return select
+
+
+def equal_quotas(vm_ids, assoc: int) -> Dict[int, int]:
+    """An equal split of ``assoc`` ways among ``vm_ids`` (at least one
+    way each) — the fair-share configuration used by the fairness
+    ablation."""
+    vm_ids = list(vm_ids)
+    if not vm_ids:
+        raise ConfigurationError("equal_quotas needs at least one VM")
+    share = max(1, assoc // len(vm_ids))
+    return {vm: share for vm in vm_ids}

@@ -1,0 +1,170 @@
+"""Set-associative cache array with pluggable replacement.
+
+The array stores arbitrary per-line metadata objects (see
+:mod:`repro.caches.line`).  Sets are backed by insertion-ordered dicts:
+hit promotion (for LRU) deletes and re-inserts the key, victim selection
+delegates to the replacement policy.  All operations are O(1) for LRU
+and FIFO.
+
+This class is purely *functional* cache state — it knows nothing about
+latency, coherence, or the interconnect.  Timing composition happens in
+:mod:`repro.machine.chip`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from .geometry import CacheGeometry
+from .replacement import LruPolicy, ReplacementPolicy
+from .stats import CacheStats
+
+__all__ = ["SetAssocCache"]
+
+
+class SetAssocCache:
+    """A set-associative cache mapping block numbers to line objects.
+
+    Parameters
+    ----------
+    geometry:
+        Shape of the array (capacity, associativity, block size).
+    policy:
+        Replacement policy; defaults to LRU, matching the paper.
+    name:
+        Diagnostic label, e.g. ``"core3/L1"`` or ``"l2/domain0"``.
+    """
+
+    __slots__ = ("geometry", "policy", "name", "stats", "_sets", "_set_mask")
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: Optional[ReplacementPolicy] = None,
+        name: str = "cache",
+    ):
+        self.geometry = geometry
+        self.policy = (policy or LruPolicy()).clone()
+        self.name = name
+        self.stats = CacheStats()
+        self._sets: list = [{} for _ in range(geometry.num_sets)]
+        self._set_mask = geometry.num_sets - 1
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+
+    def lookup(self, block: int) -> Optional[object]:
+        """Return the line object for ``block``, updating recency.
+
+        Counts as an access; returns ``None`` on miss.
+        """
+        cache_set = self._sets[block & self._set_mask]
+        stats = self.stats
+        stats.accesses += 1
+        line = cache_set.get(block)
+        if line is None:
+            stats.misses += 1
+            return None
+        stats.hits += 1
+        if self.policy.promotes_on_hit:
+            del cache_set[block]
+            cache_set[block] = line
+        return line
+
+    def peek(self, block: int) -> Optional[object]:
+        """Return the line object without affecting recency or stats."""
+        return self._sets[block & self._set_mask].get(block)
+
+    def insert(
+        self,
+        block: int,
+        line: object,
+        victim_selector=None,
+    ) -> Optional[Tuple[int, object]]:
+        """Install ``block``; return ``(victim_block, victim_line)`` if one
+        was evicted, else ``None``.
+
+        Inserting a block that is already present replaces its line
+        object (and refreshes recency) without eviction.
+
+        Parameters
+        ----------
+        victim_selector:
+            Optional ``f(cache_set) -> victim block`` overriding the
+            replacement policy for this insertion (used by way-quota
+            partitioning); it may return ``None`` to defer to the
+            policy.  The set dict iterates in LRU→MRU order.
+        """
+        cache_set = self._sets[block & self._set_mask]
+        stats = self.stats
+        if block in cache_set:
+            del cache_set[block]
+            cache_set[block] = line
+            return None
+        evicted = None
+        if len(cache_set) >= self.geometry.assoc:
+            victim = None
+            if victim_selector is not None:
+                victim = victim_selector(cache_set)
+            if victim is None:
+                victim = self.policy.victim(cache_set)
+            victim_line = cache_set.pop(victim)
+            stats.evictions += 1
+            if getattr(victim_line, "dirty", False):
+                stats.dirty_evictions += 1
+            evicted = (victim, victim_line)
+        cache_set[block] = line
+        stats.insertions += 1
+        return evicted
+
+    def invalidate(self, block: int) -> Optional[object]:
+        """Remove ``block`` if present; return its line object."""
+        cache_set = self._sets[block & self._set_mask]
+        line = cache_set.pop(block, None)
+        if line is not None:
+            self.stats.invalidations += 1
+        return line
+
+    def touch(self, block: int) -> bool:
+        """Refresh recency without counting an access.  True if present."""
+        cache_set = self._sets[block & self._set_mask]
+        line = cache_set.get(block)
+        if line is None:
+            return False
+        if self.policy.promotes_on_hit:
+            del cache_set[block]
+            cache_set[block] = line
+        return True
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._sets[block & self._set_mask]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the array currently holding valid lines."""
+        return len(self) / self.geometry.num_lines
+
+    def contents(self) -> Iterator[Tuple[int, object]]:
+        """Iterate ``(block, line)`` over every resident line."""
+        for cache_set in self._sets:
+            yield from cache_set.items()
+
+    def set_occupancies(self) -> list:
+        """Number of valid lines in each set (for conflict analysis)."""
+        return [len(s) for s in self._sets]
+
+    def clear(self) -> None:
+        """Drop all lines; statistics are preserved."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def __repr__(self) -> str:
+        return f"SetAssocCache({self.name!r}, {self.geometry.describe()})"

@@ -1,0 +1,49 @@
+"""Per-cache statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache array."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def merged_with(self, other: "CacheStats") -> "CacheStats":
+        """Return the element-wise sum of two counter sets."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            insertions=self.insertions + other.insertions,
+            evictions=self.evictions + other.evictions,
+            dirty_evictions=self.dirty_evictions + other.dirty_evictions,
+            invalidations=self.invalidations + other.invalidations,
+        )
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.invalidations = 0

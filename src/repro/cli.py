@@ -1,0 +1,269 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the library without writing code:
+
+``run``
+    One consolidation experiment; prints the per-VM metric table and
+    optionally saves the full result as JSON.
+``sweep``
+    A sharing-degree x scheduling-policy sweep for one mix.
+``stats``
+    The Table II characterization of one workload.
+``workloads``
+    The workload registry (Table I prose + model parameters).
+``mixes``
+    The Table IV mix matrix.
+
+Every command honours ``REPRO_REFS`` / ``REPRO_SEED`` and takes
+explicit overrides.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import format_kv, format_series, format_table
+from .core.experiment import ExperimentSpec, run_experiment
+from .core.isolation import normalize_result
+from .core.mixes import MIXES
+from .errors import ReproError
+from .workloads.calibrate import measure_workload_statistics
+from .workloads.library import WORKLOADS
+
+__all__ = ["main", "build_parser"]
+
+_SHARINGS = ("private", "shared-2", "shared-4", "shared-8", "shared")
+_POLICIES = ("rr", "affinity", "rr-aff", "random")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Server-consolidation CMP simulator "
+            "(IISWC 2007 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one consolidation experiment")
+    run_p.add_argument("--mix", default="mix5",
+                       help="Table IV mix name or iso-<workload>")
+    run_p.add_argument("--sharing", default="shared-4", choices=_SHARINGS)
+    run_p.add_argument("--policy", default="affinity", choices=_POLICIES)
+    run_p.add_argument("--refs", type=int, default=None,
+                       help="measured references per thread")
+    run_p.add_argument("--warmup", type=int, default=None)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--scale", type=float, default=None,
+                       help="capacity/footprint scale (default 1/16)")
+    run_p.add_argument("--cores", type=int, default=16)
+    run_p.add_argument("--slots-per-core", type=int, default=1,
+                       help=">1 over-commits cores (Section VII study)")
+    run_p.add_argument("--stagger", type=int, default=0,
+                       help="per-VM start-time stagger in cycles")
+    run_p.add_argument("--vm-quota", action="store_true",
+                       help="enable per-VM way-quota partitioning")
+    run_p.add_argument("--rebind", default="", choices=("", "random",
+                                                        "affinity"),
+                       help="dynamic thread rebinding policy")
+    run_p.add_argument("--rebind-interval", type=int, default=100_000)
+    run_p.add_argument("--phase-plan", default="",
+                       help="named workload phase plan (e.g. 'burst')")
+    run_p.add_argument("--normalize", action="store_true",
+                       help="also print paper-style normalized metrics "
+                            "(runs the isolation baselines)")
+    run_p.add_argument("--output", default=None,
+                       help="save the full result as JSON")
+
+    sweep_p = sub.add_parser(
+        "sweep", help="sharing-degree x policy sweep for one mix")
+    sweep_p.add_argument("--mix", default="iso-tpch")
+    sweep_p.add_argument("--metric", default="cycles",
+                         choices=("cycles", "miss_rate", "miss_latency"))
+    sweep_p.add_argument("--refs", type=int, default=None)
+    sweep_p.add_argument("--seed", type=int, default=0)
+
+    stats_p = sub.add_parser(
+        "stats", help="Table II characterization of one workload")
+    stats_p.add_argument("workload", choices=sorted(WORKLOADS))
+    stats_p.add_argument("--refs", type=int, default=None)
+    stats_p.add_argument("--seed", type=int, default=0)
+
+    compare_p = sub.add_parser(
+        "compare", help="compare two saved result JSON files (b vs a)")
+    compare_p.add_argument("result_a")
+    compare_p.add_argument("result_b")
+
+    sub.add_parser("workloads", help="list workload profiles")
+    sub.add_parser("mixes", help="list Table IV mixes")
+    return parser
+
+
+def _spec_from_args(args) -> ExperimentSpec:
+    params = dict(
+        mix=args.mix,
+        sharing=args.sharing,
+        policy=args.policy,
+        seed=args.seed,
+        measured_refs=args.refs,
+        warmup_refs=args.warmup,
+        num_cores=args.cores,
+        slots_per_core=args.slots_per_core,
+        start_stagger=args.stagger,
+        l2_vm_quota=args.vm_quota,
+        rebind=args.rebind,
+        rebind_interval=args.rebind_interval,
+        phase_plan=args.phase_plan,
+    )
+    if args.scale is not None:
+        params["scale"] = args.scale
+    return ExperimentSpec(**params)
+
+
+def _cmd_run(args) -> int:
+    spec = _spec_from_args(args)
+    result = run_experiment(spec)
+    rows = []
+    normalized = normalize_result(result) if args.normalize else None
+    for index, vm in enumerate(result.vm_metrics):
+        row = [f"vm{vm.vm_id}", vm.workload, vm.cycles,
+               round(vm.miss_rate, 4), round(vm.mean_miss_latency, 1),
+               f"{100 * vm.c2c_fraction:.0f}%"]
+        if normalized is not None:
+            row += [round(normalized[index].runtime, 3),
+                    round(normalized[index].miss_latency, 3)]
+        rows.append(row)
+    headers = ["VM", "Workload", "Cycles", "Miss rate", "Miss latency",
+               "c2c"]
+    if normalized is not None:
+        headers += ["Norm. runtime", "Norm. miss latency"]
+    print(format_table(headers, rows,
+                       title=f"{spec.mix} / {spec.sharing} / {spec.policy}"))
+    summary = result.chip_summary
+    print()
+    print(format_kv("Chip summary", {
+        "mesh mean latency": f"{summary.mesh_mean_latency:.1f} cyc",
+        "mesh queueing": f"{summary.mesh_mean_queueing:.1f} cyc",
+        "memory reads": summary.memory_reads,
+        "memory writebacks": summary.memory_writebacks,
+        "upgrades": summary.upgrades,
+        "intra-domain transfers": summary.intra_domain_transfers,
+        "directory cache hit rate":
+            f"{100 * summary.directory_cache_hit_rate:.1f}%",
+    }))
+    if args.output:
+        from .analysis.persist import save_result
+
+        path = save_result(result, args.output)
+        print(f"\nresult saved to {path}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    series = {}
+    for sharing in _SHARINGS:
+        row = {}
+        for policy in _POLICIES:
+            spec = ExperimentSpec(mix=args.mix, sharing=sharing,
+                                  policy=policy, seed=args.seed,
+                                  measured_refs=args.refs)
+            result = run_experiment(spec)
+            vms = result.vm_metrics
+            if args.metric == "cycles":
+                row[policy] = sum(vm.cycles for vm in vms) / len(vms)
+            elif args.metric == "miss_rate":
+                row[policy] = sum(vm.miss_rate for vm in vms) / len(vms)
+            else:
+                row[policy] = sum(vm.mean_miss_latency
+                                  for vm in vms) / len(vms)
+        series[sharing] = row
+    print(format_series(f"{args.mix}: {args.metric} sweep", series))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    stats = measure_workload_statistics(args.workload,
+                                        measured_refs=args.refs,
+                                        seed=args.seed)
+    print(format_kv(f"Table II statistics: {args.workload}", {
+        "c2c fraction of misses": f"{100 * stats.c2c_fraction:.1f}%",
+        "clean transfers": f"{100 * stats.clean_fraction:.1f}%",
+        "dirty transfers": f"{100 * stats.dirty_fraction:.1f}%",
+        "blocks touched (scaled run)": f"{stats.blocks_touched:,}",
+        "blocks touched (full-scale equiv)":
+            f"{stats.blocks_touched_fullscale:,}",
+        "L2 miss rate": f"{stats.l2_miss_rate:.3f}",
+    }))
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    rows = []
+    for name in sorted(WORKLOADS):
+        profile = WORKLOADS[name]
+        rows.append([
+            name, profile.footprint_blocks, profile.threads,
+            profile.p_shared_read, profile.p_migratory,
+            profile.description,
+        ])
+    print(format_table(
+        ["Name", "Footprint (blocks)", "Threads", "p(shared)", "p(migratory)",
+         "Description"], rows, title="Workload registry"))
+    return 0
+
+
+def _cmd_mixes(_args) -> int:
+    rows = [[name, MIXES[name].describe()] for name in sorted(MIXES)]
+    print(format_table(["Mix", "Composition"], rows,
+                       title="Table IV mixes"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .analysis.compare import compare_results
+    from .analysis.persist import load_result
+
+    a = load_result(args.result_a)
+    b = load_result(args.result_b)
+    comparison = compare_results(a, b, label_a=args.result_a,
+                                 label_b=args.result_b)
+    print(format_table(
+        ["VM", "cycles x", "miss-rate x", "miss-latency x"],
+        comparison.rows(),
+        title=f"{args.result_b} relative to {args.result_a}"))
+    worst = comparison.worst_vm()
+    print()
+    print(f"mean cycles ratio {comparison.mean_cycles_ratio():.3f}; "
+          f"most affected: {worst.workload} "
+          f"({worst.cycles_ratio:.3f}x)")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "stats": _cmd_stats,
+    "compare": _cmd_compare,
+    "workloads": _cmd_workloads,
+    "mixes": _cmd_mixes,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # output truncated by a downstream pager/head; not an error
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Directory coherence substrate (SGI-Origin-style, MOESI states)."""
+
+from .directory import Directory, DirectoryCache, DirectoryEntry
+from .protocol import CoherenceController, CoherenceStats, DataSource, FetchOutcome
+from .states import DirState
+
+__all__ = [
+    "Directory",
+    "DirectoryCache",
+    "DirectoryEntry",
+    "CoherenceController",
+    "CoherenceStats",
+    "DataSource",
+    "FetchOutcome",
+    "DirState",
+]

@@ -1,0 +1,88 @@
+"""The consolidation framework — the paper's primary contribution."""
+
+from .experiment import (
+    DEFAULT_SCALE,
+    ChipSummary,
+    ExperimentResult,
+    ExperimentSpec,
+    clear_result_cache,
+    resolve_mix,
+    run_experiment,
+)
+from .isolation import (
+    NormalizedVM,
+    isolation_spec,
+    normalize_result,
+    normalized_miss_latency,
+    normalized_miss_rate,
+    normalized_runtime,
+    run_isolated,
+)
+from .metrics import VMMetrics, aggregate_by_workload
+from .mixes import (
+    HETEROGENEOUS_MIXES,
+    HOMOGENEOUS_MIXES,
+    MIXES,
+    Mix,
+    get_mix,
+    isolated_mix,
+)
+from .scheduling import (
+    SCHEDULER_NAMES,
+    AffinityScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    RrAffinityScheduler,
+    SchedulingPolicy,
+    make_scheduler,
+)
+from .sweeps import (
+    ALL_POLICIES,
+    ALL_SHARINGS,
+    extract_grid,
+    sweep,
+    sweep_mixes,
+    sweep_sharing_policy,
+)
+from .variability import ReplicationSummary, replicate, seeds_for
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ChipSummary",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "clear_result_cache",
+    "resolve_mix",
+    "run_experiment",
+    "NormalizedVM",
+    "isolation_spec",
+    "normalize_result",
+    "normalized_miss_latency",
+    "normalized_miss_rate",
+    "normalized_runtime",
+    "run_isolated",
+    "VMMetrics",
+    "aggregate_by_workload",
+    "HETEROGENEOUS_MIXES",
+    "HOMOGENEOUS_MIXES",
+    "MIXES",
+    "Mix",
+    "get_mix",
+    "isolated_mix",
+    "SCHEDULER_NAMES",
+    "AffinityScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "RrAffinityScheduler",
+    "SchedulingPolicy",
+    "make_scheduler",
+    "ALL_POLICIES",
+    "ALL_SHARINGS",
+    "extract_grid",
+    "sweep",
+    "sweep_mixes",
+    "sweep_sharing_policy",
+    "ReplicationSummary",
+    "replicate",
+    "seeds_for",
+]

@@ -1,0 +1,397 @@
+"""Experiment specification and runner — the library's main entry point.
+
+One :class:`ExperimentSpec` names everything the paper varies: the
+workload mix (Table IV), the L2 sharing degree (Section III), the
+scheduling policy (Section III-D), plus seed and run length.
+:func:`run_experiment` builds the machine, launches the hypervisor,
+drives the engine, and returns an :class:`ExperimentResult` with the
+paper's three per-VM metrics and end-of-run cache snapshots.
+
+Scaled simulation
+-----------------
+``scale`` shrinks every cache capacity *and* every workload footprint
+by the same factor (default 1/16).  The paper's phenomena — capacity
+pressure, replication, sharing, interference — depend on the ratio of
+footprint to capacity, which scaling preserves, while letting a run
+reach steady state within a few tens of thousands of references per
+thread.  ``scale=1.0`` gives the full-size machine of Table III.
+
+Environment knobs
+-----------------
+``REPRO_REFS``
+    Default measured references per thread (default 24000).
+``REPRO_SEED``
+    Default experiment seed (default 1).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set
+
+from ..errors import ConfigurationError
+from ..machine.chip import Chip
+from ..machine.config import MachineConfig, SharingDegree
+from ..sim.dynamic import MigratingEngine
+from ..sim.engine import Engine
+from ..sim.overcommit import OvercommitEngine
+from ..sim.rng import RngFactory
+from ..vm.hypervisor import Hypervisor
+from .metrics import VMMetrics
+from .mixes import Mix, get_mix, isolated_mix
+from .scheduling import assign_overcommitted, make_scheduler
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ExperimentSpec",
+    "ChipSummary",
+    "ExperimentResult",
+    "resolve_mix",
+    "run_experiment",
+    "clear_result_cache",
+]
+
+DEFAULT_SCALE = 1.0 / 16.0
+"""Default capacity/footprint scale factor (see the module docstring)."""
+
+
+def default_measured_refs() -> int:
+    """Per-thread measured references (``REPRO_REFS``, default 24000)."""
+    return int(os.environ.get("REPRO_REFS", "24000"))
+
+
+def default_seed() -> int:
+    """Default experiment seed (``REPRO_SEED``, default 1)."""
+    return int(os.environ.get("REPRO_SEED", "1"))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One simulation's complete description.
+
+    Attributes
+    ----------
+    mix:
+        A Table IV mix name (``"mix1"``..``"mix9"``, ``"mixA"``..
+        ``"mixD"``) or ``"iso-<workload>"`` for an isolation run.
+    sharing:
+        ``"private"``, ``"shared-2"``, ``"shared-4"``, ``"shared-8"``,
+        or ``"shared"``.
+    policy:
+        ``"rr"``, ``"affinity"``, ``"rr-aff"``, or ``"random"``.
+    seed:
+        Experiment seed; 0 means "use the environment default".
+    measured_refs, warmup_refs:
+        Per-thread measurement window; ``None`` means environment /
+        derived defaults (warmup defaults to half the measured count).
+    scale:
+        Capacity/footprint scale factor.
+    l2_replacement:
+        L2 replacement policy (``"lru"`` default; ``"random"`` and
+        ``"fifo"`` for the ablation benches).
+    slots_per_core:
+        Thread contexts per core.  1 reproduces the paper (never
+        over-committed); >1 enables the Section VII over-commit study —
+        cores time-multiplex their run queues with a reference quantum
+        and context-switch penalty.
+    start_stagger:
+        Per-VM start-time stagger in cycles (VM ``i`` starts at
+        ``i * start_stagger``); the paper's workload-start-time
+        methodological variable.
+    num_cores:
+        Machine size; 16 is the paper's chip, larger squares (e.g. 64)
+        serve the scaling study of Section VII.
+    l2_vm_quota:
+        Enable per-VM way-quota partitioning of shared L2 domains —
+        the performance-isolation mechanism the paper's conclusion
+        argues for.  Each domain's ways are split equally among the
+        VMs scheduled onto it.
+    phase_plan:
+        Name of a registered workload phase plan (see
+        :mod:`repro.workloads.phases`); empty = steady behaviour.
+    rebind, rebind_interval:
+        Dynamic thread migration: ``"random"`` (churn) or
+        ``"affinity"`` (healing), rebalanced every
+        ``rebind_interval`` cycles.  Empty = static binding (the
+        paper's methodology).
+    dir_cache_entries:
+        Per-tile directory-cache capacity override; 0 = the machine
+        default (16K entries).
+    """
+
+    mix: str
+    sharing: str = "shared-4"
+    policy: str = "affinity"
+    seed: int = 0
+    measured_refs: Optional[int] = None
+    warmup_refs: Optional[int] = None
+    scale: float = DEFAULT_SCALE
+    l2_replacement: str = "lru"
+    slots_per_core: int = 1
+    start_stagger: int = 0
+    num_cores: int = 16
+    l2_vm_quota: bool = False
+    phase_plan: str = ""
+    rebind: str = ""
+    rebind_interval: int = 100_000
+    dir_cache_entries: int = 0  # 0 = machine default (16K per tile)
+
+    def normalized(self) -> "ExperimentSpec":
+        """Resolve every defaulted field to a concrete value."""
+        measured = self.measured_refs or default_measured_refs()
+        warmup = self.warmup_refs if self.warmup_refs is not None else measured // 2
+        seed = self.seed or default_seed()
+        return replace(
+            self,
+            measured_refs=measured,
+            warmup_refs=warmup,
+            seed=seed,
+            sharing=self._canonical_sharing(),
+        )
+
+    def _canonical_sharing(self) -> str:
+        degree = SharingDegree.from_name(self.sharing)
+        return {
+            SharingDegree.PRIVATE: "private",
+            SharingDegree.SHARED_2: "shared-2",
+            SharingDegree.SHARED_4: "shared-4",
+            SharingDegree.SHARED_8: "shared-8",
+            SharingDegree.SHARED_16: "shared",
+        }[degree]
+
+    @property
+    def sharing_degree(self) -> SharingDegree:
+        return SharingDegree.from_name(self.sharing)
+
+
+def resolve_mix(name: str) -> Mix:
+    """Map a spec's mix string to a :class:`~repro.core.mixes.Mix`."""
+    if name.startswith("iso-"):
+        return isolated_mix(name[len("iso-"):])
+    return get_mix(name)
+
+
+@dataclass(frozen=True)
+class ChipSummary:
+    """Chip-level statistics of one run."""
+
+    mesh_mean_latency: float
+    mesh_mean_queueing: float
+    mesh_mean_hops: float
+    c2c_clean: int
+    c2c_dirty: int
+    memory_fetches: int
+    coherence_writebacks: int
+    invalidations: int
+    upgrades: int
+    intra_domain_transfers: int
+    directory_cache_hit_rate: float
+    memory_reads: int
+    memory_writebacks: int
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one run."""
+
+    spec: ExperimentSpec
+    mix: Mix
+    vm_metrics: List[VMMetrics]
+    final_time: int
+    chip_summary: ChipSummary
+    occupancy: List[Dict[int, int]]
+    residency: List[Set[int]]
+    domain_lines: int
+    assignments: List[List[int]] = field(default_factory=list)
+
+    def metrics_for(self, workload: str) -> List[VMMetrics]:
+        """All VM metrics of one workload, in VM order."""
+        return [vm for vm in self.vm_metrics if vm.workload == workload]
+
+    def vm(self, vm_id: int) -> VMMetrics:
+        return self.vm_metrics[vm_id]
+
+    @property
+    def workloads(self) -> List[str]:
+        return [vm.workload for vm in self.vm_metrics]
+
+    def mean_cycles(self, workload: str) -> float:
+        """Average completion cycles across a workload's instances."""
+        instances = self.metrics_for(workload)
+        return sum(vm.cycles for vm in instances) / len(instances)
+
+    def mean_miss_rate(self, workload: str) -> float:
+        instances = self.metrics_for(workload)
+        return sum(vm.miss_rate for vm in instances) / len(instances)
+
+    def mean_miss_latency(self, workload: str) -> float:
+        instances = self.metrics_for(workload)
+        return sum(vm.mean_miss_latency for vm in instances) / len(instances)
+
+
+def _make_rebinder(kind: str, chip: Chip, rng_factory: RngFactory):
+    """Build a dynamic-rebinding policy by name."""
+    from ..sim.dynamic import AffinityRebinder, RandomRebinder
+
+    kind = kind.strip().lower()
+    if kind == "random":
+        return RandomRebinder(chip.config.num_cores,
+                              rng_factory.stream("rebinder"))
+    if kind == "affinity":
+        return AffinityRebinder(
+            domain_of_core=chip.placement.domain_of,
+            cores_of_domain=[list(d) for d in chip.placement.domains],
+        )
+    raise ConfigurationError(
+        f"unknown rebinder {kind!r}; choose 'random' or 'affinity'"
+    )
+
+
+def _apply_vm_quotas(chip: Chip, assignments) -> None:
+    """Split each shared domain's ways equally among its resident VMs."""
+    from ..caches.partitioning import WayQuota, equal_quotas
+
+    domain_vms: Dict[int, set] = {}
+    for vm_id, cores in enumerate(assignments):
+        for core in cores:
+            domain_vms.setdefault(chip.domain_of_core(core), set()).add(vm_id)
+    assoc = chip.config.l2_assoc
+    for domain_id, vms in domain_vms.items():
+        if len(vms) > 1:
+            chip.domains[domain_id].set_quota(
+                WayQuota(equal_quotas(sorted(vms), assoc), assoc)
+            )
+
+
+_RESULT_CACHE: Dict[ExperimentSpec, ExperimentResult] = {}
+
+
+def clear_result_cache() -> None:
+    """Drop memoized experiment results (tests use this)."""
+    _RESULT_CACHE.clear()
+
+
+def run_experiment(spec: ExperimentSpec, use_cache: bool = True) -> ExperimentResult:
+    """Run one consolidation experiment.
+
+    Results are memoized on the fully-resolved spec: the benchmark
+    harness re-uses isolation baselines across figures without
+    re-simulating them.
+    """
+    spec = spec.normalized()
+    if use_cache and spec in _RESULT_CACHE:
+        return _RESULT_CACHE[spec]
+
+    mix = resolve_mix(spec.mix)
+    profiles = [profile.scaled(spec.scale) for profile in mix.profiles()]
+
+    machine_params = dict(
+        num_cores=spec.num_cores,
+        sharing=spec.sharing_degree,
+        l2_replacement=spec.l2_replacement,
+    )
+    if spec.dir_cache_entries:
+        machine_params["directory_cache_entries"] = spec.dir_cache_entries
+    config = MachineConfig(**machine_params).scaled(spec.scale)
+    chip = Chip(config)
+    rng_factory = RngFactory(spec.seed)
+    thread_counts = [profile.threads for profile in profiles]
+    scheduler_rng = rng_factory.stream("scheduler")
+    if spec.slots_per_core > 1:
+        assignments = assign_overcommitted(
+            spec.policy, thread_counts, chip.placement,
+            slots_per_core=spec.slots_per_core, rng=scheduler_rng,
+        )
+    else:
+        assignments = make_scheduler(spec.policy).assign(
+            thread_counts, chip.placement, rng=scheduler_rng,
+        )
+    hypervisor = Hypervisor(chip, rng_factory)
+    start_offsets = (
+        [i * spec.start_stagger for i in range(len(profiles))]
+        if spec.start_stagger else ()
+    )
+    phases = None
+    if spec.phase_plan:
+        from ..workloads.phases import get_phase_plan
+
+        phases = get_phase_plan(spec.phase_plan)
+    contexts = hypervisor.launch(
+        profiles,
+        assignments,
+        measured_refs=spec.measured_refs,
+        warmup_refs=spec.warmup_refs,
+        slots_per_core=spec.slots_per_core,
+        start_offsets=start_offsets,
+        phases=phases,
+    )
+    hypervisor.check_isolation()
+    if spec.l2_vm_quota:
+        _apply_vm_quotas(chip, assignments)
+    if spec.rebind and spec.slots_per_core > 1:
+        raise ConfigurationError(
+            "dynamic rebinding and over-commit cannot be combined"
+        )
+    if spec.slots_per_core > 1:
+        engine = OvercommitEngine(chip, contexts)
+    elif spec.rebind:
+        engine = MigratingEngine(
+            chip,
+            contexts,
+            rebinder=_make_rebinder(spec.rebind, chip, rng_factory),
+            interval=spec.rebind_interval,
+        )
+    else:
+        engine = Engine(chip, contexts)
+    engine_result = engine.run()
+
+    vm_metrics: List[VMMetrics] = []
+    for vm in hypervisor.vms:
+        threads = [
+            context.stats for context in contexts if context.vm_id == vm.vm_id
+        ]
+        vm_metrics.append(
+            VMMetrics.from_threads(
+                vm.vm_id,
+                vm.workload_name,
+                threads,
+                completion_time=engine_result.vm_completion_times[vm.vm_id],
+            )
+        )
+
+    coherence = chip.coherence.stats
+    total_dir_accesses = sum(c.hits + c.misses for c in chip.directory.caches)
+    total_dir_hits = sum(c.hits for c in chip.directory.caches)
+    summary = ChipSummary(
+        mesh_mean_latency=chip.mesh.mean_latency,
+        mesh_mean_queueing=chip.mesh.mean_queueing,
+        mesh_mean_hops=chip.mesh.mean_hops,
+        c2c_clean=coherence.c2c_clean,
+        c2c_dirty=coherence.c2c_dirty,
+        memory_fetches=coherence.memory_fetches,
+        coherence_writebacks=coherence.writebacks,
+        invalidations=coherence.invalidations_sent,
+        upgrades=coherence.upgrades,
+        intra_domain_transfers=chip.intra_domain_transfers,
+        directory_cache_hit_rate=(
+            total_dir_hits / total_dir_accesses if total_dir_accesses else 0.0
+        ),
+        memory_reads=chip.memory.total_reads,
+        memory_writebacks=chip.memory.total_writebacks,
+    )
+
+    result = ExperimentResult(
+        spec=spec,
+        mix=mix,
+        vm_metrics=vm_metrics,
+        final_time=engine_result.final_time,
+        chip_summary=summary,
+        occupancy=chip.l2_snapshot_by_vm(),
+        residency=chip.l2_resident_sets(),
+        domain_lines=config.l2_geometry().num_lines,
+        assignments=assignments,
+    )
+    if use_cache:
+        _RESULT_CACHE[spec] = result
+    return result

@@ -1,0 +1,135 @@
+"""Isolation baselines and normalization (Section V).
+
+Every consolidated measurement in the paper is *relative*: cycle counts
+are normalized to "a single workload instance run in isolation with
+four cores and 16 MB of fully shared last level cache"; homogeneous-mix
+miss latencies are normalized to isolation with affinity scheduling;
+Figures 10 and 11 normalize to isolation with affinity and a
+shared-4-way cache.  This module provides those baselines (memoized via
+the experiment cache) and normalization helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from .experiment import ExperimentResult, ExperimentSpec, run_experiment
+from .metrics import VMMetrics
+
+__all__ = [
+    "run_isolated",
+    "isolation_spec",
+    "normalized_runtime",
+    "normalized_miss_rate",
+    "normalized_miss_latency",
+    "NormalizedVM",
+    "normalize_result",
+]
+
+
+def isolation_spec(
+    workload: str,
+    sharing: str = "shared",
+    policy: str = "affinity",
+    template: Optional[ExperimentSpec] = None,
+) -> ExperimentSpec:
+    """Spec of an isolation run, inheriting run-length/seed/scale from
+    ``template`` (typically the consolidated spec being normalized)."""
+    if template is None:
+        return ExperimentSpec(mix=f"iso-{workload}", sharing=sharing, policy=policy)
+    return replace(
+        template, mix=f"iso-{workload}", sharing=sharing, policy=policy
+    )
+
+
+def run_isolated(
+    workload: str,
+    sharing: str = "shared",
+    policy: str = "affinity",
+    template: Optional[ExperimentSpec] = None,
+) -> ExperimentResult:
+    """Run (or fetch the memoized) isolation experiment."""
+    return run_experiment(isolation_spec(workload, sharing, policy, template))
+
+
+def _baseline_vm(
+    workload: str,
+    sharing: str,
+    policy: str,
+    template: Optional[ExperimentSpec],
+) -> VMMetrics:
+    result = run_isolated(workload, sharing=sharing, policy=policy, template=template)
+    return result.vm_metrics[0]
+
+
+def normalized_runtime(
+    vm: VMMetrics,
+    template: Optional[ExperimentSpec] = None,
+    sharing: str = "shared",
+    policy: str = "affinity",
+) -> float:
+    """Cycle count relative to the workload's isolation run.
+
+    The default baseline is the paper's: isolation with the fully
+    shared 16 MB cache.
+    """
+    base = _baseline_vm(vm.workload, sharing, policy, template)
+    return vm.cycles / base.cycles if base.cycles else float("inf")
+
+
+def normalized_miss_rate(
+    vm: VMMetrics,
+    template: Optional[ExperimentSpec] = None,
+    sharing: str = "shared",
+    policy: str = "affinity",
+) -> float:
+    """Per-VM L2 miss rate relative to the isolation run."""
+    base = _baseline_vm(vm.workload, sharing, policy, template)
+    return vm.miss_rate / base.miss_rate if base.miss_rate else float("inf")
+
+
+def normalized_miss_latency(
+    vm: VMMetrics,
+    template: Optional[ExperimentSpec] = None,
+    sharing: str = "shared-4",
+    policy: str = "affinity",
+) -> float:
+    """Mean miss latency relative to isolation.
+
+    The paper's miss-latency figures normalize against affinity
+    scheduling with a shared-4-way cache, hence the default.
+    """
+    base = _baseline_vm(vm.workload, sharing, policy, template)
+    if not base.mean_miss_latency:
+        return float("inf")
+    return vm.mean_miss_latency / base.mean_miss_latency
+
+
+class NormalizedVM:
+    """A VM's metrics with the paper's normalizations applied lazily."""
+
+    def __init__(self, vm: VMMetrics, template: ExperimentSpec):
+        self.vm = vm
+        self.template = template
+
+    @property
+    def workload(self) -> str:
+        return self.vm.workload
+
+    @property
+    def runtime(self) -> float:
+        return normalized_runtime(self.vm, self.template)
+
+    @property
+    def miss_rate(self) -> float:
+        return normalized_miss_rate(self.vm, self.template)
+
+    @property
+    def miss_latency(self) -> float:
+        return normalized_miss_latency(self.vm, self.template)
+
+
+def normalize_result(result: ExperimentResult) -> List[NormalizedVM]:
+    """Wrap every VM of a run with its normalization context."""
+    return [NormalizedVM(vm, result.spec) for vm in result.vm_metrics]

@@ -1,0 +1,142 @@
+"""Per-VM metrics (Section V's three measurements).
+
+The paper reports, per virtual machine: normalized runtime (cycle
+count), the miss rate *seen by the VM* at the last level cache, and the
+average latency of misses in the last private level.  :class:`VMMetrics`
+aggregates a VM's thread statistics into exactly those quantities;
+normalization against isolation baselines happens in
+:mod:`repro.core.isolation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..sim.engine import ThreadStats
+from ..sim.records import HitLevel
+
+__all__ = ["VMMetrics", "aggregate_by_workload"]
+
+
+@dataclass(frozen=True)
+class VMMetrics:
+    """Aggregated measurements of one virtual machine."""
+
+    vm_id: int
+    workload: str
+    cycles: int
+    refs: int
+    reads: int
+    writes: int
+    instructions: int
+    l1_misses: int
+    l2_misses: int
+    l2_hits: int
+    l2_peer_transfers: int
+    c2c_clean: int
+    c2c_dirty: int
+    memory_fetches: int
+    miss_latency_cycles: int
+    latency_cycles: int
+    cache_cycles: int
+    network_cycles: int
+    directory_cycles: int
+    memory_cycles: int
+
+    @classmethod
+    def from_threads(
+        cls,
+        vm_id: int,
+        workload: str,
+        threads: List[ThreadStats],
+        completion_time: int,
+    ) -> "VMMetrics":
+        """Fold a VM's thread stats into one record."""
+        counts = {level: 0 for level in HitLevel}
+        for stats in threads:
+            for level, count in stats.level_counts.items():
+                counts[level] += count
+        l1_misses = sum(s.l1_misses for s in threads)
+        l2_misses = sum(s.l2_misses for s in threads)
+        refs = sum(s.refs for s in threads)
+        return cls(
+            vm_id=vm_id,
+            workload=workload,
+            cycles=completion_time,
+            refs=refs,
+            reads=sum(s.reads for s in threads),
+            writes=sum(s.writes for s in threads),
+            instructions=refs + sum(s.think_cycles for s in threads),
+            l1_misses=l1_misses,
+            l2_misses=l2_misses,
+            l2_hits=counts[HitLevel.L2],
+            l2_peer_transfers=counts[HitLevel.L2_PEER],
+            c2c_clean=counts[HitLevel.C2C_CLEAN],
+            c2c_dirty=counts[HitLevel.C2C_DIRTY],
+            memory_fetches=counts[HitLevel.MEMORY],
+            miss_latency_cycles=sum(s.miss_latency_cycles for s in threads),
+            latency_cycles=sum(s.latency_cycles for s in threads),
+            cache_cycles=sum(s.cache_cycles for s in threads),
+            network_cycles=sum(s.network_cycles for s in threads),
+            directory_cycles=sum(s.directory_cycles for s in threads),
+            memory_cycles=sum(s.memory_cycles for s in threads),
+        )
+
+    # ------------------------------------------------------------------
+    # the paper's metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def l2_accesses(self) -> int:
+        """References reaching the last level cache (= L1 misses)."""
+        return self.l1_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """L2 misses seen by the VM, per L2 access (Section V)."""
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+    @property
+    def mpki(self) -> float:
+        """L2 misses per thousand instructions."""
+        return 1000.0 * self.l2_misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def mean_miss_latency(self) -> float:
+        """Average cycles to satisfy an L1 miss (the paper's
+        miss-latency metric, including c2c, L2, and memory legs)."""
+        return (
+            self.miss_latency_cycles / self.l1_misses if self.l1_misses else 0.0
+        )
+
+    @property
+    def c2c_transfers(self) -> int:
+        return self.c2c_clean + self.c2c_dirty
+
+    @property
+    def c2c_fraction(self) -> float:
+        """Fraction of L2 misses served by another on-chip cache
+        (Table II's 'percent of accesses resulting in a c2c transfer')."""
+        return self.c2c_transfers / self.l2_misses if self.l2_misses else 0.0
+
+    @property
+    def c2c_clean_fraction(self) -> float:
+        return self.c2c_clean / self.c2c_transfers if self.c2c_transfers else 0.0
+
+    @property
+    def c2c_dirty_fraction(self) -> float:
+        return self.c2c_dirty / self.c2c_transfers if self.c2c_transfers else 0.0
+
+    @property
+    def mean_network_per_miss(self) -> float:
+        """Average interconnect cycles per L1 miss."""
+        return self.network_cycles / self.l1_misses if self.l1_misses else 0.0
+
+
+def aggregate_by_workload(metrics: List[VMMetrics]) -> Dict[str, List[VMMetrics]]:
+    """Group VM metrics by workload name, preserving VM order."""
+    grouped: Dict[str, List[VMMetrics]] = {}
+    for vm in metrics:
+        grouped.setdefault(vm.workload, []).append(vm)
+    return grouped

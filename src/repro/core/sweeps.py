@@ -1,0 +1,97 @@
+"""Programmatic experiment sweeps.
+
+The benchmarks and examples repeatedly run grids of experiments —
+sharing degree x policy, mix x policy, capacity sweeps.  These helpers
+express the grids declaratively, reuse the experiment cache, and
+return results keyed by the swept coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .experiment import ExperimentResult, ExperimentSpec, run_experiment
+
+__all__ = [
+    "ALL_SHARINGS",
+    "ALL_POLICIES",
+    "sweep",
+    "sweep_sharing_policy",
+    "sweep_mixes",
+    "extract_grid",
+]
+
+ALL_SHARINGS: Tuple[str, ...] = (
+    "private", "shared-2", "shared-4", "shared-8", "shared",
+)
+ALL_POLICIES: Tuple[str, ...] = ("rr", "affinity", "rr-aff", "random")
+
+
+def sweep(
+    base: ExperimentSpec,
+    **axes: Sequence,
+) -> Dict[tuple, ExperimentResult]:
+    """Run the cartesian product of spec-field overrides.
+
+    Example
+    -------
+    >>> grid = sweep(ExperimentSpec(mix="mixC", measured_refs=1000),
+    ...              policy=["rr", "affinity"],
+    ...              sharing=["shared-4", "private"])  # doctest: +SKIP
+
+    Returns results keyed by tuples of axis values in keyword order.
+    """
+    if not axes:
+        raise ConfigurationError("sweep needs at least one axis")
+    field_names = list(axes)
+    valid = set(ExperimentSpec.__dataclass_fields__)
+    for name in field_names:
+        if name not in valid:
+            raise ConfigurationError(
+                f"{name!r} is not an ExperimentSpec field; "
+                f"valid fields: {sorted(valid)}"
+            )
+    results: Dict[tuple, ExperimentResult] = {}
+
+    def recurse(prefix: tuple, remaining: List[str]) -> None:
+        if not remaining:
+            overrides = dict(zip(field_names, prefix))
+            results[prefix] = run_experiment(replace(base, **overrides))
+            return
+        axis = remaining[0]
+        for value in axes[axis]:
+            recurse(prefix + (value,), remaining[1:])
+
+    recurse((), field_names)
+    return results
+
+
+def sweep_sharing_policy(
+    mix: str,
+    sharings: Sequence[str] = ALL_SHARINGS,
+    policies: Sequence[str] = ("rr", "affinity"),
+    base: Optional[ExperimentSpec] = None,
+) -> Dict[Tuple[str, str], ExperimentResult]:
+    """The paper's canonical grid: sharing degree x scheduler."""
+    base = base or ExperimentSpec(mix=mix)
+    base = replace(base, mix=mix)
+    return sweep(base, sharing=list(sharings), policy=list(policies))
+
+
+def sweep_mixes(
+    mixes: Iterable[str],
+    base: Optional[ExperimentSpec] = None,
+) -> Dict[Tuple[str], ExperimentResult]:
+    """One run per mix, other parameters held at ``base``'s values."""
+    base = base or ExperimentSpec(mix="mixA")
+    return sweep(base, mix=list(mixes))
+
+
+def extract_grid(
+    results: Dict[tuple, ExperimentResult],
+    metric: Callable[[ExperimentResult], float],
+) -> Dict[tuple, float]:
+    """Apply a scalar extractor to every cell of a sweep result."""
+    return {key: float(metric(result)) for key, result in results.items()}

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid machine, cache, workload, or experiment configuration."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state.
+
+    This indicates a bug in the simulator (for example a coherence
+    invariant violation), not a user mistake.
+    """
+
+
+class CoherenceError(SimulationError):
+    """A cache-coherence invariant was violated."""
+
+
+class WorkloadError(ReproError):
+    """A workload profile or generator was misused or is inconsistent."""
+
+
+class CheckpointError(ReproError):
+    """A workload checkpoint could not be written or restored."""
+
+
+class SchedulingError(ReproError):
+    """A thread-to-core assignment could not be produced.
+
+    Raised when a scheduling policy cannot place the requested threads on
+    the requested machine (for example more runnable threads than cores,
+    since the paper's methodology never over-commits the machine).
+    """

@@ -1,0 +1,219 @@
+"""Cycle-stepped flit-level mesh network.
+
+Connects the routers of :mod:`repro.interconnect.router` over a
+:class:`~repro.interconnect.topology.MeshTopology`.  Used to calibrate
+the fast analytical model and for NoC-focused studies; the main
+consolidation simulations use :class:`~repro.interconnect.analytical.AnalyticalMesh`
+for speed.
+
+Flow control is credit-based: a flit may only cross a link when the
+downstream input VC has a free slot; the credit returns when the flit
+later leaves that buffer.  Link traversal takes one cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .packet import Flit, Packet, packet_flits
+from .router import Port, Router
+from .topology import MeshTopology
+
+__all__ = ["FlitNetwork"]
+
+
+class FlitNetwork:
+    """A mesh of flit-level routers.
+
+    Parameters
+    ----------
+    topology:
+        The mesh shape.
+    num_vcs, vc_capacity:
+        Virtual channels per input port and flits per VC buffer.
+    """
+
+    def __init__(self, topology: MeshTopology, num_vcs: int = 4, vc_capacity: int = 4):
+        self.topology = topology
+        self.routers = [
+            Router(tile, num_vcs=num_vcs, vc_capacity=vc_capacity)
+            for tile in range(topology.num_tiles)
+        ]
+        self.cycle = 0
+        self.delivered: List[Packet] = []
+        self._inject_queues: List[Deque[Flit]] = [
+            deque() for _ in range(topology.num_tiles)
+        ]
+        # per-tile map of packet_id -> local-port VC index, alive while
+        # the packet's flits are being injected
+        self._local_vc_assignment: List[Dict[int, int]] = [
+            {} for _ in range(topology.num_tiles)
+        ]
+        self._in_flight = 0
+        # map (tile, output port) -> (neighbor tile, neighbor input port)
+        self._wiring: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for tile in range(topology.num_tiles):
+            x, y = topology.coords(tile)
+            if x + 1 < topology.width:
+                self._wire(tile, Port.EAST, topology.tile_at(x + 1, y), Port.WEST)
+            if x - 1 >= 0:
+                self._wire(tile, Port.WEST, topology.tile_at(x - 1, y), Port.EAST)
+            if y + 1 < topology.height:
+                self._wire(tile, Port.SOUTH, topology.tile_at(x, y + 1), Port.NORTH)
+            if y - 1 >= 0:
+                self._wire(tile, Port.NORTH, topology.tile_at(x, y - 1), Port.SOUTH)
+
+    def _wire(self, tile: int, out_port: int, neighbor: int, in_port: int) -> None:
+        self._wiring[(tile, out_port)] = (neighbor, in_port)
+
+    # ------------------------------------------------------------------
+    # traffic interface
+    # ------------------------------------------------------------------
+
+    def inject(self, packet: Packet) -> None:
+        """Queue a packet for injection at its source tile."""
+        if not (0 <= packet.src < self.topology.num_tiles):
+            raise SimulationError(f"bad source tile {packet.src}")
+        if not (0 <= packet.dst < self.topology.num_tiles):
+            raise SimulationError(f"bad destination tile {packet.dst}")
+        packet.inject_time = max(packet.inject_time, self.cycle)
+        self._inject_queues[packet.src].extend(packet_flits(packet))
+        self._in_flight += 1
+
+    def route_port(self, tile: int, dst: int) -> int:
+        """Dimension-order output port selection at ``tile`` toward ``dst``."""
+        if tile == dst:
+            return Port.LOCAL
+        tx, ty = self.topology.coords(tile)
+        dx, dy = self.topology.coords(dst)
+        if tx < dx:
+            return Port.EAST
+        if tx > dx:
+            return Port.WEST
+        if ty < dy:
+            return Port.SOUTH
+        return Port.NORTH
+
+    def step(self) -> None:
+        """Advance the network by one cycle."""
+        cycle = self.cycle
+        moves: List[Tuple[int, int, int, Flit, int, int]] = []
+        for router in self.routers:
+            for out_port, out_vc, flit, in_port, in_vc in router.allocate(
+                cycle, self.route_port
+            ):
+                moves.append((router.tile, out_port, out_vc, flit, in_port, in_vc))
+        # apply movements after all routers allocated (synchronous update)
+        for tile, out_port, out_vc, flit, in_port, in_vc in moves:
+            router = self.routers[tile]
+            if out_port == Port.LOCAL:
+                self._eject(flit)
+            else:
+                neighbor, neighbor_port = self._wiring[(tile, out_port)]
+                # flit crosses the link this cycle, lands next cycle
+                self.routers[neighbor].accept(neighbor_port, out_vc, flit, cycle + 1)
+                if flit.is_tail:
+                    router.free_downstream_vc(out_port, out_vc)
+            # return the credit for the buffer slot the flit vacated
+            if in_port != Port.LOCAL:
+                up_tile, up_out = self._upstream_of(tile, in_port)
+                self.routers[up_tile].return_credit(up_out, in_vc)
+        # inject new flits into local input VCs with space
+        for tile, queue in enumerate(self._inject_queues):
+            router = self.routers[tile]
+            while queue:
+                flit = queue[0]
+                vc_idx = self._local_vc_for(router, flit)
+                if vc_idx is None:
+                    break
+                router.accept(Port.LOCAL, vc_idx, flit, cycle)
+                queue.popleft()
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self, max_cycles: int = 1_000_000) -> None:
+        """Step until every injected packet has been delivered."""
+        start = self.cycle
+        while self._in_flight > 0:
+            if self.cycle - start > max_cycles:
+                raise SimulationError(
+                    f"network failed to drain within {max_cycles} cycles; "
+                    f"{self._in_flight} packet(s) still in flight"
+                )
+            self.step()
+
+    # ------------------------------------------------------------------
+
+    def _eject(self, flit: Flit) -> None:
+        if flit.is_tail:
+            flit.packet.arrival_time = self.cycle
+            self.delivered.append(flit.packet)
+            self._in_flight -= 1
+
+    def _local_vc_for(self, router: Router, flit: Flit) -> Optional[int]:
+        """Pick a local-port VC for an injected flit.
+
+        A packet occupies one local VC from its head entering to its
+        tail entering; the assignment is tracked explicitly per tile so
+        body flits always follow their head even after it drained.
+        """
+        assignments = self._local_vc_assignment[router.tile]
+        vcs = router.inputs[Port.LOCAL].vcs
+        packet_id = flit.packet.packet_id
+        if flit.is_head:
+            claimed = set(assignments.values())
+            for idx, vc in enumerate(vcs):
+                if idx in claimed:
+                    continue
+                if vc.occupancy == 0 and vc.out_port is None and vc.has_credit_space:
+                    if not flit.is_tail:
+                        assignments[packet_id] = idx
+                    return idx
+            return None
+        idx = assignments.get(packet_id)
+        if idx is None or not vcs[idx].has_credit_space:
+            return None
+        if flit.is_tail:
+            del assignments[packet_id]
+        return idx
+
+    def _upstream_of(self, tile: int, in_port: int) -> Tuple[int, int]:
+        """The (neighbor tile, neighbor output port) feeding ``in_port``."""
+        opposite = {
+            Port.EAST: Port.WEST,
+            Port.WEST: Port.EAST,
+            Port.NORTH: Port.SOUTH,
+            Port.SOUTH: Port.NORTH,
+        }
+        out_port = opposite[in_port]
+        x, y = self.topology.coords(tile)
+        if in_port == Port.WEST:
+            neighbor = self.topology.tile_at(x - 1, y)
+        elif in_port == Port.EAST:
+            neighbor = self.topology.tile_at(x + 1, y)
+        elif in_port == Port.NORTH:
+            neighbor = self.topology.tile_at(x, y - 1)
+        else:
+            neighbor = self.topology.tile_at(x, y + 1)
+        return neighbor, out_port
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_packet_latency(self) -> float:
+        if not self.delivered:
+            return 0.0
+        return sum(p.latency for p in self.delivered) / len(self.delivered)
+
+    def latency_histogram(self) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for packet in self.delivered:
+            hist[packet.latency] = hist.get(packet.latency, 0) + 1
+        return hist

@@ -1,0 +1,86 @@
+"""Packet and flit definitions for the on-chip network.
+
+Message classes match a directory protocol's needs: short control
+messages (requests, invalidations, acks) are a single flit; data
+messages carry a 64-byte cache block and span five 16-byte flits
+(header + 4 data flits).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["FLIT_BYTES", "MessageClass", "Packet", "Flit", "flits_for"]
+
+FLIT_BYTES = 16
+"""Flit width in bytes (a common choice for 2-D mesh NoCs of the era)."""
+
+CONTROL_FLITS = 1
+DATA_FLITS = 1 + 64 // FLIT_BYTES  # header + cache block
+
+
+class MessageClass(enum.IntEnum):
+    """Protocol message classes mapped onto virtual networks.
+
+    Separate virtual networks for requests and responses prevent
+    protocol deadlock in the directory protocol.
+    """
+
+    REQUEST = 0
+    RESPONSE = 1
+    CONTROL = 2  # invalidations, acks, writeback notifications
+
+
+def flits_for(message_class: MessageClass, carries_data: bool) -> int:
+    """Number of flits for a message of the given class."""
+    return DATA_FLITS if carries_data else CONTROL_FLITS
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One network packet (a protocol message)."""
+
+    src: int
+    dst: int
+    num_flits: int
+    message_class: MessageClass = MessageClass.REQUEST
+    inject_time: int = 0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    arrival_time: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_flits <= 0:
+            raise ValueError("packets need at least one flit")
+
+    @property
+    def latency(self) -> Optional[int]:
+        if self.arrival_time is None:
+            return None
+        return self.arrival_time - self.inject_time
+
+
+@dataclass
+class Flit:
+    """One flow-control unit of a packet."""
+
+    packet: Packet
+    index: int
+
+    @property
+    def is_head(self) -> bool:
+        return self.index == 0
+
+    @property
+    def is_tail(self) -> bool:
+        return self.index == self.packet.num_flits - 1
+
+
+def packet_flits(packet: Packet) -> List[Flit]:
+    """Materialize the flits of a packet."""
+    return [Flit(packet, i) for i in range(packet.num_flits)]

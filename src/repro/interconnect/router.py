@@ -1,0 +1,198 @@
+"""Flit-level virtual-channel router.
+
+Implements the router of Table III: a 3-stage pipeline (route
+computation; speculative virtual-channel + switch allocation; switch
+and link traversal) with credit-based virtual-channel flow control and
+dimension-order routing.  Five ports: North, South, East, West, Local.
+
+The router is cycle-stepped by :class:`repro.interconnect.network.FlitNetwork`;
+this module holds the per-router state machines.  Speculation is
+modelled the way it affects timing: a head flit performs VC allocation
+and switch allocation in the same cycle, so the minimum per-hop latency
+is 3 router cycles + 1 link cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .packet import Flit
+
+__all__ = ["PORTS", "Port", "VirtualChannel", "InputPort", "Router"]
+
+
+class Port:
+    """Port indices; LOCAL is the injection/ejection port."""
+
+    EAST = 0
+    WEST = 1
+    NORTH = 2
+    SOUTH = 3
+    LOCAL = 4
+
+
+PORTS = 5
+
+#: pipeline depth before a flit may compete for the switch:
+#: cycle 0 = buffer write + route computation, cycle 1 = VA/SA
+#: (speculative, single cycle), cycle 2 = switch+link traversal.
+PIPELINE_STAGES = 2
+
+
+class VirtualChannel:
+    """One input virtual channel: a flit FIFO plus routing state."""
+
+    __slots__ = ("buffer", "ready_times", "out_port", "out_vc", "capacity")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.buffer: Deque[Flit] = deque()
+        self.ready_times: Deque[int] = deque()
+        self.out_port: Optional[int] = None  # route of current packet
+        self.out_vc: Optional[int] = None  # downstream VC held by packet
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.buffer)
+
+    @property
+    def has_credit_space(self) -> bool:
+        return len(self.buffer) < self.capacity
+
+    def head_ready(self, cycle: int) -> bool:
+        return bool(self.buffer) and self.ready_times[0] <= cycle
+
+    def push(self, flit: Flit, cycle: int) -> None:
+        self.buffer.append(flit)
+        self.ready_times.append(cycle + PIPELINE_STAGES)
+
+    def pop(self) -> Flit:
+        self.ready_times.popleft()
+        return self.buffer.popleft()
+
+
+class InputPort:
+    """All virtual channels of one router input port."""
+
+    __slots__ = ("vcs",)
+
+    def __init__(self, num_vcs: int, vc_capacity: int):
+        self.vcs = [VirtualChannel(vc_capacity) for _ in range(num_vcs)]
+
+
+class Router:
+    """One mesh router: input buffers, allocators, and credit state."""
+
+    def __init__(self, tile: int, num_vcs: int = 4, vc_capacity: int = 4):
+        self.tile = tile
+        self.num_vcs = num_vcs
+        self.vc_capacity = vc_capacity
+        self.inputs = [InputPort(num_vcs, vc_capacity) for _ in range(PORTS)]
+        # credits[port][vc]: free slots in the *downstream* buffer the
+        # output port feeds.  LOCAL output is an infinite sink.
+        self.credits: List[List[int]] = [
+            [vc_capacity] * num_vcs for _ in range(PORTS)
+        ]
+        # which downstream VC is held by an in-flight packet, per output
+        self.vc_busy: List[List[bool]] = [
+            [False] * num_vcs for _ in range(PORTS)
+        ]
+        self._rr_priority: Dict[int, int] = {p: 0 for p in range(PORTS)}
+        self.flits_routed = 0
+
+    # ------------------------------------------------------------------
+
+    def accept(self, port: int, vc: int, flit: Flit, cycle: int) -> None:
+        """A flit arrives from the upstream link into input ``port``."""
+        self.inputs[port].vcs[vc].push(flit, cycle)
+
+    def free_downstream_vc(self, out_port: int, out_vc: int) -> None:
+        self.vc_busy[out_port][out_vc] = False
+
+    def return_credit(self, out_port: int, out_vc: int) -> None:
+        self.credits[out_port][out_vc] += 1
+
+    def allocate(self, cycle: int, route_fn) -> List[Tuple[int, int, Flit, int, int]]:
+        """Run one cycle of (speculative) VC + switch allocation.
+
+        Parameters
+        ----------
+        cycle:
+            Current network cycle.
+        route_fn:
+            ``route_fn(tile, dst) -> output port`` implementing DOR.
+
+        Returns
+        -------
+        list of ``(out_port, out_vc, flit, in_port, in_vc)`` winners;
+        the network moves each winner across the link.  At most one
+        winner per output port and one per input port per cycle
+        (a crossbar with single-flit ports).
+        """
+        winners: List[Tuple[int, int, Flit, int, int]] = []
+        used_inputs: set = set()
+        for out_port in range(PORTS):
+            start = self._rr_priority[out_port]
+            chosen = None
+            for offset in range(PORTS * self.num_vcs):
+                idx = (start + offset) % (PORTS * self.num_vcs)
+                in_port, in_vc = divmod(idx, self.num_vcs)
+                if in_port in used_inputs:
+                    continue
+                vc = self.inputs[in_port].vcs[in_vc]
+                if not vc.head_ready(cycle):
+                    continue
+                flit = vc.buffer[0]
+                if vc.out_port is None:
+                    vc.out_port = route_fn(self.tile, flit.packet.dst)
+                if vc.out_port != out_port:
+                    continue
+                if out_port == Port.LOCAL:
+                    chosen = (in_port, in_vc, vc, flit, 0)
+                    break
+                # speculative VA+SA: heads grab a free downstream VC in
+                # the same cycle they win the switch
+                if flit.is_head and vc.out_vc is None:
+                    free_vc = self._free_downstream_vc(out_port)
+                    if free_vc is None:
+                        continue
+                    down_vc = free_vc
+                else:
+                    down_vc = vc.out_vc
+                    if down_vc is None:
+                        continue
+                if self.credits[out_port][down_vc] <= 0:
+                    continue
+                chosen = (in_port, in_vc, vc, flit, down_vc)
+                break
+            if chosen is None:
+                continue
+            in_port, in_vc, vc, flit, down_vc = chosen
+            used_inputs.add(in_port)
+            if out_port != Port.LOCAL:
+                if flit.is_head:
+                    self.vc_busy[out_port][down_vc] = True
+                vc.out_vc = down_vc
+                self.credits[out_port][down_vc] -= 1
+            vc.pop()
+            if flit.is_tail:
+                vc.out_port = None
+                vc.out_vc = None
+            winners.append((out_port, down_vc, flit, in_port, in_vc))
+            self._rr_priority[out_port] = (
+                in_port * self.num_vcs + in_vc + 1
+            ) % (PORTS * self.num_vcs)
+            self.flits_routed += 1
+        return winners
+
+    def _free_downstream_vc(self, out_port: int) -> Optional[int]:
+        for vc in range(self.num_vcs):
+            if not self.vc_busy[out_port][vc] and self.credits[out_port][vc] > 0:
+                return vc
+        return None
+
+    def buffered_flits(self) -> int:
+        return sum(
+            vc.occupancy for port in self.inputs for vc in port.vcs
+        )

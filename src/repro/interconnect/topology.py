@@ -1,0 +1,142 @@
+"""2-D mesh topology and dimension-order routing.
+
+Table III's interconnect is a 2-D packet-switched mesh; for the 16-core
+chip this is a 4x4 mesh with one router per tile.  Routing is
+dimension-order (X then Y), which is deadlock-free and deterministic —
+a property the routing tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["MeshTopology"]
+
+
+class MeshTopology:
+    """A ``width x height`` mesh of tiles numbered row-major.
+
+    Tile ``t`` sits at ``(x, y) = (t % width, t // width)``.  Links are
+    unidirectional and identified by ``(src_tile, dst_tile)`` pairs of
+    adjacent tiles.
+    """
+
+    def __init__(self, width: int, height: int):
+        if width <= 0 or height <= 0:
+            raise ConfigurationError(
+                f"mesh dimensions must be positive, got {width}x{height}"
+            )
+        self.width = width
+        self.height = height
+        self.num_tiles = width * height
+        self._links: Dict[Tuple[int, int], int] = {}
+        for src in range(self.num_tiles):
+            for dst in self._neighbors(src):
+                self._links[(src, dst)] = len(self._links)
+
+    @classmethod
+    def square_for(cls, num_tiles: int) -> "MeshTopology":
+        """Smallest square-ish mesh holding ``num_tiles`` tiles."""
+        side = 1
+        while side * side < num_tiles:
+            side += 1
+        if side * side != num_tiles:
+            raise ConfigurationError(
+                f"{num_tiles} tiles do not form a square mesh; "
+                "construct MeshTopology(width, height) explicitly"
+            )
+        return cls(side, side)
+
+    # ------------------------------------------------------------------
+
+    def coords(self, tile: int) -> Tuple[int, int]:
+        self._check_tile(tile)
+        return tile % self.width, tile // self.width
+
+    def tile_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ConfigurationError(f"coordinates ({x}, {y}) outside mesh")
+        return y * self.width + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance between two tiles."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Dimension-order (X-then-Y) route: tiles visited, inclusive."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [src]
+        x, y = sx, sy
+        step_x = 1 if dx > x else -1
+        while x != dx:
+            x += step_x
+            path.append(self.tile_at(x, y))
+        step_y = 1 if dy > y else -1
+        while y != dy:
+            y += step_y
+            path.append(self.tile_at(x, y))
+        return path
+
+    def route_links(self, src: int, dst: int) -> List[int]:
+        """Link ids traversed by the DOR route from src to dst."""
+        path = self.route(src, dst)
+        return [self._links[(a, b)] for a, b in zip(path, path[1:])]
+
+    def link_id(self, src: int, dst: int) -> int:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise ConfigurationError(
+                f"tiles {src} and {dst} are not adjacent"
+            ) from None
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def links(self) -> Iterator[Tuple[int, int]]:
+        """All (src, dst) adjacent pairs."""
+        return iter(self._links)
+
+    def centroid_tile(self, tiles: List[int]) -> int:
+        """Tile closest to the centroid of a tile group.
+
+        Used to place the home bank of an L2 domain amid its member
+        cores.
+        """
+        if not tiles:
+            raise ConfigurationError("centroid of empty tile set")
+        xs = [self.coords(t)[0] for t in tiles]
+        ys = [self.coords(t)[1] for t in tiles]
+        cx = sum(xs) / len(xs)
+        cy = sum(ys) / len(ys)
+        best = min(tiles, key=lambda t: (abs(self.coords(t)[0] - cx)
+                                         + abs(self.coords(t)[1] - cy), t))
+        return best
+
+    def _neighbors(self, tile: int) -> List[int]:
+        x, y = self.coords(tile)
+        out = []
+        if x + 1 < self.width:
+            out.append(self.tile_at(x + 1, y))
+        if x - 1 >= 0:
+            out.append(self.tile_at(x - 1, y))
+        if y + 1 < self.height:
+            out.append(self.tile_at(x, y + 1))
+        if y - 1 >= 0:
+            out.append(self.tile_at(x, y - 1))
+        return out
+
+    def _check_tile(self, tile: int) -> None:
+        if not (0 <= tile < self.num_tiles):
+            raise ConfigurationError(
+                f"tile {tile} out of range [0, {self.num_tiles})"
+            )
+
+    def __repr__(self) -> str:
+        return f"MeshTopology({self.width}x{self.height})"

@@ -1,0 +1,13 @@
+"""Machine model: configuration, placement, and the CMP chip."""
+
+from .chip import Chip
+from .config import DEFAULT_MEMORY_TILES, MachineConfig, SharingDegree
+from .placement import DomainPlacement
+
+__all__ = [
+    "Chip",
+    "DEFAULT_MEMORY_TILES",
+    "MachineConfig",
+    "SharingDegree",
+    "DomainPlacement",
+]

@@ -1,0 +1,397 @@
+"""The 16-core CMP timing model.
+
+:class:`Chip` composes every substrate into the machine of Table III
+and implements the :class:`repro.sim.engine.MachineModel` interface.
+One call to :meth:`Chip.access` performs the *functional* state changes
+(cache fills/evictions, directory transitions) and computes the
+*timing* of the reference by walking it through:
+
+1. the private L0/L1 stack of the issuing core;
+2. the core's L2 domain — request over the mesh to the domain's home
+   tile, bank queueing, the 6-cycle array access; an L1 miss that hits
+   a peer L1's modified copy inside the domain becomes an intra-domain
+   transfer (``HitLevel.L2_PEER``);
+3. the striped directory at the block's home tile — including the
+   directory-cache check that decides whether the entry itself costs a
+   memory access;
+4. a cache-to-cache transfer from the owning/sharing remote domain, or
+   an off-chip access through the block's memory controller.
+
+Latency is returned decomposed into cache / network / directory /
+memory components so the analysis layer can attribute consolidation
+slowdowns the way the paper does (cache thrashing vs. interconnect
+congestion vs. memory pressure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..caches.hierarchy import CoreCacheStack, L2Domain
+from ..caches.replacement import make_policy
+from ..coherence.directory import Directory
+from ..coherence.protocol import CoherenceController, DataSource
+from ..coherence.states import DirState
+from ..errors import ConfigurationError
+from ..interconnect.analytical import AnalyticalMesh
+from ..interconnect.topology import MeshTopology
+from ..memory.controller import MemorySystem
+from ..sim.records import AccessResult, HitLevel
+from ..sim.server import FifoServer
+from .config import MachineConfig
+from .placement import DomainPlacement
+
+__all__ = ["Chip"]
+
+
+class Chip:
+    """A configured CMP ready to serve memory references.
+
+    Parameters
+    ----------
+    config:
+        The machine description (Table III defaults).
+    """
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        side = config.mesh_side
+        self.topology = MeshTopology(side, side)
+        self.placement = DomainPlacement(config, self.topology)
+        self.mesh = AnalyticalMesh(self.topology, hop_cycles=config.hop_cycles)
+        self.stacks: List[CoreCacheStack] = [
+            CoreCacheStack(core, config.l0_geometry, config.l1_geometry)
+            for core in range(config.num_cores)
+        ]
+        l2_geometry = config.l2_geometry()
+        self.domains: List[L2Domain] = []
+        for domain_id, members in enumerate(self.placement.domains):
+            domain = L2Domain(
+                domain_id,
+                l2_geometry,
+                members,
+                policy=make_policy(config.l2_replacement, seed=domain_id),
+            )
+            for core in members:
+                domain.attach(self.stacks[core])
+            self.domains.append(domain)
+        self.directory = Directory(
+            config.num_cores, dir_cache_entries=config.directory_cache_entries
+        )
+        self.coherence = CoherenceController(
+            self.directory, num_domains=len(self.domains)
+        )
+        self.memory = MemorySystem.at_tiles(
+            list(config.memory_tiles),
+            base_latency=config.memory_latency,
+            num_banks=config.memory_banks,
+            bank_occupancy=config.memory_bank_occupancy,
+            channel_occupancy=config.memory_channel_occupancy,
+        )
+        self.l2_servers = [
+            FifoServer(name=f"l2/domain{d}", service_time=config.l2_service_time)
+            for d in range(len(self.domains))
+        ]
+        self.vm_of_core: List[int] = [-1] * config.num_cores
+        # chip-level event counters
+        self.intra_domain_transfers = 0
+        self.upgrade_transactions = 0
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def bind_core_to_vm(self, core_id: int, vm_id: int) -> None:
+        """Record which VM runs on a core (for occupancy accounting)."""
+        if not 0 <= core_id < self.config.num_cores:
+            raise ConfigurationError(f"core {core_id} out of range")
+        self.vm_of_core[core_id] = vm_id
+
+    def domain_of_core(self, core_id: int) -> int:
+        return self.placement.domain_of[core_id]
+
+    # ------------------------------------------------------------------
+    # the MachineModel interface
+    # ------------------------------------------------------------------
+
+    def access(self, core_id: int, block: int, is_write: bool, now: int) -> AccessResult:
+        """Serve one reference; returns its decomposed timing."""
+        self.accesses += 1
+        config = self.config
+        stack = self.stacks[core_id]
+
+        # ---- private L0/L1 -------------------------------------------
+        lvl = stack.probe(block)
+        if lvl is not None:
+            cache = config.l0_geometry.latency
+            if lvl == 1:
+                cache += config.l1_geometry.latency
+            net = 0
+            dir_cycles = 0
+            if is_write:
+                net, dir_cycles = self._write_permission(
+                    core_id, block, now + cache
+                )
+                stack.mark_dirty(block)
+            level = HitLevel.L0 if lvl == 0 else HitLevel.L1
+            latency = cache + net + dir_cycles
+            return AccessResult(level, latency, cache, net, dir_cycles, 0)
+
+        # ---- local L2 domain -----------------------------------------
+        domain_id = self.placement.domain_of[core_id]
+        domain = self.domains[domain_id]
+        home = self.placement.home_tile[domain_id]
+        cache = config.l0_geometry.latency + config.l1_geometry.latency
+        net = self.mesh.traverse(
+            core_id, home, config.control_flits, now + cache
+        ).latency
+        t = now + cache + net
+        cache += self.l2_servers[domain_id].request(t)
+        line = domain.lookup(block)
+        cache += config.l2_latency
+        t = now + cache + net
+
+        if line is not None:
+            return self._finish_l2_hit(
+                core_id, block, is_write, now, domain, home, cache, net, t
+            )
+
+        # ---- domain miss: directory protocol -------------------------
+        return self._finish_l2_miss(
+            core_id, block, is_write, now, domain_id, domain, home, cache, net, t
+        )
+
+    # ------------------------------------------------------------------
+    # hit/miss completion paths
+    # ------------------------------------------------------------------
+
+    def _finish_l2_hit(
+        self,
+        core_id: int,
+        block: int,
+        is_write: bool,
+        now: int,
+        domain: L2Domain,
+        home: int,
+        cache: int,
+        net: int,
+        t: int,
+    ) -> AccessResult:
+        config = self.config
+        stack = self.stacks[core_id]
+        level = HitLevel.L2
+        owner_slot = domain.dirty_private_holder(block, exclude_slot=stack.slot)
+        if owner_slot is not None:
+            # a peer core in the domain holds the only modified copy:
+            # forward the request to its L1 and transfer the data
+            owner_core = domain.core_ids[owner_slot]
+            net += self.mesh.traverse(
+                home, owner_core, config.control_flits, t
+            ).latency
+            cache += config.l1_geometry.latency
+            t = now + cache + net
+            net += self.mesh.traverse(
+                owner_core, core_id, config.data_flits, t
+            ).latency
+            if is_write:
+                owner_stack = domain.stacks[owner_slot]
+                if owner_stack is not None:
+                    owner_stack.invalidate(block)
+                domain.note_private_eviction(block, owner_slot)
+                peer_line = domain.peek(block)
+                if peer_line is not None:
+                    peer_line.dirty = True
+                    peer_line.l1_owner = -1
+            else:
+                domain.downgrade_owner(block, owner_slot)
+            level = HitLevel.L2_PEER
+            self.intra_domain_transfers += 1
+        else:
+            # data returns from the domain cache
+            net += self.mesh.traverse(home, core_id, config.data_flits, t).latency
+
+        dir_cycles = 0
+        if is_write:
+            extra_net, dir_cycles = self._write_permission(
+                core_id, block, now + cache + net
+            )
+            net += extra_net
+        stack.fill(block, dirty=is_write)
+        self._drain_writebacks(domain, now + cache + net)
+        latency = cache + net + dir_cycles
+        return AccessResult(level, latency, cache, net, dir_cycles, 0)
+
+    def _finish_l2_miss(
+        self,
+        core_id: int,
+        block: int,
+        is_write: bool,
+        now: int,
+        domain_id: int,
+        domain: L2Domain,
+        home: int,
+        cache: int,
+        net: int,
+        t: int,
+    ) -> AccessResult:
+        config = self.config
+        stack = self.stacks[core_id]
+        outcome = self.coherence.fetch(block, domain_id, is_write)
+
+        # request travels to the block's directory home tile
+        dir_home = self.directory.home_tile(block)
+        net += self.mesh.traverse(home, dir_home, config.control_flits, t).latency
+        dir_cycles = config.directory_latency
+        if not self.directory.cache_access(block):
+            # the entry itself must be fetched from memory
+            dir_cycles += config.memory_latency
+        t = now + cache + net + dir_cycles
+
+        mem_cycles = 0
+        if outcome.source == DataSource.MEMORY:
+            controller = self.memory.controller_for(block)
+            net += self.mesh.traverse(
+                dir_home, controller.tile, config.control_flits, t
+            ).latency
+            t = now + cache + net + dir_cycles
+            result = controller.access(t, block)
+            mem_cycles = result.latency
+            t += mem_cycles
+            net += self.mesh.traverse(
+                controller.tile, core_id, config.data_flits, t
+            ).latency
+            level = HitLevel.MEMORY
+        else:
+            provider = outcome.provider_domain
+            provider_home = self.placement.home_tile[provider]
+            net += self.mesh.traverse(
+                dir_home, provider_home, config.control_flits, t
+            ).latency
+            t = now + cache + net + dir_cycles
+            cache += self.l2_servers[provider].request(t)
+            cache += config.l2_latency
+            if outcome.source == DataSource.C2C_DIRTY:
+                pslot = self.domains[provider].dirty_private_holder(
+                    block, exclude_slot=-1
+                )
+                if pslot is not None:
+                    # modified data sits in a provider-core L1
+                    cache += config.l1_geometry.latency
+                    if not is_write:
+                        self.domains[provider].downgrade_owner(block, pslot)
+                level = HitLevel.C2C_DIRTY
+            else:
+                level = HitLevel.C2C_CLEAN
+            t = now + cache + net + dir_cycles
+            net += self.mesh.traverse(
+                provider_home, core_id, config.data_flits, t
+            ).latency
+
+        # invalidations fan out from the directory home (writes)
+        if outcome.invalidate_domains:
+            inval_latency = 0
+            for victim in outcome.invalidate_domains:
+                if victim == domain_id:
+                    continue
+                victim_home = self.placement.home_tile[victim]
+                leg = self.mesh.traverse(
+                    dir_home, victim_home, config.control_flits, t
+                ).latency
+                inval_latency = max(inval_latency, 2 * leg)
+                self.domains[victim].invalidate(block)
+            net += inval_latency
+
+        if outcome.memory_writeback:
+            self.memory.controller_for(block).writeback(t, block)
+
+        # fill the domain and the private stack
+        vm_id = self.vm_of_core[core_id]
+        fill_dirty = outcome.fill_dirty or is_write
+        victims = domain.fill(
+            block, dirty=fill_dirty, vm_id=vm_id, requester_slot=stack.slot
+        )
+        for victim_block, victim_dirty in victims:
+            self.coherence.domain_evicted(victim_block, domain_id, victim_dirty)
+        stack.fill(block, dirty=is_write)
+        self._drain_writebacks(domain, t)
+
+        latency = cache + net + dir_cycles + mem_cycles
+        return AccessResult(level, latency, cache, net, dir_cycles, mem_cycles)
+
+    # ------------------------------------------------------------------
+    # write permission (upgrades)
+    # ------------------------------------------------------------------
+
+    def _write_permission(self, core_id: int, block: int, t: int) -> tuple:
+        """Obtain global write permission for a locally-cached block.
+
+        Returns ``(network_cycles, directory_cycles)``; both zero on
+        the fast path (this domain already owns the block modified).
+        """
+        domain_id = self.placement.domain_of[core_id]
+        entry = self.directory.peek(block)
+        if entry is None:
+            # Locally cached data always has a directory entry; treat a
+            # missing one as INVALID (first touch was a warm preload).
+            return 0, 0
+        if entry.state == DirState.MODIFIED and entry.owner == domain_id:
+            return 0, 0
+        config = self.config
+        self.upgrade_transactions += 1
+        dir_home = self.directory.home_tile(block)
+        net = self.mesh.traverse(core_id, dir_home, config.control_flits, t).latency
+        dir_cycles = config.directory_latency
+        if not self.directory.cache_access(block):
+            dir_cycles += config.memory_latency
+        t2 = t + net + dir_cycles
+        outcome = self.coherence.upgrade(block, domain_id)
+        inval_latency = 0
+        for victim in outcome.invalidate_domains:
+            if victim == domain_id:
+                continue
+            victim_home = self.placement.home_tile[victim]
+            leg = self.mesh.traverse(
+                dir_home, victim_home, config.control_flits, t2
+            ).latency
+            inval_latency = max(inval_latency, 2 * leg)
+            self.domains[victim].invalidate(block)
+        if outcome.memory_writeback:
+            self.memory.controller_for(block).writeback(t2, block)
+        net += inval_latency
+        net += self.mesh.traverse(dir_home, core_id, config.control_flits, t2).latency
+        return net, dir_cycles
+
+    # ------------------------------------------------------------------
+
+    def _drain_writebacks(self, domain: L2Domain, t: int) -> None:
+        """Push queued dirty evictions into the memory controllers."""
+        queue = domain.writebacks_to_memory
+        if queue:
+            for victim in queue:
+                self.memory.controller_for(victim).writeback(t, victim)
+            queue.clear()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def check_coherence_invariants(self) -> None:
+        """Cross-check the directory against actual domain contents."""
+        resident = [domain.resident_blocks() for domain in self.domains]
+        self.coherence.check_invariants(resident=resident)
+
+    def l2_snapshot_by_vm(self) -> List[Dict[int, int]]:
+        """Per-domain resident-line counts per VM (Figure 13 raw data)."""
+        return [domain.occupancy_by_vm() for domain in self.domains]
+
+    def l2_resident_sets(self) -> List[set]:
+        """Per-domain sets of resident blocks (Figure 12 raw data)."""
+        return [domain.resident_blocks() for domain in self.domains]
+
+    def __repr__(self) -> str:
+        return (
+            f"Chip(cores={self.config.num_cores}, "
+            f"sharing={self.config.sharing.name}, "
+            f"domains={len(self.domains)})"
+        )

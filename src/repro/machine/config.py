@@ -1,0 +1,234 @@
+"""Machine configuration (Table III) and cache-sharing design points.
+
+The paper's machine is fixed except for the L2 sharing degree:
+
+==============  ==========================
+Cores           16 in-order
+Interconnect    2-D packet-switched mesh
+L0 (private)    8 KB / 1 cycle
+L1 (private)    64 KB / 2 cycles
+L2              16 MB / 6 cycles, shared by 1/2/4/8/16 cores
+Memory latency  150 cycles
+==============  ==========================
+
+:class:`SharingDegree` names the five L2 design points of Section III;
+:class:`MachineConfig` bundles everything the chip builder needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..caches.geometry import (
+    L0_GEOMETRY,
+    L1_GEOMETRY,
+    CacheGeometry,
+    l2_domain_geometry,
+)
+from ..errors import ConfigurationError
+
+__all__ = ["SharingDegree", "MachineConfig", "DEFAULT_MEMORY_TILES"]
+
+
+class SharingDegree(enum.IntEnum):
+    """Cores per last-level-cache domain (Section III's design points).
+
+    The paper labels configurations by the number of last-level caches:
+    ``private`` = 16 caches, ``2-LL$`` = shared-8-way, ``4-LL$`` =
+    shared-4-way, etc.  :meth:`label` produces those names.
+    """
+
+    PRIVATE = 1
+    SHARED_2 = 2
+    SHARED_4 = 4
+    SHARED_8 = 8
+    SHARED_16 = 16
+
+    @classmethod
+    def from_name(cls, name: str) -> "SharingDegree":
+        """Parse ``"private"``, ``"shared-4"``, ``"shared"``, etc."""
+        normalized = name.strip().lower().replace("_", "-")
+        table = {
+            "private": cls.PRIVATE,
+            "shared-2": cls.SHARED_2,
+            "shared-4": cls.SHARED_4,
+            "shared-8": cls.SHARED_8,
+            "shared-16": cls.SHARED_16,
+            "shared": cls.SHARED_16,
+            "full-shared": cls.SHARED_16,
+            "fully-shared": cls.SHARED_16,
+        }
+        try:
+            return table[normalized]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown sharing degree {name!r}; choose from {sorted(table)}"
+            ) from None
+
+    def label(self, num_cores: int = 16) -> str:
+        """The paper's configuration label, e.g. ``"4-LL$"``."""
+        if self == SharingDegree.PRIVATE:
+            return "private"
+        if self == num_cores:
+            return "shared"
+        return f"{num_cores // int(self)}-LL$"
+
+    def num_domains(self, num_cores: int = 16) -> int:
+        if num_cores % int(self):
+            raise ConfigurationError(
+                f"{num_cores} cores do not divide into domains of {int(self)}"
+            )
+        return num_cores // int(self)
+
+
+DEFAULT_MEMORY_TILES: Tuple[int, ...] = (0, 3, 12, 15)
+"""Memory-controller tiles: the four corners of the 4x4 mesh."""
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything needed to build a chip.
+
+    Defaults reproduce Table III; the knobs exist for the scaling and
+    sensitivity studies in the paper's future-work section.
+    """
+
+    num_cores: int = 16
+    sharing: SharingDegree = SharingDegree.SHARED_4
+    l2_total_bytes: int = 16 * 1024 * 1024
+    l2_assoc: int = 16
+    l2_latency: int = 6
+    l2_service_time: int = 2
+    l0_geometry: CacheGeometry = L0_GEOMETRY
+    l1_geometry: CacheGeometry = L1_GEOMETRY
+    memory_latency: int = 150
+    memory_banks: int = 8
+    memory_bank_occupancy: int = 36
+    memory_channel_occupancy: int = 8
+    memory_tiles: Tuple[int, ...] = DEFAULT_MEMORY_TILES
+    hop_cycles: int = 4
+    directory_latency: int = 3
+    directory_cache_entries: int = 16 * 1024
+    control_flits: int = 1
+    data_flits: int = 5
+    l2_replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ConfigurationError("num_cores must be positive")
+        side = int(round(self.num_cores**0.5))
+        if side * side != self.num_cores:
+            raise ConfigurationError(
+                f"num_cores must form a square mesh; got {self.num_cores}"
+            )
+        if self.num_cores % int(self.sharing):
+            raise ConfigurationError(
+                f"{self.num_cores} cores cannot be split into domains "
+                f"of {int(self.sharing)}"
+            )
+        if self.l2_total_bytes % self.num_cores:
+            raise ConfigurationError(
+                "l2_total_bytes must divide evenly among cores"
+            )
+        if self.memory_tiles == DEFAULT_MEMORY_TILES and self.num_cores != 16:
+            # adapt the default (4x4 corners) to the actual mesh corners
+            object.__setattr__(self, "memory_tiles", self._corner_tiles())
+        for tile in self.memory_tiles:
+            if not 0 <= tile < self.num_cores:
+                raise ConfigurationError(
+                    f"memory tile {tile} outside the {self.num_cores}-tile mesh"
+                )
+        if not self.memory_tiles:
+            raise ConfigurationError("need at least one memory controller tile")
+        if self.memory_latency <= 0:
+            raise ConfigurationError("memory_latency must be positive")
+
+    # ------------------------------------------------------------------
+
+    def _corner_tiles(self) -> Tuple[int, ...]:
+        side = self.mesh_side
+        return (0, side - 1, side * (side - 1), side * side - 1)
+
+    @property
+    def mesh_side(self) -> int:
+        return int(round(self.num_cores**0.5))
+
+    @property
+    def cores_per_domain(self) -> int:
+        return int(self.sharing)
+
+    @property
+    def num_domains(self) -> int:
+        return self.num_cores // self.cores_per_domain
+
+    def l2_geometry(self) -> CacheGeometry:
+        """Geometry of one L2 domain at this sharing degree."""
+        per_core = self.l2_total_bytes // self.num_cores
+        return CacheGeometry(
+            size_bytes=per_core * self.cores_per_domain,
+            assoc=self.l2_assoc,
+            latency=self.l2_latency,
+        )
+
+    def with_sharing(self, sharing) -> "MachineConfig":
+        """Copy of this config at a different sharing degree."""
+        if isinstance(sharing, str):
+            sharing = SharingDegree.from_name(sharing)
+        from dataclasses import replace
+
+        return replace(self, sharing=sharing)
+
+    def scaled(self, factor: float) -> "MachineConfig":
+        """Copy with all cache capacities scaled by ``factor``.
+
+        Latencies, core count, and topology are unchanged — scaled
+        simulation shrinks capacity, not structure.  Used together with
+        :meth:`repro.workloads.profile.WorkloadProfile.scaled`.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        if factor == 1.0:
+            return self
+        from dataclasses import replace
+
+        new_l2_total = int(self.l2_total_bytes * factor)
+        # keep one full set per domain at minimum
+        min_total = self.num_cores * 64 * self.l2_assoc
+        new_l2_total = max(new_l2_total, min_total)
+        # L0/L1 shrink more gently: their job is filtering the
+        # reference stream, and shrinking them as hard as the L2 would
+        # push unrealistically many accesses into the L2 path.
+        private_factor = max(factor, 0.25)
+        # Directory caches are kept at full size: the paper adds them
+        # precisely so directory lookups stay on chip, and shrinking
+        # them with the data caches would re-introduce the off-chip
+        # entry fetches they exist to avoid.
+        return replace(
+            self,
+            l2_total_bytes=new_l2_total,
+            l0_geometry=self.l0_geometry.scaled(private_factor),
+            l1_geometry=self.l1_geometry.scaled(private_factor),
+        )
+
+    def table3(self) -> dict:
+        """The machine description as Table III rows."""
+        return {
+            "Cores": f"{self.num_cores} in-order",
+            "Interconnect": "2-D Packet-Switched Mesh",
+            "L0s (private) size/latency": (
+                f"{self.l0_geometry.size_bytes // 1024}KB/"
+                f"{self.l0_geometry.latency} cycle"
+            ),
+            "L1s (private) size/latency": (
+                f"{self.l1_geometry.size_bytes // 1024}KB/"
+                f"{self.l1_geometry.latency} cycles"
+            ),
+            "L2s size/latency": (
+                f"{self.l2_total_bytes // (1024 * 1024)}MB/"
+                f"{self.l2_latency} cycles"
+            ),
+            "Memory latency": f"{self.memory_latency} cycles",
+            "Thread to core assignment": "RR, Affinity, RR-Affinity, Random",
+        }

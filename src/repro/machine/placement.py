@@ -1,0 +1,91 @@
+"""Physical placement of cores, L2 domains, and home tiles on the mesh.
+
+Cores and mesh tiles are one-to-one (core ``i`` sits at tile ``i``).
+An L2 domain's member cores form a contiguous rectangular block of
+tiles — e.g. the shared-4-way configuration on the 16-core chip is the
+four 2x2 quadrants of Figure 1 — and the domain's cache is reached at
+the *home tile* closest to the block's centroid.  Contiguity is what
+gives affinity scheduling its locality advantage: co-scheduled threads
+communicate over one- and two-hop paths instead of crossing the chip.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigurationError
+from ..interconnect.topology import MeshTopology
+from .config import MachineConfig
+
+__all__ = ["DomainPlacement"]
+
+
+def _block_shape(cores_per_domain: int) -> tuple:
+    """(width, height) in tiles of one domain's rectangular block."""
+    if cores_per_domain & (cores_per_domain - 1):
+        raise ConfigurationError(
+            f"cores_per_domain must be a power of two, got {cores_per_domain}"
+        )
+    width, height = 1, 1
+    remaining = cores_per_domain
+    while remaining > 1:
+        if width <= height:
+            width *= 2
+        else:
+            height *= 2
+        remaining //= 2
+    return width, height
+
+
+class DomainPlacement:
+    """Maps cores to L2 domains and domains to home tiles.
+
+    Attributes
+    ----------
+    domains:
+        ``domains[d]`` is the list of core ids in domain ``d``.
+    domain_of:
+        ``domain_of[core]`` is the core's domain id.
+    home_tile:
+        ``home_tile[d]`` is the mesh tile of domain ``d``'s cache.
+    """
+
+    def __init__(self, config: MachineConfig, topology: MeshTopology):
+        if topology.num_tiles != config.num_cores:
+            raise ConfigurationError(
+                f"topology has {topology.num_tiles} tiles but the config "
+                f"has {config.num_cores} cores"
+            )
+        self.topology = topology
+        block_w, block_h = _block_shape(config.cores_per_domain)
+        if topology.width % block_w or topology.height % block_h:
+            raise ConfigurationError(
+                f"a {block_w}x{block_h} domain block does not tile the "
+                f"{topology.width}x{topology.height} mesh"
+            )
+        self.domains: List[List[int]] = []
+        self.domain_of: List[int] = [-1] * config.num_cores
+        for base_y in range(0, topology.height, block_h):
+            for base_x in range(0, topology.width, block_w):
+                members = [
+                    topology.tile_at(base_x + dx, base_y + dy)
+                    for dy in range(block_h)
+                    for dx in range(block_w)
+                ]
+                domain_id = len(self.domains)
+                self.domains.append(members)
+                for core in members:
+                    self.domain_of[core] = domain_id
+        self.home_tile: List[int] = [
+            topology.centroid_tile(members) for members in self.domains
+        ]
+
+    @property
+    def num_domains(self) -> int:
+        return len(self.domains)
+
+    def cores_of(self, domain_id: int) -> List[int]:
+        return list(self.domains[domain_id])
+
+    def __repr__(self) -> str:
+        return f"DomainPlacement(domains={self.domains})"

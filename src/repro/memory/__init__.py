@@ -1,0 +1,9 @@
+"""Off-chip memory substrate."""
+
+from .controller import (
+    DEFAULT_MEMORY_LATENCY,
+    MemoryController,
+    MemorySystem,
+)
+
+__all__ = ["DEFAULT_MEMORY_LATENCY", "MemoryController", "MemorySystem"]

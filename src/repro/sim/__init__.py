@@ -1,0 +1,39 @@
+"""Simulation substrate: RNG streams, records, servers, event engine."""
+
+from .dynamic import AffinityRebinder, MigratingEngine, RandomRebinder
+from .engine import Engine, EngineResult, MachineModel, ThreadContext, ThreadStats
+from .overcommit import OvercommitEngine
+from .records import (
+    BLOCK_BYTES,
+    BLOCK_SHIFT,
+    AccessResult,
+    AccessType,
+    HitLevel,
+    LatencyBreakdown,
+    MemoryReference,
+)
+from .rng import RngFactory, derive_seed, stream
+from .server import FifoServer, ServerStats
+
+__all__ = [
+    "AffinityRebinder",
+    "MigratingEngine",
+    "RandomRebinder",
+    "Engine",
+    "EngineResult",
+    "MachineModel",
+    "ThreadContext",
+    "ThreadStats",
+    "BLOCK_BYTES",
+    "BLOCK_SHIFT",
+    "AccessResult",
+    "AccessType",
+    "HitLevel",
+    "LatencyBreakdown",
+    "MemoryReference",
+    "RngFactory",
+    "derive_seed",
+    "stream",
+    "FifoServer",
+    "ServerStats",
+]

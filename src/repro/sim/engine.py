@@ -1,0 +1,321 @@
+"""Global-time event loop driving the trace simulation.
+
+The engine owns a priority queue of (ready-time, core) pairs.  Each step
+pops the core with the smallest local time, pulls the next memory
+reference from the thread bound to that core, sends it through the
+machine model, and re-inserts the core at its completion time.  Because
+cores are processed in non-decreasing global time, the FIFO resource
+servers in :mod:`repro.sim.server` observe monotone arrivals and model
+contention exactly.
+
+Measurement methodology mirrors Section IV of the paper:
+
+* each thread issues a fixed number of *measured* references (its
+  "transactions"), preceded by a warm-up phase excluded from statistics;
+* a virtual machine *completes* when all of its threads have issued
+  their measured references; the per-VM cycle count is that completion
+  time (the paper's normalized runtime metric);
+* threads of completed VMs keep running (the workload is "restarted")
+  so the machine stays filled to capacity until every VM completes,
+  keeping the system in steady state.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Protocol, Tuple
+
+from ..errors import SimulationError
+from .records import AccessResult, HitLevel, LatencyBreakdown, MemoryReference
+
+__all__ = ["MachineModel", "ThreadContext", "ThreadStats", "Engine", "EngineResult"]
+
+
+class MachineModel(Protocol):
+    """Timing interface the engine drives.
+
+    Implemented by :class:`repro.machine.chip.Chip`; the engine itself
+    only needs this one method, which keeps the engine unit-testable
+    against trivial fake machines.
+    """
+
+    def access(self, core_id: int, block: int, is_write: bool, now: int) -> AccessResult:
+        """Perform one reference and return its timing outcome."""
+        ...
+
+
+@dataclass
+class ThreadStats:
+    """Counters accumulated over a thread's *measured* references."""
+
+    refs: int = 0
+    reads: int = 0
+    writes: int = 0
+    think_cycles: int = 0
+    latency_cycles: int = 0
+    miss_latency_cycles: int = 0
+    cache_cycles: int = 0
+    network_cycles: int = 0
+    directory_cycles: int = 0
+    memory_cycles: int = 0
+    level_counts: Dict[HitLevel, int] = field(
+        default_factory=lambda: {level: 0 for level in HitLevel}
+    )
+
+    @property
+    def cycles(self) -> int:
+        """Busy cycles: one per instruction plus memory stall cycles."""
+        return self.refs + self.think_cycles + self.latency_cycles
+
+    @property
+    def l1_misses(self) -> int:
+        return sum(
+            count for level, count in self.level_counts.items() if level.is_l1_miss
+        )
+
+    @property
+    def l2_misses(self) -> int:
+        """Misses seen by the VM: references not satisfied on the local L2."""
+        return sum(
+            count for level, count in self.level_counts.items() if level.is_l2_miss
+        )
+
+    @property
+    def c2c_transfers(self) -> int:
+        return (
+            self.level_counts[HitLevel.C2C_CLEAN]
+            + self.level_counts[HitLevel.C2C_DIRTY]
+        )
+
+    @property
+    def mean_miss_latency(self) -> float:
+        """Average latency of L1 misses, the paper's miss-latency metric."""
+        misses = self.l1_misses
+        return self.miss_latency_cycles / misses if misses else 0.0
+
+    @property
+    def breakdown(self) -> LatencyBreakdown:
+        return LatencyBreakdown(
+            cache=self.cache_cycles,
+            network=self.network_cycles,
+            directory=self.directory_cycles,
+            memory=self.memory_cycles,
+        )
+
+    def record(self, access: int, think: int, result: AccessResult) -> None:
+        self.refs += 1
+        if access:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.think_cycles += think
+        self.latency_cycles += result.latency
+        self.level_counts[result.level] += 1
+        if result.level >= HitLevel.L2:  # inline of level.is_l1_miss
+            self.miss_latency_cycles += result.latency
+        self.cache_cycles += result.cache_cycles
+        self.network_cycles += result.network_cycles
+        self.directory_cycles += result.directory_cycles
+        self.memory_cycles += result.memory_cycles
+
+
+class ThreadContext:
+    """One workload thread bound to one physical core.
+
+    Parameters
+    ----------
+    thread_id:
+        Globally unique thread index.
+    vm_id:
+        Virtual machine the thread belongs to.
+    core_id:
+        Physical core the hypervisor bound this thread to (static
+        binding, per the paper's methodology).
+    references:
+        Iterator of :class:`MemoryReference`.  Must be effectively
+        infinite (workload generators restart transparently); the engine
+        decides when to stop consuming.
+    measured_refs:
+        Number of references that constitute the thread's measured run.
+    warmup_refs:
+        References consumed before measurement starts.
+    start_time:
+        Cycle at which the thread issues its first reference.  The
+        paper flags workload start times as a methodological variable
+        worth exploring (Section VIII); staggered starts let the
+        start-time ablation do exactly that.
+    """
+
+    def __init__(
+        self,
+        thread_id: int,
+        vm_id: int,
+        core_id: int,
+        references: Iterator[MemoryReference],
+        measured_refs: int,
+        warmup_refs: int = 0,
+        start_time: int = 0,
+    ):
+        if measured_refs <= 0:
+            raise ValueError("measured_refs must be positive")
+        if warmup_refs < 0:
+            raise ValueError("warmup_refs must be non-negative")
+        if start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        self.thread_id = thread_id
+        self.vm_id = vm_id
+        self.core_id = core_id
+        self.references = references
+        self.measured_refs = measured_refs
+        self.warmup_refs = warmup_refs
+        self.start_time = start_time
+        self.issued = 0
+        self.stats = ThreadStats()
+        self.completion_time: Optional[int] = None
+
+    @property
+    def measured_done(self) -> bool:
+        return self.issued >= self.warmup_refs + self.measured_refs
+
+    @property
+    def in_warmup(self) -> bool:
+        return self.issued < self.warmup_refs
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one engine run."""
+
+    final_time: int
+    vm_completion_times: Dict[int, int]
+    thread_stats: Dict[int, ThreadStats]
+    total_refs_processed: int
+    #: populated by the over-commit engine; always 0 for the base engine
+    context_switches: int = 0
+
+    def vm_threads(self, vm_id: int) -> List[ThreadStats]:
+        """Stats of every thread belonging to ``vm_id``."""
+        return [
+            stats
+            for tid, stats in sorted(self.thread_stats.items())
+            if self._vm_of[tid] == vm_id
+        ]
+
+    # filled by the engine after construction
+    _vm_of: Dict[int, int] = field(default_factory=dict)
+
+
+class Engine:
+    """Drives threads through a machine model until every VM completes.
+
+    Parameters
+    ----------
+    machine:
+        Timing model implementing :class:`MachineModel`.
+    threads:
+        All thread contexts; at most one per physical core (the paper
+        never over-commits the machine).
+    max_steps:
+        Safety valve against runaway simulations; exceeded only on a
+        simulator bug, in which case :class:`SimulationError` is raised.
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        threads: List[ThreadContext],
+        max_steps: Optional[int] = None,
+    ):
+        cores_seen = set()
+        for thread in threads:
+            if thread.core_id in cores_seen:
+                raise SimulationError(
+                    f"core {thread.core_id} bound to more than one thread; "
+                    "the consolidation methodology never over-commits cores"
+                )
+            cores_seen.add(thread.core_id)
+        if not threads:
+            raise SimulationError("engine needs at least one thread")
+        self.machine = machine
+        self.threads = {t.thread_id: t for t in threads}
+        demand = sum(t.warmup_refs + t.measured_refs for t in threads)
+        # Completed VMs keep running while others finish; 32x the
+        # measured demand is far beyond any legitimate imbalance.
+        self.max_steps = max_steps if max_steps is not None else 32 * demand
+
+    def run(self) -> EngineResult:
+        """Execute until every VM has completed its measured references.
+
+        The heap is keyed on each thread's next *issue* time (its ready
+        time plus the pending reference's think time), so references
+        hit shared resources in globally non-decreasing time order —
+        the property the FIFO contention servers rely on.
+        """
+        threads = self.threads
+        pending: Dict[int, tuple] = {}
+        heap: List[Tuple[int, int]] = []
+        for tid in sorted(threads):
+            ref = next(threads[tid].references, None)
+            if ref is None:
+                raise SimulationError(
+                    f"thread {tid} reference stream ended; workload "
+                    "generators must be infinite (restart on completion)"
+                )
+            pending[tid] = ref
+            heap.append((threads[tid].start_time + ref[2], tid))
+        heapq.heapify(heap)
+
+        vm_pending: Dict[int, int] = {}
+        for thread in threads.values():
+            vm_pending[thread.vm_id] = vm_pending.get(thread.vm_id, 0) + 1
+        vm_completion: Dict[int, int] = {}
+        pending_vms = len(vm_pending)
+
+        steps = 0
+        now = 0
+        while pending_vms > 0:
+            steps += 1
+            if steps > self.max_steps:
+                raise SimulationError(
+                    f"engine exceeded {self.max_steps} steps without all "
+                    f"VMs completing; {pending_vms} VM(s) still pending"
+                )
+            issue_time, tid = heapq.heappop(heap)
+            thread = threads[tid]
+            block, access, think = pending[tid]
+            result = self.machine.access(
+                thread.core_id, block, bool(access), issue_time
+            )
+            finish = issue_time + result.latency + 1  # +1: the access itself
+
+            index = thread.issued
+            thread.issued += 1
+            window_start = thread.warmup_refs
+            window_end = window_start + thread.measured_refs
+            if window_start <= index < window_end:
+                thread.stats.record(access, think, result)
+                if thread.issued == window_end:
+                    thread.completion_time = finish
+                    vm = thread.vm_id
+                    vm_pending[vm] -= 1
+                    if vm_pending[vm] == 0:
+                        vm_completion[vm] = finish
+                        pending_vms -= 1
+            next_ref = next(thread.references, None)
+            if next_ref is None:
+                raise SimulationError(
+                    f"thread {tid} reference stream ended; workload "
+                    "generators must be infinite (restart on completion)"
+                )
+            pending[tid] = next_ref
+            heapq.heappush(heap, (finish + next_ref[2], tid))
+
+        result = EngineResult(
+            final_time=issue_time,
+            vm_completion_times=vm_completion,
+            thread_stats={tid: t.stats for tid, t in threads.items()},
+            total_refs_processed=steps,
+        )
+        result._vm_of = {tid: t.vm_id for tid, t in threads.items()}
+        return result

@@ -1,0 +1,165 @@
+"""Over-committed execution: more threads than cores.
+
+The paper's methodology never over-commits the machine, but Section VII
+names over-commitment (and the resulting context-switch-driven thread
+placement) as the future-work scenario its *random* scheduling policy
+approximates.  :class:`OvercommitEngine` implements it: each core
+time-multiplexes a run queue of threads with a fixed reference quantum
+and a context-switch penalty, so the "seemingly random" assignment the
+paper describes emerges from actual scheduling churn instead of being
+assumed.
+
+Measurement semantics match :class:`~repro.sim.engine.Engine`: per-
+thread warm-up then a measured window, per-VM completion at the last
+thread's window end, finished VMs keep running until all complete.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from ..errors import SimulationError
+from .engine import EngineResult, MachineModel, ThreadContext
+
+__all__ = ["OvercommitEngine"]
+
+
+class OvercommitEngine:
+    """Time-multiplexes thread run queues on each core.
+
+    Parameters
+    ----------
+    machine:
+        The timing model.
+    threads:
+        Thread contexts; multiple threads may name the same core.
+    quantum_refs:
+        References a thread issues before the core switches to the
+        next queued thread (only when others are waiting).
+    switch_penalty:
+        Cycles charged on every context switch (pipeline refill, state
+        swap); misses caused by the evicted thread's cooled-down cache
+        footprint emerge from the cache model itself.
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        threads: List[ThreadContext],
+        quantum_refs: int = 64,
+        switch_penalty: int = 200,
+        max_steps: int | None = None,
+    ):
+        if not threads:
+            raise SimulationError("engine needs at least one thread")
+        if quantum_refs <= 0:
+            raise SimulationError("quantum_refs must be positive")
+        if switch_penalty < 0:
+            raise SimulationError("switch_penalty must be non-negative")
+        self.machine = machine
+        self.threads = {t.thread_id: t for t in threads}
+        self.quantum_refs = quantum_refs
+        self.switch_penalty = switch_penalty
+        demand = sum(t.warmup_refs + t.measured_refs for t in threads)
+        self.max_steps = max_steps if max_steps is not None else 64 * demand
+        self._queues: Dict[int, Deque[int]] = {}
+        for thread in threads:
+            self._queues.setdefault(thread.core_id, deque()).append(
+                thread.thread_id
+            )
+
+    def run(self) -> EngineResult:
+        threads = self.threads
+        queues = self._queues
+        pending: Dict[int, tuple] = {}
+        for tid, thread in threads.items():
+            ref = next(thread.references, None)
+            if ref is None:
+                raise SimulationError(f"thread {tid} stream ended at start")
+            pending[tid] = ref
+
+        # heap of (next issue time, core); each core runs the thread at
+        # the head of its queue
+        heap: List[Tuple[int, int]] = []
+        quantum_left: Dict[int, int] = {}
+        # keep the machine's core->VM attribution in step with the
+        # active thread so occupancy snapshots stay meaningful
+        bind = getattr(self.machine, "bind_core_to_vm", None)
+        for core, queue in queues.items():
+            tid = queue[0]
+            thread = threads[tid]
+            if bind is not None:
+                bind(core, thread.vm_id)
+            heap.append((thread.start_time + pending[tid][2], core))
+            quantum_left[core] = self.quantum_refs
+        heapq.heapify(heap)
+
+        vm_pending: Dict[int, int] = {}
+        for thread in threads.values():
+            vm_pending[thread.vm_id] = vm_pending.get(thread.vm_id, 0) + 1
+        vm_completion: Dict[int, int] = {}
+        pending_vms = len(vm_pending)
+
+        steps = 0
+        issue_time = 0
+        context_switches = 0
+        while pending_vms > 0:
+            steps += 1
+            if steps > self.max_steps:
+                raise SimulationError(
+                    f"over-commit engine exceeded {self.max_steps} steps; "
+                    f"{pending_vms} VM(s) still pending"
+                )
+            issue_time, core = heapq.heappop(heap)
+            queue = queues[core]
+            tid = queue[0]
+            thread = threads[tid]
+            block, access, think = pending[tid]
+            result = self.machine.access(core, block, bool(access), issue_time)
+            finish = issue_time + result.latency + 1
+
+            index = thread.issued
+            thread.issued += 1
+            window_start = thread.warmup_refs
+            window_end = window_start + thread.measured_refs
+            if window_start <= index < window_end:
+                thread.stats.record(access, think, result)
+                if thread.issued == window_end:
+                    thread.completion_time = finish
+                    vm = thread.vm_id
+                    vm_pending[vm] -= 1
+                    if vm_pending[vm] == 0:
+                        vm_completion[vm] = finish
+                        pending_vms -= 1
+
+            next_ref = next(thread.references, None)
+            if next_ref is None:
+                raise SimulationError(f"thread {tid} stream ended mid-run")
+            pending[tid] = next_ref
+
+            quantum_left[core] -= 1
+            if quantum_left[core] <= 0 and len(queue) > 1:
+                queue.rotate(-1)
+                quantum_left[core] = self.quantum_refs
+                finish += self.switch_penalty
+                context_switches += 1
+                next_tid = queue[0]
+                if bind is not None and threads[next_tid].vm_id != thread.vm_id:
+                    bind(core, threads[next_tid].vm_id)
+            else:
+                if quantum_left[core] <= 0:
+                    quantum_left[core] = self.quantum_refs
+                next_tid = tid
+            heapq.heappush(heap, (finish + pending[next_tid][2], core))
+
+        result = EngineResult(
+            final_time=issue_time,
+            vm_completion_times=vm_completion,
+            thread_stats={tid: t.stats for tid, t in threads.items()},
+            total_refs_processed=steps,
+        )
+        result._vm_of = {tid: t.vm_id for tid, t in threads.items()}
+        result.context_switches = context_switches
+        return result

@@ -1,0 +1,5 @@
+"""Virtualization layer: the hypervisor and virtual machines."""
+
+from .hypervisor import Hypervisor, VirtualMachine
+
+__all__ = ["Hypervisor", "VirtualMachine"]

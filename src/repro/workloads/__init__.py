@@ -1,0 +1,57 @@
+"""Synthetic commercial workload models (Tables I & II)."""
+
+from .calibrate import (
+    WorkloadStatistics,
+    count_blocks_touched,
+    measure_workload_statistics,
+)
+from .checkpoint import (
+    checkpoint_from_json,
+    checkpoint_to_json,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .generator import ThreadTrace, WorkloadInstance
+from .library import (
+    SPECJBB,
+    SPECWEB,
+    TPCH,
+    TPCW,
+    WORKLOADS,
+    get_profile,
+    workload_names,
+)
+from .phases import (
+    Phase,
+    get_phase_plan,
+    phase_plan_names,
+    register_phase_plan,
+)
+from .profile import WorkloadProfile
+from .sampling import PowerLawSampler, UniformSampler
+
+__all__ = [
+    "WorkloadStatistics",
+    "count_blocks_touched",
+    "measure_workload_statistics",
+    "checkpoint_from_json",
+    "checkpoint_to_json",
+    "load_checkpoint",
+    "save_checkpoint",
+    "ThreadTrace",
+    "WorkloadInstance",
+    "SPECJBB",
+    "SPECWEB",
+    "TPCH",
+    "TPCW",
+    "WORKLOADS",
+    "get_profile",
+    "workload_names",
+    "WorkloadProfile",
+    "PowerLawSampler",
+    "UniformSampler",
+    "Phase",
+    "get_phase_plan",
+    "phase_plan_names",
+    "register_phase_plan",
+]

@@ -1,0 +1,117 @@
+"""Workload-statistics measurement and calibration (Table II).
+
+The paper characterizes each workload by running it alone on private
+caches and measuring (a) the percentage of last-private-level misses
+served by cache-to-cache transfers, split clean/dirty, and (b) the
+number of distinct 64-byte blocks touched.  :func:`measure_workload_statistics`
+reproduces that measurement for a profile; the benchmark
+``benchmarks/test_table2_workload_stats.py`` prints the resulting
+table, and the profile parameters in :mod:`repro.workloads.library`
+were tuned against this function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .profile import WorkloadProfile
+
+__all__ = ["WorkloadStatistics", "measure_workload_statistics", "count_blocks_touched"]
+
+
+@dataclass(frozen=True)
+class WorkloadStatistics:
+    """Table II's row for one workload."""
+
+    workload: str
+    c2c_fraction: float
+    clean_fraction: float
+    dirty_fraction: float
+    blocks_touched: int
+    blocks_touched_fullscale: int
+    l2_miss_rate: float
+
+    def row(self) -> tuple:
+        """(name, c2c%, clean%, dirty%, blocks) as printable values."""
+        return (
+            self.workload,
+            round(100 * self.c2c_fraction),
+            round(100 * self.clean_fraction),
+            round(100 * self.dirty_fraction),
+            self.blocks_touched_fullscale,
+        )
+
+
+def measure_workload_statistics(
+    workload: str,
+    measured_refs: Optional[int] = None,
+    seed: int = 0,
+    scale: Optional[float] = None,
+) -> WorkloadStatistics:
+    """Run one workload on the private-cache configuration and measure
+    its Table II statistics.
+
+    The run mirrors the paper's characterization setup: a single
+    4-thread instance, every L2 partition private to its core.  The
+    blocks-touched count is measured on the generated stream and also
+    reported re-scaled to the paper's full-size footprint.
+    """
+    # imported lazily: workloads must not depend on the machine stack
+    from ..core.experiment import DEFAULT_SCALE, ExperimentSpec, run_experiment
+
+    if scale is None:
+        scale = DEFAULT_SCALE
+    spec = ExperimentSpec(
+        mix=f"iso-{workload}",
+        sharing="private",
+        policy="affinity",
+        seed=seed,
+        measured_refs=measured_refs,
+        scale=scale,
+    )
+    result = run_experiment(spec)
+    vm = result.vm_metrics[0]
+    touched = count_blocks_touched(
+        result.spec.mix[len("iso-"):],
+        refs=result.spec.measured_refs + result.spec.warmup_refs,
+        seed=result.spec.seed,
+        scale=scale,
+    )
+    return WorkloadStatistics(
+        workload=workload,
+        c2c_fraction=vm.c2c_fraction,
+        clean_fraction=vm.c2c_clean_fraction,
+        dirty_fraction=vm.c2c_dirty_fraction,
+        blocks_touched=touched,
+        blocks_touched_fullscale=int(touched / scale),
+        l2_miss_rate=vm.miss_rate,
+    )
+
+
+def count_blocks_touched(
+    workload: str,
+    refs: int,
+    seed: int = 0,
+    scale: float = 1.0,
+    profile: Optional[WorkloadProfile] = None,
+) -> int:
+    """Distinct blocks touched by one instance over ``refs`` references
+    per thread (the measurement behind Table II's block counts)."""
+    from ..sim.rng import RngFactory
+    from .generator import WorkloadInstance
+    from .library import get_profile
+
+    if profile is None:
+        profile = get_profile(workload)
+    profile = profile.scaled(scale)
+    factory = RngFactory(seed or 1)
+    instance = WorkloadInstance(
+        profile, instance_id=0, base_block=0, rng_stream=factory.stream
+    )
+    touched: set = set()
+    for trace in instance.traces:
+        for _ in range(refs):
+            block, _w, _t = next(trace)
+            touched.add(block)
+    return len(touched)

@@ -1,0 +1,77 @@
+"""Workload checkpoints.
+
+The paper runs every simulation from *workload checkpoints*: snapshots
+taken after the OS has booted and the workload has been installed and
+warmed, so each configuration replays the same transactions without
+paying boot time (Section IV-A).  The analogue here is a serialized
+snapshot of every thread generator's state — RNG state, scan position,
+and any buffered references — so a restored instance continues the
+*exact* same reference stream.
+
+Checkpoints are JSON files; the RNG state dict produced by numpy's
+``bit_generator.state`` is JSON-serializable for the default PCG64.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import CheckpointError
+from .generator import WorkloadInstance
+
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_to_json", "checkpoint_from_json"]
+
+_FORMAT_VERSION = 1
+
+
+def checkpoint_to_json(instance: WorkloadInstance) -> str:
+    """Serialize a workload instance's generator state to JSON text."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "state": instance.state(),
+    }
+    try:
+        return json.dumps(payload)
+    except TypeError as exc:
+        raise CheckpointError(
+            f"workload state is not JSON-serializable: {exc}"
+        ) from exc
+
+
+def checkpoint_from_json(instance: WorkloadInstance, text: str) -> None:
+    """Restore a workload instance from JSON produced by
+    :func:`checkpoint_to_json`.
+
+    The instance must have been constructed with the same profile,
+    instance id, and memory placement as the checkpointed one.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    if "state" not in payload:
+        raise CheckpointError("checkpoint has no 'state' section")
+    instance.restore(payload["state"])
+
+
+def save_checkpoint(instance: WorkloadInstance, path: Union[str, Path]) -> Path:
+    """Write a checkpoint file; returns the path written."""
+    path = Path(path)
+    path.write_text(checkpoint_to_json(instance))
+    return path
+
+
+def load_checkpoint(instance: WorkloadInstance, path: Union[str, Path]) -> None:
+    """Restore ``instance`` from a checkpoint file."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint file {path} does not exist")
+    checkpoint_from_json(instance, path.read_text())

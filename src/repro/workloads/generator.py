@@ -1,0 +1,295 @@
+"""Reference-stream generators.
+
+:class:`ThreadTrace` turns a :class:`~repro.workloads.profile.WorkloadProfile`
+into an infinite, deterministic stream of ``(block, is_write, think)``
+tuples for one thread.  Generation is vectorized in batches so the
+generator never becomes the simulation bottleneck.
+
+The pipelined-scan model of the shared-read pool (see the profile
+module docstring) is implemented here: thread ``t`` samples uniformly
+within a window of ``scan_window`` blocks whose start advances
+``scan_slide`` blocks per reference, offset behind thread ``t-1`` by
+``scan_lag`` blocks on the same circular track.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..sim.records import MemoryReference
+from .profile import WorkloadProfile
+
+__all__ = ["ThreadTrace", "WorkloadInstance"]
+
+Ref = Tuple[int, int, int]
+
+
+class ThreadTrace:
+    """Infinite reference stream of one workload thread.
+
+    Parameters
+    ----------
+    profile:
+        The workload's statistical model.
+    thread_index:
+        Index of this thread within the workload instance (0-based).
+    base_block:
+        First physical block of the VM's memory partition; all emitted
+        blocks are offset by it, so different VMs can never alias.
+    rng:
+        Private random stream (see :class:`repro.sim.rng.RngFactory`).
+    batch_size:
+        References generated per vectorized batch.
+    phases:
+        Optional cyclic phase schedule (see
+        :mod:`repro.workloads.phases`): each phase applies behavioural
+        overrides to the profile for a bounded number of references.
+        Batches never cross a phase boundary, so phase lengths are
+        exact.
+    """
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        thread_index: int,
+        base_block: int,
+        rng: np.random.Generator,
+        batch_size: int = 4096,
+        phases=None,
+    ):
+        if not 0 <= thread_index < profile.threads:
+            raise WorkloadError(
+                f"thread_index {thread_index} out of range for "
+                f"{profile.threads}-thread profile {profile.name!r}"
+            )
+        if batch_size <= 0:
+            raise WorkloadError("batch_size must be positive")
+        self.profile = profile
+        self.thread_index = thread_index
+        self.base_block = base_block
+        self.batch_size = batch_size
+        self._rng = rng
+
+        offsets = profile.pool_offsets()
+        self._shared_base = base_block + offsets["shared_read"]
+        self._mig_base = base_block + offsets["migratory"]
+        self._priv_base = (
+            base_block
+            + offsets["private"]
+            + thread_index * profile.private_blocks_per_thread
+        )
+        self._shared_size = profile.shared_read_blocks
+        self._mig_size = profile.migratory_blocks
+        self._priv_size = profile.private_blocks_per_thread
+        # thread 0 leads the pipelined scan; thread t trails by t*lag
+        lead = (profile.threads - 1 - thread_index) * profile.scan_lag
+        self._scan_start = lead % self._shared_size if self._shared_size else 0
+
+        self._count = 0  # total references generated (drives the scan)
+        self._pending: List[Ref] = []
+        self._phases = tuple(phases) if phases else ()
+        self._phase_profiles = tuple(
+            phase.apply_to(profile) for phase in self._phases
+        )
+        self._phase_cycle_refs = sum(p.refs for p in self._phases)
+
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Ref]:
+        return self
+
+    def __next__(self) -> Ref:
+        if not self._pending:
+            self._refill()
+        return self._pending.pop()
+
+    def references(self) -> Iterator[MemoryReference]:
+        """The same stream as typed :class:`MemoryReference` records."""
+        for block, access, think in self:
+            yield MemoryReference(block, access, think)
+
+    # ------------------------------------------------------------------
+
+    def _current_phase(self):
+        """(effective profile, refs left in the current phase)."""
+        if not self._phases:
+            return self.profile, self.batch_size
+        position = self._count % self._phase_cycle_refs
+        for phase, variant in zip(self._phases, self._phase_profiles):
+            if position < phase.refs:
+                return variant, phase.refs - position
+            position -= phase.refs
+        raise AssertionError("phase schedule exhausted")  # pragma: no cover
+
+    def _refill(self) -> None:
+        profile, phase_left = self._current_phase()
+        n = min(self.batch_size, phase_left)
+        rng = self._rng
+
+        u = rng.random(n)
+        p_h = profile.p_hot
+        p_s = p_h + profile.p_shared_read
+        p_m = p_s + profile.p_migratory
+        is_hot = u < p_h
+        is_shared = (u >= p_h) & (u < p_s)
+        is_mig = (u >= p_s) & (u < p_m)
+        is_priv = u >= p_m
+
+        blocks = np.empty(n, dtype=np.int64)
+
+        if is_hot.any():
+            hot = self._priv_base + rng.integers(
+                0, max(1, profile.hot_blocks_per_thread), n
+            )
+            blocks[is_hot] = hot[is_hot]
+
+        if self._shared_size and is_shared.any():
+            counts = self._count + np.arange(n, dtype=np.int64)
+            pos = self._scan_start + (counts * profile.scan_slide).astype(np.int64)
+            offs = rng.integers(0, profile.scan_window, n)
+            shared_blocks = self._shared_base + (pos + offs) % self._shared_size
+            blocks[is_shared] = shared_blocks[is_shared]
+        elif is_shared.any():
+            # no shared pool configured: fold into private
+            is_priv |= is_shared
+            is_shared[:] = False
+
+        if is_mig.any():
+            mig = self._mig_base + self._sample_powerlaw(
+                rng, n, self._mig_size, profile.skew_migratory
+            )
+            blocks[is_mig] = mig[is_mig]
+
+        if is_priv.any():
+            priv = self._priv_base + self._sample_powerlaw(
+                rng, n, self._priv_size, profile.skew_private
+            )
+            blocks[is_priv] = priv[is_priv]
+
+        write_prob = np.where(
+            is_shared,
+            profile.write_prob_shared,
+            np.where(is_mig, profile.write_prob_migratory, profile.write_prob_private),
+        )
+        writes = (rng.random(n) < write_prob).astype(np.int64)
+
+        if profile.think_mean > 0:
+            p_think = 1.0 / (1.0 + profile.think_mean)
+            thinks = rng.geometric(p_think, n) - 1
+        else:
+            thinks = np.zeros(n, dtype=np.int64)
+
+        self._count += n
+        batch = list(zip(blocks.tolist(), writes.tolist(), thinks.tolist()))
+        batch.reverse()  # pop() then yields in generation order
+        self._pending = batch
+
+    @staticmethod
+    def _sample_powerlaw(
+        rng: np.random.Generator, size: int, n: int, skew: float
+    ) -> np.ndarray:
+        u = rng.random(size)
+        return (n * u**skew).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """Serializable generator state (see :mod:`.checkpoint`)."""
+        return {
+            "thread_index": self.thread_index,
+            "base_block": self.base_block,
+            "batch_size": self.batch_size,
+            "count": self._count,
+            "pending": list(self._pending),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore state captured by :meth:`state`."""
+        if state["thread_index"] != self.thread_index:
+            raise WorkloadError(
+                f"checkpoint is for thread {state['thread_index']}, "
+                f"not {self.thread_index}"
+            )
+        if state["base_block"] != self.base_block:
+            raise WorkloadError(
+                "checkpoint base_block does not match this placement "
+                f"({state['base_block']} != {self.base_block})"
+            )
+        self.batch_size = state["batch_size"]
+        self._count = state["count"]
+        self._pending = [tuple(ref) for ref in state["pending"]]
+        self._rng.bit_generator.state = state["rng_state"]
+
+
+class WorkloadInstance:
+    """One running copy of a workload: all of its thread traces.
+
+    Parameters
+    ----------
+    profile:
+        The workload model.
+    instance_id:
+        Distinguishes replicated copies in a mix (e.g. the three TPC-W
+        copies of Mix 1); mixed into each thread's RNG stream key.
+    base_block:
+        Start of the VM's physical partition.
+    rng_factory_stream:
+        Callable ``key -> numpy Generator`` providing named streams
+        (typically ``RngFactory.stream``).
+    """
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        instance_id: int,
+        base_block: int,
+        rng_stream,
+        batch_size: int = 4096,
+        phases=None,
+    ):
+        self.profile = profile
+        self.instance_id = instance_id
+        self.base_block = base_block
+        self.traces = [
+            ThreadTrace(
+                profile,
+                thread_index=t,
+                base_block=base_block,
+                rng=rng_stream(f"workload/{profile.name}/{instance_id}/thread/{t}"),
+                batch_size=batch_size,
+                phases=phases,
+            )
+            for t in range(profile.threads)
+        ]
+
+    @property
+    def num_threads(self) -> int:
+        return self.profile.threads
+
+    def trace(self, thread_index: int) -> ThreadTrace:
+        return self.traces[thread_index]
+
+    def state(self) -> dict:
+        return {
+            "profile": self.profile.name,
+            "instance_id": self.instance_id,
+            "base_block": self.base_block,
+            "threads": [trace.state() for trace in self.traces],
+        }
+
+    def restore(self, state: dict) -> None:
+        if state["profile"] != self.profile.name:
+            raise WorkloadError(
+                f"checkpoint is for workload {state['profile']!r}, "
+                f"not {self.profile.name!r}"
+            )
+        if len(state["threads"]) != len(self.traces):
+            raise WorkloadError("checkpoint thread count mismatch")
+        for trace, thread_state in zip(self.traces, state["threads"]):
+            trace.restore(thread_state)

@@ -1,0 +1,135 @@
+"""Workload phases (Section VII's phase-analysis direction).
+
+The paper notes that consolidated behaviour "may be dependent upon how
+the specific phases of workloads interacted with each other" and that
+aligning different phase combinations "would give ... an indication of
+the range of interference."  This module adds phases to the synthetic
+workload models: a :class:`Phase` is a reference-count-bounded override
+of a profile's *behavioural* parameters (access mix, write
+probabilities, locality, scan speed); a phase plan is a named cyclic
+schedule of phases that a :class:`~repro.workloads.generator.ThreadTrace`
+replays.
+
+Structural parameters (footprint, pool split, thread count) cannot
+change mid-run — the VM's memory partition is fixed at launch, exactly
+as in the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import WorkloadError
+from .profile import WorkloadProfile
+
+__all__ = [
+    "Phase",
+    "BEHAVIOURAL_PARAMS",
+    "register_phase_plan",
+    "get_phase_plan",
+    "phase_plan_names",
+]
+
+#: profile fields a phase may override (everything that does not
+#: change the VM's memory layout)
+BEHAVIOURAL_PARAMS = frozenset({
+    "p_hot",
+    "p_shared_read",
+    "p_migratory",
+    "write_prob_shared",
+    "write_prob_migratory",
+    "write_prob_private",
+    "scan_window",
+    "scan_slide",
+    "skew_migratory",
+    "skew_private",
+    "think_mean",
+})
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase: ``refs`` references with ``overrides`` applied.
+
+    ``overrides`` is a tuple of ``(param, value)`` pairs (kept as a
+    tuple so phases stay hashable for the experiment cache).
+    """
+
+    name: str
+    refs: int
+    overrides: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.refs <= 0:
+            raise WorkloadError(f"phase {self.name!r} needs positive refs")
+        for param, _value in self.overrides:
+            if param not in BEHAVIOURAL_PARAMS:
+                raise WorkloadError(
+                    f"phase {self.name!r} overrides structural or unknown "
+                    f"parameter {param!r}; allowed: "
+                    f"{sorted(BEHAVIOURAL_PARAMS)}"
+                )
+
+    def apply_to(self, profile: WorkloadProfile) -> WorkloadProfile:
+        """The profile variant in effect during this phase."""
+        if not self.overrides:
+            return profile
+        return profile.with_overrides(**dict(self.overrides))
+
+
+_PHASE_PLANS: Dict[str, Tuple[Phase, ...]] = {}
+
+
+def register_phase_plan(name: str, phases: Sequence[Phase],
+                        overwrite: bool = False) -> Tuple[Phase, ...]:
+    """Register a named cyclic phase schedule for use in experiment
+    specs (``ExperimentSpec(phase_plan="burst")``)."""
+    if not phases:
+        raise WorkloadError("a phase plan needs at least one phase")
+    key = name.lower()
+    if key in _PHASE_PLANS and not overwrite:
+        raise WorkloadError(
+            f"phase plan {name!r} already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    plan = tuple(phases)
+    _PHASE_PLANS[key] = plan
+    return plan
+
+
+def get_phase_plan(name: str) -> Tuple[Phase, ...]:
+    try:
+        return _PHASE_PLANS[name.lower()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown phase plan {name!r}; available: {sorted(_PHASE_PLANS)}"
+        ) from None
+
+
+def phase_plan_names() -> List[str]:
+    return sorted(_PHASE_PLANS)
+
+
+# ----------------------------------------------------------------------
+# built-in plans used by the phase ablation
+# ----------------------------------------------------------------------
+
+register_phase_plan("steady", [Phase("steady", refs=1_000_000)])
+
+register_phase_plan(
+    "burst",
+    [
+        # a compute/lookup phase: private-heavy, light sharing
+        Phase("compute", refs=4000, overrides=(
+            ("p_shared_read", 0.10),
+            ("p_migratory", 0.01),
+        )),
+        # a communication phase: scans and synchronization dominate
+        Phase("communicate", refs=4000, overrides=(
+            ("p_shared_read", 0.45),
+            ("p_migratory", 0.10),
+            ("scan_slide", 0.5),
+        )),
+    ],
+)

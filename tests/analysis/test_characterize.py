@@ -1,0 +1,152 @@
+"""Tests for reuse-distance and working-set characterization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.characterize import (
+    FenwickTree,
+    miss_rate_at,
+    reuse_distances,
+    reuse_profile,
+    working_set_curve,
+)
+from repro.errors import ReproError
+
+
+class TestFenwickTree:
+    def test_point_updates_and_prefix_sums(self):
+        tree = FenwickTree(8)
+        tree.add(0, 5)
+        tree.add(3, 2)
+        tree.add(7, 1)
+        assert tree.prefix_sum(0) == 5
+        assert tree.prefix_sum(3) == 7
+        assert tree.prefix_sum(7) == 8
+        assert tree.range_sum(1, 3) == 2
+        assert tree.range_sum(4, 6) == 0
+
+    def test_negative_prefix(self):
+        tree = FenwickTree(4)
+        assert tree.prefix_sum(-1) == 0
+
+    def test_bounds(self):
+        tree = FenwickTree(4)
+        with pytest.raises(ReproError):
+            tree.add(4, 1)
+        with pytest.raises(ReproError):
+            FenwickTree(0)
+
+    @given(st.lists(st.tuples(st.integers(0, 31), st.integers(-3, 3)),
+                    max_size=100))
+    @settings(max_examples=50)
+    def test_matches_naive_array(self, updates):
+        tree = FenwickTree(32)
+        naive = [0] * 32
+        for index, delta in updates:
+            tree.add(index, delta)
+            naive[index] += delta
+        for i in range(32):
+            assert tree.prefix_sum(i) == sum(naive[: i + 1])
+
+
+class TestReuseDistances:
+    def test_textbook_example(self):
+        # a b c a : 'a' reused after touching b, c -> distance 2
+        assert list(reuse_distances("abca")) == [-1, -1, -1, 2]
+
+    def test_immediate_reuse_is_zero(self):
+        assert list(reuse_distances("aa")) == [-1, 0]
+
+    def test_cyclic_pattern(self):
+        # a b a b : each reuse skips exactly one distinct block
+        assert list(reuse_distances("abab")) == [-1, -1, 1, 1]
+
+    def test_all_cold(self):
+        assert list(reuse_distances(range(10))) == [-1] * 10
+
+    def test_empty(self):
+        assert list(reuse_distances([])) == []
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_matches_naive_stack_simulation(self, blocks):
+        """Fenwick computation equals a literal LRU stack."""
+        stack = []
+        expected = []
+        for block in blocks:
+            if block in stack:
+                index = stack.index(block)
+                expected.append(index)
+                stack.pop(index)
+            else:
+                expected.append(-1)
+            stack.insert(0, block)
+        assert list(reuse_distances(blocks)) == expected
+
+
+class TestReuseProfile:
+    def test_miss_rate_semantics(self):
+        # stream: a b a b with distances [-1,-1,1,1]
+        profile = reuse_profile("abab")
+        assert profile.refs == 4
+        assert profile.cold_refs == 2
+        # cache of 1 line: both reuses (distance 1) miss -> 4/4
+        assert profile.miss_rate(1) == 1.0
+        # cache of 2 lines: both reuses hit -> only cold misses
+        assert profile.miss_rate(2) == 0.5
+
+    def test_miss_rate_monotone_in_capacity(self):
+        profile = reuse_profile([1, 2, 3, 1, 2, 3, 4, 1])
+        curve = miss_rate_at(profile, [1, 2, 4, 8])
+        rates = [rate for _c, rate in curve]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_percentile_distance(self):
+        profile = reuse_profile("aabbccaabbcc")
+        assert profile.percentile_distance(0.0) == profile.distances[0]
+        with pytest.raises(ReproError):
+            profile.percentile_distance(1.5)
+
+    def test_unique_blocks(self):
+        assert reuse_profile("abcabc").unique_blocks == 3
+
+
+class TestWorkingSetCurve:
+    def test_distinct_counts(self):
+        blocks = [1, 1, 2, 2, 3, 3, 4, 4]
+        curve = dict(working_set_curve(blocks, [2, 4, 8]))
+        assert curve[2] == 1.0
+        assert curve[4] == 2.0
+        assert curve[8] == 4.0
+
+    def test_monotone_in_window(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        blocks = list(rng.integers(0, 50, 2000))
+        curve = working_set_curve(blocks, [10, 50, 200])
+        sizes = [s for _w, s in curve]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_window(self):
+        with pytest.raises(ReproError):
+            working_set_curve([1, 2], [0])
+
+
+class TestOnRealGenerators:
+    def test_workload_mrc_ordering(self):
+        """TPC-H's hot set saturates at smaller capacity than TPC-W's —
+        the locality fact behind Figure 11."""
+        from repro.sim.rng import RngFactory
+        from repro.workloads.generator import ThreadTrace
+        from repro.workloads.library import TPCH, TPCW
+
+        def profile_for(base):
+            trace = ThreadTrace(base.scaled(1 / 16), 0, 0,
+                                RngFactory(1).stream("c"))
+            blocks = [next(trace)[0] for _ in range(6000)]
+            return reuse_profile(blocks)
+
+        tpch = profile_for(TPCH)
+        tpcw = profile_for(TPCW)
+        # at a mid-size cache TPC-H already hits much better
+        assert tpch.miss_rate(1024) < tpcw.miss_rate(1024)

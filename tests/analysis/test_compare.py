@@ -1,0 +1,75 @@
+"""Tests for result comparison."""
+
+import pytest
+
+from repro.analysis.compare import compare_results
+from repro.core.experiment import ExperimentSpec, clear_result_cache, run_experiment
+from repro.errors import ReproError
+
+REFS = dict(measured_refs=800, warmup_refs=200, seed=1)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    clear_result_cache()
+    affinity = run_experiment(ExperimentSpec(mix="mixB", policy="affinity",
+                                             **REFS))
+    rr = run_experiment(ExperimentSpec(mix="mixB", policy="rr", **REFS))
+    yield affinity, rr
+    clear_result_cache()
+
+
+class TestCompareResults:
+    def test_matched_pairs(self, pair):
+        affinity, rr = pair
+        comparison = compare_results(affinity, rr, "affinity", "rr")
+        assert len(comparison.vms) == 4
+        assert all(pair.workload == "tpch" for pair in comparison.vms)
+
+    def test_ratios_direction(self, pair):
+        """RR over affinity for TPC-H: slower and missier."""
+        affinity, rr = pair
+        comparison = compare_results(affinity, rr)
+        assert comparison.mean_cycles_ratio() > 1.0
+        for vm_pair in comparison.vms:
+            assert vm_pair.miss_rate_ratio > 1.0
+
+    def test_self_comparison_is_unity(self, pair):
+        affinity, _rr = pair
+        comparison = compare_results(affinity, affinity)
+        assert comparison.mean_cycles_ratio() == pytest.approx(1.0)
+
+    def test_rows_shape(self, pair):
+        affinity, rr = pair
+        rows = compare_results(affinity, rr).rows()
+        assert len(rows) == 4
+        assert all(len(row) == 4 for row in rows)
+
+    def test_worst_vm(self, pair):
+        affinity, rr = pair
+        comparison = compare_results(affinity, rr)
+        worst = comparison.worst_vm()
+        assert worst.cycles_ratio == max(
+            p.cycles_ratio for p in comparison.vms)
+
+    def test_mismatched_mixes_rejected(self, pair):
+        affinity, _rr = pair
+        other = run_experiment(ExperimentSpec(mix="mixC", policy="affinity",
+                                              **REFS))
+        with pytest.raises(ReproError, match="not comparable"):
+            compare_results(affinity, other)
+
+
+class TestCliCompare:
+    def test_compare_command(self, tmp_path, capsys, pair):
+        from repro.analysis.persist import save_result
+        from repro.cli import main
+
+        affinity, rr = pair
+        path_a = save_result(affinity, tmp_path / "a.json")
+        path_b = save_result(rr, tmp_path / "b.json")
+        code = main(["compare", str(path_a), str(path_b)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cycles x" in out
+        assert "most affected" in out

@@ -1,0 +1,51 @@
+"""Tests for fairness metrics."""
+
+import pytest
+
+from repro.analysis.fairness import FairnessReport, fairness_report, jains_index
+from repro.core.experiment import ExperimentSpec, clear_result_cache, run_experiment
+from repro.errors import ReproError
+
+
+class TestJainsIndex:
+    def test_equal_values_are_perfectly_fair(self):
+        assert jains_index([2.0, 2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_concentration_lowers_index(self):
+        assert jains_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_bounds(self):
+        values = [1.3, 2.1, 0.4, 1.0]
+        index = jains_index(values)
+        assert 1 / len(values) <= index <= 1.0
+
+    def test_zero_vector_is_fair(self):
+        assert jains_index([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            jains_index([])
+        with pytest.raises(ReproError):
+            jains_index([1.0, -1.0])
+
+
+class TestFairnessReport:
+    def test_report_fields(self):
+        report = FairnessReport(
+            slowdowns={0: 1.0, 1: 2.0}, workloads={0: "a", 1: "b"})
+        assert report.max_min_ratio == 2.0
+        assert report.most_penalized == 1
+        assert report.rows() == [["vm0", "a", 1.0], ["vm1", "b", 2.0]]
+        assert 0.5 < report.jain < 1.0
+
+    def test_on_real_run(self):
+        """Mix7 under RR: TPC-W hurts SPECjbb unevenly vs TPC-H mixes."""
+        clear_result_cache()
+        result = run_experiment(ExperimentSpec(
+            mix="mix7", policy="rr", measured_refs=1200, warmup_refs=400,
+            seed=1))
+        report = fairness_report(result)
+        assert set(report.slowdowns) == {0, 1, 2, 3}
+        assert all(s > 0.9 for s in report.slowdowns.values())
+        assert 0.25 <= report.jain <= 1.0
+        clear_result_cache()

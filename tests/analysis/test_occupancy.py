@@ -1,0 +1,39 @@
+"""Tests for the Figure 13 occupancy measurement."""
+
+import pytest
+
+from repro.analysis.occupancy import measure_occupancy
+
+
+class TestMeasureOccupancy:
+    def test_shares_sum_to_one(self):
+        snap = measure_occupancy([{0: 30, 1: 70}], domain_capacity=128)
+        assert snap.vm_share_of_domain(0, 0) == pytest.approx(0.3)
+        assert snap.vm_share_of_domain(0, 1) == pytest.approx(0.7)
+        assert sum(snap.shares[0].values()) == pytest.approx(1.0)
+
+    def test_unassigned_lines_excluded(self):
+        """vm_id -1 (pre-binding fills) never shows up in shares."""
+        snap = measure_occupancy([{-1: 50, 0: 50}], domain_capacity=128)
+        assert snap.vm_share_of_domain(0, 0) == 1.0
+
+    def test_vm_total_share(self):
+        snap = measure_occupancy([{0: 10, 1: 30}, {0: 30, 1: 30}],
+                                 domain_capacity=64)
+        assert snap.vm_total_share(0) == pytest.approx(0.4)
+        assert snap.vm_total_share(1) == pytest.approx(0.6)
+
+    def test_vm_mean_share_only_counts_present_domains(self):
+        snap = measure_occupancy([{0: 50, 1: 50}, {1: 80}],
+                                 domain_capacity=128)
+        assert snap.vm_mean_share(0) == pytest.approx(0.5)
+
+    def test_utilization(self):
+        snap = measure_occupancy([{0: 64}], domain_capacity=128)
+        assert snap.utilization(0) == 0.5
+
+    def test_empty_domain(self):
+        snap = measure_occupancy([{}], domain_capacity=128)
+        assert snap.shares[0] == {}
+        assert snap.utilization(0) == 0.0
+        assert snap.vm_total_share(3) == 0.0

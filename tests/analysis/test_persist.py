@@ -1,0 +1,75 @@
+"""Tests for result serialization."""
+
+import json
+
+import pytest
+
+from repro.analysis.persist import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.core.experiment import ExperimentSpec, clear_result_cache, run_experiment
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def result():
+    clear_result_cache()
+    out = run_experiment(ExperimentSpec(mix="mix5", measured_refs=800,
+                                        warmup_refs=200, seed=1))
+    clear_result_cache()
+    return out
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_metrics(self, result):
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.spec == result.spec
+        assert rebuilt.mix.name == result.mix.name
+        assert len(rebuilt.vm_metrics) == len(result.vm_metrics)
+        for a, b in zip(rebuilt.vm_metrics, result.vm_metrics):
+            assert a == b
+        assert rebuilt.final_time == result.final_time
+        assert rebuilt.chip_summary == result.chip_summary
+        assert rebuilt.domain_lines == result.domain_lines
+
+    def test_snapshots_survive(self, result):
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.occupancy == result.occupancy
+        assert rebuilt.residency == result.residency
+        assert rebuilt.assignments == result.assignments
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = save_result(result, tmp_path / "out.json")
+        rebuilt = load_result(path)
+        assert rebuilt.vm_metrics == result.vm_metrics
+
+    def test_json_is_plain(self, result):
+        text = json.dumps(result_to_dict(result))
+        assert "specjbb" in text
+
+    def test_derived_metrics_work_after_reload(self, result, tmp_path):
+        path = save_result(result, tmp_path / "out.json")
+        rebuilt = load_result(path)
+        assert rebuilt.mean_miss_rate("tpch") == result.mean_miss_rate("tpch")
+        assert rebuilt.metrics_for("specjbb")
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_result(tmp_path / "missing.json")
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ReproError, match="malformed"):
+            load_result(path)
+
+    def test_wrong_version(self, result):
+        payload = result_to_dict(result)
+        payload["format_version"] = 99
+        with pytest.raises(ReproError, match="version"):
+            result_from_dict(payload)

@@ -1,0 +1,36 @@
+"""Tests for the Figure 12 replication measurement."""
+
+from repro.analysis.replication import measure_replication
+
+
+class TestMeasureReplication:
+    def test_no_replication(self):
+        snap = measure_replication([{1, 2}, {3, 4}])
+        assert snap.replicated_fraction == 0.0
+        assert snap.unreplicated_fraction == 1.0
+        assert snap.capacity_waste == 0.0
+
+    def test_full_replication(self):
+        snap = measure_replication([{1, 2}, {1, 2}])
+        assert snap.replicated_fraction == 1.0
+        assert snap.max_copies == 2
+        assert snap.capacity_waste == 0.5
+
+    def test_partial(self):
+        snap = measure_replication([{1, 2, 3}, {1, 9}])
+        # 5 resident lines; block 1 has 2 copies -> 2 replicated lines
+        assert snap.total_lines == 5
+        assert snap.replicated_lines == 2
+        assert snap.replicated_fraction == 0.4
+        assert snap.unique_blocks == 4
+
+    def test_empty(self):
+        snap = measure_replication([set(), set()])
+        assert snap.replicated_fraction == 0.0
+        assert snap.max_copies == 0
+
+    def test_many_domains(self):
+        snap = measure_replication([{1}] * 16)
+        assert snap.max_copies == 16
+        assert snap.replicated_fraction == 1.0
+        assert snap.capacity_waste == 15 / 16

@@ -1,0 +1,55 @@
+"""Tests for report formatting."""
+
+from repro.analysis.report import bar, format_kv, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+        # all rows the same width structure
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table II")
+        assert text.splitlines()[0] == "Table II"
+
+    def test_float_precision(self):
+        text = format_table(["v"], [[1.23456]], precision=2)
+        assert "1.23" in text and "1.2345" not in text
+
+
+class TestFormatSeries:
+    def test_grid(self):
+        series = {
+            "mixA": {"rr": 1.5, "affinity": 1.1},
+            "mixB": {"rr": 2.0, "affinity": 1.0},
+        }
+        text = format_series("Fig 5", series)
+        assert "Fig 5" in text
+        assert "affinity" in text and "rr" in text
+        assert "mixA" in text and "mixB" in text
+
+    def test_missing_cells_are_nan(self):
+        text = format_series("t", {"a": {"x": 1.0}, "b": {"y": 2.0}})
+        assert "nan" in text
+
+
+class TestFormatKv:
+    def test_aligned_pairs(self):
+        text = format_kv("Table III", {"Cores": "16 in-order",
+                                       "Memory latency": "150 cycles"})
+        assert "Table III" in text
+        assert "16 in-order" in text
+
+
+class TestBar:
+    def test_scales(self):
+        assert len(bar(2.0, scale=40, maximum=2.0)) == 40
+        assert bar(0.0) == ""
+        assert len(bar(1.0, scale=40, maximum=2.0)) == 20
+
+    def test_clamps(self):
+        assert len(bar(99.0, scale=40, maximum=2.0)) == 40

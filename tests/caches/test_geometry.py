@@ -1,0 +1,81 @@
+"""Tests for cache geometry arithmetic."""
+
+import pytest
+
+from repro.caches.geometry import (
+    L0_GEOMETRY,
+    L1_GEOMETRY,
+    CacheGeometry,
+    l2_domain_geometry,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTableIIIGeometries:
+    def test_l0(self):
+        assert L0_GEOMETRY.size_bytes == 8 * 1024
+        assert L0_GEOMETRY.latency == 1
+
+    def test_l1(self):
+        assert L1_GEOMETRY.size_bytes == 64 * 1024
+        assert L1_GEOMETRY.latency == 2
+
+    def test_l2_partitions(self):
+        """Private 1MB, shared-2 2MB, ... fully shared 16MB."""
+        for cores, mb in ((1, 1), (2, 2), (4, 4), (8, 8), (16, 16)):
+            geometry = l2_domain_geometry(cores)
+            assert geometry.size_bytes == mb * 1024 * 1024
+            assert geometry.latency == 6
+
+
+class TestCacheGeometry:
+    def test_num_sets(self):
+        g = CacheGeometry(size_bytes=64 * 1024, assoc=4, latency=2)
+        assert g.num_sets == 256
+        assert g.num_lines == 1024
+
+    def test_set_index_masks_low_bits(self):
+        g = CacheGeometry(size_bytes=64 * 1024, assoc=4, latency=2)
+        assert g.set_index(0) == 0
+        assert g.set_index(256) == 0
+        assert g.set_index(257) == 1
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=0, assoc=4, latency=1)
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=1000, assoc=3, latency=1)
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=64 * 1024, assoc=4, latency=-1)
+
+    def test_non_pow2_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=3 * 64 * 4, assoc=4, latency=1)
+
+    def test_describe(self):
+        g = CacheGeometry(size_bytes=64 * 1024, assoc=4, latency=2)
+        assert "64KB" in g.describe()
+        assert "4-way" in g.describe()
+
+    def test_scaled_preserves_ratio(self):
+        g = CacheGeometry(size_bytes=16 * 1024 * 1024, assoc=16, latency=6)
+        s = g.scaled(1 / 16)
+        assert s.size_bytes == 1024 * 1024
+        assert s.latency == g.latency
+
+    def test_scaled_floors_at_one_block(self):
+        g = CacheGeometry(size_bytes=128, assoc=1, latency=1)
+        s = g.scaled(1 / 1024)
+        assert s.size_bytes >= 64
+        assert s.assoc >= 1
+
+    def test_scaled_rejects_bad_factor(self):
+        g = CacheGeometry(size_bytes=1024, assoc=4, latency=1)
+        with pytest.raises(ConfigurationError):
+            g.scaled(0)
+
+
+class TestL2DomainGeometry:
+    def test_invalid_cores(self):
+        with pytest.raises(ConfigurationError):
+            l2_domain_geometry(0)

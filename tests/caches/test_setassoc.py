@@ -1,0 +1,154 @@
+"""Tests for the set-associative cache array."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.caches.geometry import CacheGeometry
+from repro.caches.line import PrivateLine
+from repro.caches.replacement import FifoPolicy, LruPolicy, RandomPolicy
+from repro.caches.setassoc import SetAssocCache
+
+
+def small_cache(assoc=2, sets=4, policy=None):
+    geometry = CacheGeometry(size_bytes=assoc * sets * 64, assoc=assoc, latency=1)
+    return SetAssocCache(geometry, policy=policy)
+
+
+class TestBasicOperations:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert c.lookup(5) is None
+        c.insert(5, PrivateLine())
+        assert c.lookup(5) is not None
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_peek_no_stats(self):
+        c = small_cache()
+        c.insert(5, PrivateLine())
+        c.peek(5)
+        c.peek(6)
+        assert c.stats.accesses == 0
+
+    def test_lru_eviction_order(self):
+        c = small_cache(assoc=2, sets=1)
+        c.insert(0, PrivateLine())
+        c.insert(1, PrivateLine())
+        c.lookup(0)  # 0 is now MRU
+        evicted = c.insert(2, PrivateLine())
+        assert evicted[0] == 1
+
+    def test_insert_same_block_no_eviction(self):
+        c = small_cache(assoc=2, sets=1)
+        c.insert(0, PrivateLine())
+        c.insert(1, PrivateLine())
+        assert c.insert(0, PrivateLine()) is None
+        assert len(c) == 2
+
+    def test_set_isolation(self):
+        """Blocks mapping to different sets never evict each other."""
+        c = small_cache(assoc=1, sets=4)
+        for block in range(4):
+            assert c.insert(block, PrivateLine()) is None
+        assert len(c) == 4
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.insert(3, PrivateLine())
+        assert c.invalidate(3) is not None
+        assert c.invalidate(3) is None
+        assert c.stats.invalidations == 1
+        assert 3 not in c
+
+    def test_dirty_eviction_counted(self):
+        c = small_cache(assoc=1, sets=1)
+        c.insert(0, PrivateLine(dirty=True))
+        c.insert(64, PrivateLine())  # hmm: 64 maps to set 0 with 1 set
+        assert c.stats.dirty_evictions == 1
+
+    def test_touch_refreshes_without_stats(self):
+        c = small_cache(assoc=2, sets=1)
+        c.insert(0, PrivateLine())
+        c.insert(1, PrivateLine())
+        assert c.touch(0)
+        c.insert(2, PrivateLine())
+        assert 0 in c and 1 not in c
+        assert c.stats.accesses == 0
+
+    def test_occupancy_and_contents(self):
+        c = small_cache(assoc=2, sets=4)
+        c.insert(1, PrivateLine())
+        c.insert(2, PrivateLine())
+        assert c.occupancy == 2 / 8
+        assert {b for b, _ in c.contents()} == {1, 2}
+
+    def test_clear_preserves_stats(self):
+        c = small_cache()
+        c.insert(1, PrivateLine())
+        c.lookup(1)
+        c.clear()
+        assert len(c) == 0
+        assert c.stats.hits == 1
+
+
+class TestFifoPolicy:
+    def test_hits_do_not_refresh(self):
+        c = small_cache(assoc=2, sets=1, policy=FifoPolicy())
+        c.insert(0, PrivateLine())
+        c.insert(1, PrivateLine())
+        c.lookup(0)  # does NOT make 0 MRU under FIFO
+        evicted = c.insert(2, PrivateLine())
+        assert evicted[0] == 0
+
+
+class TestRandomPolicy:
+    def test_deterministic_with_seed(self):
+        def run():
+            c = small_cache(assoc=4, sets=1, policy=RandomPolicy(seed=7))
+            order = []
+            for block in range(20):
+                evicted = c.insert(block, PrivateLine())
+                if evicted:
+                    order.append(evicted[0])
+            return order
+
+        assert run() == run()
+
+    def test_clone_is_independent(self):
+        p = RandomPolicy(seed=3)
+        c1 = small_cache(policy=p)
+        c2 = small_cache(policy=p)
+        assert c1.policy is not c2.policy
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=500))
+    @settings(max_examples=50)
+    def test_capacity_never_exceeded(self, blocks):
+        c = small_cache(assoc=2, sets=4)
+        for block in blocks:
+            c.lookup(block)
+            if c.peek(block) is None:
+                c.insert(block, PrivateLine())
+        assert len(c) <= 8
+        for occupancy in c.set_occupancies():
+            assert occupancy <= 2
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_inclusion_of_recent_blocks(self, blocks):
+        """The most recently inserted block is always resident."""
+        c = small_cache(assoc=2, sets=4)
+        for block in blocks:
+            if c.lookup(block) is None:
+                c.insert(block, PrivateLine())
+            assert block in c
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=300))
+    @settings(max_examples=30)
+    def test_stats_balance(self, blocks):
+        c = small_cache(assoc=2, sets=2)
+        for block in blocks:
+            if c.lookup(block) is None:
+                c.insert(block, PrivateLine())
+        s = c.stats
+        assert s.hits + s.misses == s.accesses
+        assert s.insertions - s.evictions == len(c)

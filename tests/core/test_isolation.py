@@ -1,0 +1,79 @@
+"""Tests for isolation baselines and normalization."""
+
+import pytest
+
+from repro.core.experiment import ExperimentSpec, clear_result_cache, run_experiment
+from repro.core.isolation import (
+    isolation_spec,
+    normalize_result,
+    normalized_miss_latency,
+    normalized_miss_rate,
+    normalized_runtime,
+    run_isolated,
+)
+
+REFS = dict(measured_refs=1500, warmup_refs=500)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_result_cache()
+    yield
+    clear_result_cache()
+
+
+class TestIsolationSpec:
+    def test_defaults_to_paper_baseline(self):
+        spec = isolation_spec("tpcw")
+        assert spec.mix == "iso-tpcw"
+        assert spec.sharing == "shared"
+        assert spec.policy == "affinity"
+
+    def test_template_inherits_run_length(self):
+        template = ExperimentSpec(mix="mix1", seed=9, **REFS)
+        spec = isolation_spec("tpcw", template=template)
+        assert spec.measured_refs == 1500
+        assert spec.seed == 9
+        assert spec.mix == "iso-tpcw"
+        assert spec.sharing == "shared"
+
+
+class TestNormalization:
+    def test_self_normalization_is_one(self):
+        """The baseline run normalized against itself gives 1.0."""
+        template = ExperimentSpec(mix="iso-tpch", sharing="shared",
+                                  policy="affinity", seed=1, **REFS)
+        result = run_experiment(template)
+        vm = result.vm_metrics[0]
+        assert normalized_runtime(vm, template) == pytest.approx(1.0)
+        assert normalized_miss_rate(vm, template) == pytest.approx(1.0)
+
+    def test_consolidation_slows_workloads(self):
+        template = ExperimentSpec(mix="mixB", sharing="shared-4",
+                                  policy="rr", seed=1, **REFS)
+        result = run_experiment(template)
+        for vm in result.vm_metrics:
+            assert normalized_runtime(vm, template) > 1.0
+
+    def test_normalize_result_wraps_all_vms(self):
+        template = ExperimentSpec(mix="mix5", seed=1, **REFS)
+        result = run_experiment(template)
+        normalized = normalize_result(result)
+        assert len(normalized) == 4
+        assert all(n.runtime > 0 for n in normalized)
+        assert all(n.miss_latency > 0 for n in normalized)
+
+    def test_miss_latency_uses_shared4_affinity_baseline(self):
+        """Figure 10's normalization basis."""
+        template = ExperimentSpec(mix="iso-tpch", sharing="shared-4",
+                                  policy="affinity", seed=1, **REFS)
+        result = run_experiment(template)
+        vm = result.vm_metrics[0]
+        assert normalized_miss_latency(vm, template) == pytest.approx(1.0)
+
+    def test_run_isolated_memoized(self):
+        a = run_isolated("tpch", template=ExperimentSpec(mix="x", seed=1,
+                                                         **REFS))
+        b = run_isolated("tpch", template=ExperimentSpec(mix="y", seed=1,
+                                                         **REFS))
+        assert a is b

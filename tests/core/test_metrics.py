@@ -1,0 +1,86 @@
+"""Tests for per-VM metric aggregation."""
+
+from repro.core.metrics import VMMetrics, aggregate_by_workload
+from repro.sim.engine import ThreadStats
+from repro.sim.records import AccessResult, HitLevel
+
+
+def stats_with(levels):
+    s = ThreadStats()
+    latencies = {
+        HitLevel.L0: 1, HitLevel.L1: 3, HitLevel.L2: 25,
+        HitLevel.L2_PEER: 30, HitLevel.C2C_CLEAN: 60,
+        HitLevel.C2C_DIRTY: 70, HitLevel.MEMORY: 200,
+    }
+    for level in levels:
+        lat = latencies[level]
+        s.record(0, 1, AccessResult(level, lat, lat, 0, 0, 0))
+    return s
+
+
+class TestVMMetrics:
+    def test_aggregation_over_threads(self):
+        threads = [
+            stats_with([HitLevel.L0, HitLevel.MEMORY]),
+            stats_with([HitLevel.L2, HitLevel.C2C_CLEAN]),
+        ]
+        vm = VMMetrics.from_threads(0, "tpch", threads, completion_time=999)
+        assert vm.refs == 4
+        assert vm.cycles == 999
+        assert vm.l1_misses == 3
+        assert vm.l2_misses == 2
+        assert vm.c2c_clean == 1
+        assert vm.memory_fetches == 1
+
+    def test_miss_rate_definition(self):
+        """Miss rate = VM's L2 misses per VM L2 access (= L1 miss)."""
+        vm = VMMetrics.from_threads(
+            0, "w", [stats_with([HitLevel.L2, HitLevel.L2, HitLevel.MEMORY,
+                                 HitLevel.C2C_DIRTY])], 100)
+        assert vm.l2_accesses == 4
+        assert vm.miss_rate == 0.5
+
+    def test_l2_peer_not_an_l2_miss(self):
+        vm = VMMetrics.from_threads(
+            0, "w", [stats_with([HitLevel.L2_PEER, HitLevel.MEMORY])], 100)
+        assert vm.l1_misses == 2
+        assert vm.l2_misses == 1
+        assert vm.l2_peer_transfers == 1
+
+    def test_c2c_fractions(self):
+        vm = VMMetrics.from_threads(
+            0, "w", [stats_with([HitLevel.C2C_CLEAN, HitLevel.C2C_CLEAN,
+                                 HitLevel.C2C_DIRTY, HitLevel.MEMORY])], 100)
+        assert vm.c2c_transfers == 3
+        assert vm.c2c_fraction == 0.75
+        assert abs(vm.c2c_clean_fraction - 2 / 3) < 1e-12
+        assert abs(vm.c2c_dirty_fraction - 1 / 3) < 1e-12
+
+    def test_mean_miss_latency_excludes_private_hits(self):
+        vm = VMMetrics.from_threads(
+            0, "w", [stats_with([HitLevel.L0, HitLevel.MEMORY])], 100)
+        assert vm.mean_miss_latency == 200.0
+
+    def test_mpki(self):
+        threads = [stats_with([HitLevel.MEMORY] * 10)]
+        vm = VMMetrics.from_threads(0, "w", threads, 100)
+        # 10 refs, think=1 each -> 20 instructions, 10 misses
+        assert vm.mpki == 500.0
+
+    def test_empty_vm_safe(self):
+        vm = VMMetrics.from_threads(0, "w", [ThreadStats()], 0)
+        assert vm.miss_rate == 0.0
+        assert vm.mean_miss_latency == 0.0
+        assert vm.c2c_fraction == 0.0
+
+
+class TestAggregateByWorkload:
+    def test_groups_in_vm_order(self):
+        vms = [
+            VMMetrics.from_threads(0, "a", [ThreadStats()], 0),
+            VMMetrics.from_threads(1, "b", [ThreadStats()], 0),
+            VMMetrics.from_threads(2, "a", [ThreadStats()], 0),
+        ]
+        grouped = aggregate_by_workload(vms)
+        assert [vm.vm_id for vm in grouped["a"]] == [0, 2]
+        assert [vm.vm_id for vm in grouped["b"]] == [1]

@@ -1,0 +1,90 @@
+"""Tests for Table IV's workload mixes."""
+
+import pytest
+
+from repro.core.mixes import (
+    HETEROGENEOUS_MIXES,
+    HOMOGENEOUS_MIXES,
+    MIXES,
+    Mix,
+    get_mix,
+    isolated_mix,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTableIV:
+    def test_mix_counts(self):
+        assert len(HETEROGENEOUS_MIXES) == 9
+        assert len(HOMOGENEOUS_MIXES) == 4
+        assert len(MIXES) == 13
+
+    def test_heterogeneous_compositions(self):
+        """Exactly Table IV's rows."""
+        expected = {
+            "mix1": (("tpcw", 3), ("tpch", 1)),
+            "mix2": (("tpcw", 2), ("tpch", 2)),
+            "mix3": (("tpcw", 1), ("tpch", 3)),
+            "mix4": (("specjbb", 3), ("tpch", 1)),
+            "mix5": (("specjbb", 2), ("tpch", 2)),
+            "mix6": (("specjbb", 1), ("tpch", 3)),
+            "mix7": (("specjbb", 3), ("tpcw", 1)),
+            "mix8": (("specjbb", 2), ("tpcw", 2)),
+            "mix9": (("specjbb", 1), ("tpcw", 3)),
+        }
+        for name, components in expected.items():
+            assert MIXES[name].components == components
+
+    def test_homogeneous_compositions(self):
+        assert MIXES["mixA"].components == (("tpcw", 4),)
+        assert MIXES["mixB"].components == (("tpch", 4),)
+        assert MIXES["mixC"].components == (("specjbb", 4),)
+        assert MIXES["mixD"].components == (("specweb", 4),)
+
+    def test_every_mix_fills_the_machine(self):
+        """Four 4-thread instances = 16 threads = capacity, never over."""
+        for mix in MIXES.values():
+            assert mix.num_instances == 4
+            assert sum(p.threads for p in mix.profiles()) == 16
+
+    def test_specweb_only_homogeneous(self):
+        """The paper's workload-driver limitation."""
+        for mix in HETEROGENEOUS_MIXES.values():
+            assert all(w != "specweb" for w, _ in mix.components)
+
+
+class TestMixApi:
+    def test_instance_names_expand_in_order(self):
+        assert MIXES["mix1"].instance_names() == ["tpcw"] * 3 + ["tpch"]
+
+    def test_describe_matches_paper_notation(self):
+        assert MIXES["mix1"].describe() == "TPC-W (3) & TPC-H (1)"
+        assert MIXES["mixC"].describe() == "SPECjbb (4)"
+
+    def test_is_homogeneous(self):
+        assert MIXES["mixA"].is_homogeneous
+        assert not MIXES["mix5"].is_homogeneous
+
+    def test_get_mix_case_insensitive(self):
+        assert get_mix("MIXa") is MIXES["mixA"]
+        assert get_mix("mix3") is MIXES["mix3"]
+
+    def test_get_unknown_mix(self):
+        with pytest.raises(ConfigurationError):
+            get_mix("mix99")
+
+    def test_isolated_mix(self):
+        mix = isolated_mix("tpch")
+        assert mix.num_instances == 1
+        assert mix.name == "iso-tpch"
+
+    def test_isolated_unknown_workload(self):
+        from repro.errors import WorkloadError
+        with pytest.raises(WorkloadError):
+            isolated_mix("nope")
+
+    def test_invalid_mix_construction(self):
+        with pytest.raises(ConfigurationError):
+            Mix("bad", ())
+        with pytest.raises(ConfigurationError):
+            Mix("bad", (("tpcw", 0),))

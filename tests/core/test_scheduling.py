@@ -1,0 +1,138 @@
+"""Tests for the four scheduling policies of Section III-D."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulingError
+from repro.interconnect.topology import MeshTopology
+from repro.machine.config import MachineConfig, SharingDegree
+from repro.machine.placement import DomainPlacement
+from repro.core.scheduling import (
+    SCHEDULER_NAMES,
+    make_scheduler,
+)
+from repro.sim.rng import RngFactory
+
+
+def placement(sharing="shared-4"):
+    config = MachineConfig(sharing=SharingDegree.from_name(sharing))
+    return DomainPlacement(config, MeshTopology(4, 4))
+
+
+def domains_used(cores, place):
+    return {place.domain_of[c] for c in cores}
+
+
+class TestRoundRobin:
+    def test_figure1_left(self):
+        """Four 4-thread workloads, shared-4-way: every cache gets one
+        thread of each workload."""
+        place = placement("shared-4")
+        assign = make_scheduler("rr").assign([4, 4, 4, 4], place)
+        for cores in assign:
+            assert domains_used(cores, place) == {0, 1, 2, 3}
+
+    def test_isolation_spreads(self):
+        place = placement("shared-4")
+        assign = make_scheduler("rr").assign([4], place)
+        assert domains_used(assign[0], place) == {0, 1, 2, 3}
+
+    def test_private_config(self):
+        place = placement("private")
+        assign = make_scheduler("rr").assign([4, 4], place)
+        # every thread in its own single-core domain
+        all_cores = [c for cores in assign for c in cores]
+        assert len(set(all_cores)) == 8
+
+
+class TestAffinity:
+    def test_figure1_right(self):
+        """Each workload owns one shared-4-way cache outright."""
+        place = placement("shared-4")
+        assign = make_scheduler("affinity").assign([4, 4, 4, 4], place)
+        used = [domains_used(cores, place) for cores in assign]
+        assert all(len(d) == 1 for d in used)
+        assert set.union(*used) == {0, 1, 2, 3}
+
+    def test_isolation_packs_one_domain(self):
+        place = placement("shared-4")
+        assign = make_scheduler("affinity").assign([4], place)
+        assert len(domains_used(assign[0], place)) == 1
+
+    def test_spills_to_minimum_domains(self):
+        """4 threads on shared-2-way caches need exactly 2 domains."""
+        place = placement("shared-2")
+        assign = make_scheduler("affinity").assign([4], place)
+        assert len(domains_used(assign[0], place)) == 2
+
+
+class TestRrAffinity:
+    def test_pairs_share_caches(self):
+        """At least two threads of the workload per cache used."""
+        place = placement("shared-4")
+        assign = make_scheduler("rr-aff").assign([4, 4, 4, 4], place)
+        for cores in assign:
+            used = domains_used(cores, place)
+            assert len(used) == 2  # 4 threads in pairs across 2 caches
+            for domain in used:
+                in_domain = [c for c in cores if place.domain_of[c] == domain]
+                assert len(in_domain) >= 2
+
+    def test_aliases(self):
+        assert make_scheduler("aff-rr").name == "rr-aff"
+        assert make_scheduler("rr-affinity").name == "rr-aff"
+
+
+class TestRandom:
+    def test_deterministic_under_seed(self):
+        place = placement("shared-4")
+        rng1 = RngFactory(9).stream("sched")
+        rng2 = RngFactory(9).stream("sched")
+        a = make_scheduler("random").assign([4, 4], place, rng=rng1)
+        b = make_scheduler("random").assign([4, 4], place, rng=rng2)
+        assert a == b
+
+    def test_requires_rng(self):
+        with pytest.raises(SchedulingError):
+            make_scheduler("random").assign([4], placement())
+
+    def test_seeds_differ(self):
+        place = placement("shared-4")
+        a = make_scheduler("random").assign(
+            [4, 4, 4, 4], place, rng=RngFactory(1).stream("s"))
+        b = make_scheduler("random").assign(
+            [4, 4, 4, 4], place, rng=RngFactory(2).stream("s"))
+        assert a != b
+
+
+class TestValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(SchedulingError):
+            make_scheduler("simd")
+
+    def test_over_capacity(self):
+        with pytest.raises(SchedulingError):
+            make_scheduler("rr").assign([4] * 5, placement())
+
+    def test_zero_threads(self):
+        with pytest.raises(SchedulingError):
+            make_scheduler("rr").assign([0], placement())
+
+
+class TestAllPoliciesProperties:
+    @given(
+        policy=st.sampled_from(SCHEDULER_NAMES),
+        counts=st.lists(st.integers(1, 4), min_size=1, max_size=4),
+        sharing=st.sampled_from(["private", "shared-2", "shared-4",
+                                 "shared-8", "shared"]),
+    )
+    @settings(max_examples=100)
+    def test_assignments_valid(self, policy, counts, sharing):
+        """Every policy yields distinct in-range cores matching counts."""
+        place = placement(sharing)
+        rng = RngFactory(0).stream("sched")
+        assign = make_scheduler(policy).assign(counts, place, rng=rng)
+        assert [len(cores) for cores in assign] == counts
+        flat = [c for cores in assign for c in cores]
+        assert len(set(flat)) == len(flat)
+        assert all(0 <= c < 16 for c in flat)

@@ -1,0 +1,76 @@
+"""Tests for the sweep helpers."""
+
+import pytest
+
+from repro.core.experiment import ExperimentSpec, clear_result_cache
+from repro.core.sweeps import (
+    ALL_POLICIES,
+    ALL_SHARINGS,
+    extract_grid,
+    sweep,
+    sweep_mixes,
+    sweep_sharing_policy,
+)
+from repro.errors import ConfigurationError
+
+BASE = ExperimentSpec(mix="iso-tpch", measured_refs=500, warmup_refs=100,
+                      seed=1)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_result_cache()
+    yield
+    clear_result_cache()
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        grid = sweep(BASE, policy=["rr", "affinity"],
+                     sharing=["shared-4", "private"])
+        assert set(grid) == {
+            ("rr", "shared-4"), ("rr", "private"),
+            ("affinity", "shared-4"), ("affinity", "private"),
+        }
+        for result in grid.values():
+            assert result.vm_metrics[0].refs == 2000
+
+    def test_single_axis(self):
+        grid = sweep(BASE, seed=[1, 2, 3])
+        assert len(grid) == 3
+        cycles = {key: r.vm_metrics[0].cycles for key, r in grid.items()}
+        assert len(set(cycles.values())) > 1
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="not an ExperimentSpec"):
+            sweep(BASE, turbo=["on"])
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep(BASE)
+
+
+class TestConvenienceSweeps:
+    def test_sweep_sharing_policy(self):
+        grid = sweep_sharing_policy("iso-tpch",
+                                    sharings=["shared-4", "private"],
+                                    policies=["affinity"], base=BASE)
+        assert set(grid) == {("shared-4", "affinity"),
+                             ("private", "affinity")}
+
+    def test_sweep_mixes(self):
+        grid = sweep_mixes(["iso-tpch", "iso-specjbb"], base=BASE)
+        assert grid[("iso-tpch",)].vm_metrics[0].workload == "tpch"
+        assert grid[("iso-specjbb",)].vm_metrics[0].workload == "specjbb"
+
+    def test_constants(self):
+        assert "shared-4" in ALL_SHARINGS
+        assert set(ALL_POLICIES) == {"rr", "affinity", "rr-aff", "random"}
+
+
+class TestExtractGrid:
+    def test_scalar_extraction(self):
+        grid = sweep(BASE, sharing=["shared-4", "private"])
+        metric = extract_grid(grid, lambda r: r.vm_metrics[0].miss_rate)
+        assert set(metric) == {("shared-4",), ("private",)}
+        assert all(isinstance(v, float) for v in metric.values())

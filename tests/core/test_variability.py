@@ -1,0 +1,89 @@
+"""Tests for the Alameldeen-Wood statistical simulation harness."""
+
+import pytest
+
+from repro.core.experiment import ExperimentSpec, clear_result_cache
+from repro.core.variability import ReplicationSummary, replicate, seeds_for
+from repro.errors import ConfigurationError
+
+REFS = dict(measured_refs=800, warmup_refs=200)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_result_cache()
+    yield
+    clear_result_cache()
+
+
+class TestReplicationSummary:
+    def test_mean_std(self):
+        s = ReplicationSummary(samples=(1.0, 2.0, 3.0))
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(1.0)
+        assert s.n == 3
+
+    def test_single_sample_degenerate(self):
+        s = ReplicationSummary(samples=(5.0,))
+        assert s.std == 0.0
+        assert s.ci95_halfwidth == 0.0
+
+    def test_ci_contains_mean(self):
+        s = ReplicationSummary(samples=(10.0, 12.0, 11.0, 9.0, 13.0))
+        lo, hi = s.ci95
+        assert lo < s.mean < hi
+
+    def test_ci_uses_student_t(self):
+        """Small samples get wider intervals than the normal 1.96."""
+        s = ReplicationSummary(samples=(1.0, 2.0))
+        # t(df=1) = 12.706
+        assert s.ci95_halfwidth == pytest.approx(
+            12.706 * s.std / (2 ** 0.5))
+
+    def test_overlap(self):
+        a = ReplicationSummary(samples=(1.0, 1.1, 0.9))
+        b = ReplicationSummary(samples=(1.05, 1.15, 0.95))
+        c = ReplicationSummary(samples=(50.0, 51.0, 49.0))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_cov(self):
+        s = ReplicationSummary(samples=(2.0, 2.0, 2.0))
+        assert s.cov == 0.0
+
+
+class TestSeedsFor:
+    def test_distinct_and_deterministic(self):
+        seeds = seeds_for(5, 4)
+        assert len(set(seeds)) == 4
+        assert seeds == seeds_for(5, 4)
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            seeds_for(1, 0)
+
+
+class TestReplicate:
+    def test_produces_n_samples(self):
+        spec = ExperimentSpec(mix="iso-tpch", seed=1, **REFS)
+        summary = replicate(spec, lambda r: r.vm_metrics[0].cycles, n=3)
+        assert summary.n == 3
+        assert summary.mean > 0
+
+    def test_samples_vary_across_seeds(self):
+        spec = ExperimentSpec(mix="iso-tpch", seed=1, **REFS)
+        summary = replicate(spec, lambda r: float(r.vm_metrics[0].cycles), n=3)
+        assert summary.std > 0
+
+    def test_explicit_seeds(self):
+        spec = ExperimentSpec(mix="iso-tpch", seed=1, **REFS)
+        summary = replicate(spec, lambda r: float(r.vm_metrics[0].cycles),
+                            seeds=[11, 22])
+        assert summary.n == 2
+
+    def test_variability_is_moderate(self):
+        """Run-to-run variation should be percent-level, not 2x — the
+        sanity property Alameldeen-Wood statistics rely on."""
+        spec = ExperimentSpec(mix="iso-specjbb", seed=1, **REFS)
+        summary = replicate(spec, lambda r: float(r.vm_metrics[0].cycles), n=4)
+        assert summary.cov < 0.25

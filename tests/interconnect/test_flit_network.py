@@ -1,0 +1,113 @@
+"""Tests for the flit-level VC router network."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.interconnect.network import FlitNetwork
+from repro.interconnect.packet import Packet
+from repro.interconnect.topology import MeshTopology
+
+
+def network(**kw):
+    return FlitNetwork(MeshTopology(4, 4), **kw)
+
+
+class TestDelivery:
+    def test_single_packet_delivered(self):
+        net = network()
+        p = Packet(src=0, dst=15, num_flits=5)
+        net.inject(p)
+        net.drain()
+        assert p.arrival_time is not None
+        assert net.delivered == [p]
+
+    def test_local_packet(self):
+        net = network()
+        p = Packet(src=3, dst=3, num_flits=1)
+        net.inject(p)
+        net.drain()
+        assert p.latency is not None and p.latency <= 5
+
+    def test_latency_scales_with_distance(self):
+        lat = {}
+        for dst in (1, 3, 15):
+            net = network()
+            p = Packet(src=0, dst=dst, num_flits=1)
+            net.inject(p)
+            net.drain()
+            lat[dst] = p.latency
+        assert lat[1] < lat[3] < lat[15]
+
+    def test_zero_load_latency_reasonable(self):
+        """~3 router cycles + 1 link cycle per hop, plus serialization."""
+        net = network()
+        p = Packet(src=0, dst=1, num_flits=1)
+        net.inject(p)
+        net.drain()
+        assert 3 <= p.latency <= 12
+
+    def test_many_packets_all_delivered(self):
+        net = network()
+        packets = [
+            Packet(src=s, dst=(s + 7) % 16, num_flits=5) for s in range(16)
+        ] * 4
+        for p in packets:
+            net.inject(p)
+        net.drain()
+        assert len(net.delivered) == len(packets)
+
+    def test_multi_flit_ordering_within_packet(self):
+        """Wormhole: a packet's flits arrive contiguously (tail last)."""
+        net = network()
+        p = Packet(src=0, dst=12, num_flits=5)
+        net.inject(p)
+        net.drain()
+        assert p.arrival_time >= p.inject_time + 5 - 1
+
+    def test_invalid_tiles_rejected(self):
+        net = network()
+        with pytest.raises(SimulationError):
+            net.inject(Packet(src=-1, dst=3, num_flits=1))
+        with pytest.raises(SimulationError):
+            net.inject(Packet(src=0, dst=99, num_flits=1))
+
+
+class TestContention:
+    def test_shared_link_serializes(self):
+        """Two packets fighting for one link: second arrives later."""
+        net = network()
+        a = Packet(src=0, dst=3, num_flits=5)
+        b = Packet(src=4, dst=3, num_flits=5)
+        net.inject(a)
+        net.inject(b)
+        net.drain()
+        assert a.arrival_time != b.arrival_time
+
+    def test_heavy_load_drains(self):
+        net = network(num_vcs=2, vc_capacity=2)
+        for burst in range(8):
+            for src in range(16):
+                net.inject(Packet(src=src, dst=15 - src, num_flits=5))
+        net.drain(max_cycles=50_000)
+        assert len(net.delivered) == 8 * 16
+
+    def test_mean_latency_grows_with_load(self):
+        light = network()
+        light.inject(Packet(src=0, dst=15, num_flits=5))
+        light.drain()
+
+        heavy = network()
+        for _ in range(20):
+            heavy.inject(Packet(src=0, dst=15, num_flits=5))
+        heavy.drain()
+        assert heavy.mean_packet_latency > light.mean_packet_latency
+
+
+class TestHistogram:
+    def test_latency_histogram_counts(self):
+        net = network()
+        for _ in range(3):
+            net.inject(Packet(src=0, dst=5, num_flits=1))
+        net.drain()
+        hist = net.latency_histogram()
+        assert sum(hist.values()) == 3

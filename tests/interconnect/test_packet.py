@@ -1,0 +1,54 @@
+"""Tests for packet/flit structure."""
+
+import pytest
+
+from repro.interconnect.packet import (
+    FLIT_BYTES,
+    MessageClass,
+    Packet,
+    flits_for,
+    packet_flits,
+)
+
+
+class TestSizes:
+    def test_control_is_single_flit(self):
+        assert flits_for(MessageClass.REQUEST, carries_data=False) == 1
+        assert flits_for(MessageClass.CONTROL, carries_data=False) == 1
+
+    def test_data_carries_a_cache_block(self):
+        flits = flits_for(MessageClass.RESPONSE, carries_data=True)
+        assert (flits - 1) * FLIT_BYTES == 64  # header + 64B payload
+
+
+class TestPacket:
+    def test_ids_unique(self):
+        a = Packet(src=0, dst=1, num_flits=1)
+        b = Packet(src=0, dst=1, num_flits=1)
+        assert a.packet_id != b.packet_id
+
+    def test_zero_flits_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src=0, dst=1, num_flits=0)
+
+    def test_latency_none_until_delivered(self):
+        p = Packet(src=0, dst=1, num_flits=1, inject_time=5)
+        assert p.latency is None
+        p.arrival_time = 12
+        assert p.latency == 7
+
+
+class TestFlits:
+    def test_head_and_tail_markers(self):
+        flits = packet_flits(Packet(src=0, dst=1, num_flits=3))
+        assert [f.is_head for f in flits] == [True, False, False]
+        assert [f.is_tail for f in flits] == [False, False, True]
+
+    def test_single_flit_is_head_and_tail(self):
+        (flit,) = packet_flits(Packet(src=0, dst=1, num_flits=1))
+        assert flit.is_head and flit.is_tail
+
+    def test_flits_reference_their_packet(self):
+        p = Packet(src=2, dst=9, num_flits=2)
+        for flit in packet_flits(p):
+            assert flit.packet is p

@@ -1,0 +1,119 @@
+"""Unit tests for the flit-level router's internal mechanisms."""
+
+import pytest
+
+from repro.interconnect.packet import Packet, packet_flits
+from repro.interconnect.router import PIPELINE_STAGES, PORTS, Port, Router
+
+
+def head_flit(src=0, dst=1, flits=1):
+    return packet_flits(Packet(src=src, dst=dst, num_flits=flits))[0]
+
+
+def route_east(_tile, _dst):
+    return Port.EAST
+
+
+class TestPipelineTiming:
+    def test_flit_not_ready_before_pipeline_fills(self):
+        router = Router(tile=0)
+        router.accept(Port.LOCAL, 0, head_flit(), cycle=0)
+        assert router.allocate(0, route_east) == []
+        assert router.allocate(PIPELINE_STAGES - 1, route_east) == []
+
+    def test_flit_ready_after_pipeline(self):
+        router = Router(tile=0)
+        router.accept(Port.LOCAL, 0, head_flit(), cycle=0)
+        winners = router.allocate(PIPELINE_STAGES, route_east)
+        assert len(winners) == 1
+        out_port, _vc, flit, in_port, _in_vc = winners[0]
+        assert out_port == Port.EAST
+        assert in_port == Port.LOCAL
+        assert flit.is_head
+
+
+class TestCredits:
+    def test_no_credit_blocks_traversal(self):
+        router = Router(tile=0, num_vcs=1, vc_capacity=1)
+        router.credits[Port.EAST][0] = 0
+        router.accept(Port.LOCAL, 0, head_flit(), cycle=0)
+        assert router.allocate(PIPELINE_STAGES, route_east) == []
+
+    def test_credit_consumed_on_traversal(self):
+        router = Router(tile=0, num_vcs=1)
+        before = router.credits[Port.EAST][0]
+        router.accept(Port.LOCAL, 0, head_flit(), cycle=0)
+        router.allocate(PIPELINE_STAGES, route_east)
+        assert router.credits[Port.EAST][0] == before - 1
+
+    def test_credit_returned(self):
+        router = Router(tile=0, num_vcs=1)
+        router.credits[Port.EAST][0] = 0
+        router.return_credit(Port.EAST, 0)
+        assert router.credits[Port.EAST][0] == 1
+
+
+class TestVcAllocation:
+    def test_head_claims_downstream_vc(self):
+        router = Router(tile=0, num_vcs=2)
+        flits = packet_flits(Packet(src=0, dst=1, num_flits=2))
+        router.accept(Port.LOCAL, 0, flits[0], cycle=0)
+        router.accept(Port.LOCAL, 0, flits[1], cycle=0)
+        winners = router.allocate(PIPELINE_STAGES, route_east)
+        _out, vc, flit, _in, _invc = winners[0]
+        assert flit.is_head
+        assert router.vc_busy[Port.EAST][vc]
+
+    def test_tail_releases_downstream_vc(self):
+        router = Router(tile=0, num_vcs=2)
+        flits = packet_flits(Packet(src=0, dst=1, num_flits=2))
+        router.accept(Port.LOCAL, 0, flits[0], cycle=0)
+        router.accept(Port.LOCAL, 0, flits[1], cycle=0)
+        head = router.allocate(PIPELINE_STAGES, route_east)
+        vc = head[0][1]
+        tail = router.allocate(PIPELINE_STAGES + 1, route_east)
+        assert tail[0][2].is_tail
+        # caller frees the downstream VC on tail link traversal
+        router.free_downstream_vc(Port.EAST, vc)
+        assert not router.vc_busy[Port.EAST][vc]
+
+    def test_one_winner_per_output_per_cycle(self):
+        router = Router(tile=0, num_vcs=2)
+        router.accept(Port.NORTH, 0, head_flit(), cycle=0)
+        router.accept(Port.SOUTH, 0, head_flit(), cycle=0)
+        winners = router.allocate(PIPELINE_STAGES, route_east)
+        assert len(winners) == 1
+
+    def test_round_robin_fairness(self):
+        """The loser of one cycle wins the next."""
+        router = Router(tile=0, num_vcs=1, vc_capacity=4)
+        a = packet_flits(Packet(src=0, dst=1, num_flits=1))[0]
+        b = packet_flits(Packet(src=0, dst=1, num_flits=1))[0]
+        router.accept(Port.NORTH, 0, a, cycle=0)
+        router.accept(Port.SOUTH, 0, b, cycle=0)
+        first = router.allocate(PIPELINE_STAGES, route_east)
+        # the network frees the downstream VC when the tail traverses
+        router.free_downstream_vc(Port.EAST, first[0][1])
+        second = router.allocate(PIPELINE_STAGES + 1, route_east)
+        assert {first[0][3], second[0][3]} == {Port.NORTH, Port.SOUTH}
+
+    def test_local_ejection_skips_credits(self):
+        router = Router(tile=0, num_vcs=1)
+        router.accept(Port.NORTH, 0, head_flit(dst=0), cycle=0)
+        winners = router.allocate(PIPELINE_STAGES,
+                                  lambda _t, _d: Port.LOCAL)
+        assert winners[0][0] == Port.LOCAL
+
+
+class TestBookkeeping:
+    def test_buffered_flits_counts(self):
+        router = Router(tile=0)
+        assert router.buffered_flits() == 0
+        router.accept(Port.LOCAL, 0, head_flit(), cycle=0)
+        assert router.buffered_flits() == 1
+
+    def test_flits_routed_counter(self):
+        router = Router(tile=0)
+        router.accept(Port.LOCAL, 0, head_flit(), cycle=0)
+        router.allocate(PIPELINE_STAGES, route_east)
+        assert router.flits_routed == 1

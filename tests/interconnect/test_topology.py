@@ -1,0 +1,110 @@
+"""Tests for mesh topology and dimension-order routing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.interconnect.topology import MeshTopology
+
+
+class TestConstruction:
+    def test_4x4(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.num_tiles == 16
+        # interior links: 2 * 2 * width * (height-1) pattern
+        assert mesh.num_links == 2 * (3 * 4 + 3 * 4)
+
+    def test_square_for(self):
+        assert MeshTopology.square_for(16).width == 4
+        with pytest.raises(ConfigurationError):
+            MeshTopology.square_for(10)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            MeshTopology(0, 4)
+
+
+class TestCoordinates:
+    def test_row_major(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.coords(0) == (0, 0)
+        assert mesh.coords(5) == (1, 1)
+        assert mesh.coords(15) == (3, 3)
+        assert mesh.tile_at(3, 2) == 11
+
+    def test_out_of_range(self):
+        mesh = MeshTopology(4, 4)
+        with pytest.raises(ConfigurationError):
+            mesh.coords(16)
+        with pytest.raises(ConfigurationError):
+            mesh.tile_at(4, 0)
+
+
+class TestRouting:
+    def test_hops_manhattan(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.hops(0, 15) == 6
+        assert mesh.hops(5, 5) == 0
+        assert mesh.hops(0, 3) == 3
+
+    def test_route_x_then_y(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.route(0, 10) == [0, 1, 2, 6, 10]
+
+    def test_route_degenerate(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.route(7, 7) == [7]
+
+    def test_route_links_adjacent(self):
+        mesh = MeshTopology(4, 4)
+        links = mesh.route_links(0, 15)
+        assert len(links) == 6
+        assert len(set(links)) == 6  # no repeated link in a DOR path
+
+    def test_link_id_rejects_non_adjacent(self):
+        mesh = MeshTopology(4, 4)
+        with pytest.raises(ConfigurationError):
+            mesh.link_id(0, 5)
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=100)
+    def test_route_properties(self, src, dst):
+        """DOR routes are minimal, adjacent-stepped, and deterministic."""
+        mesh = MeshTopology(4, 4)
+        path = mesh.route(src, dst)
+        assert path[0] == src and path[-1] == dst
+        assert len(path) - 1 == mesh.hops(src, dst)
+        for a, b in zip(path, path[1:]):
+            assert mesh.hops(a, b) == 1
+        assert path == mesh.route(src, dst)
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=50)
+    def test_dor_turns_once(self, src, dst):
+        """X-then-Y routing changes dimension at most once."""
+        mesh = MeshTopology(4, 4)
+        path = mesh.route(src, dst)
+        moved_y = False
+        for a, b in zip(path, path[1:]):
+            ax, ay = mesh.coords(a)
+            bx, by = mesh.coords(b)
+            if ay != by:
+                moved_y = True
+            if ax != bx:
+                assert not moved_y, "X move after Y move violates DOR"
+
+
+class TestCentroid:
+    def test_quadrant_centroid(self):
+        mesh = MeshTopology(4, 4)
+        # quadrant {0,1,4,5}: centroid (0.5, 0.5), closest = tile 0/1/4/5
+        assert mesh.centroid_tile([0, 1, 4, 5]) in (0, 1, 4, 5)
+
+    def test_single_tile(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.centroid_tile([7]) == 7
+
+    def test_empty_rejected(self):
+        mesh = MeshTopology(4, 4)
+        with pytest.raises(ConfigurationError):
+            mesh.centroid_tile([])

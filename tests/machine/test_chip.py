@@ -1,0 +1,167 @@
+"""Tests for the chip timing model — the heart of the simulator."""
+
+import pytest
+
+from repro.machine.chip import Chip
+from repro.machine.config import MachineConfig, SharingDegree
+from repro.sim.records import HitLevel
+
+
+def chip(sharing="shared-4", **kw):
+    config = MachineConfig(sharing=SharingDegree.from_name(sharing), **kw)
+    return Chip(config.scaled(1 / 16))
+
+
+class TestLatencyComposition:
+    def test_breakdown_always_sums_to_latency(self):
+        c = chip()
+        results = []
+        for i in range(200):
+            results.append(c.access(i % 16, block=i * 37, is_write=(i % 3 == 0),
+                                    now=i * 50))
+        for r in results:
+            assert (r.cache_cycles + r.network_cycles + r.directory_cycles
+                    + r.memory_cycles) == r.latency
+
+    def test_latency_ordering_by_level(self):
+        """On a quiet chip: L0 < L1 < L2 < memory."""
+        c = chip()
+        miss = c.access(0, block=1000, is_write=False, now=0)
+        assert miss.level == HitLevel.MEMORY
+        l2_hit_other_core = c.access(1, block=1000, is_write=False, now=10_000)
+        assert l2_hit_other_core.level == HitLevel.L2
+        l0_hit = c.access(0, block=1000, is_write=False, now=20_000)
+        assert l0_hit.level == HitLevel.L0
+        assert l0_hit.latency < l2_hit_other_core.latency < miss.latency
+
+    def test_memory_access_includes_150_cycles(self):
+        c = chip()
+        r = c.access(0, block=999, is_write=False, now=0)
+        assert r.memory_cycles >= 150
+
+
+class TestHitLevels:
+    def test_cold_miss_goes_to_memory(self):
+        c = chip()
+        assert c.access(5, 42, False, 0).level == HitLevel.MEMORY
+
+    def test_repeat_access_hits_l0(self):
+        c = chip()
+        c.access(5, 42, False, 0)
+        assert c.access(5, 42, False, 1000).level == HitLevel.L0
+
+    def test_same_domain_neighbor_hits_l2(self):
+        c = chip("shared-4")
+        c.access(0, 42, False, 0)       # core 0 fetches
+        r = c.access(1, 42, False, 1000)  # core 1 shares the quadrant L2
+        assert r.level == HitLevel.L2
+
+    def test_cross_domain_read_is_clean_c2c(self):
+        c = chip("shared-4")
+        c.access(0, 42, False, 0)        # domain 0
+        r = c.access(2, 42, False, 1000)  # core 2 is in domain 1
+        assert r.level == HitLevel.C2C_CLEAN
+
+    def test_cross_domain_read_of_modified_is_dirty_c2c(self):
+        c = chip("shared-4")
+        c.access(0, 42, True, 0)
+        r = c.access(2, 42, False, 1000)
+        assert r.level == HitLevel.C2C_DIRTY
+
+    def test_intra_domain_dirty_transfer_is_l2_peer(self):
+        c = chip("shared-4")
+        c.access(0, 42, True, 0)          # core 0 holds it modified in L1
+        r = c.access(1, 42, False, 1000)  # core 1, same quadrant
+        assert r.level == HitLevel.L2_PEER
+        assert c.intra_domain_transfers == 1
+
+    def test_private_config_has_no_l2_peers(self):
+        c = chip("private")
+        c.access(0, 42, True, 0)
+        r = c.access(1, 42, False, 1000)
+        assert r.level == HitLevel.C2C_DIRTY
+
+
+class TestWritePermission:
+    def test_write_to_shared_line_pays_upgrade(self):
+        c = chip("shared-4")
+        c.access(0, 42, False, 0)
+        c.access(2, 42, False, 1000)   # now SHARED across two domains
+        read_hit = c.access(0, 42, False, 2000)
+        write_hit = c.access(0, 42, True, 3000)
+        assert write_hit.latency > read_hit.latency
+        assert c.upgrade_transactions >= 1
+
+    def test_upgrade_invalidates_remote_copy(self):
+        c = chip("shared-4")
+        c.access(0, 42, False, 0)
+        c.access(2, 42, False, 1000)
+        c.access(0, 42, True, 2000)     # upgrade kills domain 1's copy
+        r = c.access(2, 42, False, 3000)
+        assert r.level == HitLevel.C2C_DIRTY  # re-fetch from domain 0
+
+    def test_repeat_writes_fast_after_ownership(self):
+        c = chip("shared-4")
+        c.access(0, 42, True, 0)
+        second = c.access(0, 42, True, 1000)
+        assert second.level == HitLevel.L0
+        assert second.network_cycles == 0
+
+
+class TestCoherenceIntegration:
+    def test_invariants_hold_after_mixed_traffic(self):
+        c = chip("shared-4")
+        import numpy as np
+        rng = np.random.default_rng(0)
+        now = 0
+        for _ in range(3000):
+            core = int(rng.integers(16))
+            block = int(rng.integers(600))
+            write = bool(rng.random() < 0.3)
+            now += 20
+            c.access(core, block, write, now)
+        c.check_coherence_invariants()
+
+    def test_invariants_under_capacity_pressure(self):
+        """Evictions and back-invalidations keep the directory exact."""
+        c = chip("shared-2")
+        import numpy as np
+        rng = np.random.default_rng(3)
+        now = 0
+        lines = c.domains[0].cache.geometry.num_lines
+        for _ in range(4000):
+            core = int(rng.integers(16))
+            block = int(rng.integers(lines * 8))  # 8x over-capacity
+            now += 20
+            c.access(core, block, bool(rng.random() < 0.4), now)
+        c.check_coherence_invariants()
+
+
+class TestSnapshots:
+    def test_vm_occupancy_tracking(self):
+        c = chip("shared-4")
+        c.bind_core_to_vm(0, 7)
+        c.access(0, 42, False, 0)
+        snapshot = c.l2_snapshot_by_vm()
+        domain = c.domain_of_core(0)
+        assert snapshot[domain].get(7) == 1
+
+    def test_resident_sets(self):
+        c = chip("shared-4")
+        c.access(0, 42, False, 0)
+        sets = c.l2_resident_sets()
+        assert 42 in sets[c.domain_of_core(0)]
+
+
+class TestContention:
+    def test_memory_queueing_under_burst(self):
+        """Many simultaneous cold misses queue at the controllers."""
+        c = chip()
+        lat = [c.access(core, 10_000 + core * 64, False, 0).latency
+               for core in range(16)]
+        assert max(lat) > min(lat)
+
+    def test_mesh_stats_populated(self):
+        c = chip()
+        c.access(0, 500, False, 0)
+        assert c.mesh.messages > 0

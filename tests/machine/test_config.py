@@ -1,0 +1,84 @@
+"""Tests for machine configuration (Table III)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.config import MachineConfig, SharingDegree
+
+
+class TestSharingDegree:
+    def test_from_name(self):
+        assert SharingDegree.from_name("private") == SharingDegree.PRIVATE
+        assert SharingDegree.from_name("shared-4") == SharingDegree.SHARED_4
+        assert SharingDegree.from_name("shared") == SharingDegree.SHARED_16
+        assert SharingDegree.from_name("Fully-Shared") == SharingDegree.SHARED_16
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharingDegree.from_name("shared-5")
+
+    def test_paper_labels(self):
+        """The paper labels configs by the number of last-level caches."""
+        assert SharingDegree.PRIVATE.label() == "private"
+        assert SharingDegree.SHARED_8.label() == "2-LL$"
+        assert SharingDegree.SHARED_4.label() == "4-LL$"
+        assert SharingDegree.SHARED_2.label() == "8-LL$"
+        assert SharingDegree.SHARED_16.label() == "shared"
+
+    def test_num_domains(self):
+        assert SharingDegree.SHARED_4.num_domains(16) == 4
+        with pytest.raises(ConfigurationError):
+            SharingDegree.SHARED_8.num_domains(12)
+
+
+class TestMachineConfig:
+    def test_table3_defaults(self):
+        config = MachineConfig()
+        assert config.num_cores == 16
+        assert config.l2_total_bytes == 16 * 1024 * 1024
+        assert config.memory_latency == 150
+        assert config.l0_geometry.size_bytes == 8 * 1024
+        assert config.l1_geometry.size_bytes == 64 * 1024
+
+    def test_l2_partitioning(self):
+        """1MB x 16, 2MB x 8, 4MB x 4, 8MB x 2, 16MB x 1."""
+        for sharing, mb in (("private", 1), ("shared-2", 2), ("shared-4", 4),
+                            ("shared-8", 8), ("shared", 16)):
+            config = MachineConfig(sharing=SharingDegree.from_name(sharing))
+            assert config.l2_geometry().size_bytes == mb * 1024 * 1024
+
+    def test_num_domains(self):
+        assert MachineConfig(sharing=SharingDegree.SHARED_4).num_domains == 4
+        assert MachineConfig(sharing=SharingDegree.PRIVATE).num_domains == 16
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_cores=12)
+
+    def test_bad_memory_tiles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(memory_tiles=(99,))
+        with pytest.raises(ConfigurationError):
+            MachineConfig(memory_tiles=())
+
+    def test_with_sharing(self):
+        config = MachineConfig().with_sharing("private")
+        assert config.sharing == SharingDegree.PRIVATE
+
+    def test_scaled_preserves_structure(self):
+        config = MachineConfig().scaled(1 / 16)
+        assert config.num_cores == 16
+        assert config.memory_latency == 150
+        assert config.l2_total_bytes == 1024 * 1024
+        # L0/L1 shrink gently (factor floored at 1/4)
+        assert config.l1_geometry.size_bytes == 16 * 1024
+
+    def test_scaled_identity(self):
+        config = MachineConfig()
+        assert config.scaled(1.0) is config
+
+    def test_table3_rows(self):
+        rows = MachineConfig().table3()
+        assert rows["Cores"] == "16 in-order"
+        assert rows["Memory latency"] == "150 cycles"
+        assert "16MB/6 cycles" in rows["L2s size/latency"]

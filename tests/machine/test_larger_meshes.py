@@ -1,0 +1,82 @@
+"""Tests for non-16-core machines (the Section VII scaling direction)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interconnect.topology import MeshTopology
+from repro.machine.chip import Chip
+from repro.machine.config import MachineConfig, SharingDegree
+from repro.machine.placement import DomainPlacement
+from repro.sim.records import HitLevel
+
+
+class TestPlacement8x8:
+    def test_shared4_is_2x2_blocks(self):
+        config = MachineConfig(num_cores=64, sharing=SharingDegree.SHARED_4)
+        placement = DomainPlacement(config, MeshTopology(8, 8))
+        assert placement.num_domains == 16
+        assert placement.domains[0] == [0, 1, 8, 9]
+        # every core exactly once
+        seen = sorted(c for d in placement.domains for c in d)
+        assert seen == list(range(64))
+
+    def test_shared16_is_4x4_quadrant(self):
+        config = MachineConfig(num_cores=64, sharing=SharingDegree.SHARED_16)
+        placement = DomainPlacement(config, MeshTopology(8, 8))
+        assert placement.num_domains == 4
+        topo = MeshTopology(8, 8)
+        for domain in placement.domains:
+            xs = [topo.coords(c)[0] for c in domain]
+            ys = [topo.coords(c)[1] for c in domain]
+            assert max(xs) - min(xs) == 3
+            assert max(ys) - min(ys) == 3
+
+    def test_home_tiles_inside_domains(self):
+        config = MachineConfig(num_cores=64, sharing=SharingDegree.SHARED_8)
+        placement = DomainPlacement(config, MeshTopology(8, 8))
+        for domain_id, members in enumerate(placement.domains):
+            assert placement.home_tile[domain_id] in members
+
+
+class TestChip64:
+    def test_l2_partitioning_scales(self):
+        config = MachineConfig(num_cores=64, sharing=SharingDegree.SHARED_4)
+        # 16MB over 64 cores = 256KB/core; 4-core domain = 1MB
+        assert config.l2_geometry().size_bytes == 1024 * 1024
+
+    def test_functional_coherence_on_8x8(self):
+        config = MachineConfig(
+            num_cores=64, sharing=SharingDegree.SHARED_4).scaled(1 / 16)
+        chip = Chip(config)
+        chip.access(0, 42, True, 0)
+        r = chip.access(63, 42, False, 1000)   # opposite corner
+        assert r.level == HitLevel.C2C_DIRTY
+        chip.check_coherence_invariants()
+
+    def test_longer_routes_cost_more(self):
+        config16 = MachineConfig(num_cores=16).scaled(1 / 16)
+        config64 = MachineConfig(num_cores=64).scaled(1 / 16)
+        small, big = Chip(config16), Chip(config64)
+        small.access(0, 42, False, 0)
+        big.access(0, 42, False, 0)
+        # corner-to-corner clean c2c on each chip
+        far_small = small.access(15, 42, False, 10_000)
+        far_big = big.access(63, 42, False, 10_000)
+        assert far_big.network_cycles > far_small.network_cycles
+
+    def test_memory_tiles_in_range(self):
+        config = MachineConfig(num_cores=64)
+        for tile in config.memory_tiles:
+            assert 0 <= tile < 64
+
+
+class TestUnsupportedShapes:
+    def test_non_square_counts(self):
+        for cores in (8, 24, 48):
+            with pytest.raises(ConfigurationError):
+                MachineConfig(num_cores=cores)
+
+    def test_domain_block_must_tile_mesh(self):
+        # 9 cores (3x3) with 2-core domains cannot tile
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_cores=9, sharing=SharingDegree.SHARED_2)

@@ -1,0 +1,79 @@
+"""Tests for domain placement on the mesh."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interconnect.topology import MeshTopology
+from repro.machine.config import MachineConfig, SharingDegree
+from repro.machine.placement import DomainPlacement
+
+
+def placement(sharing):
+    config = MachineConfig(sharing=SharingDegree.from_name(sharing))
+    return DomainPlacement(config, MeshTopology(4, 4))
+
+
+class TestDomainShapes:
+    def test_private_16_domains(self):
+        p = placement("private")
+        assert p.num_domains == 16
+        assert all(len(d) == 1 for d in p.domains)
+
+    def test_shared4_quadrants(self):
+        """Figure 1's four quadrants of four cores."""
+        p = placement("shared-4")
+        assert p.num_domains == 4
+        assert p.domains[0] == [0, 1, 4, 5]
+        assert p.domains[1] == [2, 3, 6, 7]
+        assert p.domains[2] == [8, 9, 12, 13]
+        assert p.domains[3] == [10, 11, 14, 15]
+
+    def test_shared2_adjacent_pairs(self):
+        p = placement("shared-2")
+        assert p.num_domains == 8
+        for domain in p.domains:
+            assert len(domain) == 2
+            assert abs(domain[0] - domain[1]) == 1  # horizontal neighbors
+
+    def test_fully_shared_single_domain(self):
+        p = placement("shared")
+        assert p.num_domains == 1
+        assert sorted(p.domains[0]) == list(range(16))
+
+    def test_every_core_in_exactly_one_domain(self):
+        for sharing in ("private", "shared-2", "shared-4", "shared-8", "shared"):
+            p = placement(sharing)
+            seen = [core for domain in p.domains for core in domain]
+            assert sorted(seen) == list(range(16))
+            for core in range(16):
+                assert core in p.domains[p.domain_of[core]]
+
+    def test_domains_are_contiguous_blocks(self):
+        """Members of a domain form a rectangle (locality for affinity)."""
+        topo = MeshTopology(4, 4)
+        for sharing in ("shared-2", "shared-4", "shared-8"):
+            p = placement(sharing)
+            for domain in p.domains:
+                xs = [topo.coords(c)[0] for c in domain]
+                ys = [topo.coords(c)[1] for c in domain]
+                area = (max(xs) - min(xs) + 1) * (max(ys) - min(ys) + 1)
+                assert area == len(domain)
+
+
+class TestHomeTiles:
+    def test_home_tile_inside_domain(self):
+        for sharing in ("private", "shared-2", "shared-4", "shared-8", "shared"):
+            p = placement(sharing)
+            for domain_id, members in enumerate(p.domains):
+                assert p.home_tile[domain_id] in members
+
+    def test_private_home_is_the_core(self):
+        p = placement("private")
+        assert p.home_tile == list(range(16))
+
+
+class TestValidation:
+    def test_topology_size_mismatch(self):
+        config = MachineConfig()
+        with pytest.raises(ConfigurationError):
+            DomainPlacement(config, MeshTopology(3, 3))

@@ -1,0 +1,156 @@
+"""Tests for the global-time event engine."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, ThreadContext, ThreadStats
+from repro.sim.records import AccessResult, HitLevel
+
+
+class FixedLatencyMachine:
+    """Fake machine: constant latency, records call order."""
+
+    def __init__(self, latency=10, level=HitLevel.L0):
+        self.latency = latency
+        self.level = level
+        self.calls = []
+
+    def access(self, core_id, block, is_write, now):
+        self.calls.append((core_id, block, is_write, now))
+        return AccessResult(self.level, self.latency, self.latency, 0, 0, 0)
+
+
+def refs(seq):
+    """Iterator of (block, access, think) tuples, repeated forever."""
+    return itertools.cycle(seq)
+
+
+def make_thread(tid=0, vm=0, core=0, measured=10, warmup=0, stream=None):
+    if stream is None:
+        stream = refs([(1, 0, 0)])
+    return ThreadContext(tid, vm, core, stream, measured_refs=measured,
+                         warmup_refs=warmup)
+
+
+class TestEngineBasics:
+    def test_single_thread_completes(self):
+        machine = FixedLatencyMachine(latency=9)
+        result = Engine(machine, [make_thread(measured=5)]).run()
+        assert result.vm_completion_times[0] == 5 * 10  # (9 + 1) per ref
+        assert result.thread_stats[0].refs == 5
+
+    def test_think_time_advances_clock(self):
+        machine = FixedLatencyMachine(latency=0)
+        thread = make_thread(measured=3, stream=refs([(1, 0, 4)]))
+        result = Engine(machine, [thread]).run()
+        # each ref: 4 think + 0 latency + 1 access
+        assert result.vm_completion_times[0] == 15
+
+    def test_warmup_excluded_from_stats(self):
+        machine = FixedLatencyMachine()
+        thread = make_thread(measured=5, warmup=7)
+        result = Engine(machine, [thread]).run()
+        assert result.thread_stats[0].refs == 5
+        assert len(machine.calls) == 12
+
+    def test_measured_window_boundaries_exact(self):
+        machine = FixedLatencyMachine(latency=0)
+        blocks = refs([(b, 0, 0) for b in range(100)])
+        thread = make_thread(measured=3, warmup=2, stream=blocks)
+        Engine(machine, [thread]).run()
+        # engine consumed exactly warmup + measured references
+        assert [c[1] for c in machine.calls] == [0, 1, 2, 3, 4]
+
+    def test_two_vms_complete_independently(self):
+        machine = FixedLatencyMachine(latency=9)
+        threads = [
+            make_thread(tid=0, vm=0, core=0, measured=2),
+            make_thread(tid=1, vm=1, core=1, measured=4),
+        ]
+        result = Engine(machine, threads).run()
+        assert result.vm_completion_times[0] == 20
+        assert result.vm_completion_times[1] == 40
+
+    def test_finished_vm_keeps_running_until_all_done(self):
+        """Threads of completed VMs keep issuing (steady-state rule)."""
+        machine = FixedLatencyMachine(latency=9)
+        threads = [
+            make_thread(tid=0, vm=0, core=0, measured=2),
+            make_thread(tid=1, vm=1, core=1, measured=6),
+        ]
+        Engine(machine, threads).run()
+        calls_core0 = [c for c in machine.calls if c[0] == 0]
+        # VM0 finished at ref 2 but core 0 kept issuing alongside VM1
+        assert len(calls_core0) >= 5
+
+    def test_global_time_order(self):
+        machine = FixedLatencyMachine(latency=3)
+        threads = [
+            make_thread(tid=0, vm=0, core=0, measured=50),
+            make_thread(tid=1, vm=0, core=1, measured=50,
+                        stream=refs([(2, 0, 5)])),
+        ]
+        Engine(machine, threads).run()
+        times = [c[3] for c in machine.calls]
+        assert times == sorted(times)
+
+
+class TestEngineValidation:
+    def test_core_double_binding_rejected(self):
+        machine = FixedLatencyMachine()
+        with pytest.raises(SimulationError, match="over-commit"):
+            Engine(machine, [make_thread(tid=0, core=3),
+                             make_thread(tid=1, core=3)])
+
+    def test_no_threads_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine(FixedLatencyMachine(), [])
+
+    def test_finite_stream_raises(self):
+        machine = FixedLatencyMachine()
+        thread = make_thread(measured=10, stream=iter([(1, 0, 0)]))
+        with pytest.raises(SimulationError, match="infinite"):
+            Engine(machine, [thread]).run()
+
+    def test_max_steps_guard(self):
+        machine = FixedLatencyMachine()
+        thread = make_thread(measured=100)
+        engine = Engine(machine, [thread], max_steps=5)
+        with pytest.raises(SimulationError, match="exceeded"):
+            engine.run()
+
+    def test_bad_measured_refs(self):
+        with pytest.raises(ValueError):
+            make_thread(measured=0)
+        with pytest.raises(ValueError):
+            ThreadContext(0, 0, 0, refs([(1, 0, 0)]), measured_refs=5,
+                          warmup_refs=-1)
+
+
+class TestThreadStats:
+    def test_record_accumulates(self):
+        stats = ThreadStats()
+        stats.record(1, 3, AccessResult(HitLevel.MEMORY, 100, 10, 20, 30, 40))
+        stats.record(0, 0, AccessResult(HitLevel.L0, 1, 1, 0, 0, 0))
+        assert stats.refs == 2
+        assert stats.writes == 1 and stats.reads == 1
+        assert stats.think_cycles == 3
+        assert stats.latency_cycles == 101
+        assert stats.l1_misses == 1
+        assert stats.l2_misses == 1
+        assert stats.miss_latency_cycles == 100
+        assert stats.mean_miss_latency == 100.0
+        assert stats.breakdown.total == 101
+
+    def test_l2_peer_counts_as_l1_miss_not_l2_miss(self):
+        stats = ThreadStats()
+        stats.record(0, 0, AccessResult(HitLevel.L2_PEER, 30, 20, 10, 0, 0))
+        assert stats.l1_misses == 1
+        assert stats.l2_misses == 0
+
+    def test_cycles_property(self):
+        stats = ThreadStats()
+        stats.record(0, 5, AccessResult(HitLevel.L0, 1, 1, 0, 0, 0))
+        assert stats.cycles == 1 + 5 + 1

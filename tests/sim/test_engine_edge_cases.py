@@ -1,0 +1,104 @@
+"""Edge-case tests for the engines: staggering, warmup corners, results."""
+
+import itertools
+
+import pytest
+
+from repro.sim.engine import Engine, EngineResult, ThreadContext
+from repro.sim.records import AccessResult, HitLevel
+
+
+class FixedMachine:
+    def __init__(self, latency=4):
+        self.latency = latency
+        self.calls = []
+
+    def access(self, core_id, block, is_write, now):
+        self.calls.append((core_id, now))
+        return AccessResult(HitLevel.L0, self.latency, self.latency, 0, 0, 0)
+
+
+def refs(think=0):
+    return itertools.cycle([(1, 0, think)])
+
+
+def make_thread(tid=0, vm=0, core=0, measured=10, warmup=0, start=0, think=0):
+    return ThreadContext(tid, vm, core, refs(think), measured_refs=measured,
+                         warmup_refs=warmup, start_time=start)
+
+
+class TestStartTimes:
+    def test_first_issue_respects_start_time(self):
+        machine = FixedMachine()
+        Engine(machine, [make_thread(start=500)]).run()
+        assert machine.calls[0][1] == 500
+
+    def test_start_plus_think(self):
+        machine = FixedMachine()
+        Engine(machine, [make_thread(start=500, think=7)]).run()
+        assert machine.calls[0][1] == 507
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            make_thread(start=-1)
+
+    def test_staggered_threads_interleave_correctly(self):
+        machine = FixedMachine(latency=4)
+        threads = [
+            make_thread(tid=0, vm=0, core=0, measured=20, start=0),
+            make_thread(tid=1, vm=1, core=1, measured=20, start=1000),
+        ]
+        result = Engine(machine, threads).run()
+        assert result.vm_completion_times[1] > result.vm_completion_times[0]
+        # global time order preserved despite the stagger
+        times = [t for _c, t in machine.calls]
+        assert times == sorted(times)
+
+
+class TestWarmupCorners:
+    def test_zero_warmup(self):
+        machine = FixedMachine()
+        result = Engine(machine, [make_thread(measured=5, warmup=0)]).run()
+        assert result.thread_stats[0].refs == 5
+
+    def test_warmup_larger_than_measured(self):
+        machine = FixedMachine()
+        result = Engine(machine, [make_thread(measured=2, warmup=50)]).run()
+        assert result.thread_stats[0].refs == 2
+        assert len(machine.calls) == 52
+
+    def test_completion_time_is_last_measured_finish(self):
+        machine = FixedMachine(latency=4)
+        thread = make_thread(measured=3, warmup=2)
+        result = Engine(machine, [thread]).run()
+        # 5 refs x (4 latency + 1 access) = 25
+        assert result.vm_completion_times[0] == 25
+        assert thread.completion_time == 25
+
+
+class TestEngineResult:
+    def test_vm_threads_grouping(self):
+        machine = FixedMachine()
+        threads = [
+            make_thread(tid=0, vm=0, core=0, measured=3),
+            make_thread(tid=1, vm=1, core=1, measured=3),
+            make_thread(tid=2, vm=0, core=2, measured=3),
+        ]
+        result = Engine(machine, threads).run()
+        assert len(result.vm_threads(0)) == 2
+        assert len(result.vm_threads(1)) == 1
+
+    def test_total_refs_processed_counts_all(self):
+        machine = FixedMachine()
+        threads = [
+            make_thread(tid=0, vm=0, core=0, measured=2),
+            make_thread(tid=1, vm=1, core=1, measured=10),
+        ]
+        result = Engine(machine, threads).run()
+        # VM0's thread keeps running while VM1 finishes
+        assert result.total_refs_processed >= 12
+
+    def test_context_switch_default_zero(self):
+        machine = FixedMachine()
+        result = Engine(machine, [make_thread(measured=3)]).run()
+        assert result.context_switches == 0

@@ -1,0 +1,115 @@
+"""Tests for the over-commit (time-multiplexing) engine."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import ThreadContext
+from repro.sim.overcommit import OvercommitEngine
+from repro.sim.records import AccessResult, HitLevel
+
+
+class RecordingMachine:
+    def __init__(self, latency=4):
+        self.latency = latency
+        self.calls = []
+        self.bindings = []
+
+    def access(self, core_id, block, is_write, now):
+        self.calls.append((core_id, block, now))
+        return AccessResult(HitLevel.L0, self.latency, self.latency, 0, 0, 0)
+
+    def bind_core_to_vm(self, core, vm):
+        self.bindings.append((core, vm))
+
+
+def refs(seq):
+    return itertools.cycle(seq)
+
+
+def thread(tid, vm=0, core=0, measured=20, block=1, start=0):
+    return ThreadContext(tid, vm, core, refs([(block, 0, 0)]),
+                         measured_refs=measured, start_time=start)
+
+
+class TestTimeMultiplexing:
+    def test_two_threads_share_one_core(self):
+        machine = RecordingMachine()
+        threads = [thread(0, vm=0, core=0, block=1),
+                   thread(1, vm=1, core=0, block=2)]
+        result = OvercommitEngine(machine, threads, quantum_refs=5,
+                                  switch_penalty=10).run()
+        assert result.thread_stats[0].refs == 20
+        assert result.thread_stats[1].refs == 20
+        assert result.context_switches >= 7
+
+    def test_interleaving_respects_quantum(self):
+        machine = RecordingMachine()
+        threads = [thread(0, vm=0, core=0, block=1, measured=10),
+                   thread(1, vm=1, core=0, block=2, measured=10)]
+        OvercommitEngine(machine, threads, quantum_refs=5,
+                         switch_penalty=0).run()
+        blocks = [c[1] for c in machine.calls[:20]]
+        assert blocks[:5] == [1] * 5
+        assert blocks[5:10] == [2] * 5
+
+    def test_switch_penalty_slows_completion(self):
+        def completion(penalty):
+            machine = RecordingMachine()
+            threads = [thread(0, vm=0, core=0, measured=40),
+                       thread(1, vm=1, core=0, measured=40)]
+            result = OvercommitEngine(machine, threads, quantum_refs=4,
+                                      switch_penalty=penalty).run()
+            return max(result.vm_completion_times.values())
+
+        assert completion(500) > completion(0)
+
+    def test_sole_thread_never_switches(self):
+        machine = RecordingMachine()
+        result = OvercommitEngine(machine, [thread(0, measured=30)],
+                                  quantum_refs=5).run()
+        assert result.context_switches == 0
+
+    def test_vm_binding_follows_active_thread(self):
+        machine = RecordingMachine()
+        threads = [thread(0, vm=0, core=0, measured=10),
+                   thread(1, vm=1, core=0, measured=10)]
+        OvercommitEngine(machine, threads, quantum_refs=5,
+                         switch_penalty=0).run()
+        assert (0, 0) in machine.bindings
+        assert (0, 1) in machine.bindings
+
+    def test_vm_completion_times_recorded(self):
+        machine = RecordingMachine()
+        threads = [thread(0, vm=0, core=0, measured=10),
+                   thread(1, vm=1, core=1, measured=10)]
+        result = OvercommitEngine(machine, threads).run()
+        assert set(result.vm_completion_times) == {0, 1}
+
+    def test_start_times_honored(self):
+        machine = RecordingMachine()
+        threads = [thread(0, vm=0, core=0, measured=5, start=1000)]
+        OvercommitEngine(machine, threads).run()
+        assert machine.calls[0][2] >= 1000
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            OvercommitEngine(RecordingMachine(), [])
+
+    def test_bad_quantum(self):
+        with pytest.raises(SimulationError):
+            OvercommitEngine(RecordingMachine(), [thread(0)], quantum_refs=0)
+
+    def test_bad_penalty(self):
+        with pytest.raises(SimulationError):
+            OvercommitEngine(RecordingMachine(), [thread(0)],
+                             switch_penalty=-1)
+
+    def test_max_steps_guard(self):
+        engine = OvercommitEngine(RecordingMachine(),
+                                  [thread(0, measured=100)], max_steps=3)
+        with pytest.raises(SimulationError, match="exceeded"):
+            engine.run()

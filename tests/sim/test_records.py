@@ -1,0 +1,80 @@
+"""Tests for record types and hit-level semantics."""
+
+import pytest
+
+from repro.sim.records import (
+    BLOCK_BYTES,
+    BLOCK_SHIFT,
+    AccessResult,
+    AccessType,
+    HitLevel,
+    LatencyBreakdown,
+    MemoryReference,
+)
+
+
+class TestConstants:
+    def test_block_size_is_64(self):
+        assert BLOCK_BYTES == 64
+        assert 1 << BLOCK_SHIFT == BLOCK_BYTES
+
+
+class TestHitLevel:
+    def test_l1_miss_boundary(self):
+        assert not HitLevel.L0.is_l1_miss
+        assert not HitLevel.L1.is_l1_miss
+        assert HitLevel.L2.is_l1_miss
+        assert HitLevel.L2_PEER.is_l1_miss
+        assert HitLevel.MEMORY.is_l1_miss
+
+    def test_l2_miss_boundary(self):
+        """Intra-domain peer transfers are NOT L2 misses seen by the VM."""
+        assert not HitLevel.L2.is_l2_miss
+        assert not HitLevel.L2_PEER.is_l2_miss
+        assert HitLevel.C2C_CLEAN.is_l2_miss
+        assert HitLevel.C2C_DIRTY.is_l2_miss
+        assert HitLevel.MEMORY.is_l2_miss
+
+    def test_c2c_classification(self):
+        assert HitLevel.C2C_CLEAN.is_c2c
+        assert HitLevel.C2C_DIRTY.is_c2c
+        assert not HitLevel.L2_PEER.is_c2c
+        assert not HitLevel.MEMORY.is_c2c
+
+    def test_ordering_is_distance(self):
+        levels = [HitLevel.L0, HitLevel.L1, HitLevel.L2, HitLevel.L2_PEER,
+                  HitLevel.C2C_CLEAN, HitLevel.C2C_DIRTY, HitLevel.MEMORY]
+        assert levels == sorted(levels)
+
+
+class TestMemoryReference:
+    def test_tuple_unpacking(self):
+        block, access, think = MemoryReference(10, 1, 3)
+        assert (block, access, think) == (10, 1, 3)
+
+    def test_defaults(self):
+        ref = MemoryReference(5)
+        assert ref.access == AccessType.READ
+        assert ref.think == 0
+
+
+class TestAccessResult:
+    def test_breakdown_property(self):
+        r = AccessResult(HitLevel.MEMORY, 100, 10, 20, 30, 40)
+        b = r.breakdown
+        assert (b.cache, b.network, b.directory, b.memory) == (10, 20, 30, 40)
+        assert b.total == 100
+
+
+class TestLatencyBreakdown:
+    def test_total(self):
+        assert LatencyBreakdown(1, 2, 3, 4).total == 10
+
+    def test_addition(self):
+        a = LatencyBreakdown(1, 2, 3, 4)
+        b = LatencyBreakdown(10, 20, 30, 40)
+        c = a + b
+        assert (c.cache, c.network, c.directory, c.memory) == (11, 22, 33, 44)
+
+    def test_zero_default(self):
+        assert LatencyBreakdown().total == 0

@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.experiment import clear_result_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_result_cache()
+    yield
+    clear_result_cache()
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.mix == "mix5"
+        assert args.sharing == "shared-4"
+
+    def test_bad_sharing_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--sharing", "shared-5"])
+
+
+class TestCommands:
+    def test_mixes(self, capsys):
+        code, out, _err = run_cli(capsys, "mixes")
+        assert code == 0
+        assert "TPC-W (3) & TPC-H (1)" in out
+        assert "mixD" in out
+
+    def test_workloads(self, capsys):
+        code, out, _err = run_cli(capsys, "workloads")
+        assert code == 0
+        for name in ("tpcw", "tpch", "specjbb", "specweb"):
+            assert name in out
+
+    def test_run(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "run", "--mix", "iso-tpch", "--refs", "600",
+            "--seed", "1")
+        assert code == 0
+        assert "tpch" in out
+        assert "Chip summary" in out
+
+    def test_run_with_output(self, capsys, tmp_path):
+        path = tmp_path / "result.json"
+        code, out, _err = run_cli(
+            capsys, "run", "--mix", "iso-tpch", "--refs", "600",
+            "--seed", "1", "--output", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["mix"]["name"] == "iso-tpch"
+        assert payload["vm_metrics"][0]["workload"] == "tpch"
+
+    def test_run_normalized(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "run", "--mix", "iso-tpch", "--sharing", "shared",
+            "--policy", "affinity", "--refs", "600", "--seed", "1",
+            "--normalize")
+        assert code == 0
+        assert "Norm. runtime" in out
+        # baseline normalized against itself
+        assert "1.0" in out
+
+    def test_run_overcommit_flags(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "run", "--mix", "iso-tpch", "--refs", "400",
+            "--seed", "1", "--slots-per-core", "2", "--policy", "random")
+        assert code == 0
+
+    def test_run_rebind_flag(self, capsys):
+        code, _out, _err = run_cli(
+            capsys, "run", "--mix", "iso-tpch", "--refs", "400",
+            "--seed", "1", "--rebind", "random",
+            "--rebind-interval", "30000")
+        assert code == 0
+
+    def test_run_phase_plan_flag(self, capsys):
+        code, _out, _err = run_cli(
+            capsys, "run", "--mix", "iso-tpch", "--refs", "400",
+            "--seed", "1", "--phase-plan", "burst")
+        assert code == 0
+
+    def test_run_quota_flag(self, capsys):
+        code, _out, _err = run_cli(
+            capsys, "run", "--mix", "mix7", "--refs", "300", "--seed", "1",
+            "--policy", "rr", "--vm-quota")
+        assert code == 0
+
+    def test_unknown_phase_plan_is_clean_error(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "run", "--mix", "iso-tpch", "--refs", "200",
+            "--seed", "1", "--phase-plan", "nope")
+        assert code == 2
+        assert "phase plan" in err
+
+    def test_stats(self, capsys):
+        code, out, _err = run_cli(capsys, "stats", "tpch", "--refs", "800",
+                                  "--seed", "1")
+        assert code == 0
+        assert "c2c fraction" in out
+        assert "blocks touched" in out
+
+    def test_sweep(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "sweep", "--mix", "iso-tpch", "--refs", "400",
+            "--seed", "1", "--metric", "miss_rate")
+        assert code == 0
+        assert "private" in out and "shared-4" in out
+        assert "affinity" in out
+
+    def test_unknown_mix_is_clean_error(self, capsys):
+        code, _out, err = run_cli(capsys, "run", "--mix", "mix99",
+                                  "--refs", "100")
+        assert code == 2
+        assert "unknown mix" in err

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Examples are the first thing a user executes; these tests run each one
+as a subprocess with a tiny reference budget so breakage is caught by
+CI rather than by the user.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("scheduling_comparison.py", ["mixB"]),
+    ("cache_design_sweep.py", ["tpch", "mix5"]),
+    ("consolidation_study.py", ["tpch"]),
+    ("noc_explorer.py", []),
+    ("futurework_studies.py", []),
+]
+
+
+def run_example(name, args, refs="300"):
+    env = dict(os.environ, REPRO_REFS=refs)
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600, env=env,
+    )
+
+
+@pytest.mark.parametrize("name,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(name, args):
+    proc = run_example(name, args)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{name} produced no output"
+
+
+def test_all_examples_are_covered():
+    """Every example script in the directory has a smoke test."""
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {name for name, _args in CASES}
+    assert scripts == covered, f"uncovered examples: {scripts - covered}"
+
+
+def test_consolidation_study_rejects_specweb():
+    proc = run_example("consolidation_study.py", ["specweb"], refs="100")
+    assert proc.returncode != 0
+    assert "homogeneous-only" in (proc.stderr + proc.stdout)

@@ -1,0 +1,144 @@
+"""Cross-module integration tests: paper-level phenomena at small scale.
+
+These run full consolidation experiments (engine + chip + coherence +
+NoC + hypervisor + workloads) with short measurement windows and assert
+the *direction* of the paper's headline findings.  The quantitative
+versions live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.analysis import measure_occupancy, measure_replication
+from repro.core.experiment import ExperimentSpec, clear_result_cache, run_experiment
+
+REFS = dict(measured_refs=3000, warmup_refs=1500)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_result_cache()
+    yield
+    clear_result_cache()
+
+
+def run(mix, sharing="shared-4", policy="affinity", seed=1, **kw):
+    params = dict(REFS)
+    params.update(kw)
+    return run_experiment(ExperimentSpec(mix=mix, sharing=sharing,
+                                         policy=policy, seed=seed, **params))
+
+
+class TestCapacityPressure:
+    def test_performance_degrades_with_less_cache(self):
+        """Figure 2: isolated runtime grows as sharing degree drops."""
+        shared = run("iso-tpcw", sharing="shared").vm_metrics[0].cycles
+        private = run("iso-tpcw", sharing="private").vm_metrics[0].cycles
+        assert private > shared
+
+    def test_miss_rate_grows_with_less_cache(self):
+        """Figure 3."""
+        shared = run("iso-tpcw", sharing="shared").vm_metrics[0].miss_rate
+        private = run("iso-tpcw", sharing="private").vm_metrics[0].miss_rate
+        assert private > shared
+
+
+class TestSchedulingEffects:
+    def test_affinity_beats_rr_for_tpch(self):
+        """TPC-H's sharing is wrecked when threads are split across
+        caches (Figure 2/8)."""
+        aff = run("iso-tpch", policy="affinity").vm_metrics[0]
+        rr = run("iso-tpch", policy="rr").vm_metrics[0]
+        assert aff.cycles < rr.cycles
+        assert aff.miss_rate < rr.miss_rate
+
+    def test_affinity_best_for_homogeneous_mixes(self):
+        """Figure 5."""
+        for mix in ("mixB", "mixC"):
+            aff = sum(vm.cycles for vm in run(mix, policy="affinity").vm_metrics)
+            rr = sum(vm.cycles for vm in run(mix, policy="rr").vm_metrics)
+            assert aff < rr
+
+    def test_rr_replicates_more_than_hybrid(self):
+        """Figure 12: round robin maximizes replication."""
+        rr = measure_replication(run("mixC", policy="rr").residency)
+        hybrid = measure_replication(run("mixC", policy="rr-aff").residency)
+        assert rr.replicated_fraction > hybrid.replicated_fraction
+
+
+class TestConsolidationInterference:
+    def test_tpch_nearly_immune_under_affinity(self):
+        """Figure 8: TPC-H's small footprint + affinity isolate it."""
+        iso = run("iso-tpch", sharing="shared").vm_metrics[0].cycles
+        mixed = run("mix1", policy="affinity").metrics_for("tpch")[0].cycles
+        assert mixed / iso < 1.25
+
+    def test_specjbb_degrades_under_rr_consolidation(self):
+        """Figure 9: SPECjbb's miss rate blows up when sharing caches
+        with other workloads."""
+        iso = run("iso-specjbb", sharing="shared").vm_metrics[0].miss_rate
+        mixed = run("mix7", policy="rr").metrics_for("specjbb")[0].miss_rate
+        assert mixed / iso > 1.5
+
+    def test_vm_isolation_is_functional(self):
+        """VMs never share blocks: residency sets partition by VM."""
+        result = run("mix5", policy="rr")
+        from repro.core.experiment import resolve_mix
+        # occupancies per domain must only contain the four VM ids
+        for domain_counts in result.occupancy:
+            assert set(domain_counts) <= {0, 1, 2, 3}
+
+
+class TestOccupancy:
+    def test_tpch_under_fair_share(self):
+        """Figure 13: TPC-H occupies less than 25% under RR."""
+        result = run("mix4", policy="rr")
+        snap = measure_occupancy(result.occupancy, result.domain_lines)
+        tpch_vms = [vm.vm_id for vm in result.vm_metrics
+                    if vm.workload == "tpch"]
+        for vm_id in tpch_vms:
+            assert snap.vm_mean_share(vm_id) < 0.27
+
+    def test_homogeneous_shares_equal(self):
+        """Copies of the same workload split capacity evenly."""
+        result = run("mixC", policy="rr")
+        snap = measure_occupancy(result.occupancy, result.domain_lines)
+        shares = [snap.vm_total_share(vm.vm_id) for vm in result.vm_metrics]
+        assert max(shares) - min(shares) < 0.10
+
+
+class TestLatencyAccounting:
+    def test_vm_latency_components_sum(self):
+        result = run("mix5")
+        for vm in result.vm_metrics:
+            assert (vm.cache_cycles + vm.network_cycles
+                    + vm.directory_cycles + vm.memory_cycles
+                    ) == vm.latency_cycles
+
+    def test_miss_latency_at_least_l2_roundtrip(self):
+        result = run("iso-tpch")
+        vm = result.vm_metrics[0]
+        assert vm.mean_miss_latency > 10
+
+    def test_coherence_invariants_after_full_run(self):
+        """End-to-end run leaves a consistent directory."""
+        from repro.machine.chip import Chip
+        from repro.machine.config import MachineConfig, SharingDegree
+        from repro.sim.rng import RngFactory
+        from repro.vm.hypervisor import Hypervisor
+        from repro.sim.engine import Engine
+        from repro.core.mixes import get_mix
+        from repro.core.scheduling import make_scheduler
+
+        config = MachineConfig(sharing=SharingDegree.SHARED_4).scaled(1 / 16)
+        chip = Chip(config)
+        factory = RngFactory(3)
+        mix = get_mix("mix5")
+        profiles = [p.scaled(1 / 16) for p in mix.profiles()]
+        assignments = make_scheduler("rr").assign(
+            [p.threads for p in profiles], chip.placement,
+            rng=factory.stream("sched"))
+        hypervisor = Hypervisor(chip, factory)
+        contexts = hypervisor.launch(profiles, assignments,
+                                     measured_refs=2000, warmup_refs=500)
+        Engine(chip, contexts).run()
+        chip.check_coherence_invariants()

@@ -1,0 +1,122 @@
+"""Tests for the hypervisor's isolation and binding guarantees."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.machine.chip import Chip
+from repro.machine.config import MachineConfig, SharingDegree
+from repro.sim.rng import RngFactory
+from repro.vm.hypervisor import Hypervisor
+from repro.workloads.profile import WorkloadProfile
+
+
+def make_profile(name="hv-test", threads=4):
+    return WorkloadProfile(name=name, footprint_blocks=5000, threads=threads,
+                           scan_window=100, hot_blocks_per_thread=8)
+
+
+def make_hypervisor():
+    config = MachineConfig(sharing=SharingDegree.SHARED_4).scaled(1 / 16)
+    chip = Chip(config)
+    return Hypervisor(chip, RngFactory(1)), chip
+
+
+class TestLaunch:
+    def test_creates_vms_and_contexts(self):
+        hv, chip = make_hypervisor()
+        profiles = [make_profile(), make_profile()]
+        contexts = hv.launch(profiles, [[0, 1, 4, 5], [2, 3, 6, 7]],
+                             measured_refs=100)
+        assert len(hv.vms) == 2
+        assert len(contexts) == 8
+        assert contexts[0].core_id == 0
+        assert contexts[4].vm_id == 1
+
+    def test_partitions_disjoint(self):
+        hv, _ = make_hypervisor()
+        profiles = [make_profile(), make_profile(), make_profile()]
+        hv.launch(profiles, [[0, 1, 4, 5], [2, 3, 6, 7], [8, 9, 12, 13]],
+                  measured_refs=10)
+        hv.check_isolation()
+        spans = [(vm.base_block, vm.base_block + vm.partition_blocks)
+                 for vm in hv.vms]
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_cores_bound_on_chip(self):
+        hv, chip = make_hypervisor()
+        hv.launch([make_profile()], [[3, 7, 11, 15]], measured_refs=10)
+        for core in (3, 7, 11, 15):
+            assert chip.vm_of_core[core] == 0
+
+    def test_vm_of_block(self):
+        hv, _ = make_hypervisor()
+        hv.launch([make_profile(), make_profile()],
+                  [[0, 1, 4, 5], [2, 3, 6, 7]], measured_refs=10)
+        assert hv.vm_of_block(hv.vms[0].base_block) == 0
+        assert hv.vm_of_block(hv.vms[1].base_block) == 1
+        assert hv.vm_of_block(10**9) == -1
+
+    def test_generated_blocks_stay_inside_partition(self):
+        hv, _ = make_hypervisor()
+        hv.launch([make_profile(), make_profile()],
+                  [[0, 1, 4, 5], [2, 3, 6, 7]], measured_refs=10)
+        for vm in hv.vms:
+            for trace in vm.instance.traces:
+                for _ in range(500):
+                    block, _w, _t = next(trace)
+                    assert vm.owns_block(block)
+
+
+class TestValidation:
+    def test_over_commit_rejected(self):
+        hv, _ = make_hypervisor()
+        profiles = [make_profile() for _ in range(5)]
+        assignments = [[i * 4 % 16 + j for j in range(4)] for i in range(5)]
+        with pytest.raises(SchedulingError):
+            hv.launch(profiles, assignments, measured_refs=10)
+
+    def test_double_core_rejected(self):
+        hv, _ = make_hypervisor()
+        with pytest.raises(SchedulingError, match="limit 1"):
+            hv.launch([make_profile(), make_profile()],
+                      [[0, 1, 4, 5], [0, 2, 3, 6]], measured_refs=10)
+
+    def test_overcommit_allowed_with_slots(self):
+        hv, _ = make_hypervisor()
+        contexts = hv.launch([make_profile(), make_profile()],
+                             [[0, 1, 4, 5], [0, 1, 4, 5]],
+                             measured_refs=10, slots_per_core=2)
+        assert len(contexts) == 8
+
+    def test_overcommit_slot_limit_enforced(self):
+        hv, _ = make_hypervisor()
+        with pytest.raises(SchedulingError, match="limit 2"):
+            hv.launch([make_profile(), make_profile(), make_profile()],
+                      [[0, 1, 4, 5]] * 3, measured_refs=10,
+                      slots_per_core=2)
+
+    def test_start_offsets_applied(self):
+        hv, _ = make_hypervisor()
+        contexts = hv.launch([make_profile(), make_profile()],
+                             [[0, 1, 4, 5], [2, 3, 6, 7]],
+                             measured_refs=10, start_offsets=[0, 5000])
+        assert all(c.start_time == 0 for c in contexts[:4])
+        assert all(c.start_time == 5000 for c in contexts[4:])
+
+    def test_start_offsets_length_checked(self):
+        hv, _ = make_hypervisor()
+        with pytest.raises(ConfigurationError):
+            hv.launch([make_profile()], [[0, 1, 4, 5]], measured_refs=10,
+                      start_offsets=[0, 1])
+
+    def test_thread_count_mismatch_rejected(self):
+        hv, _ = make_hypervisor()
+        with pytest.raises(SchedulingError):
+            hv.launch([make_profile()], [[0, 1]], measured_refs=10)
+
+    def test_profile_assignment_length_mismatch(self):
+        hv, _ = make_hypervisor()
+        with pytest.raises(ConfigurationError):
+            hv.launch([make_profile()], [[0, 1, 2, 3], [4, 5, 6, 7]],
+                      measured_refs=10)

@@ -1,0 +1,64 @@
+"""Tests for the Table II measurement harness.
+
+The tight quantitative calibration check lives in
+``benchmarks/test_table2_workload_stats.py`` (it needs longer runs);
+these tests exercise the machinery and the coarse ordering at small
+reference counts.
+"""
+
+import pytest
+
+from repro.core.experiment import clear_result_cache
+from repro.workloads.calibrate import (
+    WorkloadStatistics,
+    count_blocks_touched,
+    measure_workload_statistics,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_result_cache()
+    yield
+    clear_result_cache()
+
+
+class TestCountBlocksTouched:
+    def test_monotone_in_refs(self):
+        few = count_blocks_touched("tpch", refs=200, seed=1, scale=1 / 16)
+        many = count_blocks_touched("tpch", refs=2000, seed=1, scale=1 / 16)
+        assert many > few
+
+    def test_bounded_by_footprint(self):
+        from repro.workloads.library import TPCH
+        touched = count_blocks_touched("tpch", refs=2000, seed=1, scale=1 / 16)
+        assert touched <= TPCH.scaled(1 / 16).partition_blocks
+
+    def test_footprint_ordering_visible(self):
+        """TPC-W touches more blocks than TPC-H at equal ref counts."""
+        tpcw = count_blocks_touched("tpcw", refs=3000, seed=1, scale=1 / 16)
+        tpch = count_blocks_touched("tpch", refs=3000, seed=1, scale=1 / 16)
+        assert tpcw > tpch
+
+
+class TestMeasureWorkloadStatistics:
+    def test_returns_row(self):
+        stats = measure_workload_statistics("tpch", measured_refs=1500, seed=1)
+        assert isinstance(stats, WorkloadStatistics)
+        name, c2c, clean, dirty, blocks = stats.row()
+        assert name == "tpch"
+        assert 0 <= c2c <= 100
+        assert clean + dirty in (0, 99, 100, 101)  # rounding
+        assert blocks > 0
+
+    def test_tpch_transfers_are_dirtiest(self):
+        """The defining Table II contrast, visible even at small runs."""
+        tpch = measure_workload_statistics("tpch", measured_refs=2000, seed=1)
+        jbb = measure_workload_statistics("specjbb", measured_refs=2000, seed=1)
+        assert tpch.dirty_fraction > jbb.dirty_fraction
+        assert tpch.c2c_fraction > 0.4
+
+    def test_tpcw_mostly_memory_bound(self):
+        tpcw = measure_workload_statistics("tpcw", measured_refs=2000, seed=1)
+        tpch = measure_workload_statistics("tpch", measured_refs=2000, seed=1)
+        assert tpcw.c2c_fraction < tpch.c2c_fraction

@@ -1,0 +1,158 @@
+"""Tests for the reference-stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.rng import RngFactory
+from repro.workloads.generator import ThreadTrace, WorkloadInstance
+from repro.workloads.profile import WorkloadProfile
+
+
+def profile(**kw):
+    defaults = dict(
+        name="gen-test",
+        footprint_blocks=20_000,
+        frac_shared_read=0.4,
+        frac_migratory=0.05,
+        p_hot=0.3,
+        hot_blocks_per_thread=16,
+        p_shared_read=0.3,
+        p_migratory=0.1,
+        scan_window=200,
+        scan_lag=50,
+        scan_slide=0.1,
+        think_mean=2.0,
+    )
+    defaults.update(kw)
+    return WorkloadProfile(**defaults)
+
+
+def trace(thread=0, base=0, seed=1, prof=None, batch=256):
+    prof = prof or profile()
+    rng = RngFactory(seed).stream(f"t{thread}")
+    return ThreadTrace(prof, thread, base, rng, batch_size=batch)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = [next(trace(seed=5)) for _ in range(500)]
+        b = [next(trace(seed=5)) for _ in range(500)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [next(trace(seed=5))[0] for _ in range(200)]
+        b = [next(trace(seed=6))[0] for _ in range(200)]
+        assert a != b
+
+    def test_threads_have_distinct_streams(self):
+        p = profile()
+        f = RngFactory(3)
+        t0 = ThreadTrace(p, 0, 0, f.stream("0"))
+        t1 = ThreadTrace(p, 1, 0, f.stream("1"))
+        a = [next(t0)[0] for _ in range(200)]
+        b = [next(t1)[0] for _ in range(200)]
+        assert a != b
+
+
+class TestStreamShape:
+    def test_blocks_within_partition(self):
+        p = profile()
+        t = trace(base=100_000, prof=p)
+        for _ in range(5000):
+            block, _w, _t = next(t)
+            assert 100_000 <= block < 100_000 + p.partition_blocks
+
+    def test_private_blocks_disjoint_between_threads(self):
+        p = profile(p_hot=0.0, p_shared_read=0.0, p_migratory=0.0)
+        f = RngFactory(1)
+        t0 = ThreadTrace(p, 0, 0, f.stream("0"))
+        t3 = ThreadTrace(p, 3, 0, f.stream("3"))
+        blocks0 = {next(t0)[0] for _ in range(2000)}
+        blocks3 = {next(t3)[0] for _ in range(2000)}
+        assert not blocks0 & blocks3
+
+    def test_shared_blocks_overlap_between_threads(self):
+        p = profile(p_hot=0.0, p_shared_read=1.0, p_migratory=0.0,
+                    scan_lag=10)
+        f = RngFactory(1)
+        t0 = ThreadTrace(p, 0, 0, f.stream("0"))
+        t1 = ThreadTrace(p, 1, 0, f.stream("1"))
+        blocks0 = {next(t0)[0] for _ in range(3000)}
+        blocks1 = {next(t1)[0] for _ in range(3000)}
+        assert blocks0 & blocks1
+
+    def test_write_fraction_tracks_probabilities(self):
+        p = profile(p_hot=0.0, p_shared_read=0.0, p_migratory=0.0,
+                    write_prob_private=0.25)
+        t = trace(prof=p)
+        writes = sum(next(t)[1] for _ in range(20_000))
+        assert 0.22 < writes / 20_000 < 0.28
+
+    def test_think_time_mean(self):
+        p = profile(think_mean=3.0)
+        t = trace(prof=p)
+        thinks = [next(t)[2] for _ in range(20_000)]
+        assert 2.7 < np.mean(thinks) < 3.3
+
+    def test_zero_think(self):
+        p = profile(think_mean=0.0)
+        t = trace(prof=p)
+        assert all(next(t)[2] == 0 for _ in range(100))
+
+    def test_hot_pool_concentration(self):
+        p = profile(p_hot=1.0, p_shared_read=0.0, p_migratory=0.0,
+                    hot_blocks_per_thread=16)
+        t = trace(prof=p)
+        blocks = {next(t)[0] for _ in range(2000)}
+        assert len(blocks) <= 16
+
+
+class TestScanPipeline:
+    def test_scan_advances(self):
+        p = profile(p_hot=0.0, p_shared_read=1.0, p_migratory=0.0,
+                    scan_slide=1.0, scan_window=50)
+        t = trace(prof=p)
+        early = [next(t)[0] for _ in range(100)]
+        for _ in range(5000):
+            next(t)
+        late = [next(t)[0] for _ in range(100)]
+        assert min(late) > min(early)
+
+    def test_followers_trail_leader(self):
+        p = profile(p_hot=0.0, p_shared_read=1.0, p_migratory=0.0,
+                    scan_slide=0.0, scan_window=10, scan_lag=100)
+        f = RngFactory(1)
+        leader = ThreadTrace(p, 0, 0, f.stream("0"))
+        follower = ThreadTrace(p, 1, 0, f.stream("1"))
+        lead_blocks = [next(leader)[0] for _ in range(200)]
+        follow_blocks = [next(follower)[0] for _ in range(200)]
+        assert min(lead_blocks) > min(follow_blocks)
+
+
+class TestValidation:
+    def test_bad_thread_index(self):
+        with pytest.raises(WorkloadError):
+            trace(thread=7)
+
+    def test_bad_batch(self):
+        with pytest.raises(WorkloadError):
+            trace(batch=0)
+
+
+class TestWorkloadInstance:
+    def test_builds_all_threads(self):
+        p = profile()
+        inst = WorkloadInstance(p, instance_id=0, base_block=0,
+                                rng_stream=RngFactory(1).stream)
+        assert inst.num_threads == 4
+        assert len({id(t) for t in inst.traces}) == 4
+
+    def test_instances_have_distinct_streams(self):
+        p = profile()
+        f = RngFactory(1)
+        a = WorkloadInstance(p, 0, 0, f.stream)
+        b = WorkloadInstance(p, 1, 0, f.stream)
+        blocks_a = [next(a.trace(0))[0] for _ in range(100)]
+        blocks_b = [next(b.trace(0))[0] for _ in range(100)]
+        assert blocks_a != blocks_b

@@ -1,0 +1,70 @@
+"""Tests for the calibrated workload library (Tables I & II inputs)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.library import (
+    SPECJBB,
+    SPECWEB,
+    TPCH,
+    TPCW,
+    WORKLOADS,
+    get_profile,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_all_four_present(self):
+        assert workload_names() == ["specjbb", "specweb", "tpch", "tpcw"]
+
+    def test_lookup_case_insensitive(self):
+        assert get_profile("TPC-W".replace("-", "").lower()) is TPCW
+        assert get_profile("TPCH".lower()) is TPCH
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_profile("oracle")
+
+
+class TestTableIIFootprints:
+    """Block counts come straight from Table II."""
+
+    def test_footprints(self):
+        assert TPCW.footprint_blocks == 1_125_000
+        assert SPECJBB.footprint_blocks == 606_000
+        assert TPCH.footprint_blocks == 172_000
+        assert SPECWEB.footprint_blocks == 986_000
+
+    def test_footprint_ordering(self):
+        assert (TPCW.footprint_blocks > SPECWEB.footprint_blocks
+                > SPECJBB.footprint_blocks > TPCH.footprint_blocks)
+
+
+class TestQualitativeCharacter:
+    def test_tpch_is_the_migratory_heavy_workload(self):
+        """TPC-H's join/merge sync dominates: most dirty transfers."""
+        for other in (TPCW, SPECJBB, SPECWEB):
+            assert TPCH.p_migratory > other.p_migratory
+
+    def test_specjbb_is_the_most_share_intensive(self):
+        for other in (TPCW, TPCH, SPECWEB):
+            assert SPECJBB.p_shared_read > other.p_shared_read
+
+    def test_tpcw_is_private_capacity_bound(self):
+        assert TPCW.p_shared_read < SPECJBB.p_shared_read
+        assert TPCW.frac_shared_read < SPECJBB.frac_shared_read
+
+    def test_all_use_four_threads(self):
+        for profile in WORKLOADS.values():
+            assert profile.threads == 4
+
+    def test_table1_prose_present(self):
+        for profile in WORKLOADS.values():
+            assert profile.description
+            assert profile.setup
+            assert profile.execution
+
+    def test_partitions_fit_footprints(self):
+        for profile in WORKLOADS.values():
+            assert profile.partition_blocks <= profile.footprint_blocks

@@ -1,0 +1,140 @@
+"""Tests for workload phases (Section VII phase analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.rng import RngFactory
+from repro.workloads.generator import ThreadTrace
+from repro.workloads.phases import (
+    Phase,
+    get_phase_plan,
+    phase_plan_names,
+    register_phase_plan,
+)
+from repro.workloads.profile import WorkloadProfile
+
+
+def profile(**kw):
+    defaults = dict(name="phase-test", footprint_blocks=20_000,
+                    frac_shared_read=0.4, scan_window=200,
+                    hot_blocks_per_thread=16)
+    defaults.update(kw)
+    return WorkloadProfile(**defaults)
+
+
+def trace(phases=None, seed=1, batch=128):
+    return ThreadTrace(profile(), 0, 0, RngFactory(seed).stream("t"),
+                       batch_size=batch, phases=phases)
+
+
+class TestPhase:
+    def test_behavioural_override_ok(self):
+        phase = Phase("p", refs=100, overrides=(("p_shared_read", 0.5),))
+        variant = phase.apply_to(profile())
+        assert variant.p_shared_read == 0.5
+
+    def test_structural_override_rejected(self):
+        with pytest.raises(WorkloadError, match="structural"):
+            Phase("bad", refs=100, overrides=(("footprint_blocks", 5),))
+
+    def test_zero_refs_rejected(self):
+        with pytest.raises(WorkloadError):
+            Phase("bad", refs=0)
+
+    def test_no_overrides_is_identity(self):
+        p = profile()
+        assert Phase("idle", refs=10).apply_to(p) is p
+
+
+class TestPhasedTrace:
+    def test_phase_boundaries_exact(self):
+        """Write probability flips exactly at the phase boundary."""
+        phases = [
+            Phase("reads", refs=500, overrides=(
+                ("write_prob_private", 0.0),
+                ("write_prob_shared", 0.0),
+                ("write_prob_migratory", 0.0),
+            )),
+            Phase("writes", refs=500, overrides=(
+                ("write_prob_private", 1.0),
+                ("write_prob_shared", 1.0),
+                ("write_prob_migratory", 1.0),
+            )),
+        ]
+        t = trace(phases=phases)
+        writes = [next(t)[1] for _ in range(2000)]
+        assert sum(writes[:500]) == 0
+        assert sum(writes[500:1000]) == 500
+        assert sum(writes[1000:1500]) == 0  # plan cycles
+        assert sum(writes[1500:2000]) == 500
+
+    def test_access_mix_shifts_between_phases(self):
+        phases = [
+            Phase("private", refs=2000, overrides=(
+                ("p_shared_read", 0.0), ("p_hot", 0.0),
+                ("p_migratory", 0.0),
+            )),
+            Phase("shared", refs=2000, overrides=(
+                ("p_shared_read", 1.0), ("p_hot", 0.0),
+                ("p_migratory", 0.0),
+            )),
+        ]
+        t = trace(phases=phases)
+        p = profile()
+        private_base = p.pool_offsets()["private"]
+        first = [next(t)[0] for _ in range(2000)]
+        second = [next(t)[0] for _ in range(2000)]
+        assert all(block >= private_base for block in first)
+        assert all(block < private_base for block in second)
+
+    def test_deterministic(self):
+        phases = [Phase("a", refs=300, overrides=(("p_shared_read", 0.4),)),
+                  Phase("b", refs=300)]
+        a = [next(trace(phases=phases)) for _ in range(1000)]
+        b = [next(trace(phases=phases)) for _ in range(1000)]
+        assert a == b
+
+    def test_unphased_trace_unchanged(self):
+        plain = [next(trace()) for _ in range(500)]
+        steady = [next(trace(phases=get_phase_plan("steady"))) for _ in range(500)]
+        # the steady plan has no overrides but does clamp batches; the
+        # generated stream must be identical reference-for-reference
+        assert plain == steady
+
+
+class TestPhasePlanRegistry:
+    def test_builtin_plans_present(self):
+        assert "steady" in phase_plan_names()
+        assert "burst" in phase_plan_names()
+
+    def test_register_and_get(self):
+        register_phase_plan("test-plan", [Phase("x", refs=10)],
+                            overwrite=True)
+        assert get_phase_plan("TEST-PLAN")[0].name == "x"
+
+    def test_duplicate_rejected(self):
+        register_phase_plan("test-dup-plan", [Phase("x", refs=10)],
+                            overwrite=True)
+        with pytest.raises(WorkloadError, match="already"):
+            register_phase_plan("test-dup-plan", [Phase("x", refs=10)])
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(WorkloadError):
+            register_phase_plan("empty", [])
+
+    def test_unknown_plan(self):
+        with pytest.raises(WorkloadError):
+            get_phase_plan("nope")
+
+
+class TestPhasedExperiments:
+    def test_phase_plan_through_spec(self):
+        from repro.core.experiment import (
+            ExperimentSpec, clear_result_cache, run_experiment)
+        clear_result_cache()
+        result = run_experiment(ExperimentSpec(
+            mix="iso-tpch", phase_plan="burst", seed=1,
+            measured_refs=800, warmup_refs=200))
+        assert result.vm_metrics[0].refs == 4 * 800
+        clear_result_cache()

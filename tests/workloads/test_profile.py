@@ -1,0 +1,97 @@
+"""Tests for workload profile validation and derived layout."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.profile import WorkloadProfile
+
+
+def profile(**kw):
+    defaults = dict(name="test", footprint_blocks=10_000)
+    defaults.update(kw)
+    return WorkloadProfile(**defaults)
+
+
+class TestValidation:
+    def test_valid_default(self):
+        p = profile()
+        assert p.threads == 4
+
+    def test_name_required(self):
+        with pytest.raises(WorkloadError):
+            profile(name="")
+
+    def test_fraction_bounds(self):
+        with pytest.raises(WorkloadError):
+            profile(frac_shared_read=1.2)
+        with pytest.raises(WorkloadError):
+            profile(frac_shared_read=0.8, frac_migratory=0.3)
+
+    def test_probability_bounds(self):
+        with pytest.raises(WorkloadError):
+            profile(p_hot=0.5, p_shared_read=0.4, p_migratory=0.2)
+
+    def test_write_probs(self):
+        with pytest.raises(WorkloadError):
+            profile(write_prob_private=1.5)
+
+    def test_scan_window_must_fit_pool(self):
+        with pytest.raises(WorkloadError):
+            profile(footprint_blocks=1000, frac_shared_read=0.1,
+                    scan_window=500)
+
+    def test_hot_pool_must_fit_private_pool(self):
+        with pytest.raises(WorkloadError):
+            profile(footprint_blocks=300, hot_blocks_per_thread=100,
+                    scan_window=10)
+
+
+class TestDerivedLayout:
+    def test_pool_sizes_partition_footprint(self):
+        p = profile(footprint_blocks=10_000, frac_shared_read=0.5,
+                    frac_migratory=0.1)
+        assert p.shared_read_blocks == 5000
+        assert p.migratory_blocks == 1000
+        assert p.private_blocks_per_thread == 1000
+        assert p.partition_blocks <= 10_000
+
+    def test_pool_offsets_disjoint(self):
+        p = profile(frac_shared_read=0.4, frac_migratory=0.05)
+        offsets = p.pool_offsets()
+        assert offsets["shared_read"] == 0
+        assert offsets["migratory"] == p.shared_read_blocks
+        assert offsets["private"] == p.shared_read_blocks + p.migratory_blocks
+
+    def test_p_private_complement(self):
+        p = profile(p_hot=0.4, p_shared_read=0.3, p_migratory=0.1)
+        assert abs(p.p_private - 0.2) < 1e-12
+
+
+class TestOverridesAndScaling:
+    def test_with_overrides(self):
+        p = profile().with_overrides(p_shared_read=0.2)
+        assert p.p_shared_read == 0.2
+        assert p.name == "test"
+
+    def test_scaled_identity(self):
+        p = profile()
+        assert p.scaled(1.0) is p
+
+    def test_scaled_shrinks_consistently(self):
+        p = profile(footprint_blocks=160_000, scan_window=1600, scan_lag=320)
+        s = p.scaled(1 / 16)
+        assert s.footprint_blocks == 10_000
+        assert s.scan_window == 100
+        assert s.scan_lag == 20
+        # probabilities unchanged
+        assert s.p_shared_read == p.p_shared_read
+
+    def test_scaled_window_never_exceeds_pool(self):
+        p = profile(footprint_blocks=100_000, frac_shared_read=0.01,
+                    scan_window=900)
+        s = p.scaled(1 / 64)
+        assert s.scan_window <= s.shared_read_blocks
+
+    def test_scaled_invalid(self):
+        with pytest.raises(WorkloadError):
+            profile().scaled(0)

@@ -1,0 +1,63 @@
+"""Tests for the power-law locality sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.sampling import PowerLawSampler, UniformSampler
+
+
+class TestPowerLawSampler:
+    def test_range(self):
+        s = PowerLawSampler(1000, skew=3.0)
+        rng = np.random.default_rng(1)
+        draws = s.sample(rng, 10_000)
+        assert draws.min() >= 0
+        assert draws.max() < 1000
+
+    def test_uniform_when_skew_one(self):
+        s = PowerLawSampler(1000, skew=1.0)
+        rng = np.random.default_rng(1)
+        draws = s.sample(rng, 50_000)
+        # mean of U(0, 1000) is ~500
+        assert 480 < draws.mean() < 520
+
+    def test_skew_concentrates_mass(self):
+        rng = np.random.default_rng(1)
+        flat = PowerLawSampler(1000, skew=1.0).sample(rng, 20_000)
+        rng = np.random.default_rng(1)
+        skewed = PowerLawSampler(1000, skew=4.0).sample(rng, 20_000)
+        assert (skewed < 100).mean() > (flat < 100).mean() * 2
+
+    def test_mass_on_hottest_matches_empirical(self):
+        s = PowerLawSampler(1000, skew=3.0)
+        rng = np.random.default_rng(7)
+        draws = s.sample(rng, 100_000)
+        analytic = s.mass_on_hottest(100)
+        empirical = (draws < 100).mean()
+        assert abs(analytic - empirical) < 0.02
+
+    def test_mass_on_hottest_saturates(self):
+        s = PowerLawSampler(100, skew=2.0)
+        assert s.mass_on_hottest(100) == 1.0
+        assert s.mass_on_hottest(500) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PowerLawSampler(0)
+        with pytest.raises(WorkloadError):
+            PowerLawSampler(10, skew=0.5)
+
+    @given(st.integers(1, 10_000), st.floats(1.0, 8.0))
+    @settings(max_examples=30)
+    def test_all_draws_in_range(self, n, skew):
+        s = PowerLawSampler(n, skew=skew)
+        rng = np.random.default_rng(0)
+        draws = s.sample(rng, 1000)
+        assert ((draws >= 0) & (draws < n)).all()
+
+
+class TestUniformSampler:
+    def test_is_skew_one(self):
+        assert UniformSampler(50).skew == 1.0

@@ -1,0 +1,129 @@
+"""Statistical goodness-of-fit tests on the workload generators.
+
+The synthetic models are only as good as their statistics; these tests
+verify the generated streams actually follow the configured
+distributions (chi-square / tolerance tests via scipy), independent of
+the simulator.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.sim.rng import RngFactory
+from repro.workloads.generator import ThreadTrace
+from repro.workloads.profile import WorkloadProfile
+
+N = 30_000
+
+
+def profile(**kw):
+    defaults = dict(
+        name="stat-test", footprint_blocks=40_000,
+        frac_shared_read=0.4, frac_migratory=0.05,
+        p_hot=0.30, hot_blocks_per_thread=16,
+        p_shared_read=0.30, p_migratory=0.10,
+        write_prob_shared=0.02, write_prob_migratory=0.5,
+        write_prob_private=0.2,
+        scan_window=500, scan_lag=100, scan_slide=0.05,
+        skew_migratory=2.0, skew_private=2.0, think_mean=2.0,
+    )
+    defaults.update(kw)
+    return WorkloadProfile(**defaults)
+
+
+def sample(prof, n=N, seed=2):
+    trace = ThreadTrace(prof, 0, 0, RngFactory(seed).stream("s"))
+    return [next(trace) for _ in range(n)]
+
+
+def categorize(prof, refs):
+    offsets = prof.pool_offsets()
+    mig_start = offsets["migratory"]
+    priv_start = offsets["private"]
+    hot_end = priv_start + prof.hot_blocks_per_thread
+    counts = {"shared": 0, "migratory": 0, "hot_or_private": 0}
+    for block, _w, _t in refs:
+        if block < mig_start:
+            counts["shared"] += 1
+        elif block < priv_start:
+            counts["migratory"] += 1
+        else:
+            counts["hot_or_private"] += 1
+    return counts
+
+
+class TestCategoricalMix:
+    def test_pool_mix_matches_probabilities(self):
+        prof = profile()
+        counts = categorize(prof, sample(prof))
+        expected = {
+            "shared": prof.p_shared_read * N,
+            "migratory": prof.p_migratory * N,
+            "hot_or_private": (prof.p_hot + prof.p_private) * N,
+        }
+        chi2, p_value = sps.chisquare(
+            [counts[k] for k in sorted(counts)],
+            [expected[k] for k in sorted(counts)],
+        )
+        assert p_value > 0.001, f"pool mix off (chi2={chi2:.1f})"
+
+    def test_write_ratio_matches(self):
+        prof = profile()
+        refs = sample(prof)
+        writes = sum(w for _b, w, _t in refs)
+        expected = (
+            prof.p_shared_read * prof.write_prob_shared
+            + prof.p_migratory * prof.write_prob_migratory
+            + (prof.p_hot + prof.p_private) * prof.write_prob_private
+        )
+        observed = writes / N
+        assert abs(observed - expected) < 0.01
+
+    def test_think_time_geometric(self):
+        prof = profile(think_mean=3.0)
+        thinks = np.array([t for _b, _w, t in sample(prof)])
+        assert abs(thinks.mean() - 3.0) < 0.1
+        # geometric: variance = mean * (mean + 1)
+        assert abs(thinks.var() - 12.0) < 1.2
+
+
+class TestPowerLawFit:
+    def test_private_pool_cdf_matches_analytic(self):
+        prof = profile(p_hot=0.0, p_shared_read=0.0, p_migratory=0.0,
+                       skew_private=3.0)
+        priv_start = prof.pool_offsets()["private"]
+        pool = prof.private_blocks_per_thread
+        offsets = np.array(
+            [b - priv_start for b, _w, _t in sample(prof)])
+        # P(offset < x) = (x / n)^(1/skew)
+        for frac in (0.01, 0.1, 0.5):
+            x = int(pool * frac)
+            analytic = frac ** (1 / 3.0)
+            empirical = (offsets < x).mean()
+            assert abs(analytic - empirical) < 0.02, frac
+
+
+class TestIndependence:
+    def test_thread_streams_uncorrelated(self):
+        """Write decisions of two threads share no structure."""
+        prof = profile()
+        f = RngFactory(5)
+        a = ThreadTrace(prof, 0, 0, f.stream("0"))
+        b = ThreadTrace(prof, 1, 0, f.stream("1"))
+        wa = np.array([next(a)[1] for _ in range(5000)], dtype=float)
+        wb = np.array([next(b)[1] for _ in range(5000)], dtype=float)
+        corr = np.corrcoef(wa, wb)[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_library_profiles_generate_valid_streams(self):
+        from repro.workloads.library import WORKLOADS
+        for name, prof in WORKLOADS.items():
+            scaled = prof.scaled(1 / 16)
+            trace = ThreadTrace(scaled, 0, 0,
+                                RngFactory(1).stream(name))
+            for _ in range(2000):
+                block, write, think = next(trace)
+                assert 0 <= block < scaled.partition_blocks, name
+                assert write in (0, 1), name
+                assert think >= 0, name
