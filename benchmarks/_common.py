@@ -13,6 +13,12 @@ Environment knobs
     curves).
 ``REPRO_SEED``
     Base seed (default 1).
+``REPRO_JOBS``
+    Worker processes for grid helpers (default 1 = serial).
+``REPRO_STORE``
+    Directory for a persistent result store.  When set, every
+    experiment the benches run is written there and re-runs (across
+    processes and sessions) simulate nothing.
 """
 
 from __future__ import annotations
@@ -21,12 +27,21 @@ import os
 from pathlib import Path
 from typing import Dict, List
 
+from repro.core.executor import SweepExecutor
 from repro.core.experiment import ExperimentResult, ExperimentSpec, run_experiment
 from repro.core.metrics import VMMetrics
+from repro.core.store import ResultStore, set_default_store
 
 BENCH_REFS = int(os.environ.get("REPRO_REFS", "12000"))
 BENCH_WARMUP = BENCH_REFS // 2
 BENCH_SEED = int(os.environ.get("REPRO_SEED", "1"))
+BENCH_JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+
+if os.environ.get("REPRO_STORE"):
+    # Give the whole bench session a persistent default store: every
+    # run_experiment call (direct or via the executor) reads and
+    # feeds the same disk tier.
+    set_default_store(ResultStore(os.environ["REPRO_STORE"]))
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -57,6 +72,22 @@ def spec(mix: str, sharing: str = "shared-4", policy: str = "affinity",
 def run(mix: str, sharing: str = "shared-4", policy: str = "affinity",
         **overrides) -> ExperimentResult:
     return run_experiment(spec(mix, sharing, policy, **overrides))
+
+
+def run_grid(cells: List[tuple]) -> Dict[tuple, ExperimentResult]:
+    """Run many ``(key, spec)`` cells through the sweep executor.
+
+    Honours ``REPRO_JOBS`` (parallel fan-out) and the session store; a
+    cell failure raises after the whole grid has been attempted, so one
+    bad configuration doesn't waste the rest of an expensive grid.
+    """
+    from repro.errors import SweepError
+
+    outcomes = SweepExecutor(jobs=BENCH_JOBS).run(cells)
+    failures = {o.key: o.error for o in outcomes if not o.ok}
+    if failures:
+        raise SweepError(failures)
+    return {o.key: o.result for o in outcomes}
 
 
 def isolation_baseline(workload: str, sharing: str = "shared",

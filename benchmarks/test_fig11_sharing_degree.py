@@ -14,7 +14,7 @@ Paper shapes asserted:
 
 import pytest
 
-from _common import HETEROGENEOUS, emit, mean, once, run
+from _common import HETEROGENEOUS, emit, mean, once, run_grid, spec
 from repro.analysis.report import format_series
 
 SHARINGS = [("shared-2", "8-LL$"), ("shared-4", "4-LL$"), ("shared-8", "2-LL$")]
@@ -23,15 +23,27 @@ WORKLOADS = ("tpcw", "tpch", "specjbb")
 
 @pytest.fixture(scope="module")
 def data():
+    # One executor grid for the whole figure: 3 isolation baselines plus
+    # 9 mixes x 3 sharing degrees, parallel when REPRO_JOBS > 1.
+    cells = [
+        ((f"iso-{w}",), spec(f"iso-{w}", sharing="shared-4",
+                             policy="affinity"))
+        for w in WORKLOADS
+    ]
+    cells += [
+        ((mix, label), spec(mix, sharing=sharing, policy="affinity"))
+        for mix in HETEROGENEOUS
+        for sharing, label in SHARINGS
+    ]
+    grid = run_grid(cells)
     baselines = {
-        w: run(f"iso-{w}", sharing="shared-4",
-               policy="affinity").vm_metrics[0].mean_miss_latency
+        w: grid[(f"iso-{w}",)].vm_metrics[0].mean_miss_latency
         for w in WORKLOADS
     }
     out = {}
     for mix in HETEROGENEOUS:
-        for sharing, label in SHARINGS:
-            result = run(mix, sharing=sharing, policy="affinity")
+        for _sharing, label in SHARINGS:
+            result = grid[(mix, label)]
             for workload in dict.fromkeys(result.workloads):
                 vms = result.metrics_for(workload)
                 out[(mix, label, workload)] = mean(

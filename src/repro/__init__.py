@@ -23,22 +23,39 @@ per-table/figure reproduction harness.
 
 from .core import (
     DEFAULT_SCALE,
+    CellOutcome,
     ExperimentResult,
     ExperimentSpec,
+    ExperimentSuite,
     MIXES,
     Mix,
+    ResultStore,
+    SuiteResult,
+    SuiteRunner,
+    SweepExecutor,
     VMMetrics,
     clear_result_cache,
+    get_default_store,
     get_mix,
+    get_suite,
     isolated_mix,
     make_scheduler,
+    mixes_suite,
     normalize_result,
     normalized_miss_latency,
     normalized_miss_rate,
     normalized_runtime,
     replicate,
+    resolve_defaults,
     run_experiment,
     run_isolated,
+    set_default_store,
+    sharing_policy_suite,
+    spec_key,
+    suite_names,
+    sweep,
+    sweep_mixes,
+    sweep_sharing_policy,
 )
 from .errors import (
     CheckpointError,
@@ -47,6 +64,7 @@ from .errors import (
     ReproError,
     SchedulingError,
     SimulationError,
+    SweepError,
     WorkloadError,
 )
 from .machine import Chip, MachineConfig, SharingDegree
@@ -62,22 +80,40 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DEFAULT_SCALE",
+    "CellOutcome",
     "ExperimentResult",
     "ExperimentSpec",
+    "ExperimentSuite",
     "MIXES",
     "Mix",
+    "ResultStore",
+    "SuiteResult",
+    "SuiteRunner",
+    "SweepExecutor",
     "VMMetrics",
     "clear_result_cache",
+    "get_default_store",
     "get_mix",
+    "get_suite",
     "isolated_mix",
     "make_scheduler",
+    "mixes_suite",
     "normalize_result",
     "normalized_miss_latency",
     "normalized_miss_rate",
     "normalized_runtime",
     "replicate",
+    "resolve_defaults",
     "run_experiment",
     "run_isolated",
+    "set_default_store",
+    "sharing_policy_suite",
+    "spec_key",
+    "suite_names",
+    "sweep",
+    "sweep_mixes",
+    "sweep_sharing_policy",
+    "SweepError",
     "CheckpointError",
     "CoherenceError",
     "ConfigurationError",

@@ -3,76 +3,24 @@
 Results round-trip to JSON so studies can be archived, diffed across
 code versions, and post-processed without re-simulating.  The CLI's
 ``--output`` flag uses this, as do the longer examples.
+
+The dict codecs themselves live in :mod:`repro.core.store` (the
+content-addressed result store uses the same record format for its disk
+tier); this module re-exports them and adds the single-file
+save/load convenience layer.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
 from pathlib import Path
 from typing import Union
 
-from ..core.experiment import ChipSummary, ExperimentResult, ExperimentSpec
-from ..core.metrics import VMMetrics
-from ..core.mixes import Mix
+from ..core.experiment import ExperimentResult
+from ..core.store import result_from_dict, result_to_dict
 from ..errors import ReproError
 
 __all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
-
-_FORMAT_VERSION = 1
-
-
-def result_to_dict(result: ExperimentResult) -> dict:
-    """A JSON-serializable dict capturing the full result."""
-    return {
-        "format_version": _FORMAT_VERSION,
-        "spec": dataclasses.asdict(result.spec),
-        "mix": {
-            "name": result.mix.name,
-            "components": [list(c) for c in result.mix.components],
-        },
-        "vm_metrics": [dataclasses.asdict(vm) for vm in result.vm_metrics],
-        "final_time": result.final_time,
-        "chip_summary": dataclasses.asdict(result.chip_summary),
-        "occupancy": [
-            {str(vm): lines for vm, lines in domain.items()}
-            for domain in result.occupancy
-        ],
-        "residency": [sorted(domain) for domain in result.residency],
-        "domain_lines": result.domain_lines,
-        "assignments": result.assignments,
-    }
-
-
-def result_from_dict(payload: dict) -> ExperimentResult:
-    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict`
-    output."""
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ReproError(
-            f"unsupported result format version {version!r} "
-            f"(expected {_FORMAT_VERSION})"
-        )
-    spec = ExperimentSpec(**payload["spec"])
-    mix_payload = payload["mix"]
-    mix = Mix(
-        mix_payload["name"],
-        tuple((workload, count) for workload, count in mix_payload["components"]),
-    )
-    return ExperimentResult(
-        spec=spec,
-        mix=mix,
-        vm_metrics=[VMMetrics(**vm) for vm in payload["vm_metrics"]],
-        final_time=payload["final_time"],
-        chip_summary=ChipSummary(**payload["chip_summary"]),
-        occupancy=[
-            {int(vm): lines for vm, lines in domain.items()}
-            for domain in payload["occupancy"]
-        ],
-        residency=[set(domain) for domain in payload["residency"]],
-        domain_lines=payload["domain_lines"],
-        assignments=[list(cores) for cores in payload.get("assignments", [])],
-    )
 
 
 def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:

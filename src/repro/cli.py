@@ -6,7 +6,12 @@
     One consolidation experiment; prints the per-VM metric table and
     optionally saves the full result as JSON.
 ``sweep``
-    A sharing-degree x scheduling-policy sweep for one mix.
+    A sharing-degree x scheduling-policy sweep for one mix; ``--jobs N``
+    fans the grid out over worker processes and ``--store PATH`` keeps a
+    persistent result store so re-runs simulate nothing.
+``suite``
+    Run a canned experiment suite by name (``repro suite list`` shows
+    the registry); takes the same ``--jobs`` / ``--store`` flags.
 ``stats``
     The Table II characterization of one workload.
 ``workloads``
@@ -85,6 +90,21 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("cycles", "miss_rate", "miss_latency"))
     sweep_p.add_argument("--refs", type=int, default=None)
     sweep_p.add_argument("--seed", type=int, default=0)
+    _add_executor_flags(sweep_p)
+
+    suite_p = sub.add_parser(
+        "suite", help="run a canned experiment suite by name")
+    suite_p.add_argument("name",
+                         help="registry name (use 'list' to see them)")
+    suite_p.add_argument("--mix", default="mix5",
+                         help="mix for suites parameterized by one mix")
+    suite_p.add_argument("--mixes", default=None,
+                         help="comma-separated mixes for the 'mixes' suite")
+    suite_p.add_argument("--metric", default="cycles",
+                         choices=("cycles", "miss_rate", "miss_latency"))
+    suite_p.add_argument("--refs", type=int, default=None)
+    suite_p.add_argument("--seed", type=int, default=0)
+    _add_executor_flags(suite_p)
 
     stats_p = sub.add_parser(
         "stats", help="Table II characterization of one workload")
@@ -100,6 +120,40 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("workloads", help="list workload profiles")
     sub.add_parser("mixes", help="list Table IV mixes")
     return parser
+
+
+def _add_executor_flags(parser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial, the default)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="persistent result-store directory; warm "
+                             "cells are never re-simulated")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-cell progress to stderr")
+
+
+def _make_executor(args) -> "SweepExecutor":
+    from .core.executor import SweepExecutor
+    from .core.store import ResultStore
+
+    store = ResultStore(args.store) if args.store else None
+
+    def report(done, total, outcome):
+        status = ("cached" if outcome.from_cache
+                  else "failed" if not outcome.ok
+                  else f"{outcome.wall_time:.1f}s")
+        print(f"[{done}/{total}] {outcome.key} {status}", file=sys.stderr)
+
+    return SweepExecutor(jobs=args.jobs, store=store,
+                         progress=report if args.progress else None)
+
+
+def _metric_row(vms, metric: str) -> float:
+    if metric == "cycles":
+        return sum(vm.cycles for vm in vms) / len(vms)
+    if metric == "miss_rate":
+        return sum(vm.miss_rate for vm in vms) / len(vms)
+    return sum(vm.mean_miss_latency for vm in vms) / len(vms)
 
 
 def _spec_from_args(args) -> ExperimentSpec:
@@ -163,24 +217,69 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    from .core.suite import SuiteRunner, sharing_policy_suite
+
+    base = ExperimentSpec(mix=args.mix, seed=args.seed,
+                          measured_refs=args.refs)
+    suite = sharing_policy_suite(args.mix, sharings=_SHARINGS,
+                                 policies=_POLICIES, base=base)
+    outcome = SuiteRunner(_make_executor(args)).run(suite)
+    _raise_on_failures(outcome)
     series = {}
     for sharing in _SHARINGS:
-        row = {}
-        for policy in _POLICIES:
-            spec = ExperimentSpec(mix=args.mix, sharing=sharing,
-                                  policy=policy, seed=args.seed,
-                                  measured_refs=args.refs)
-            result = run_experiment(spec)
-            vms = result.vm_metrics
-            if args.metric == "cycles":
-                row[policy] = sum(vm.cycles for vm in vms) / len(vms)
-            elif args.metric == "miss_rate":
-                row[policy] = sum(vm.miss_rate for vm in vms) / len(vms)
-            else:
-                row[policy] = sum(vm.mean_miss_latency
-                                  for vm in vms) / len(vms)
-        series[sharing] = row
+        series[sharing] = {
+            policy: _metric_row(outcome.result(sharing, policy).vm_metrics,
+                                args.metric)
+            for policy in _POLICIES
+        }
     print(format_series(f"{args.mix}: {args.metric} sweep", series))
+    return 0
+
+
+def _raise_on_failures(outcome) -> None:
+    from .errors import SweepError
+
+    if outcome.failures:
+        raise SweepError(outcome.failures)
+
+
+def _cmd_suite(args) -> int:
+    from .core.suite import SuiteRunner, get_suite, suite_names
+
+    if args.name == "list":
+        rows = [[name, get_suite(name).description]
+                for name in suite_names()]
+        print(format_table(["Suite", "Description"], rows,
+                           title="Canned suites"))
+        return 0
+
+    base = None
+    if args.refs is not None or args.seed:
+        base = ExperimentSpec(mix=args.mix, seed=args.seed,
+                              measured_refs=args.refs)
+    params = {}
+    if args.name == "mixes":
+        if args.mixes:
+            params["mixes"] = [m.strip() for m in args.mixes.split(",")]
+    else:
+        params["mix"] = args.mix
+    if base is not None:
+        params["base"] = base
+    suite = get_suite(args.name, **params)
+    outcome = SuiteRunner(_make_executor(args)).run(suite)
+    _raise_on_failures(outcome)
+    rows = [
+        [" / ".join(str(v) for v in key),
+         round(_metric_row(result.vm_metrics, args.metric), 4)]
+        for key, result in outcome.results.items()
+    ]
+    print(format_table(
+        ["Cell (" + " x ".join(suite.axis_names) + ")", args.metric],
+        rows, title=f"Suite {suite.name}"))
+    print()
+    print(f"{len(outcome.results)} cells "
+          f"({outcome.cached_cells} cached), "
+          f"simulation wall time {outcome.total_wall_time:.1f}s")
     return 0
 
 
@@ -245,6 +344,7 @@ def _cmd_compare(args) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "suite": _cmd_suite,
     "stats": _cmd_stats,
     "compare": _cmd_compare,
     "workloads": _cmd_workloads,

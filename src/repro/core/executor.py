@@ -1,0 +1,178 @@
+"""Parallel sweep execution.
+
+A grid of experiments (the cartesian cells of a sweep or an
+:class:`~repro.core.suite.ExperimentSuite`) is embarrassingly parallel:
+every cell is an independent :func:`~repro.core.experiment.run_experiment`
+call with a fully-resolved spec.  :class:`SweepExecutor` fans cells out
+over a ``multiprocessing`` pool and funnels results through a
+:class:`~repro.core.store.ResultStore`, so that
+
+* a cell already present in the store is never re-simulated — not in
+  this process, not in another, not in a later session (disk tier);
+* an ``N``-job run is bit-identical to a serial run: specs are
+  normalized *in the parent* before dispatch, so every worker sees the
+  same explicit seed, and :class:`~repro.sim.rng.RngFactory` streams
+  depend only on the spec;
+* a failing cell reports its exception (with traceback) in its
+  :class:`CellOutcome` instead of aborting the rest of the grid.
+
+Workers are spawn-safe: the worker function is a module-level callable
+and its payload is a picklable :class:`ExperimentSpec`, so the executor
+works under the ``spawn`` start method (the default here, and the only
+safe choice on macOS/Windows or in threaded parents).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .experiment import ExperimentResult, ExperimentSpec, resolve_defaults
+
+__all__ = ["CellOutcome", "ProgressCallback", "SweepExecutor"]
+
+
+@dataclass
+class CellOutcome:
+    """Accounting for one grid cell.
+
+    Exactly one of :attr:`result` / :attr:`error` is set.  ``wall_time``
+    is the cell's own simulation wall-clock in seconds (zero for cache
+    hits); ``from_cache`` marks cells satisfied by the store.
+    """
+
+    key: tuple
+    spec: ExperimentSpec
+    result: Optional[ExperimentResult] = None
+    error: Optional[str] = None
+    wall_time: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+ProgressCallback = Callable[[int, int, CellOutcome], None]
+"""Called as ``progress(done, total, outcome)`` after every cell."""
+
+
+def _run_cell(payload: Tuple[int, ExperimentSpec]):
+    """Worker entry point: run one cell, never raise.
+
+    Module-level (hence picklable by reference) so it survives the
+    ``spawn`` start method.  Uses ``use_cache=False`` — the parent owns
+    the store; workers only compute.
+    """
+    index, spec = payload
+    start = time.perf_counter()
+    try:
+        from .experiment import run_experiment
+
+        result = run_experiment(spec, use_cache=False)
+        return index, result, None, time.perf_counter() - start
+    except Exception:
+        return index, None, traceback.format_exc(), time.perf_counter() - start
+
+
+class SweepExecutor:
+    """Run a list of ``(key, spec)`` cells, optionally in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (the default) runs every cell inline in
+        the calling process — the exact serial path the library always
+        had.
+    store:
+        The :class:`~repro.core.store.ResultStore` consulted before and
+        populated after each cell; ``None`` uses the process-wide
+        default store.
+    progress:
+        Optional ``progress(done, total, outcome)`` callback, invoked in
+        the parent as each cell completes (cache hits first).
+    mp_context:
+        ``multiprocessing`` start method for ``jobs > 1`` (default
+        ``"spawn"``).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store=None,
+        progress: Optional[ProgressCallback] = None,
+        mp_context: str = "spawn",
+    ):
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.store = store
+        self.progress = progress
+        self.mp_context = mp_context
+
+    def run(
+        self, cells: Sequence[Tuple[tuple, ExperimentSpec]]
+    ) -> List[CellOutcome]:
+        """Execute every cell; returns outcomes in input order.
+
+        The store is consulted first (warm cells cost nothing), then the
+        remaining cells run — deduplicated, so two cells whose specs
+        resolve identically simulate once and share the result.
+        """
+        from .store import get_default_store
+
+        store = self.store if self.store is not None else get_default_store()
+        resolved = [(key, resolve_defaults(spec)) for key, spec in cells]
+        total = len(resolved)
+        outcomes: List[Optional[CellOutcome]] = [None] * total
+        done = 0
+
+        def record(index: int, outcome: CellOutcome) -> None:
+            nonlocal done
+            outcomes[index] = outcome
+            done += 1
+            if self.progress is not None:
+                self.progress(done, total, outcome)
+
+        # tier 1: the store
+        pending: Dict[ExperimentSpec, List[int]] = {}
+        for index, (key, spec) in enumerate(resolved):
+            cached = store.get(spec)
+            if cached is not None:
+                record(index, CellOutcome(key, spec, result=cached,
+                                          from_cache=True))
+            else:
+                pending.setdefault(spec, []).append(index)
+
+        # tier 2: simulate the distinct cold specs
+        jobs = [(indices[0], spec) for spec, indices in pending.items()]
+        for index, result, error, wall in self._execute(jobs):
+            key, spec = resolved[index]
+            if error is None:
+                store.put(spec, result)
+            for cell_index in pending[spec]:
+                cell_key = resolved[cell_index][0]
+                record(cell_index, CellOutcome(
+                    cell_key, spec, result=result, error=error,
+                    wall_time=wall, from_cache=cell_index != index,
+                ))
+        return outcomes  # type: ignore[return-value]
+
+    def _execute(self, jobs: List[Tuple[int, ExperimentSpec]]):
+        """Yield ``(index, result, error, wall_time)`` per cold cell."""
+        if not jobs:
+            return
+        if self.jobs == 1 or len(jobs) == 1:
+            for payload in jobs:
+                yield _run_cell(payload)
+            return
+        import multiprocessing
+
+        context = multiprocessing.get_context(self.mp_context)
+        workers = min(self.jobs, len(jobs))
+        with context.Pool(processes=workers) as pool:
+            for completed in pool.imap_unordered(_run_cell, jobs):
+                yield completed

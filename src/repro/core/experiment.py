@@ -16,17 +16,24 @@ footprint to capacity, which scaling preserves, while letting a run
 reach steady state within a few tens of thousands of references per
 thread.  ``scale=1.0`` gives the full-size machine of Table III.
 
-Environment knobs
------------------
+Environment knobs (deprecated)
+------------------------------
 ``REPRO_REFS``
     Default measured references per thread (default 24000).
 ``REPRO_SEED``
     Default experiment seed (default 1).
+
+Both knobs still work but are deprecated: every defaulted field is now
+resolved in one place, :func:`resolve_defaults`, which emits a
+``DeprecationWarning`` when an environment variable (rather than an
+explicit spec field) supplies the value.  Set
+``ExperimentSpec.measured_refs`` / ``ExperimentSpec.seed`` instead.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set
 
@@ -44,9 +51,12 @@ from .scheduling import assign_overcommitted, make_scheduler
 
 __all__ = [
     "DEFAULT_SCALE",
+    "DEFAULT_MEASURED_REFS",
+    "DEFAULT_SEED",
     "ExperimentSpec",
     "ChipSummary",
     "ExperimentResult",
+    "resolve_defaults",
     "resolve_mix",
     "run_experiment",
     "clear_result_cache",
@@ -55,15 +65,42 @@ __all__ = [
 DEFAULT_SCALE = 1.0 / 16.0
 """Default capacity/footprint scale factor (see the module docstring)."""
 
+DEFAULT_MEASURED_REFS = 24000
+"""Built-in default for ``measured_refs`` when neither the spec nor the
+(deprecated) ``REPRO_REFS`` environment variable supplies one."""
+
+DEFAULT_SEED = 1
+"""Built-in default experiment seed."""
+
+
+def _env_default(var: str, fallback: int, field_name: str) -> int:
+    """Resolve one defaulted field, deprecating the environment path."""
+    raw = os.environ.get(var)
+    if raw is None:
+        return fallback
+    warnings.warn(
+        f"resolving {field_name} from the {var} environment variable is "
+        f"deprecated; set ExperimentSpec.{field_name} explicitly",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+    return int(raw)
+
 
 def default_measured_refs() -> int:
-    """Per-thread measured references (``REPRO_REFS``, default 24000)."""
-    return int(os.environ.get("REPRO_REFS", "24000"))
+    """Per-thread measured references (``REPRO_REFS``, default 24000).
+
+    Deprecated: use :func:`resolve_defaults` / explicit spec fields.
+    """
+    return _env_default("REPRO_REFS", DEFAULT_MEASURED_REFS, "measured_refs")
 
 
 def default_seed() -> int:
-    """Default experiment seed (``REPRO_SEED``, default 1)."""
-    return int(os.environ.get("REPRO_SEED", "1"))
+    """Default experiment seed (``REPRO_SEED``, default 1).
+
+    Deprecated: use :func:`resolve_defaults` / explicit spec fields.
+    """
+    return _env_default("REPRO_SEED", DEFAULT_SEED, "seed")
 
 
 @dataclass(frozen=True)
@@ -138,17 +175,9 @@ class ExperimentSpec:
     dir_cache_entries: int = 0  # 0 = machine default (16K per tile)
 
     def normalized(self) -> "ExperimentSpec":
-        """Resolve every defaulted field to a concrete value."""
-        measured = self.measured_refs or default_measured_refs()
-        warmup = self.warmup_refs if self.warmup_refs is not None else measured // 2
-        seed = self.seed or default_seed()
-        return replace(
-            self,
-            measured_refs=measured,
-            warmup_refs=warmup,
-            seed=seed,
-            sharing=self._canonical_sharing(),
-        )
+        """Resolve every defaulted field to a concrete value
+        (see :func:`resolve_defaults`)."""
+        return resolve_defaults(self)
 
     def _canonical_sharing(self) -> str:
         degree = SharingDegree.from_name(self.sharing)
@@ -163,6 +192,28 @@ class ExperimentSpec:
     @property
     def sharing_degree(self) -> SharingDegree:
         return SharingDegree.from_name(self.sharing)
+
+
+def resolve_defaults(spec: ExperimentSpec) -> ExperimentSpec:
+    """Resolve every defaulted field of ``spec`` to a concrete value.
+
+    This is the single place the library consults the deprecated
+    ``REPRO_REFS`` / ``REPRO_SEED`` environment knobs; when one of them
+    supplies a value (because the spec left the field defaulted) a
+    ``DeprecationWarning`` points at the explicit spec field to set
+    instead.  The returned spec is idempotent under re-resolution and is
+    what the result store hashes (see :func:`repro.core.store.spec_key`).
+    """
+    measured = spec.measured_refs or default_measured_refs()
+    warmup = spec.warmup_refs if spec.warmup_refs is not None else measured // 2
+    seed = spec.seed or default_seed()
+    return replace(
+        spec,
+        measured_refs=measured,
+        warmup_refs=warmup,
+        seed=seed,
+        sharing=spec._canonical_sharing(),
+    )
 
 
 def resolve_mix(name: str) -> Mix:
@@ -264,24 +315,40 @@ def _apply_vm_quotas(chip: Chip, assignments) -> None:
             )
 
 
-_RESULT_CACHE: Dict[ExperimentSpec, ExperimentResult] = {}
-
-
 def clear_result_cache() -> None:
-    """Drop memoized experiment results (tests use this)."""
-    _RESULT_CACHE.clear()
+    """Drop memoized experiment results (tests use this).
+
+    Clears the default store's memory tier; any on-disk tier the
+    default store was configured with is untouched.
+    """
+    from .store import get_default_store
+
+    get_default_store().clear_memory()
 
 
-def run_experiment(spec: ExperimentSpec, use_cache: bool = True) -> ExperimentResult:
+def run_experiment(
+    spec: ExperimentSpec,
+    use_cache: bool = True,
+    store=None,
+) -> ExperimentResult:
     """Run one consolidation experiment.
 
-    Results are memoized on the fully-resolved spec: the benchmark
-    harness re-uses isolation baselines across figures without
-    re-simulating them.
+    Results are cached in a :class:`repro.core.store.ResultStore` keyed
+    by the fully-resolved spec: the benchmark harness re-uses isolation
+    baselines across figures without re-simulating them, and a store
+    with a disk tier carries results across processes and sessions.
+    ``store=None`` uses the process-wide default store; ``use_cache=False``
+    bypasses lookup *and* insertion.
     """
+    from .store import get_default_store
+
     spec = spec.normalized()
-    if use_cache and spec in _RESULT_CACHE:
-        return _RESULT_CACHE[spec]
+    if store is None:
+        store = get_default_store()
+    if use_cache:
+        cached = store.get(spec)
+        if cached is not None:
+            return cached
 
     mix = resolve_mix(spec.mix)
     profiles = [profile.scaled(spec.scale) for profile in mix.profiles()]
@@ -393,5 +460,5 @@ def run_experiment(spec: ExperimentSpec, use_cache: bool = True) -> ExperimentRe
         assignments=assignments,
     )
     if use_cache:
-        _RESULT_CACHE[spec] = result
+        store.put(spec, result)
     return result

@@ -1,0 +1,319 @@
+"""Content-addressed, persistent experiment-result store.
+
+Every completed experiment is a pure function of its fully-resolved
+:class:`~repro.core.experiment.ExperimentSpec`, so results are cached
+under a *spec key*: a SHA-256 digest of the canonical JSON encoding of
+the normalized spec.  A :class:`ResultStore` keeps two tiers:
+
+memory tier
+    A plain dict, always present.  This is what the old module-level
+    ``_RESULT_CACHE`` in :mod:`repro.core.experiment` used to be; it is
+    now the first tier of the process-wide default store.
+
+disk tier (optional)
+    A directory of one JSON record per result, named ``<key>.json``.
+    Records are schema-versioned, written atomically (temp file +
+    ``os.replace`` so concurrent writers can never expose a torn file),
+    and validated on read — a corrupt or stale-schema record is treated
+    as a miss and counted in :attr:`StoreStats`, never raised to the
+    caller.
+
+The store also owns the result<->dict codecs
+(:func:`result_to_dict` / :func:`result_from_dict`);
+:mod:`repro.analysis.persist` re-exports them for archival files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from ..errors import ConfigurationError, ReproError
+from .experiment import ChipSummary, ExperimentResult, ExperimentSpec
+from .metrics import VMMetrics
+from .mixes import Mix
+
+__all__ = [
+    "RESULT_FORMAT_VERSION",
+    "STORE_SCHEMA_VERSION",
+    "SPEC_KEY_VERSION",
+    "spec_key",
+    "result_to_dict",
+    "result_from_dict",
+    "StoreStats",
+    "ResultStore",
+    "get_default_store",
+    "set_default_store",
+]
+
+RESULT_FORMAT_VERSION = 1
+"""Version of the result<->dict codec (``format_version`` field)."""
+
+STORE_SCHEMA_VERSION = 1
+"""Version of the on-disk store record envelope."""
+
+SPEC_KEY_VERSION = 1
+"""Version of the spec-key derivation; bump to invalidate all keys."""
+
+
+# ----------------------------------------------------------------------
+# spec keying
+# ----------------------------------------------------------------------
+
+def spec_key(spec: ExperimentSpec) -> str:
+    """Stable content key of one experiment.
+
+    The spec is normalized first (every defaulted field resolved), so a
+    spec written with explicit values and one written with environment
+    defaults hash identically when they describe the same run.
+    """
+    resolved = spec.normalized()
+    payload = {
+        "spec_key_version": SPEC_KEY_VERSION,
+        "spec": dataclasses.asdict(resolved),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# result <-> dict codecs (moved here from analysis.persist)
+# ----------------------------------------------------------------------
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-serializable dict capturing the full result."""
+    return {
+        "format_version": RESULT_FORMAT_VERSION,
+        "spec": dataclasses.asdict(result.spec),
+        "mix": {
+            "name": result.mix.name,
+            "components": [list(c) for c in result.mix.components],
+        },
+        "vm_metrics": [dataclasses.asdict(vm) for vm in result.vm_metrics],
+        "final_time": result.final_time,
+        "chip_summary": dataclasses.asdict(result.chip_summary),
+        "occupancy": [
+            {str(vm): lines for vm, lines in domain.items()}
+            for domain in result.occupancy
+        ],
+        "residency": [sorted(domain) for domain in result.residency],
+        "domain_lines": result.domain_lines,
+        "assignments": result.assignments,
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict`
+    output."""
+    version = payload.get("format_version")
+    if version != RESULT_FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported result format version {version!r} "
+            f"(expected {RESULT_FORMAT_VERSION})"
+        )
+    spec = ExperimentSpec(**payload["spec"])
+    mix_payload = payload["mix"]
+    mix = Mix(
+        mix_payload["name"],
+        tuple((workload, count) for workload, count in mix_payload["components"]),
+    )
+    return ExperimentResult(
+        spec=spec,
+        mix=mix,
+        vm_metrics=[VMMetrics(**vm) for vm in payload["vm_metrics"]],
+        final_time=payload["final_time"],
+        chip_summary=ChipSummary(**payload["chip_summary"]),
+        occupancy=[
+            {int(vm): lines for vm, lines in domain.items()}
+            for domain in payload["occupancy"]
+        ],
+        residency=[set(domain) for domain in payload["residency"]],
+        domain_lines=payload["domain_lines"],
+        assignments=[list(cores) for cores in payload.get("assignments", [])],
+    )
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class StoreStats:
+    """Hit/miss accounting of one :class:`ResultStore`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+    schema_mismatches: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+class ResultStore:
+    """Two-tier (memory + optional disk) experiment-result cache.
+
+    Parameters
+    ----------
+    path:
+        Directory for the persistent tier; ``None`` keeps the store
+        memory-only.  The directory is created on first use.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None):
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists() \
+                and not self.path.is_dir():
+            raise ConfigurationError(
+                f"result store path {self.path} exists and is not a "
+                f"directory"
+            )
+        self._memory: Dict[str, ExperimentResult] = {}
+        self.stats = StoreStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.path) if self.path else "memory-only"
+        return f"ResultStore({where}, {len(self._memory)} in memory)"
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, spec: ExperimentSpec) -> Optional[ExperimentResult]:
+        """Return the stored result for ``spec``, or ``None`` on miss.
+
+        A disk hit is promoted into the memory tier.  Corrupt and
+        stale-schema records count as misses.
+        """
+        key = spec_key(spec)
+        hit = self._memory.get(key)
+        if hit is not None:
+            self.stats.memory_hits += 1
+            return hit
+        result = self._read_record(key)
+        if result is not None:
+            self.stats.disk_hits += 1
+            self._memory[key] = result
+            return result
+        self.stats.misses += 1
+        return None
+
+    def __contains__(self, spec: ExperimentSpec) -> bool:
+        key = spec_key(spec)
+        if key in self._memory:
+            return True
+        return self.path is not None and self._record_path(key).exists()
+
+    def __len__(self) -> int:
+        """Number of results in the memory tier."""
+        return len(self._memory)
+
+    # -- insertion -----------------------------------------------------
+
+    def put(self, spec: ExperimentSpec, result: ExperimentResult) -> str:
+        """Store ``result`` under ``spec``'s key; returns the key."""
+        key = spec_key(spec)
+        self._memory[key] = result
+        if self.path is not None:
+            self._write_record(key, result)
+        self.stats.writes += 1
+        return key
+
+    # -- maintenance ---------------------------------------------------
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (the disk tier is untouched)."""
+        self._memory.clear()
+
+    def disk_keys(self) -> Iterator[str]:
+        """Keys of every record currently in the disk tier."""
+        if self.path is None or not self.path.is_dir():
+            return iter(())
+        return (entry.stem for entry in sorted(self.path.glob("*.json")))
+
+    # -- disk tier internals -------------------------------------------
+
+    def _record_path(self, key: str) -> Path:
+        assert self.path is not None
+        return self.path / f"{key}.json"
+
+    def _read_record(self, key: str) -> Optional[ExperimentResult]:
+        if self.path is None:
+            return None
+        record_path = self._record_path(key)
+        try:
+            raw = record_path.read_text()
+        except OSError:
+            return None
+        try:
+            record = json.loads(raw)
+            if not isinstance(record, dict):
+                raise ValueError("record is not an object")
+        except (json.JSONDecodeError, ValueError):
+            self.stats.corrupt += 1
+            return None
+        if record.get("store_schema") != STORE_SCHEMA_VERSION:
+            self.stats.schema_mismatches += 1
+            return None
+        if record.get("spec_key") != key:
+            self.stats.corrupt += 1
+            return None
+        try:
+            return result_from_dict(record["result"])
+        except (ReproError, KeyError, TypeError, ValueError):
+            self.stats.corrupt += 1
+            return None
+
+    def _write_record(self, key: str, result: ExperimentResult) -> None:
+        assert self.path is not None
+        self.path.mkdir(parents=True, exist_ok=True)
+        record = {
+            "store_schema": STORE_SCHEMA_VERSION,
+            "spec_key": key,
+            "result": result_to_dict(result),
+        }
+        payload = json.dumps(record, indent=2)
+        # Atomic publish: write a private temp file in the same
+        # directory, then os.replace it over the final name.  Readers
+        # either see the old complete record or the new complete record,
+        # never a partial write, even with many concurrent writers.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key}.", suffix=".tmp", dir=self.path
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self._record_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+# ----------------------------------------------------------------------
+# the process-wide default store
+# ----------------------------------------------------------------------
+
+_default_store = ResultStore()
+
+
+def get_default_store() -> ResultStore:
+    """The store :func:`repro.core.experiment.run_experiment` uses when
+    none is passed explicitly."""
+    return _default_store
+
+
+def set_default_store(store: ResultStore) -> ResultStore:
+    """Replace the process-wide default store; returns the old one."""
+    global _default_store
+    previous = _default_store
+    _default_store = store
+    return previous

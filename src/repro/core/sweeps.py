@@ -2,17 +2,31 @@
 
 The benchmarks and examples repeatedly run grids of experiments —
 sharing degree x policy, mix x policy, capacity sweeps.  These helpers
-express the grids declaratively, reuse the experiment cache, and
-return results keyed by the swept coordinates.
+express the grids declaratively and return results keyed by the swept
+coordinates.
+
+Since the executor redesign, every sweep routes through
+:class:`~repro.core.executor.SweepExecutor`: pass ``jobs=N`` to fan the
+grid out over ``N`` worker processes, and ``store=`` (or configure the
+default store with a disk tier) to make completed cells persistent —
+re-running a sweep with a warm store re-simulates nothing.  The
+functional surface is unchanged: the same dict of
+:class:`~repro.core.experiment.ExperimentResult` keyed by axis-value
+tuples, and a cell failure raises :class:`~repro.errors.SweepError`
+after the rest of the grid has completed.
+
+The declarative layer on top of this — named suites with canned paper
+grids — lives in :mod:`repro.core.suite`.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError
-from .experiment import ExperimentResult, ExperimentSpec, run_experiment
+from ..errors import ConfigurationError, SweepError
+from .executor import ProgressCallback, SweepExecutor
+from .experiment import ExperimentResult, ExperimentSpec
 
 __all__ = [
     "ALL_SHARINGS",
@@ -29,8 +43,24 @@ ALL_SHARINGS: Tuple[str, ...] = (
 ALL_POLICIES: Tuple[str, ...] = ("rr", "affinity", "rr-aff", "random")
 
 
+def _run_cells(cells, *, jobs, store, progress, executor):
+    """Execute cells and convert failures into one SweepError."""
+    executor = executor or SweepExecutor(jobs=jobs, store=store,
+                                         progress=progress)
+    outcomes = executor.run(cells)
+    failures = {o.key: o.error for o in outcomes if not o.ok}
+    if failures:
+        raise SweepError(failures)
+    return {o.key: o.result for o in outcomes}
+
+
 def sweep(
     base: ExperimentSpec,
+    *,
+    jobs: int = 1,
+    store=None,
+    progress: Optional[ProgressCallback] = None,
+    executor: Optional[SweepExecutor] = None,
     **axes: Sequence,
 ) -> Dict[tuple, ExperimentResult]:
     """Run the cartesian product of spec-field overrides.
@@ -38,34 +68,23 @@ def sweep(
     Example
     -------
     >>> grid = sweep(ExperimentSpec(mix="mixC", measured_refs=1000),
+    ...              jobs=4,
     ...              policy=["rr", "affinity"],
     ...              sharing=["shared-4", "private"])  # doctest: +SKIP
 
     Returns results keyed by tuples of axis values in keyword order.
+    ``jobs``, ``store``, ``progress`` and ``executor`` configure the
+    underlying :class:`~repro.core.executor.SweepExecutor`; any cell
+    failure raises :class:`~repro.errors.SweepError` once the whole
+    grid has been attempted.
     """
+    from .suite import ExperimentSuite
+
     if not axes:
         raise ConfigurationError("sweep needs at least one axis")
-    field_names = list(axes)
-    valid = set(ExperimentSpec.__dataclass_fields__)
-    for name in field_names:
-        if name not in valid:
-            raise ConfigurationError(
-                f"{name!r} is not an ExperimentSpec field; "
-                f"valid fields: {sorted(valid)}"
-            )
-    results: Dict[tuple, ExperimentResult] = {}
-
-    def recurse(prefix: tuple, remaining: List[str]) -> None:
-        if not remaining:
-            overrides = dict(zip(field_names, prefix))
-            results[prefix] = run_experiment(replace(base, **overrides))
-            return
-        axis = remaining[0]
-        for value in axes[axis]:
-            recurse(prefix + (value,), remaining[1:])
-
-    recurse((), field_names)
-    return results
+    suite = ExperimentSuite.build("sweep", base, **axes)
+    return _run_cells(suite.cells(), jobs=jobs, store=store,
+                      progress=progress, executor=executor)
 
 
 def sweep_sharing_policy(
@@ -73,20 +92,40 @@ def sweep_sharing_policy(
     sharings: Sequence[str] = ALL_SHARINGS,
     policies: Sequence[str] = ("rr", "affinity"),
     base: Optional[ExperimentSpec] = None,
+    *,
+    jobs: int = 1,
+    store=None,
+    progress: Optional[ProgressCallback] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[Tuple[str, str], ExperimentResult]:
-    """The paper's canonical grid: sharing degree x scheduler."""
-    base = base or ExperimentSpec(mix=mix)
-    base = replace(base, mix=mix)
-    return sweep(base, sharing=list(sharings), policy=list(policies))
+    """The paper's canonical grid: sharing degree x scheduler.
+
+    A thin wrapper over the :func:`repro.core.suite.sharing_policy_suite`
+    canned suite, kept for its stable dict-returning signature.
+    """
+    from .suite import sharing_policy_suite
+
+    suite = sharing_policy_suite(mix, sharings=sharings, policies=policies,
+                                 base=base)
+    return _run_cells(suite.cells(), jobs=jobs, store=store,
+                      progress=progress, executor=executor)
 
 
 def sweep_mixes(
     mixes: Iterable[str],
     base: Optional[ExperimentSpec] = None,
+    *,
+    jobs: int = 1,
+    store=None,
+    progress: Optional[ProgressCallback] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[Tuple[str], ExperimentResult]:
     """One run per mix, other parameters held at ``base``'s values."""
-    base = base or ExperimentSpec(mix="mixA")
-    return sweep(base, mix=list(mixes))
+    from .suite import mixes_suite
+
+    suite = mixes_suite(list(mixes), base=base)
+    return _run_cells(suite.cells(), jobs=jobs, store=store,
+                      progress=progress, executor=executor)
 
 
 def extract_grid(

@@ -29,6 +29,26 @@ class CoherenceError(SimulationError):
     """A cache-coherence invariant was violated."""
 
 
+class SweepError(ReproError):
+    """One or more cells of a sweep failed.
+
+    The executor never aborts a grid on a cell failure; once every cell
+    has been attempted, the sweep helpers raise this with the
+    per-cell tracebacks in :attr:`failures` (keyed by axis-value
+    tuple).
+    """
+
+    def __init__(self, failures):
+        self.failures = dict(failures)
+        cells = ", ".join(repr(key) for key in self.failures)
+        first = next(iter(self.failures.values()), "")
+        last_line = first.strip().splitlines()[-1] if first else ""
+        super().__init__(
+            f"{len(self.failures)} sweep cell(s) failed: {cells}"
+            + (f" — first error: {last_line}" if last_line else "")
+        )
+
+
 class WorkloadError(ReproError):
     """A workload profile or generator was misused or is inconsistent."""
 

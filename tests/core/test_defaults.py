@@ -1,0 +1,76 @@
+"""Tests for resolve_defaults and the deprecated environment knobs."""
+
+import warnings
+
+import pytest
+
+from repro.core.experiment import (
+    DEFAULT_MEASURED_REFS,
+    DEFAULT_SEED,
+    ExperimentSpec,
+    resolve_defaults,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    monkeypatch.delenv("REPRO_REFS", raising=False)
+    monkeypatch.delenv("REPRO_SEED", raising=False)
+
+
+class TestResolution:
+    def test_builtin_defaults_without_env(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no deprecation expected
+            resolved = resolve_defaults(ExperimentSpec(mix="mixA"))
+        assert resolved.measured_refs == DEFAULT_MEASURED_REFS
+        assert resolved.warmup_refs == DEFAULT_MEASURED_REFS // 2
+        assert resolved.seed == DEFAULT_SEED
+
+    def test_explicit_fields_win_silently(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REFS", "777")
+        monkeypatch.setenv("REPRO_SEED", "9")
+        spec = ExperimentSpec(mix="mixA", measured_refs=1000,
+                              warmup_refs=200, seed=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolved = resolve_defaults(spec)
+        assert resolved.measured_refs == 1000
+        assert resolved.warmup_refs == 200
+        assert resolved.seed == 3
+
+    def test_idempotent(self):
+        resolved = resolve_defaults(ExperimentSpec(mix="mixA"))
+        assert resolve_defaults(resolved) == resolved
+
+    def test_sharing_canonicalized(self):
+        resolved = resolve_defaults(
+            ExperimentSpec(mix="mixA", sharing="fully-shared", seed=1,
+                           measured_refs=100))
+        assert resolved.sharing == "shared"
+
+    def test_normalized_delegates(self):
+        spec = ExperimentSpec(mix="mixA", measured_refs=500, seed=2)
+        assert spec.normalized() == resolve_defaults(spec)
+
+
+class TestDeprecatedEnvKnobs:
+    def test_repro_refs_still_works_but_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REFS", "4321")
+        with pytest.deprecated_call(match="REPRO_REFS"):
+            resolved = resolve_defaults(ExperimentSpec(mix="mixA", seed=1))
+        assert resolved.measured_refs == 4321
+        assert resolved.warmup_refs == 4321 // 2
+
+    def test_repro_seed_still_works_but_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "17")
+        with pytest.deprecated_call(match="REPRO_SEED"):
+            resolved = resolve_defaults(
+                ExperimentSpec(mix="mixA", measured_refs=100))
+        assert resolved.seed == 17
+
+    def test_warning_names_the_spec_field(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REFS", "100")
+        with pytest.warns(DeprecationWarning,
+                          match="ExperimentSpec.measured_refs"):
+            resolve_defaults(ExperimentSpec(mix="mixA", seed=1))

@@ -1,0 +1,167 @@
+"""Tests for the parallel sweep executor.
+
+Includes the tier-1 parallel smoke test (a 2x2 suite at ``jobs=2`` with
+a tiny reference budget) so the multiprocessing path is exercised on
+every ``pytest -x -q`` run.
+"""
+
+import pytest
+
+from repro.core.executor import CellOutcome, SweepExecutor
+from repro.core.experiment import ExperimentSpec
+from repro.core.store import ResultStore, set_default_store
+from repro.core.suite import ExperimentSuite, SuiteRunner
+from repro.core.sweeps import sweep, sweep_sharing_policy
+from repro.errors import ConfigurationError, SweepError
+
+TINY = dict(measured_refs=300, warmup_refs=100, seed=1)
+
+
+@pytest.fixture(autouse=True)
+def isolated_default_store():
+    previous = set_default_store(ResultStore())
+    yield
+    set_default_store(previous)
+
+
+def grid_cells(mix="iso-tpch", sharings=("private", "shared-4"),
+               policies=("rr", "affinity")):
+    return [
+        ((sharing, policy),
+         ExperimentSpec(mix=mix, sharing=sharing, policy=policy, **TINY))
+        for sharing in sharings
+        for policy in policies
+    ]
+
+
+def metrics_of(outcome: CellOutcome):
+    return [(vm.cycles, vm.l2_misses, vm.miss_latency_cycles)
+            for vm in outcome.result.vm_metrics]
+
+
+class TestSerialExecution:
+    def test_outcomes_in_input_order(self):
+        cells = grid_cells()
+        outcomes = SweepExecutor(jobs=1, store=ResultStore()).run(cells)
+        assert [o.key for o in outcomes] == [key for key, _spec in cells]
+        assert all(o.ok for o in outcomes)
+        assert all(o.wall_time > 0 for o in outcomes)
+
+    def test_store_satisfies_second_run(self):
+        store = ResultStore()
+        executor = SweepExecutor(jobs=1, store=store)
+        cells = grid_cells()
+        first = executor.run(cells)
+        second = executor.run(cells)
+        assert all(not o.from_cache for o in first)
+        assert all(o.from_cache for o in second)
+        assert [metrics_of(a) for a in first] == [
+            metrics_of(b) for b in second]
+
+    def test_duplicate_specs_simulate_once(self):
+        store = ResultStore()
+        spec = ExperimentSpec(mix="iso-tpch", **TINY)
+        outcomes = SweepExecutor(jobs=1, store=store).run(
+            [(("a",), spec), (("b",), spec)])
+        assert store.stats.writes == 1
+        assert all(o.ok for o in outcomes)
+        assert metrics_of(outcomes[0]) == metrics_of(outcomes[1])
+
+    def test_progress_callback(self):
+        seen = []
+        executor = SweepExecutor(
+            jobs=1, store=ResultStore(),
+            progress=lambda done, total, outcome: seen.append(
+                (done, total, outcome.key)))
+        executor.run(grid_cells())
+        assert [s[0] for s in seen] == [1, 2, 3, 4]
+        assert all(s[1] == 4 for s in seen)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(jobs=0)
+
+
+class TestFailureIsolation:
+    def test_failed_cell_does_not_abort_grid(self):
+        cells = grid_cells()
+        cells.insert(1, (("bad",), ExperimentSpec(mix="mix99", **TINY)))
+        outcomes = SweepExecutor(jobs=1, store=ResultStore()).run(cells)
+        assert [o.ok for o in outcomes] == [True, False, True, True, True]
+        bad = outcomes[1]
+        assert bad.result is None
+        assert "unknown mix" in bad.error
+        assert bad.wall_time >= 0
+
+    def test_sweep_raises_sweep_error_after_full_grid(self):
+        base = ExperimentSpec(mix="iso-tpch", **TINY)
+        with pytest.raises(SweepError) as excinfo:
+            sweep(base, store=ResultStore(), mix=["iso-tpch", "mix99"])
+        assert ("mix99",) in excinfo.value.failures
+        assert "unknown mix" in excinfo.value.failures[("mix99",)]
+
+
+class TestParallelExecution:
+    def test_parallel_smoke_2x2_suite(self, monkeypatch):
+        """Tier-1 smoke: 2x2 suite, jobs=2, tiny REPRO_REFS."""
+        monkeypatch.setenv("REPRO_REFS", "300")
+        suite = ExperimentSuite.build(
+            "smoke",
+            ExperimentSpec(mix="iso-tpch", seed=1),
+            sharing=["private", "shared-4"],
+            policy=["rr", "affinity"],
+        )
+        runner = SuiteRunner(jobs=2, store=ResultStore())
+        with pytest.deprecated_call():
+            outcome = runner.run(suite)
+        assert len(outcome.results) == 4
+        assert not outcome.failures
+        for result in outcome.results.values():
+            assert result.spec.measured_refs == 300
+            assert result.vm_metrics[0].cycles > 0
+
+    def test_parallel_equals_serial(self):
+        cells = grid_cells()
+        serial = SweepExecutor(jobs=1, store=ResultStore()).run(cells)
+        parallel = SweepExecutor(jobs=4, store=ResultStore()).run(cells)
+        assert [o.key for o in serial] == [o.key for o in parallel]
+        for a, b in zip(serial, parallel):
+            assert metrics_of(a) == metrics_of(b)
+            assert a.result.chip_summary == b.result.chip_summary
+            assert a.result.final_time == b.result.final_time
+
+    def test_parallel_failure_isolation(self):
+        cells = grid_cells(policies=("rr",))
+        cells.append((("bad",), ExperimentSpec(mix="mix99", **TINY)))
+        outcomes = SweepExecutor(jobs=2, store=ResultStore()).run(cells)
+        by_key = {o.key: o for o in outcomes}
+        assert not by_key[("bad",)].ok
+        assert "unknown mix" in by_key[("bad",)].error
+        assert all(o.ok for key, o in by_key.items() if key != ("bad",))
+
+
+class _EngineBomb:
+    """Stands in for Engine to prove the store made simulation
+    unnecessary."""
+
+    def __init__(self, *args, **kwargs):
+        raise AssertionError("engine invoked despite a warm store")
+
+
+class TestWarmStoreSkipsSimulation:
+    def test_repeat_sweep_sharing_policy_never_resimulates(
+            self, tmp_path, monkeypatch):
+        base = ExperimentSpec(mix="mix5", **TINY)
+        first = sweep_sharing_policy(
+            "mix5", sharings=("private", "shared-4"), policies=("affinity",),
+            base=base, store=ResultStore(tmp_path))
+        # Fresh store instance on the same directory: only the disk tier
+        # can satisfy it.  The engine must not be constructed at all.
+        monkeypatch.setattr("repro.core.experiment.Engine", _EngineBomb)
+        second = sweep_sharing_policy(
+            "mix5", sharings=("private", "shared-4"), policies=("affinity",),
+            base=base, store=ResultStore(tmp_path))
+        assert set(first) == set(second)
+        for key in first:
+            assert [vm.cycles for vm in first[key].vm_metrics] == [
+                vm.cycles for vm in second[key].vm_metrics]

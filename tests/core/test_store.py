@@ -1,0 +1,215 @@
+"""Tests for the content-addressed result store."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    get_default_store,
+    result_to_dict,
+    set_default_store,
+    spec_key,
+)
+
+SPEC = ExperimentSpec(mix="iso-tpch", measured_refs=400, warmup_refs=100,
+                      seed=1)
+
+
+@pytest.fixture(autouse=True)
+def isolated_default_store():
+    previous = set_default_store(ResultStore())
+    yield
+    set_default_store(previous)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_experiment(SPEC, use_cache=False)
+
+
+class TestSpecKey:
+    def test_stable(self):
+        assert spec_key(SPEC) == spec_key(SPEC)
+        assert len(spec_key(SPEC)) == 64
+
+    def test_normalization_invariance(self):
+        # a defaulted spec and its explicit resolution key identically
+        loose = ExperimentSpec(mix="iso-tpch", measured_refs=400,
+                               warmup_refs=100, seed=1,
+                               sharing="fully-shared")
+        explicit = ExperimentSpec(mix="iso-tpch", measured_refs=400,
+                                  warmup_refs=100, seed=1, sharing="shared")
+        assert spec_key(loose) == spec_key(explicit)
+
+    def test_differs_across_specs(self):
+        other = ExperimentSpec(mix="iso-tpch", measured_refs=400,
+                               warmup_refs=100, seed=2)
+        assert spec_key(SPEC) != spec_key(other)
+
+
+class TestMemoryTier:
+    def test_round_trip(self, small_result):
+        store = ResultStore()
+        store.put(SPEC, small_result)
+        assert store.get(SPEC) is small_result
+        assert SPEC in store
+        assert len(store) == 1
+
+    def test_miss(self):
+        store = ResultStore()
+        assert store.get(SPEC) is None
+        assert store.stats.misses == 1
+
+    def test_clear_memory(self, small_result):
+        store = ResultStore()
+        store.put(SPEC, small_result)
+        store.clear_memory()
+        assert store.get(SPEC) is None
+
+
+class TestDiskTier:
+    def test_round_trip_across_instances(self, small_result, tmp_path):
+        ResultStore(tmp_path).put(SPEC, small_result)
+        fresh = ResultStore(tmp_path)
+        loaded = fresh.get(SPEC)
+        assert loaded is not None
+        assert fresh.stats.disk_hits == 1
+        assert result_to_dict(loaded) == result_to_dict(small_result)
+        # disk hit was promoted to the memory tier
+        assert len(fresh) == 1
+
+    def test_disk_keys(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, small_result)
+        assert list(store.disk_keys()) == [key]
+
+    def test_schema_version_mismatch_rejected(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, small_result)
+        record_path = tmp_path / f"{key}.json"
+        record = json.loads(record_path.read_text())
+        record["store_schema"] = STORE_SCHEMA_VERSION + 1
+        record_path.write_text(json.dumps(record))
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(SPEC) is None
+        assert fresh.stats.schema_mismatches == 1
+
+    def test_corrupt_record_tolerated(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, small_result)
+        (tmp_path / f"{key}.json").write_text("{ not json !!!")
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(SPEC) is None
+        assert fresh.stats.corrupt == 1
+        # and the store still accepts a rewrite afterwards
+        fresh.put(SPEC, small_result)
+        assert ResultStore(tmp_path).get(SPEC) is not None
+
+    def test_truncated_record_tolerated(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, small_result)
+        record_path = tmp_path / f"{key}.json"
+        record_path.write_text(record_path.read_text()[:100])
+        assert ResultStore(tmp_path).get(SPEC) is None
+
+    def test_wrong_key_in_record_tolerated(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, small_result)
+        record_path = tmp_path / f"{key}.json"
+        record = json.loads(record_path.read_text())
+        record["spec_key"] = "0" * 64
+        record_path.write_text(json.dumps(record))
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(SPEC) is None
+        assert fresh.stats.corrupt == 1
+
+    def test_path_that_is_a_file_rejected(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("")
+        with pytest.raises(ConfigurationError, match="not a directory"):
+            ResultStore(bogus)
+
+    def test_no_temp_files_left_behind(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, small_result)
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.suffix != ".json"]
+        assert leftovers == []
+
+
+WRITER_SCRIPT = """
+import json, sys
+from repro.core.experiment import ExperimentSpec
+from repro.core.store import ResultStore, result_from_dict
+
+store_dir, payload_path, rounds = sys.argv[1], sys.argv[2], int(sys.argv[3])
+result = result_from_dict(json.loads(open(payload_path).read()))
+store = ResultStore(store_dir)
+for _ in range(rounds):
+    store.put(result.spec, result)
+"""
+
+
+class TestConcurrentWriters:
+    def test_atomic_writes_under_concurrency(self, small_result, tmp_path):
+        """N processes hammering put() on the same key never expose a
+        torn record to concurrent readers."""
+        store_dir = tmp_path / "store"
+        payload_path = tmp_path / "payload.json"
+        payload_path.write_text(json.dumps(result_to_dict(small_result)))
+
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+        writers = [
+            subprocess.Popen(
+                [sys.executable, "-c", WRITER_SCRIPT,
+                 str(store_dir), str(payload_path), "40"],
+                env=env,
+            )
+            for _ in range(4)
+        ]
+        corrupt_reads = 0
+        while any(w.poll() is None for w in writers):
+            reader = ResultStore(store_dir)
+            reader.get(SPEC)
+            corrupt_reads += reader.stats.corrupt
+            time.sleep(0.005)
+        for writer in writers:
+            assert writer.wait() == 0
+        assert corrupt_reads == 0
+        final = ResultStore(store_dir)
+        assert final.get(SPEC) is not None
+        assert final.stats.corrupt == 0
+
+
+class TestDefaultStoreIntegration:
+    def test_run_experiment_uses_default_store(self, tmp_path):
+        set_default_store(ResultStore(tmp_path))
+        run_experiment(SPEC)
+        assert len(list(get_default_store().disk_keys())) == 1
+
+    def test_clear_result_cache_keeps_disk(self, tmp_path):
+        set_default_store(ResultStore(tmp_path))
+        run_experiment(SPEC)
+        repro.clear_result_cache()
+        assert len(get_default_store()) == 0
+        # disk tier still warm
+        assert get_default_store().get(SPEC) is not None
+
+    def test_use_cache_false_bypasses_store(self, small_result):
+        store = ResultStore()
+        run_experiment(SPEC, use_cache=False, store=store)
+        assert len(store) == 0

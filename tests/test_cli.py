@@ -129,3 +129,63 @@ class TestCommands:
                                   "--refs", "100")
         assert code == 2
         assert "unknown mix" in err
+
+
+class TestSweepExecutorFlags:
+    def test_sweep_with_jobs(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "sweep", "--mix", "iso-tpch", "--refs", "300",
+            "--seed", "1", "--jobs", "2", "--metric", "miss_rate")
+        assert code == 0
+        assert "private" in out and "shared-4" in out
+
+    def test_sweep_with_store_and_progress(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        code, _out, err = run_cli(
+            capsys, "sweep", "--mix", "iso-tpch", "--refs", "300",
+            "--seed", "1", "--store", str(store), "--progress")
+        assert code == 0
+        assert "[1/20]" in err and "[20/20]" in err
+        assert len(list(store.glob("*.json"))) == 20
+        # warm re-run: every cell satisfied by the store
+        code, _out, err = run_cli(
+            capsys, "sweep", "--mix", "iso-tpch", "--refs", "300",
+            "--seed", "1", "--store", str(store), "--progress")
+        assert code == 0
+        assert err.count("cached") == 20
+
+
+class TestSuiteCommand:
+    def test_suite_list(self, capsys):
+        code, out, _err = run_cli(capsys, "suite", "list")
+        assert code == 0
+        assert "sharing-policy" in out and "mixes" in out
+
+    def test_suite_sharing_policy(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "suite", "sharing-policy", "--mix", "iso-tpch",
+            "--refs", "300", "--seed", "1")
+        assert code == 0
+        assert "sharing-policy/iso-tpch" in out
+        assert "shared-4 / affinity" in out
+        assert "10 cells" in out
+
+    def test_suite_mixes_with_store(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        code, out, _err = run_cli(
+            capsys, "suite", "mixes", "--mixes", "iso-tpch,iso-specjbb",
+            "--refs", "300", "--seed", "1", "--store", str(store),
+            "--metric", "miss_rate")
+        assert code == 0
+        assert "iso-tpch" in out and "iso-specjbb" in out
+        code, out, _err = run_cli(
+            capsys, "suite", "mixes", "--mixes", "iso-tpch,iso-specjbb",
+            "--refs", "300", "--seed", "1", "--store", str(store),
+            "--metric", "miss_rate")
+        assert code == 0
+        assert "(2 cached)" in out
+
+    def test_unknown_suite_is_clean_error(self, capsys):
+        code, _out, err = run_cli(capsys, "suite", "nope", "--refs", "100")
+        assert code == 2
+        assert "unknown suite" in err
