@@ -68,6 +68,15 @@ from .errors import (
     WorkloadError,
 )
 from .machine import Chip, MachineConfig, SharingDegree
+from .obs import (
+    EpochProbe,
+    NullTelemetry,
+    Telemetry,
+    TimeSeries,
+    TraceBuffer,
+    TraceEvent,
+    export_chrome_trace,
+)
 from .workloads import (
     WORKLOADS,
     WorkloadProfile,
@@ -124,6 +133,13 @@ __all__ = [
     "Chip",
     "MachineConfig",
     "SharingDegree",
+    "EpochProbe",
+    "NullTelemetry",
+    "Telemetry",
+    "TimeSeries",
+    "TraceBuffer",
+    "TraceEvent",
+    "export_chrome_trace",
     "WORKLOADS",
     "WorkloadProfile",
     "get_profile",

@@ -14,6 +14,7 @@ from .occupancy import OccupancySnapshot, measure_occupancy
 from .persist import load_result, result_from_dict, result_to_dict, save_result
 from .replication import ReplicationSnapshot, measure_replication
 from .report import bar, format_kv, format_series, format_table
+from .timeline import render_metric, sparkline, timeline_report
 
 __all__ = [
     "ResultComparison",
@@ -39,4 +40,7 @@ __all__ = [
     "format_kv",
     "format_series",
     "format_table",
+    "render_metric",
+    "sparkline",
+    "timeline_report",
 ]

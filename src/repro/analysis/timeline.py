@@ -1,0 +1,128 @@
+"""Per-VM phase timelines rendered from epoch telemetry series.
+
+Turns the time series sampled by :class:`~repro.obs.probes.EpochProbe`
+into compact unicode sparkline plots: one row per VM per metric, time
+running left to right.  This is the textual counterpart of the paper's
+time-resolved occupancy/interference figures — phase shifts, contention
+transients, and completion points are visible at a glance from a
+terminal.
+
+Input is the plain-JSON series form (``{name: [[t, value], ...]}``,
+see :func:`repro.obs.series.series_to_dict`) so the renderer works on
+live hubs, ``result.series``, and store sidecar files alike.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["sparkline", "render_metric", "timeline_report"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+#: the probe's per-VM metrics, in display order
+_VM_METRICS = ("miss_rate", "miss_latency", "l2_share")
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """Render ``values`` as one row of unicode block characters.
+
+    ``lo``/``hi`` pin the scale (shared across rows for comparability);
+    by default the row is self-scaled.  A flat row renders as the
+    lowest block so "no activity" and "peak activity" never look alike.
+    """
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[1] * len(values)
+    top = len(_BLOCKS) - 1
+    out = []
+    for value in values:
+        norm = (value - lo) / span
+        index = int(norm * top)
+        out.append(_BLOCKS[max(0, min(top, index))])
+    return "".join(out)
+
+
+def _resample(points: Sequence[Tuple[int, float]], width: int) -> List[float]:
+    """Reduce ``points`` to ``width`` buckets by bucket-mean."""
+    if len(points) <= width:
+        return [v for _t, v in points]
+    out: List[float] = []
+    n = len(points)
+    for bucket in range(width):
+        start = bucket * n // width
+        end = max(start + 1, (bucket + 1) * n // width)
+        chunk = points[start:end]
+        out.append(sum(v for _t, v in chunk) / len(chunk))
+    return out
+
+
+def _series_by_metric(
+    series: Mapping[str, Sequence],
+) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """Group ``vm<j>.<metric>`` / ``queue.<resource>`` series by metric."""
+    grouped: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
+    for name, points in series.items():
+        if "." not in name:
+            continue
+        row, metric = name.split(".", 1)
+        if row == "queue":
+            row, metric = metric, "queue_depth"
+        grouped.setdefault(metric, {})[row] = [
+            (int(t), float(v)) for t, v in points
+        ]
+    return grouped
+
+
+def render_metric(
+    metric: str,
+    rows: Mapping[str, Sequence[Tuple[int, float]]],
+    width: int = 64,
+) -> str:
+    """One metric section: a shared-scale sparkline per row (VM)."""
+    all_values = [v for points in rows.values() for _t, v in points]
+    if not all_values:
+        return f"{metric}: (no samples)"
+    lo, hi = min(all_values), max(all_values)
+    label_width = max(len(label) for label in rows)
+    lines = [f"{metric}  [{lo:.4g} .. {hi:.4g}]"]
+    for label in sorted(rows):
+        values = _resample(list(rows[label]), width)
+        lines.append(
+            f"  {label.ljust(label_width)}  {sparkline(values, lo, hi)}"
+        )
+    return "\n".join(lines)
+
+
+def timeline_report(
+    series: Mapping[str, Sequence],
+    metrics: Optional[Sequence[str]] = None,
+    width: int = 64,
+) -> str:
+    """Render every sampled metric as a per-VM phase plot.
+
+    ``series`` maps series names to point lists; ``metrics`` restricts
+    and orders the sections (default: the probe's per-VM metrics, then
+    queue depths).
+    """
+    grouped = _series_by_metric(series)
+    if not grouped:
+        return "(no telemetry series; run with --telemetry --epoch N)"
+    if metrics is None:
+        metrics = [m for m in _VM_METRICS if m in grouped]
+        metrics += sorted(set(grouped) - set(metrics))
+    t_max = max(
+        (t for points in series.values() for t, _v in points), default=0
+    )
+    sections = [f"telemetry timeline  (0 .. {t_max} cycles, "
+                f"{width} columns)"]
+    for metric in metrics:
+        rows = grouped.get(metric)
+        if rows:
+            sections.append(render_metric(metric, rows, width=width))
+    return "\n\n".join(sections)

@@ -4,14 +4,25 @@
 
 ``run``
     One consolidation experiment; prints the per-VM metric table and
-    optionally saves the full result as JSON.
+    optionally saves the full result as JSON.  ``--telemetry``
+    ``--epoch N`` additionally samples per-VM time series every N
+    simulated cycles and prints a phase timeline.
 ``sweep``
     A sharing-degree x scheduling-policy sweep for one mix; ``--jobs N``
     fans the grid out over worker processes and ``--store PATH`` keeps a
     persistent result store so re-runs simulate nothing.
+    ``--telemetry`` records executor spans and store counters;
+    ``--epoch N`` epoch-samples every cold cell into store sidecars.
 ``suite``
     Run a canned experiment suite by name (``repro suite list`` shows
     the registry); takes the same ``--jobs`` / ``--store`` flags.
+``trace``
+    Run one experiment with epoch probes and event tracing enabled and
+    export a Chrome-trace JSON (loadable in Perfetto /
+    ``chrome://tracing``).
+``profile``
+    Run a suite with wall-clock executor spans and export the Chrome
+    trace of where the sweep spent its time.
 ``stats``
     The Table II characterization of one workload.
 ``workloads``
@@ -20,7 +31,8 @@
     The Table IV mix matrix.
 
 Every command honours ``REPRO_REFS`` / ``REPRO_SEED`` and takes
-explicit overrides.
+explicit overrides.  Telemetry never changes simulation results (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -82,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(runs the isolation baselines)")
     run_p.add_argument("--output", default=None,
                        help="save the full result as JSON")
+    _add_telemetry_flags(run_p)
+    run_p.add_argument("--series-out", default=None, metavar="PATH",
+                       help="save the sampled time series as JSON")
 
     sweep_p = sub.add_parser(
         "sweep", help="sharing-degree x policy sweep for one mix")
@@ -91,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--refs", type=int, default=None)
     sweep_p.add_argument("--seed", type=int, default=0)
     _add_executor_flags(sweep_p)
+    _add_telemetry_flags(sweep_p)
 
     suite_p = sub.add_parser(
         "suite", help="run a canned experiment suite by name")
@@ -105,6 +121,44 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p.add_argument("--refs", type=int, default=None)
     suite_p.add_argument("--seed", type=int, default=0)
     _add_executor_flags(suite_p)
+
+    trace_p = sub.add_parser(
+        "trace", help="run one experiment and export a Chrome trace "
+                      "(Perfetto / chrome://tracing)")
+    trace_p.add_argument("--mix", default="mix5",
+                         help="Table IV mix name or iso-<workload>")
+    trace_p.add_argument("--sharing", default="shared-4", choices=_SHARINGS)
+    trace_p.add_argument("--policy", default="affinity", choices=_POLICIES)
+    trace_p.add_argument("--refs", type=int, default=None)
+    trace_p.add_argument("--warmup", type=int, default=None)
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.add_argument("--epoch", type=int, default=5000,
+                         help="sampling period in simulated cycles "
+                              "(default 5000)")
+    trace_p.add_argument("--out", default="trace.json", metavar="PATH",
+                         help="Chrome-trace JSON output path")
+    trace_p.add_argument("--series-out", default=None, metavar="PATH",
+                         help="also save the raw time series as JSON")
+
+    profile_p = sub.add_parser(
+        "profile", help="run a suite with wall-clock spans and export "
+                        "the executor's Chrome trace")
+    profile_p.add_argument("name", nargs="?", default="sharing-policy",
+                           help="suite registry name (default "
+                                "sharing-policy)")
+    profile_p.add_argument("--mix", default="mix5",
+                           help="mix for suites parameterized by one mix")
+    profile_p.add_argument("--mixes", default=None,
+                           help="comma-separated mixes for the 'mixes' "
+                                "suite")
+    profile_p.add_argument("--refs", type=int, default=None)
+    profile_p.add_argument("--seed", type=int, default=0)
+    profile_p.add_argument("--epoch", type=int, default=0,
+                           help="also epoch-sample every cold cell "
+                                "(0 = off)")
+    profile_p.add_argument("--out", default="profile.json", metavar="PATH",
+                           help="Chrome-trace JSON output path")
+    _add_executor_flags(profile_p)
 
     stats_p = sub.add_parser(
         "stats", help="Table II characterization of one workload")
@@ -132,11 +186,36 @@ def _add_executor_flags(parser) -> None:
                         help="print per-cell progress to stderr")
 
 
-def _make_executor(args) -> "SweepExecutor":
+def _add_telemetry_flags(parser) -> None:
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable the telemetry hub (counters, "
+                             "spans, event tracing); simulation "
+                             "results are unaffected")
+    parser.add_argument("--epoch", type=int, default=0, metavar="N",
+                        help="sample per-VM time series every N "
+                             "simulated cycles (implies --telemetry)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="export recorded events as Chrome-trace "
+                             "JSON (Perfetto-loadable)")
+
+
+def _make_telemetry(args):
+    """A live hub when any telemetry flag was given, else ``None``."""
+    epoch = getattr(args, "epoch", 0)
+    if not (getattr(args, "telemetry", False) or epoch
+            or getattr(args, "trace_out", None)):
+        return None
+    from .obs import Telemetry
+
+    return Telemetry()
+
+
+def _make_executor(args, telemetry=None) -> "SweepExecutor":
     from .core.executor import SweepExecutor
     from .core.store import ResultStore
 
-    store = ResultStore(args.store) if args.store else None
+    store = (ResultStore(args.store, telemetry=telemetry)
+             if args.store else None)
 
     def report(done, total, outcome):
         status = ("cached" if outcome.from_cache
@@ -145,7 +224,9 @@ def _make_executor(args) -> "SweepExecutor":
         print(f"[{done}/{total}] {outcome.key} {status}", file=sys.stderr)
 
     return SweepExecutor(jobs=args.jobs, store=store,
-                         progress=report if args.progress else None)
+                         progress=report if args.progress else None,
+                         telemetry=telemetry,
+                         epoch=getattr(args, "epoch", 0))
 
 
 def _metric_row(vms, metric: str) -> float:
@@ -177,9 +258,27 @@ def _spec_from_args(args) -> ExperimentSpec:
     return ExperimentSpec(**params)
 
 
+def _write_trace(telemetry, path) -> None:
+    from .obs import export_chrome_trace
+
+    out = export_chrome_trace(telemetry.trace.events(), path)
+    dropped = telemetry.trace.dropped
+    note = f" ({dropped} oldest events dropped)" if dropped else ""
+    print(f"chrome trace written to {out}{note} — load it at "
+          f"https://ui.perfetto.dev or chrome://tracing")
+
+
+def _print_timeline(series) -> None:
+    from .analysis.timeline import timeline_report
+
+    print()
+    print(timeline_report(series))
+
+
 def _cmd_run(args) -> int:
     spec = _spec_from_args(args)
-    result = run_experiment(spec)
+    telemetry = _make_telemetry(args)
+    result = run_experiment(spec, telemetry=telemetry, epoch=args.epoch)
     rows = []
     normalized = normalize_result(result) if args.normalize else None
     for index, vm in enumerate(result.vm_metrics):
@@ -208,6 +307,17 @@ def _cmd_run(args) -> int:
         "directory cache hit rate":
             f"{100 * summary.directory_cache_hit_rate:.1f}%",
     }))
+    if result.series is not None:
+        _print_timeline(result.series)
+    if args.series_out:
+        import json
+
+        with open(args.series_out, "w") as handle:
+            json.dump(result.series or {}, handle, indent=1)
+        print(f"\ntime series saved to {args.series_out}")
+    if telemetry is not None and args.trace_out:
+        print()
+        _write_trace(telemetry, args.trace_out)
     if args.output:
         from .analysis.persist import save_result
 
@@ -219,11 +329,12 @@ def _cmd_run(args) -> int:
 def _cmd_sweep(args) -> int:
     from .core.suite import SuiteRunner, sharing_policy_suite
 
+    telemetry = _make_telemetry(args)
     base = ExperimentSpec(mix=args.mix, seed=args.seed,
                           measured_refs=args.refs)
     suite = sharing_policy_suite(args.mix, sharings=_SHARINGS,
                                  policies=_POLICIES, base=base)
-    outcome = SuiteRunner(_make_executor(args)).run(suite)
+    outcome = SuiteRunner(_make_executor(args, telemetry)).run(suite)
     _raise_on_failures(outcome)
     series = {}
     for sharing in _SHARINGS:
@@ -233,6 +344,87 @@ def _cmd_sweep(args) -> int:
             for policy in _POLICIES
         }
     print(format_series(f"{args.mix}: {args.metric} sweep", series))
+    if telemetry is not None:
+        counters = telemetry.snapshot()["counters"]
+        print()
+        print(format_kv("Telemetry", {
+            "cells simulated": counters.get("executor.simulated", 0),
+            "store hits": (counters.get("store.memory_hits", 0)
+                           + counters.get("store.disk_hits", 0)),
+            "store misses": counters.get("store.misses", 0),
+            "trace events": len(telemetry.trace),
+        }))
+        if args.trace_out:
+            print()
+            _write_trace(telemetry, args.trace_out)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import Telemetry
+
+    telemetry = Telemetry()
+    spec = ExperimentSpec(mix=args.mix, sharing=args.sharing,
+                          policy=args.policy, seed=args.seed,
+                          measured_refs=args.refs,
+                          warmup_refs=args.warmup)
+    # bypass the cache: tracing wants the events, not just the result
+    result = run_experiment(spec, use_cache=False, telemetry=telemetry,
+                            epoch=args.epoch)
+    _print_timeline(result.series or {})
+    print()
+    samples = max((len(points) for points in (result.series or {}).values()),
+                  default=0)
+    print(f"{samples} epoch samples, {len(telemetry.trace)} trace events "
+          f"(epoch = {args.epoch} cycles)")
+    _write_trace(telemetry, args.out)
+    if args.series_out:
+        import json
+
+        with open(args.series_out, "w") as handle:
+            json.dump(result.series or {}, handle, indent=1)
+        print(f"time series saved to {args.series_out}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .core.suite import SuiteRunner, get_suite
+    from .obs import Telemetry
+
+    telemetry = Telemetry()
+    params = {}
+    if args.name == "mixes":
+        if args.mixes:
+            params["mixes"] = [m.strip() for m in args.mixes.split(",")]
+    else:
+        params["mix"] = args.mix
+    if args.refs is not None or args.seed:
+        params["base"] = ExperimentSpec(mix=args.mix, seed=args.seed,
+                                        measured_refs=args.refs)
+    suite = get_suite(args.name, **params)
+    outcome = SuiteRunner(_make_executor(args, telemetry)).run(suite)
+    _raise_on_failures(outcome)
+    rows = [
+        [" / ".join(str(v) for v in key),
+         "cached" if cell.from_cache else f"{cell.wall_time:.2f}s"]
+        for key, cell in outcome.outcomes.items()
+    ]
+    print(format_table(
+        ["Cell (" + " x ".join(suite.axis_names) + ")", "wall time"],
+        rows, title=f"Profile: suite {suite.name}"))
+    print()
+    counters = telemetry.snapshot()["counters"]
+    hist = telemetry.histograms.get("executor.cell_seconds")
+    print(format_kv("Executor", {
+        "cells": len(outcome.outcomes),
+        "simulated": counters.get("executor.simulated", 0),
+        "cached": outcome.cached_cells,
+        "failures": counters.get("executor.failures", 0),
+        "mean cell time": f"{hist.mean:.2f}s" if hist else "n/a",
+        "total simulation time": f"{outcome.total_wall_time:.1f}s",
+    }))
+    print()
+    _write_trace(telemetry, args.out)
     return 0
 
 
@@ -345,6 +537,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "suite": _cmd_suite,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
     "stats": _cmd_stats,
     "compare": _cmd_compare,
     "workloads": _cmd_workloads,

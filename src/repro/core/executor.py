@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
@@ -60,19 +60,27 @@ ProgressCallback = Callable[[int, int, CellOutcome], None]
 """Called as ``progress(done, total, outcome)`` after every cell."""
 
 
-def _run_cell(payload: Tuple[int, ExperimentSpec]):
+def _run_cell(payload: Tuple[int, ExperimentSpec, int]):
     """Worker entry point: run one cell, never raise.
 
     Module-level (hence picklable by reference) so it survives the
     ``spawn`` start method.  Uses ``use_cache=False`` — the parent owns
-    the store; workers only compute.
+    the store; workers only compute.  A positive ``epoch`` samples the
+    cell through a worker-local telemetry hub; the sampled series ride
+    back to the parent on ``result.series`` (plain JSON, picklable).
     """
-    index, spec = payload
+    index, spec, epoch = payload
     start = time.perf_counter()
     try:
         from .experiment import run_experiment
 
-        result = run_experiment(spec, use_cache=False)
+        telemetry = None
+        if epoch > 0:
+            from ..obs.telemetry import Telemetry
+
+            telemetry = Telemetry()
+        result = run_experiment(spec, use_cache=False,
+                                telemetry=telemetry, epoch=epoch)
         return index, result, None, time.perf_counter() - start
     except Exception:
         return index, None, traceback.format_exc(), time.perf_counter() - start
@@ -97,6 +105,16 @@ class SweepExecutor:
     mp_context:
         ``multiprocessing`` start method for ``jobs > 1`` (default
         ``"spawn"``).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` hub.  When
+        set, every cold cell records a wall-clock span (named by its
+        grid key) into the trace buffer, cache hits record instant
+        events, and ``executor.*`` counters account the grid —
+        ``repro profile`` exports these as a Chrome trace.
+    epoch:
+        Positive to epoch-sample every cold cell (worker-local probes;
+        see :func:`_run_cell`).  Sampled series come back on each
+        ``result.series`` and are persisted as store sidecars.
     """
 
     def __init__(
@@ -105,13 +123,23 @@ class SweepExecutor:
         store=None,
         progress: Optional[ProgressCallback] = None,
         mp_context: str = "spawn",
+        telemetry=None,
+        epoch: int = 0,
     ):
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if epoch < 0:
+            raise ConfigurationError(f"epoch must be >= 0, got {epoch}")
+        if telemetry is None:
+            from ..obs.telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
         self.jobs = jobs
         self.store = store
         self.progress = progress
         self.mp_context = mp_context
+        self.telemetry = telemetry
+        self.epoch = epoch
 
     def run(
         self, cells: Sequence[Tuple[tuple, ExperimentSpec]]
@@ -122,8 +150,10 @@ class SweepExecutor:
         remaining cells run — deduplicated, so two cells whose specs
         resolve identically simulate once and share the result.
         """
+        from ..obs.trace import WALL_PID, TraceEvent, wall_now_us
         from .store import get_default_store
 
+        telemetry = self.telemetry
         store = self.store if self.store is not None else get_default_store()
         resolved = [(key, resolve_defaults(spec)) for key, spec in cells]
         total = len(resolved)
@@ -134,34 +164,55 @@ class SweepExecutor:
             nonlocal done
             outcomes[index] = outcome
             done += 1
+            telemetry.counter("executor.cells_done").inc()
+            if not outcome.ok:
+                telemetry.counter("executor.failures").inc()
             if self.progress is not None:
                 self.progress(done, total, outcome)
 
-        # tier 1: the store
-        pending: Dict[ExperimentSpec, List[int]] = {}
-        for index, (key, spec) in enumerate(resolved):
-            cached = store.get(spec)
-            if cached is not None:
-                record(index, CellOutcome(key, spec, result=cached,
-                                          from_cache=True))
-            else:
-                pending.setdefault(spec, []).append(index)
+        with telemetry.span(f"grid[{total}]", cat="executor"):
+            # tier 1: the store
+            pending: Dict[ExperimentSpec, List[int]] = {}
+            for index, (key, spec) in enumerate(resolved):
+                cached = store.get(spec)
+                if cached is not None:
+                    telemetry.counter("executor.cache_hits").inc()
+                    telemetry.emit(TraceEvent(
+                        name=f"cached {key}", cat="executor", ph="i",
+                        ts=wall_now_us(), pid=WALL_PID,
+                    ))
+                    record(index, CellOutcome(key, spec, result=cached,
+                                              from_cache=True))
+                else:
+                    pending.setdefault(spec, []).append(index)
 
-        # tier 2: simulate the distinct cold specs
-        jobs = [(indices[0], spec) for spec, indices in pending.items()]
-        for index, result, error, wall in self._execute(jobs):
-            key, spec = resolved[index]
-            if error is None:
-                store.put(spec, result)
-            for cell_index in pending[spec]:
-                cell_key = resolved[cell_index][0]
-                record(cell_index, CellOutcome(
-                    cell_key, spec, result=result, error=error,
-                    wall_time=wall, from_cache=cell_index != index,
-                ))
+            # tier 2: simulate the distinct cold specs
+            jobs = [(indices[0], spec, self.epoch)
+                    for spec, indices in pending.items()]
+            for index, result, error, wall in self._execute(jobs):
+                key, spec = resolved[index]
+                telemetry.counter("executor.simulated").inc()
+                telemetry.histogram(
+                    "executor.cell_seconds",
+                    bounds=(0.1, 0.5, 1, 2, 5, 10, 30, 60, 300),
+                ).observe(wall)
+                telemetry.add_span(
+                    name=f"cell {key}", cat="executor", duration_s=wall,
+                    args={"ok": error is None},
+                )
+                if error is None:
+                    store.put(spec, result)
+                    if result.series is not None:
+                        store.put_series(spec, result.series)
+                for cell_index in pending[spec]:
+                    cell_key = resolved[cell_index][0]
+                    record(cell_index, CellOutcome(
+                        cell_key, spec, result=result, error=error,
+                        wall_time=wall, from_cache=cell_index != index,
+                    ))
         return outcomes  # type: ignore[return-value]
 
-    def _execute(self, jobs: List[Tuple[int, ExperimentSpec]]):
+    def _execute(self, jobs: List[Tuple[int, ExperimentSpec, int]]):
         """Yield ``(index, result, error, wall_time)`` per cold cell."""
         if not jobs:
             return

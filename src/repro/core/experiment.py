@@ -244,7 +244,15 @@ class ChipSummary:
 
 @dataclass
 class ExperimentResult:
-    """Everything measured in one run."""
+    """Everything measured in one run.
+
+    ``series`` holds the epoch telemetry time-series (the JSON form of
+    :func:`repro.obs.series.series_to_dict`) when the run was executed
+    with a live telemetry hub and a positive epoch; it is *not* part of
+    the result codec (:func:`repro.core.store.result_to_dict`) — the
+    serialized result is byte-identical with telemetry on or off, and
+    series persist as store sidecar files instead.
+    """
 
     spec: ExperimentSpec
     mix: Mix
@@ -255,6 +263,7 @@ class ExperimentResult:
     residency: List[Set[int]]
     domain_lines: int
     assignments: List[List[int]] = field(default_factory=list)
+    series: Optional[Dict[str, list]] = None
 
     def metrics_for(self, workload: str) -> List[VMMetrics]:
         """All VM metrics of one workload, in VM order."""
@@ -330,6 +339,8 @@ def run_experiment(
     spec: ExperimentSpec,
     use_cache: bool = True,
     store=None,
+    telemetry=None,
+    epoch: int = 0,
 ) -> ExperimentResult:
     """Run one consolidation experiment.
 
@@ -339,8 +350,27 @@ def run_experiment(
     with a disk tier carries results across processes and sessions.
     ``store=None`` uses the process-wide default store; ``use_cache=False``
     bypasses lookup *and* insertion.
+
+    Telemetry
+    ---------
+    Pass a live :class:`~repro.obs.telemetry.Telemetry` hub to record
+    wall-clock phase spans, and a positive ``epoch`` to additionally
+    sample per-VM time series every ``epoch`` simulated cycles through
+    an :class:`~repro.obs.probes.EpochProbe` (the series land in
+    ``telemetry.series``, on ``result.series``, and — when the store
+    has a disk tier — in a ``<key>.series.json`` sidecar).  Telemetry
+    never changes simulation outcomes; the epoch probe is read-only
+    and the spec (hence the store key) does not include it.  A cache
+    hit cannot replay sampling, so epoch-probed runs resolve the store
+    *series* tier first and re-simulate if no stored series exists.
     """
     from .store import get_default_store
+
+    if telemetry is None:
+        from ..obs.telemetry import NULL_TELEMETRY
+
+        telemetry = NULL_TELEMETRY
+    want_series = telemetry.enabled and epoch > 0
 
     spec = spec.normalized()
     if store is None:
@@ -348,7 +378,21 @@ def run_experiment(
     if use_cache:
         cached = store.get(spec)
         if cached is not None:
-            return cached
+            if not want_series:
+                return cached
+            stored_series = store.get_series(spec)
+            if stored_series is not None:
+                # replay the stored series into the hub and reuse the
+                # cached result — nothing to re-simulate
+                from ..obs.series import series_from_dict
+
+                for name, series in series_from_dict(stored_series).items():
+                    telemetry.series_for(name).points.extend(series.points)
+                cached.series = stored_series
+                return cached
+            # cached result but no sampled series: fall through and
+            # re-simulate (results are deterministic, so this only
+            # costs time, never correctness)
 
     mix = resolve_mix(spec.mix)
     profiles = [profile.scaled(spec.scale) for profile in mix.profiles()]
@@ -400,6 +444,7 @@ def run_experiment(
         raise ConfigurationError(
             "dynamic rebinding and over-commit cannot be combined"
         )
+    probe = None
     if spec.slots_per_core > 1:
         engine = OvercommitEngine(chip, contexts)
     elif spec.rebind:
@@ -410,8 +455,14 @@ def run_experiment(
             interval=spec.rebind_interval,
         )
     else:
-        engine = Engine(chip, contexts)
-    engine_result = engine.run()
+        if want_series:
+            from ..obs.probes import EpochProbe
+
+            probe = EpochProbe(chip, contexts, epoch, telemetry)
+        engine = Engine(chip, contexts, probe=probe)
+    with telemetry.span(f"simulate {spec.mix}/{spec.sharing}/{spec.policy}",
+                        cat="experiment"):
+        engine_result = engine.run()
 
     vm_metrics: List[VMMetrics] = []
     for vm in hypervisor.vms:
@@ -459,6 +510,12 @@ def run_experiment(
         domain_lines=config.l2_geometry().num_lines,
         assignments=assignments,
     )
+    if probe is not None:
+        from ..obs.series import series_to_dict
+
+        result.series = series_to_dict(telemetry.series)
     if use_cache:
         store.put(spec, result)
+        if result.series is not None:
+            store.put_series(spec, result.series)
     return result

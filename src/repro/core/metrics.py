@@ -57,8 +57,16 @@ class VMMetrics:
         for stats in threads:
             for level, count in stats.level_counts.items():
                 counts[level] += count
-        l1_misses = sum(s.l1_misses for s in threads)
-        l2_misses = sum(s.l2_misses for s in threads)
+        # Derive the miss totals from the folded counts rather than
+        # re-walking every thread's level_counts through the per-thread
+        # properties: one pass over the data, and the miss fields stay
+        # consistent with the hit-level fields below by construction.
+        l1_misses = sum(
+            count for level, count in counts.items() if level.is_l1_miss
+        )
+        l2_misses = sum(
+            count for level, count in counts.items() if level.is_l2_miss
+        )
         refs = sum(s.refs for s in threads)
         return cls(
             vm_id=vm_id,

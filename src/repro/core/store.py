@@ -166,9 +166,14 @@ class ResultStore:
     path:
         Directory for the persistent tier; ``None`` keeps the store
         memory-only.  The directory is created on first use.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` hub; when set,
+        ``store.*`` counters mirror :attr:`StoreStats` so sweeps and
+        profiles can report cache behaviour alongside executor spans.
     """
 
-    def __init__(self, path: Optional[Union[str, Path]] = None):
+    def __init__(self, path: Optional[Union[str, Path]] = None,
+                 telemetry=None):
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists() \
                 and not self.path.is_dir():
@@ -176,8 +181,14 @@ class ResultStore:
                 f"result store path {self.path} exists and is not a "
                 f"directory"
             )
+        if telemetry is None:
+            from ..obs.telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
         self._memory: Dict[str, ExperimentResult] = {}
+        self._memory_series: Dict[str, dict] = {}
         self.stats = StoreStats()
+        self.telemetry = telemetry
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = str(self.path) if self.path else "memory-only"
@@ -195,13 +206,16 @@ class ResultStore:
         hit = self._memory.get(key)
         if hit is not None:
             self.stats.memory_hits += 1
+            self.telemetry.counter("store.memory_hits").inc()
             return hit
         result = self._read_record(key)
         if result is not None:
             self.stats.disk_hits += 1
+            self.telemetry.counter("store.disk_hits").inc()
             self._memory[key] = result
             return result
         self.stats.misses += 1
+        self.telemetry.counter("store.misses").inc()
         return None
 
     def __contains__(self, spec: ExperimentSpec) -> bool:
@@ -223,19 +237,89 @@ class ResultStore:
         if self.path is not None:
             self._write_record(key, result)
         self.stats.writes += 1
+        self.telemetry.counter("store.writes").inc()
         return key
+
+    # -- telemetry time-series sidecars --------------------------------
+
+    def put_series(self, spec: ExperimentSpec, series: dict) -> str:
+        """Store an epoch time-series alongside ``spec``'s result.
+
+        ``series`` is the JSON form produced by
+        :func:`repro.obs.series.series_to_dict`.  Series are kept as
+        ``<key>.series.json`` sidecar files (disk tier) or a parallel
+        memory dict — *outside* the result record, so the result codec
+        and spec keys are byte-identical with telemetry on or off.
+        """
+        key = spec_key(spec)
+        self._memory_series[key] = series
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+            payload = json.dumps({
+                "store_schema": STORE_SCHEMA_VERSION,
+                "spec_key": key,
+                "series": series,
+            }, indent=2)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{key}.", suffix=".tmp", dir=self.path
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, self._series_path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        return key
+
+    def get_series(self, spec: ExperimentSpec) -> Optional[dict]:
+        """The stored time-series for ``spec``, or ``None``."""
+        key = spec_key(spec)
+        hit = self._memory_series.get(key)
+        if hit is not None:
+            return hit
+        if self.path is None:
+            return None
+        try:
+            raw = self._series_path(key).read_text()
+        except OSError:
+            return None
+        try:
+            record = json.loads(raw)
+            series = record["series"]
+            if record.get("store_schema") != STORE_SCHEMA_VERSION:
+                return None
+            if not isinstance(series, dict):
+                raise ValueError("series is not an object")
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self.stats.corrupt += 1
+            return None
+        self._memory_series[key] = series
+        return series
+
+    def _series_path(self, key: str) -> Path:
+        assert self.path is not None
+        return self.path / f"{key}.series.json"
 
     # -- maintenance ---------------------------------------------------
 
     def clear_memory(self) -> None:
         """Drop the memory tier (the disk tier is untouched)."""
         self._memory.clear()
+        self._memory_series.clear()
 
     def disk_keys(self) -> Iterator[str]:
         """Keys of every record currently in the disk tier."""
         if self.path is None or not self.path.is_dir():
             return iter(())
-        return (entry.stem for entry in sorted(self.path.glob("*.json")))
+        return (
+            entry.stem
+            for entry in sorted(self.path.glob("*.json"))
+            if not entry.name.endswith(".series.json")
+        )
 
     # -- disk tier internals -------------------------------------------
 

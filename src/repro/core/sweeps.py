@@ -21,7 +21,6 @@ grids — lives in :mod:`repro.core.suite`.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, SweepError

@@ -138,6 +138,15 @@ class AnalyticalMesh:
         """Per-link busy fraction over ``horizon`` cycles."""
         return [link.stats.utilization(horizon) for link in self._links]
 
+    def link_queue_depths(self, now: int) -> List[float]:
+        """Per-link backlog at ``now`` in service times (telemetry)."""
+        return [link.queue_depth(now) for link in self._links]
+
+    def mean_link_queue_depth(self, now: int) -> float:
+        """Mean link backlog at ``now`` across every mesh link."""
+        depths = self.link_queue_depths(now)
+        return sum(depths) / len(depths) if depths else 0.0
+
     def hottest_links(self, horizon: int, top: int = 5) -> List[tuple]:
         """The ``top`` busiest links as ``((src, dst), utilization)``."""
         pairs = list(self.topology.links())

@@ -206,6 +206,21 @@ class FlitNetwork:
     # statistics
     # ------------------------------------------------------------------
 
+    def buffered_flits(self) -> int:
+        """Flits currently occupying router input buffers (all tiles)."""
+        return sum(self.router_queue_depths())
+
+    def router_queue_depths(self) -> List[int]:
+        """Per-router buffered-flit counts — the NoC's queue-depth
+        snapshot used by telemetry probes (injection queues included)."""
+        depths = []
+        for router in self.routers:
+            buffered = sum(
+                vc.occupancy for port in router.inputs for vc in port.vcs
+            )
+            depths.append(buffered + len(self._inject_queues[router.tile]))
+        return depths
+
     @property
     def mean_packet_latency(self) -> float:
         if not self.delivered:

@@ -389,6 +389,43 @@ class Chip:
         """Per-domain sets of resident blocks (Figure 12 raw data)."""
         return [domain.resident_blocks() for domain in self.domains]
 
+    # ------------------------------------------------------------------
+    # telemetry snapshots (read-only; see repro.obs.probes)
+    # ------------------------------------------------------------------
+
+    def queue_depths(self, now: int) -> Dict[str, float]:
+        """Mean backlog of each shared-resource class at ``now``.
+
+        Keys: ``l2`` (domain bank servers), ``memory`` (controller
+        channel + banks), ``link`` (mesh links).  Depths are in service
+        times (see :meth:`repro.sim.server.FifoServer.queue_depth`);
+        strictly read-only so epoch probes cannot perturb timing.
+        """
+        l2 = sum(s.queue_depth(now) for s in self.l2_servers)
+        return {
+            "l2": l2 / len(self.l2_servers),
+            "memory": self.memory.mean_queue_depth(now),
+            "link": self.mesh.mean_link_queue_depth(now),
+        }
+
+    def l2_occupancy_share(self) -> Dict[int, float]:
+        """Each VM's share of all resident L2 lines, chip-wide.
+
+        Shares are of *resident* lines (they sum to 1 once the caches
+        fill), keyed by VM id; lines without VM attribution are
+        excluded.
+        """
+        totals: Dict[int, int] = {}
+        resident = 0
+        for domain in self.domains:
+            for vm_id, lines in domain.occupancy_by_vm().items():
+                resident += lines
+                if vm_id >= 0:
+                    totals[vm_id] = totals.get(vm_id, 0) + lines
+        if resident == 0:
+            return {vm: 0.0 for vm in totals}
+        return {vm: lines / resident for vm, lines in totals.items()}
+
     def __repr__(self) -> str:
         return (
             f"Chip(cores={self.config.num_cores}, "

@@ -21,12 +21,7 @@ import enum
 from dataclasses import dataclass
 from typing import Tuple
 
-from ..caches.geometry import (
-    L0_GEOMETRY,
-    L1_GEOMETRY,
-    CacheGeometry,
-    l2_domain_geometry,
-)
+from ..caches.geometry import L0_GEOMETRY, L1_GEOMETRY, CacheGeometry
 from ..errors import ConfigurationError
 
 __all__ = ["SharingDegree", "MachineConfig", "DEFAULT_MEMORY_TILES"]

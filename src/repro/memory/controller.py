@@ -110,6 +110,16 @@ class MemoryController:
     def accesses(self) -> int:
         return self.reads + self.writebacks
 
+    def queue_depth(self, now: int) -> float:
+        """Backlog at ``now``: channel depth plus the mean bank depth.
+
+        Expressed in service times (see
+        :meth:`repro.sim.server.FifoServer.queue_depth`); read-only,
+        used by telemetry probes.
+        """
+        bank_depth = sum(b.queue_depth(now) for b in self.banks)
+        return self.channel.queue_depth(now) + bank_depth / len(self.banks)
+
     def utilization(self, horizon: int) -> float:
         """Channel busy fraction (the bandwidth bottleneck)."""
         return self.channel.stats.utilization(horizon)
@@ -163,3 +173,12 @@ class MemorySystem:
 
     def utilizations(self, horizon: int) -> List[float]:
         return [mc.utilization(horizon) for mc in self.controllers]
+
+    def queue_depths(self, now: int) -> List[float]:
+        """Per-controller backlog at ``now`` (telemetry probes)."""
+        return [mc.queue_depth(now) for mc in self.controllers]
+
+    def mean_queue_depth(self, now: int) -> float:
+        """Mean controller backlog at ``now``."""
+        depths = self.queue_depths(now)
+        return sum(depths) / len(depths)

@@ -1,0 +1,48 @@
+"""repro.obs — run-time telemetry: probes, tracing, and exporters.
+
+The observability layer of the simulator.  It is strictly additive:
+with the default :data:`~repro.obs.telemetry.NULL_TELEMETRY` hub no
+series, events, or counters are recorded and the simulation executes
+exactly as before; with a live :class:`~repro.obs.telemetry.Telemetry`
+hub the engine samples epoch time-series, the executor records
+wall-clock spans, and everything exports to Chrome-trace JSON
+(loadable in Perfetto).  See ``docs/observability.md``.
+"""
+
+from .probes import EpochProbe
+from .series import TimeSeries, series_from_dict, series_to_dict
+from .telemetry import (
+    NULL_TELEMETRY,
+    Counter,
+    Gauge,
+    Histogram,
+    NullTelemetry,
+    Telemetry,
+)
+from .trace import (
+    SIM_PID,
+    WALL_PID,
+    TraceBuffer,
+    TraceEvent,
+    chrome_trace_dict,
+    export_chrome_trace,
+)
+
+__all__ = [
+    "EpochProbe",
+    "TimeSeries",
+    "series_from_dict",
+    "series_to_dict",
+    "NULL_TELEMETRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NullTelemetry",
+    "Telemetry",
+    "SIM_PID",
+    "WALL_PID",
+    "TraceBuffer",
+    "TraceEvent",
+    "chrome_trace_dict",
+    "export_chrome_trace",
+]

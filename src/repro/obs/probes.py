@@ -1,0 +1,157 @@
+"""Epoch-based sampling probes for the simulation engine.
+
+An :class:`EpochProbe` rides along the engine's event loop: every
+``epoch`` simulated cycles it snapshots per-VM behaviour (miss rate,
+mean miss latency, L2 occupancy share) and the chip's shared-resource
+queue depths into :class:`~repro.obs.series.TimeSeries` records and
+Chrome-trace counter events.
+
+The probe is strictly *read-only* with respect to the machine: it
+derives epoch deltas from the cumulative
+:class:`~repro.sim.engine.ThreadStats` counters the engine maintains
+anyway, and pulls occupancy / queue-depth snapshots through inspection
+methods (:meth:`repro.machine.chip.Chip.queue_depths`,
+:meth:`~repro.machine.chip.Chip.l2_occupancy_share`).  It therefore
+cannot perturb simulation results — the determinism guard in
+``tests/obs/test_determinism.py`` holds by construction.
+
+Per-VM statistics cover the thread's *measured window* (the same window
+the paper measures): epochs that fall entirely inside warm-up, or after
+a VM completed, show zero activity for that VM — itself a useful phase
+signal.
+
+The probe works against any :class:`~repro.sim.engine.MachineModel`;
+machines that lack the inspection methods (e.g. the trivial fakes in
+the engine tests) simply produce no occupancy/queue series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .telemetry import Telemetry
+from .trace import SIM_PID, TraceEvent
+
+__all__ = ["EpochProbe"]
+
+
+class EpochProbe:
+    """Samples per-VM and chip-level time series every ``epoch`` cycles.
+
+    Parameters
+    ----------
+    machine:
+        The machine model being driven; queue depths and L2 occupancy
+        are pulled from it when it exposes ``queue_depths(now)`` /
+        ``l2_occupancy_share()`` (duck-typed, see module docstring).
+    threads:
+        The engine's thread contexts (the probe reads their
+        ``stats`` / ``vm_id`` attributes, never writes them).
+    epoch:
+        Sampling period in simulated cycles.
+    telemetry:
+        The hub receiving series and trace events.
+    """
+
+    def __init__(self, machine, threads, epoch: int, telemetry: Telemetry):
+        if epoch <= 0:
+            raise ValueError("epoch must be positive")
+        self.machine = machine
+        self.threads = list(threads)
+        self.epoch = epoch
+        self.telemetry = telemetry
+        self.next_due = epoch
+        self.samples = 0
+        self._vm_ids = sorted({t.vm_id for t in self.threads})
+        self._by_vm: Dict[int, List] = {}
+        for thread in self.threads:
+            self._by_vm.setdefault(thread.vm_id, []).append(thread)
+        # previous cumulative (l1, l2, refs, miss_latency_cycles) per VM
+        self._prev: Dict[int, tuple] = {
+            vm: (0, 0, 0, 0) for vm in self._vm_ids
+        }
+        self._queue_depths = getattr(machine, "queue_depths", None)
+        self._l2_share = getattr(machine, "l2_occupancy_share", None)
+
+    # -- engine hooks ---------------------------------------------------
+
+    def on_step(self, now: int) -> None:
+        """Called once per engine step with the current issue time."""
+        if now >= self.next_due:
+            self.sample(now)
+            # re-align to the epoch grid, skipping any fully-idle epochs
+            self.next_due = (now // self.epoch + 1) * self.epoch
+
+    def on_vm_complete(self, vm_id: int, finish: int) -> None:
+        """Mark a VM's completion instant in the trace."""
+        self.telemetry.emit(TraceEvent(
+            name=f"vm{vm_id} complete", cat="sim", ph="i",
+            ts=float(finish), pid=SIM_PID, tid=vm_id,
+        ))
+
+    def finish(self, final_time: int) -> None:
+        """Take a closing sample at the end of the run."""
+        self.sample(final_time)
+
+    # -- sampling -------------------------------------------------------
+
+    def sample(self, now: int) -> None:
+        """Record one sample of every tracked quantity at ``now``."""
+        telemetry = self.telemetry
+        self.samples += 1
+        shares = self._l2_share() if self._l2_share is not None else {}
+        miss_rate_args: Dict[str, float] = {}
+        latency_args: Dict[str, float] = {}
+        share_args: Dict[str, float] = {}
+        for vm in self._vm_ids:
+            l1 = l2 = refs = miss_lat = 0
+            for thread in self._by_vm[vm]:
+                stats = thread.stats
+                l1 += stats.l1_misses
+                l2 += stats.l2_misses
+                refs += stats.refs
+                miss_lat += stats.miss_latency_cycles
+            p_l1, p_l2, p_refs, p_lat = self._prev[vm]
+            self._prev[vm] = (l1, l2, refs, miss_lat)
+            d_l1 = l1 - p_l1
+            d_l2 = l2 - p_l2
+            d_lat = miss_lat - p_lat
+            miss_rate = d_l2 / d_l1 if d_l1 else 0.0
+            miss_latency = d_lat / d_l1 if d_l1 else 0.0
+            share = float(shares.get(vm, 0.0))
+            telemetry.series_for(f"vm{vm}.miss_rate").append(now, miss_rate)
+            telemetry.series_for(f"vm{vm}.miss_latency").append(
+                now, miss_latency
+            )
+            telemetry.series_for(f"vm{vm}.l2_share").append(now, share)
+            key = f"vm{vm}"
+            miss_rate_args[key] = round(miss_rate, 6)
+            latency_args[key] = round(miss_latency, 3)
+            share_args[key] = round(share, 6)
+
+        queue_args: Optional[Dict[str, float]] = None
+        if self._queue_depths is not None:
+            depths = self._queue_depths(now)
+            queue_args = {}
+            for resource, depth in sorted(depths.items()):
+                telemetry.series_for(f"queue.{resource}").append(now, depth)
+                queue_args[resource] = round(float(depth), 4)
+
+        ts = float(now)
+        telemetry.emit(TraceEvent(
+            name="miss_rate", cat="epoch", ph="C", ts=ts,
+            pid=SIM_PID, args=miss_rate_args,
+        ))
+        telemetry.emit(TraceEvent(
+            name="miss_latency", cat="epoch", ph="C", ts=ts,
+            pid=SIM_PID, args=latency_args,
+        ))
+        telemetry.emit(TraceEvent(
+            name="l2_share", cat="epoch", ph="C", ts=ts,
+            pid=SIM_PID, args=share_args,
+        ))
+        if queue_args is not None:
+            telemetry.emit(TraceEvent(
+                name="queue_depth", cat="epoch", ph="C", ts=ts,
+                pid=SIM_PID, args=queue_args,
+            ))

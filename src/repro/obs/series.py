@@ -1,0 +1,74 @@
+"""Time-series records produced by epoch probes.
+
+A :class:`TimeSeries` is a named list of ``(t, value)`` points, ``t`` in
+simulated cycles.  Series are cheap append-only structures on the
+simulator's sampling path and serialize to plain JSON lists so they can
+be stored alongside :class:`~repro.core.store.ResultStore` records and
+reloaded without the simulator (``analysis/timeline.py`` renders either
+form).
+
+Naming convention used by :class:`~repro.obs.probes.EpochProbe`:
+
+``vm<j>.miss_rate``
+    Per-epoch L2 miss rate seen by VM ``j``.
+``vm<j>.miss_latency``
+    Per-epoch mean L1-miss latency of VM ``j`` (cycles).
+``vm<j>.l2_share``
+    VM ``j``'s share of all resident L2 lines at the sample instant.
+``queue.l2`` / ``queue.memory`` / ``queue.link``
+    Mean resource-server queue depth (outstanding service times) across
+    the chip's L2 banks, memory channels, and mesh links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+__all__ = ["TimeSeries", "series_to_dict", "series_from_dict"]
+
+
+@dataclass
+class TimeSeries:
+    """One named sampled quantity over simulated time."""
+
+    name: str
+    points: List[Tuple[int, float]] = field(default_factory=list)
+
+    def append(self, t: int, value: float) -> None:
+        self.points.append((int(t), float(value)))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def times(self) -> List[int]:
+        return [t for t, _v in self.points]
+
+    @property
+    def values(self) -> List[float]:
+        return [v for _t, v in self.points]
+
+    def last(self) -> float:
+        """Most recent value (0.0 when empty)."""
+        return self.points[-1][1] if self.points else 0.0
+
+
+def series_to_dict(series: Mapping[str, TimeSeries]) -> Dict[str, list]:
+    """JSON-serializable form: ``{name: [[t, value], ...]}``."""
+    return {
+        name: [[t, v] for t, v in s.points] for name, s in sorted(series.items())
+    }
+
+
+def series_from_dict(payload: Mapping[str, list]) -> Dict[str, TimeSeries]:
+    """Rebuild :func:`series_to_dict` output."""
+    out: Dict[str, TimeSeries] = {}
+    for name, points in payload.items():
+        out[name] = TimeSeries(
+            name, [(int(t), float(v)) for t, v in points]
+        )
+    return out

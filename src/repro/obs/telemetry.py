@@ -1,0 +1,312 @@
+"""The telemetry hub and its zero-overhead null twin.
+
+A :class:`Telemetry` instance owns every observable artifact of one run
+or sweep: named counters / gauges / histograms, the bounded trace ring
+(:class:`~repro.obs.trace.TraceBuffer`), and the epoch time-series
+(:class:`~repro.obs.series.TimeSeries`).  Instrumented code receives a
+hub (never creates one) and records through it:
+
+>>> hub = Telemetry()
+>>> hub.counter("store.memory_hits").inc()
+>>> with hub.span("simulate", cat="experiment"):
+...     pass
+>>> hub.counter("store.memory_hits").value
+1
+
+:class:`NullTelemetry` implements the same surface as no-ops.  It is
+the default hub everywhere, which gives the *zero-perturbation
+guarantee*: a run without telemetry executes the same instruction
+stream the pre-telemetry code did (one attribute test or ``None`` check
+on the hot path), and a run *with* telemetry only ever reads simulator
+state — it never writes it — so simulation results are bit-identical
+either way (``tests/obs/test_determinism.py`` enforces this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .series import TimeSeries, series_to_dict
+from .trace import (
+    WALL_PID,
+    TraceBuffer,
+    TraceEvent,
+    wall_now_us,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing named count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A named instantaneous value (last write wins)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bound bucketed distribution of observed values.
+
+    ``bounds`` are the inclusive upper edges of each bucket; one
+    overflow bucket catches everything beyond the last bound.
+    """
+
+    name: str
+    bounds: Tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+    counts: List[int] = field(default_factory=list)
+    total: float = 0.0
+    observations: int = 0
+
+    def __post_init__(self) -> None:
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        self.observations += 1
+        self.total += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.observations if self.observations else 0.0
+
+
+class _Span:
+    """Context manager recording one wall-clock ``"X"`` trace event."""
+
+    __slots__ = ("_hub", "_name", "_cat", "_tid", "_args", "_start")
+
+    def __init__(self, hub: "Telemetry", name: str, cat: str, tid: int,
+                 args: Optional[dict]):
+        self._hub = hub
+        self._name = name
+        self._cat = cat
+        self._tid = tid
+        self._args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = wall_now_us()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = wall_now_us()
+        self._hub.trace.append(TraceEvent(
+            name=self._name, cat=self._cat, ph="X",
+            ts=self._start, dur=end - self._start,
+            pid=WALL_PID, tid=self._tid, args=self._args,
+        ))
+
+
+class Telemetry:
+    """The live hub: counters, gauges, histograms, trace, series.
+
+    Parameters
+    ----------
+    trace_capacity:
+        Ring-buffer size for trace events; the oldest events are
+        dropped (and counted) past this bound.
+    """
+
+    enabled = True
+
+    def __init__(self, trace_capacity: int = 65536):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.series: Dict[str, TimeSeries] = {}
+        self.trace = TraceBuffer(capacity=trace_capacity)
+
+    # -- instruments (create-on-first-use) -----------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            if bounds is not None:
+                instrument = Histogram(name, bounds=tuple(bounds))
+            else:
+                instrument = Histogram(name)
+            self.histograms[name] = instrument
+        return instrument
+
+    def series_for(self, name: str) -> TimeSeries:
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = TimeSeries(name)
+        return series
+
+    # -- tracing -------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        self.trace.append(event)
+
+    def span(self, name: str, cat: str = "span", tid: int = 0,
+             args: Optional[dict] = None) -> _Span:
+        """Wall-clock span context manager (records on exit)."""
+        return _Span(self, name, cat, tid, args)
+
+    def add_span(self, name: str, cat: str, duration_s: float,
+                 tid: int = 0, args: Optional[dict] = None) -> None:
+        """Record an already-measured wall-clock span ending now.
+
+        Used when the duration was measured elsewhere (e.g. inside a
+        worker process) and only the number crossed the process
+        boundary.
+        """
+        end = wall_now_us()
+        dur = max(0.0, duration_s * 1e6)
+        self.trace.append(TraceEvent(
+            name=name, cat=cat, ph="X", ts=end - dur, dur=dur,
+            pid=WALL_PID, tid=tid, args=args,
+        ))
+
+    # -- inspection ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable summary of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "mean": h.mean,
+                    "observations": h.observations,
+                }
+                for n, h in sorted(self.histograms.items())
+            },
+            "series": series_to_dict(self.series),
+            "trace_events": len(self.trace),
+            "trace_dropped": self.trace.dropped,
+        }
+
+
+class _NullInstrument:
+    """Absorbs every instrument call; shared by all null handles."""
+
+    __slots__ = ()
+    value = 0
+    total = 0.0
+    observations = 0
+    mean = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """API-compatible no-op hub; the default everywhere.
+
+    Shared singletons make every call allocation-free, so leaving
+    instrumentation points compiled-in costs a method dispatch at most
+    — and the hot simulation loop avoids even that by testing
+    ``probe is not None`` once per step.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.series: Dict[str, TimeSeries] = {}
+        self.trace = TraceBuffer(capacity=1)
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def series_for(self, name: str) -> TimeSeries:
+        # a fresh throwaway series: appends land nowhere persistent
+        return TimeSeries(name)
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def span(self, name: str, cat: str = "span", tid: int = 0,
+             args: Optional[dict] = None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add_span(self, name: str, cat: str, duration_s: float,
+                 tid: int = 0, args: Optional[dict] = None) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": {}, "gauges": {}, "histograms": {},
+            "series": {}, "trace_events": 0, "trace_dropped": 0,
+        }
+
+
+NULL_TELEMETRY = NullTelemetry()
+"""The process-wide shared null hub (safe: it holds no state)."""

@@ -1,0 +1,177 @@
+"""Event tracing: a bounded ring buffer plus a Chrome-trace exporter.
+
+Two clock domains share one buffer, distinguished by the trace *process*
+id:
+
+:data:`SIM_PID`
+    Simulated time.  Timestamps are simulation cycles; the exporter maps
+    one cycle to one microsecond so Perfetto / ``chrome://tracing``
+    render cycle counts directly.
+:data:`WALL_PID`
+    Real wall-clock time of the host process (executor cell spans,
+    experiment phases).  Timestamps are microseconds since an arbitrary
+    per-process origin.
+
+The buffer is a fixed-capacity ring (:class:`TraceBuffer`): recording is
+O(1), memory is bounded, and when the buffer overflows the *oldest*
+events are dropped (and counted) — a tracing layer must never be able to
+OOM the simulation it observes.
+
+The export format is the Chrome Trace Event JSON array format, which
+both ``chrome://tracing`` and https://ui.perfetto.dev load natively.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+__all__ = [
+    "SIM_PID",
+    "WALL_PID",
+    "TraceEvent",
+    "TraceBuffer",
+    "chrome_trace_dict",
+    "export_chrome_trace",
+    "wall_now_us",
+]
+
+SIM_PID = 1
+"""Trace process id of simulated-time events (1 cycle = 1 us)."""
+
+WALL_PID = 2
+"""Trace process id of wall-clock host events."""
+
+_WALL_ORIGIN = time.perf_counter()
+
+
+def wall_now_us() -> float:
+    """Wall-clock microseconds since the process trace origin."""
+    return (time.perf_counter() - _WALL_ORIGIN) * 1e6
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One Chrome-trace event.
+
+    Attributes mirror the Trace Event Format: ``ph`` is the phase
+    (``"X"`` complete span, ``"C"`` counter, ``"i"`` instant, ``"M"``
+    metadata), ``ts``/``dur`` are in microseconds (or cycles for
+    :data:`SIM_PID` events), ``pid``/``tid`` pick the row.
+    """
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    dur: float = 0.0
+    pid: int = SIM_PID
+    tid: int = 0
+    args: Optional[dict] = None
+
+    def to_json_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": self.ts,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.ph == "X":
+            out["dur"] = self.dur
+        if self.args is not None:
+            out["args"] = self.args
+        if self.ph == "i":
+            out["s"] = "t"  # instant scope: thread
+        return out
+
+
+@dataclass
+class TraceBuffer:
+    """Fixed-capacity ring of :class:`TraceEvent` records.
+
+    Appending past ``capacity`` silently evicts the oldest event and
+    increments :attr:`dropped` — the telemetry layer is bounded by
+    construction.
+    """
+
+    capacity: int = 65536
+    dropped: int = 0
+    _events: deque = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("trace buffer capacity must be positive")
+        self._events = deque(maxlen=self.capacity)
+
+    def append(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def events(self) -> List[TraceEvent]:
+        """Snapshot of the buffer contents, oldest first."""
+        return list(self._events)
+
+
+def chrome_trace_dict(
+    events: Iterable[TraceEvent],
+    process_names: Optional[Dict[int, str]] = None,
+) -> dict:
+    """Build the Chrome Trace Event JSON object for ``events``.
+
+    ``process_names`` labels the trace rows; by default the two clock
+    domains are named so a loaded trace is self-describing.
+    """
+    if process_names is None:
+        process_names = {
+            SIM_PID: "simulated time (1 cycle = 1 us)",
+            WALL_PID: "wall clock",
+        }
+    trace_events: List[dict] = []
+    seen_pids = set()
+    for event in events:
+        seen_pids.add(event.pid)
+        trace_events.append(event.to_json_dict())
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        }
+        for pid, label in sorted(process_names.items())
+        if pid in seen_pids
+    ]
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def export_chrome_trace(
+    events: Iterable[TraceEvent],
+    path: Union[str, Path],
+    process_names: Optional[Dict[int, str]] = None,
+) -> Path:
+    """Write ``events`` as a Chrome-trace JSON file; returns the path."""
+    path = Path(path)
+    payload = chrome_trace_dict(events, process_names=process_names)
+    path.write_text(json.dumps(payload, indent=1))
+    return path

@@ -219,6 +219,11 @@ class Engine:
     max_steps:
         Safety valve against runaway simulations; exceeded only on a
         simulator bug, in which case :class:`SimulationError` is raised.
+    probe:
+        Optional :class:`~repro.obs.probes.EpochProbe` sampling per-VM
+        time series as simulated time advances.  Probes are strictly
+        read-only: a run with a probe is bit-identical to one without
+        (the probe costs one ``is not None`` test per step when absent).
     """
 
     def __init__(
@@ -226,6 +231,7 @@ class Engine:
         machine: MachineModel,
         threads: List[ThreadContext],
         max_steps: Optional[int] = None,
+        probe=None,
     ):
         cores_seen = set()
         for thread in threads:
@@ -239,6 +245,7 @@ class Engine:
             raise SimulationError("engine needs at least one thread")
         self.machine = machine
         self.threads = {t.thread_id: t for t in threads}
+        self.probe = probe
         demand = sum(t.warmup_refs + t.measured_refs for t in threads)
         # Completed VMs keep running while others finish; 32x the
         # measured demand is far beyond any legitimate imbalance.
@@ -272,8 +279,8 @@ class Engine:
         vm_completion: Dict[int, int] = {}
         pending_vms = len(vm_pending)
 
+        probe = self.probe
         steps = 0
-        now = 0
         while pending_vms > 0:
             steps += 1
             if steps > self.max_steps:
@@ -282,6 +289,8 @@ class Engine:
                     f"VMs completing; {pending_vms} VM(s) still pending"
                 )
             issue_time, tid = heapq.heappop(heap)
+            if probe is not None:
+                probe.on_step(issue_time)
             thread = threads[tid]
             block, access, think = pending[tid]
             result = self.machine.access(
@@ -302,6 +311,8 @@ class Engine:
                     if vm_pending[vm] == 0:
                         vm_completion[vm] = finish
                         pending_vms -= 1
+                        if probe is not None:
+                            probe.on_vm_complete(vm, finish)
             next_ref = next(thread.references, None)
             if next_ref is None:
                 raise SimulationError(
@@ -311,8 +322,15 @@ class Engine:
             pending[tid] = next_ref
             heapq.heappush(heap, (finish + next_ref[2], tid))
 
+        # The run "finishes" when the last VM completes: the maximum
+        # completion time.  (The last *popped* issue_time undercounts
+        # the completing access's latency and is not necessarily the
+        # largest completion across VMs.)
+        final_time = max(vm_completion.values())
+        if probe is not None:
+            probe.finish(final_time)
         result = EngineResult(
-            final_time=issue_time,
+            final_time=final_time,
             vm_completion_times=vm_completion,
             thread_stats={tid: t.stats for tid, t in threads.items()},
             total_refs_processed=steps,

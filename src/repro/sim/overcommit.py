@@ -155,7 +155,9 @@ class OvercommitEngine:
             heapq.heappush(heap, (finish + pending[next_tid][2], core))
 
         result = EngineResult(
-            final_time=issue_time,
+            # the run ends when the last VM completes (max completion
+            # time), not at the last popped issue time
+            final_time=max(vm_completion.values()),
             vm_completion_times=vm_completion,
             thread_stats={tid: t.stats for tid, t in threads.items()},
             total_refs_processed=steps,

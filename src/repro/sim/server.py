@@ -95,6 +95,19 @@ class FifoServer:
         wait = self.busy_until - now
         return wait if wait > 0 else 0
 
+    def queue_depth(self, now: int) -> float:
+        """Outstanding work at ``now`` in units of service times.
+
+        0.0 when idle; 1.0 means one full service time of backlog.
+        Read-only (telemetry probes call this between requests).
+        """
+        pending = self.busy_until - now
+        if pending <= 0:
+            return 0.0
+        if self.service_time <= 0:
+            return float(pending)
+        return pending / self.service_time
+
     def reset(self) -> None:
         """Clear occupancy and statistics."""
         self.busy_until = 0

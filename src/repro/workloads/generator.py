@@ -14,7 +14,7 @@ within a window of ``scan_window`` blocks whose start advances
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 

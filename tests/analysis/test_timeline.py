@@ -1,0 +1,88 @@
+"""Tests for the sparkline timeline renderer."""
+
+from repro.analysis.timeline import render_metric, sparkline, timeline_report
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp_uses_full_range(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert line[0] == " "
+        assert line[-1] == "█"
+        assert list(line) == sorted(line, key=" ▁▂▃▄▅▆▇█".index)
+
+    def test_flat_row_renders_lowest_block(self):
+        assert sparkline([3.0, 3.0, 3.0]) == "▁▁▁"
+
+    def test_pinned_scale_shared_across_rows(self):
+        low = sparkline([0, 1], lo=0, hi=8)
+        high = sparkline([7, 8], lo=0, hi=8)
+        assert low == " ▁"
+        assert high == "▇█"
+
+    def test_out_of_range_values_clamped(self):
+        assert sparkline([-5, 50], lo=0, hi=8) == " █"
+
+
+class TestRenderMetric:
+    ROWS = {
+        "vm0": [(0, 0.0), (100, 0.5), (200, 1.0)],
+        "vm1": [(0, 1.0), (100, 1.0), (200, 1.0)],
+    }
+
+    def test_header_shows_shared_scale(self):
+        out = render_metric("miss_rate", self.ROWS)
+        assert out.splitlines()[0] == "miss_rate  [0 .. 1]"
+
+    def test_one_labelled_row_per_vm(self):
+        lines = render_metric("miss_rate", self.ROWS).splitlines()
+        assert lines[1].strip().startswith("vm0")
+        assert lines[2].strip().startswith("vm1")
+        # vm1 is pegged at the shared max -> all full blocks
+        assert lines[2].split()[-1] == "███"
+
+    def test_resampling_bounds_width(self):
+        rows = {"vm0": [(t, float(t)) for t in range(1000)]}
+        out = render_metric("m", rows, width=32)
+        # row format: two spaces, label, two spaces, sparkline
+        row = out.splitlines()[1]
+        assert len(row) == 2 + len("vm0") + 2 + 32
+
+    def test_no_samples(self):
+        assert "(no samples)" in render_metric("m", {"vm0": []})
+
+
+class TestTimelineReport:
+    SERIES = {
+        "vm0.miss_rate": [[0, 0.1], [100, 0.4]],
+        "vm0.miss_latency": [[0, 80.0], [100, 120.0]],
+        "vm0.l2_share": [[0, 0.5], [100, 0.5]],
+        "queue.memory": [[0, 1.0], [100, 3.0]],
+    }
+
+    def test_sections_in_canonical_order(self):
+        out = timeline_report(self.SERIES)
+        positions = [out.index(m) for m in
+                     ("miss_rate", "miss_latency", "l2_share", "queue_depth")]
+        assert positions == sorted(positions)
+        assert "0 .. 100 cycles" in out
+
+    def test_queue_series_grouped_under_queue_depth(self):
+        out = timeline_report(self.SERIES)
+        section = out.split("queue_depth")[1]
+        assert "memory" in section
+
+    def test_metric_filter(self):
+        out = timeline_report(self.SERIES, metrics=["l2_share"])
+        assert "l2_share" in out
+        assert "miss_latency" not in out
+
+    def test_empty_series_hint(self):
+        assert "--telemetry" in timeline_report({})
+
+    def test_accepts_tuple_points(self):
+        # live TimeSeries points are tuples, sidecar JSON gives lists
+        out = timeline_report({"vm0.miss_rate": [(0, 0.1), (100, 0.2)]})
+        assert "miss_rate" in out

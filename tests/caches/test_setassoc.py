@@ -4,7 +4,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.caches.geometry import CacheGeometry
 from repro.caches.line import PrivateLine
-from repro.caches.replacement import FifoPolicy, LruPolicy, RandomPolicy
+from repro.caches.replacement import FifoPolicy, RandomPolicy
 from repro.caches.setassoc import SetAssocCache
 
 

@@ -9,7 +9,6 @@ import pytest
 
 from repro.coherence.directory import Directory
 from repro.coherence.protocol import CoherenceController
-from repro.coherence.states import DirState
 from repro.errors import CoherenceError
 from repro.machine.chip import Chip
 from repro.machine.config import MachineConfig, SharingDegree

@@ -165,3 +165,90 @@ class TestWarmStoreSkipsSimulation:
         for key in first:
             assert [vm.cycles for vm in first[key].vm_metrics] == [
                 vm.cycles for vm in second[key].vm_metrics]
+
+
+class TestProgressCallback:
+    def test_called_exactly_once_per_cell(self):
+        cells = grid_cells()
+        seen = []
+        SweepExecutor(
+            jobs=1, store=ResultStore(),
+            progress=lambda done, total, o: seen.append(o.key),
+        ).run(cells)
+        assert sorted(seen) == sorted(key for key, _spec in cells)
+        assert len(seen) == len(set(seen))  # no key reported twice
+
+    def test_done_counts_monotone_and_complete(self):
+        seen = []
+        SweepExecutor(
+            jobs=1, store=ResultStore(),
+            progress=lambda done, total, o: seen.append((done, total)),
+        ).run(grid_cells())
+        assert [done for done, _ in seen] == list(range(1, 5))
+        assert all(total == 4 for _, total in seen)
+
+    def test_survives_failing_cell(self):
+        cells = grid_cells(policies=("rr",))
+        cells.insert(1, (("bad",), ExperimentSpec(mix="mix99", **TINY)))
+        seen = []
+        outcomes = SweepExecutor(
+            jobs=1, store=ResultStore(),
+            progress=lambda done, total, o: seen.append((o.key, o.ok)),
+        ).run(cells)
+        # the failing cell is still reported, and every later cell too
+        assert len(seen) == len(cells)
+        assert (("bad",), False) in seen
+        assert sum(ok for _key, ok in seen) == len(cells) - 1
+        assert [o.ok for o in outcomes] == [True, False, True]
+
+    def test_cache_hits_reported_before_cold_cells(self):
+        store = ResultStore()
+        executor = SweepExecutor(jobs=1, store=store)
+        cells = grid_cells(policies=("rr",))
+        executor.run(cells[:1])  # warm the first cell
+        seen = []
+        SweepExecutor(
+            jobs=1, store=store,
+            progress=lambda done, total, o: seen.append(o.from_cache),
+        ).run(cells)
+        assert seen == [True, False]
+
+
+class TestExecutorTelemetry:
+    def test_counters_account_the_grid(self):
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        store = ResultStore()
+        cells = grid_cells(policies=("rr",))
+        SweepExecutor(jobs=1, store=store, telemetry=telemetry).run(cells)
+        assert telemetry.counters["executor.cells_done"].value == 2
+        assert telemetry.counters["executor.simulated"].value == 2
+        assert "executor.cache_hits" not in telemetry.counters
+
+        SweepExecutor(jobs=1, store=store, telemetry=telemetry).run(cells)
+        assert telemetry.counters["executor.cells_done"].value == 4
+        assert telemetry.counters["executor.cache_hits"].value == 2
+
+    def test_cold_cells_record_wall_spans(self):
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        SweepExecutor(jobs=1, store=ResultStore(),
+                      telemetry=telemetry).run(grid_cells(policies=("rr",)))
+        spans = [e for e in telemetry.trace.events() if e.ph == "X"]
+        names = {e.name for e in spans}
+        assert "grid[2]" in names
+        assert sum(1 for e in spans if e.name.startswith("cell ")) == 2
+
+    def test_failures_counted(self):
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        SweepExecutor(jobs=1, store=ResultStore(), telemetry=telemetry).run(
+            [(("bad",), ExperimentSpec(mix="mix99", **TINY))])
+        assert telemetry.counters["executor.failures"].value == 1
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(epoch=-1)

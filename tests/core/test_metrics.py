@@ -84,3 +84,34 @@ class TestAggregateByWorkload:
         grouped = aggregate_by_workload(vms)
         assert [vm.vm_id for vm in grouped["a"]] == [0, 2]
         assert [vm.vm_id for vm in grouped["b"]] == [1]
+
+
+class TestFoldedCountEquivalence:
+    """from_threads derives miss totals from the folded counts dict; the
+    result must match summing the per-thread ThreadStats properties."""
+
+    def test_miss_totals_match_per_thread_sums(self):
+        threads = [
+            stats_with([HitLevel.L0, HitLevel.L1, HitLevel.L2,
+                        HitLevel.L2_PEER, HitLevel.MEMORY]),
+            stats_with([HitLevel.C2C_CLEAN, HitLevel.C2C_DIRTY,
+                        HitLevel.L2, HitLevel.L0]),
+            ThreadStats(),  # an idle thread contributes nothing
+        ]
+        vm = VMMetrics.from_threads(3, "specjbb", threads, 1234)
+        assert vm.l1_misses == sum(s.l1_misses for s in threads)
+        assert vm.l2_misses == sum(s.l2_misses for s in threads)
+
+    def test_miss_totals_consistent_with_level_fields(self):
+        """l1/l2 miss totals decompose exactly into the hit-level
+        fields built from the same folded counts."""
+        threads = [
+            stats_with([HitLevel.L2] * 3 + [HitLevel.L2_PEER] * 2
+                       + [HitLevel.C2C_CLEAN] * 4 + [HitLevel.C2C_DIRTY]
+                       + [HitLevel.MEMORY] * 5 + [HitLevel.L0] * 7),
+        ]
+        vm = VMMetrics.from_threads(0, "tpcw", threads, 10)
+        assert vm.l1_misses == (vm.l2_hits + vm.l2_peer_transfers
+                                + vm.c2c_clean + vm.c2c_dirty
+                                + vm.memory_fetches)
+        assert vm.l2_misses == vm.c2c_clean + vm.c2c_dirty + vm.memory_fetches

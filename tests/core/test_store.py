@@ -213,3 +213,82 @@ class TestDefaultStoreIntegration:
         store = ResultStore()
         run_experiment(SPEC, use_cache=False, store=store)
         assert len(store) == 0
+
+
+class TestStoreCounters:
+    """StoreStats and the mirrored telemetry counters track every
+    memory hit, disk hit, miss, and write."""
+
+    def test_stats_track_tiers(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(SPEC) is None
+        assert store.stats.misses == 1
+        store.put(SPEC, small_result)
+        assert store.stats.writes == 1
+        assert store.get(SPEC) is not None
+        assert store.stats.memory_hits == 1
+
+        # a fresh instance on the same directory can only hit disk,
+        # then promotes the record into its memory tier
+        warm = ResultStore(tmp_path)
+        assert warm.get(SPEC) is not None
+        assert warm.stats.disk_hits == 1
+        assert warm.get(SPEC) is not None
+        assert warm.stats.memory_hits == 1
+        assert warm.stats.hits == 2
+        assert warm.stats.misses == 0
+
+    def test_telemetry_counters_mirror_stats(self, small_result):
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        store = ResultStore(telemetry=telemetry)
+        store.get(SPEC)
+        store.put(SPEC, small_result)
+        store.get(SPEC)
+        counters = telemetry.counters
+        assert counters["store.misses"].value == 1
+        assert counters["store.writes"].value == 1
+        assert counters["store.memory_hits"].value == 1
+        assert "store.disk_hits" not in counters
+
+    def test_null_telemetry_by_default(self, small_result):
+        store = ResultStore()
+        store.get(SPEC)
+        store.put(SPEC, small_result)
+        assert store.get(SPEC) is not None
+        # the default hub is the shared no-op: nothing is recorded
+        assert not store.telemetry.enabled
+
+
+class TestSeriesSidecars:
+    def test_round_trip(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, small_result)
+        series = {"vm0.miss_rate": [[5000, 0.25], [10000, 0.5]]}
+        store.put_series(SPEC, series)
+        assert store.get_series(SPEC) == series
+
+    def test_disk_round_trip_across_instances(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, small_result)
+        store.put_series(SPEC, {"queue.memory": [[5000, 1.5]]})
+        warm = ResultStore(tmp_path)
+        assert warm.get_series(SPEC) == {"queue.memory": [[5000, 1.5]]}
+
+    def test_missing_series_is_none(self, tmp_path):
+        assert ResultStore(tmp_path).get_series(SPEC) is None
+
+    def test_sidecars_not_listed_as_result_keys(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, small_result)
+        store.put_series(SPEC, {"vm0.miss_rate": [[1, 0.1]]})
+        assert list(store.disk_keys()) == [key]
+
+    def test_corrupt_sidecar_tolerated(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, small_result)
+        store.put_series(SPEC, {"vm0.miss_rate": [[1, 0.1]]})
+        (tmp_path / f"{key}.series.json").write_text("{not json")
+        warm = ResultStore(tmp_path)
+        assert warm.get_series(SPEC) is None

@@ -1,9 +1,7 @@
 """Unit tests for the flit-level router's internal mechanisms."""
 
-import pytest
-
 from repro.interconnect.packet import Packet, packet_flits
-from repro.interconnect.router import PIPELINE_STAGES, PORTS, Port, Router
+from repro.interconnect.router import PIPELINE_STAGES, Port, Router
 
 
 def head_flit(src=0, dst=1, flits=1):

@@ -1,7 +1,5 @@
 """Tests for the chip timing model — the heart of the simulator."""
 
-import pytest
-
 from repro.machine.chip import Chip
 from repro.machine.config import MachineConfig, SharingDegree
 from repro.sim.records import HitLevel

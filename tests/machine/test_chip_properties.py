@@ -1,7 +1,6 @@
 """Property-based whole-chip invariants under random traffic."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.machine.chip import Chip

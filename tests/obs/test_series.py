@@ -1,0 +1,39 @@
+"""Tests for the TimeSeries record and its JSON codec."""
+
+from repro.obs.series import TimeSeries, series_from_dict, series_to_dict
+
+
+class TestTimeSeries:
+    def test_append_coerces_types(self):
+        s = TimeSeries("x")
+        s.append(5.0, 1)
+        assert s.points == [(5, 1.0)]
+
+    def test_times_values_last(self):
+        s = TimeSeries("x", points=[(1, 0.5), (2, 0.7)])
+        assert s.times == [1, 2]
+        assert s.values == [0.5, 0.7]
+        assert s.last() == 0.7
+        assert len(s) == 2
+
+    def test_empty_last(self):
+        assert TimeSeries("x").last() == 0.0
+
+
+class TestCodec:
+    def test_round_trip(self):
+        original = {
+            "vm1.miss_rate": TimeSeries("vm1.miss_rate", [(100, 0.25)]),
+            "vm0.miss_rate": TimeSeries("vm0.miss_rate", [(100, 0.5)]),
+        }
+        data = series_to_dict(original)
+        assert list(data) == sorted(data)  # deterministic key order
+        assert data["vm0.miss_rate"] == [[100, 0.5]]
+        rebuilt = series_from_dict(data)
+        assert rebuilt["vm1.miss_rate"].points == [(100, 0.25)]
+
+    def test_json_safe(self):
+        import json
+
+        data = series_to_dict({"s": TimeSeries("s", [(1, 2.0)])})
+        assert json.loads(json.dumps(data)) == {"s": [[1, 2.0]]}

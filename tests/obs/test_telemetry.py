@@ -1,0 +1,139 @@
+"""Tests for the telemetry hub and its null twin."""
+
+import pytest
+
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    Counter,
+    Gauge,
+    Histogram,
+    NullTelemetry,
+    Telemetry,
+)
+from repro.obs.trace import SIM_PID, WALL_PID, TraceEvent
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("g")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_buckets(self):
+        h = Histogram("h", bounds=(1, 10, 100))
+        for value in (0.5, 5, 50, 500):
+            h.observe(value)
+        assert h.counts == [1, 1, 1, 1]  # one overflow
+        assert h.observations == 4
+        assert h.mean == pytest.approx(555.5 / 4)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(10, 1))
+
+    def test_empty_histogram_mean(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestHub:
+    def test_create_on_first_use_returns_same_instrument(self):
+        hub = Telemetry()
+        assert hub.counter("x") is hub.counter("x")
+        assert hub.gauge("y") is hub.gauge("y")
+        assert hub.histogram("z") is hub.histogram("z")
+        assert hub.series_for("s") is hub.series_for("s")
+
+    def test_counter_accumulates_through_hub(self):
+        hub = Telemetry()
+        hub.counter("hits").inc()
+        hub.counter("hits").inc()
+        assert hub.counters["hits"].value == 2
+
+    def test_span_records_wall_complete_event(self):
+        hub = Telemetry()
+        with hub.span("work", cat="test", args={"k": 1}):
+            pass
+        events = hub.trace.events()
+        assert len(events) == 1
+        event = events[0]
+        assert event.ph == "X"
+        assert event.pid == WALL_PID
+        assert event.name == "work"
+        assert event.dur >= 0
+        assert event.args == {"k": 1}
+
+    def test_add_span_backdates_start(self):
+        hub = Telemetry()
+        hub.add_span("cell", cat="executor", duration_s=2.0)
+        event = hub.trace.events()[0]
+        assert event.ph == "X"
+        assert event.dur == pytest.approx(2e6)
+        # the span ends "now": start = end - dur may precede the origin
+        from repro.obs.trace import wall_now_us
+
+        assert event.ts + event.dur <= wall_now_us()
+
+    def test_emit_appends_to_trace(self):
+        hub = Telemetry()
+        hub.emit(TraceEvent(name="e", cat="c", ph="i", ts=1.0, pid=SIM_PID))
+        assert [e.name for e in hub.trace.events()] == ["e"]
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        hub = Telemetry()
+        hub.counter("c").inc()
+        hub.gauge("g").set(2.5)
+        hub.histogram("h").observe(3)
+        hub.series_for("vm0.miss_rate").append(5000, 0.25)
+        with hub.span("s"):
+            pass
+        snap = json.loads(json.dumps(hub.snapshot()))
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 2.5}
+        assert snap["histograms"]["h"]["observations"] == 1
+        assert snap["series"] == {"vm0.miss_rate": [[5000, 0.25]]}
+        assert snap["trace_events"] == 1
+        assert snap["trace_dropped"] == 0
+
+    def test_enabled_flag(self):
+        assert Telemetry().enabled is True
+        assert NullTelemetry().enabled is False
+        assert NULL_TELEMETRY.enabled is False
+
+
+class TestNullTelemetry:
+    def test_absorbs_everything_without_state(self):
+        hub = NullTelemetry()
+        hub.counter("c").inc()
+        hub.gauge("g").set(9)
+        hub.histogram("h").observe(1)
+        hub.emit(TraceEvent(name="e", cat="c", ph="i", ts=0.0))
+        hub.add_span("s", cat="c", duration_s=1.0)
+        with hub.span("s"):
+            pass
+        assert hub.counters == {}
+        assert hub.gauges == {}
+        assert hub.histograms == {}
+        assert len(hub.trace) == 0
+        assert hub.snapshot()["trace_events"] == 0
+
+    def test_shared_null_instrument(self):
+        hub = NullTelemetry()
+        # all handles are the same allocation-free singleton
+        assert hub.counter("a") is hub.counter("b")
+        assert hub.counter("a") is hub.gauge("g")
+        assert hub.counter("a").value == 0
+
+    def test_series_for_is_a_throwaway(self):
+        hub = NullTelemetry()
+        hub.series_for("x").append(1, 2.0)
+        assert hub.series == {}
+        assert len(hub.series_for("x").points) == 0

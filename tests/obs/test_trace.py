@@ -1,0 +1,93 @@
+"""Tests for the trace ring buffer and Chrome-trace exporter."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    SIM_PID,
+    WALL_PID,
+    TraceBuffer,
+    TraceEvent,
+    chrome_trace_dict,
+    export_chrome_trace,
+)
+
+
+def ev(name="e", ph="i", ts=0.0, **kw):
+    return TraceEvent(name=name, cat="test", ph=ph, ts=ts, **kw)
+
+
+class TestTraceBuffer:
+    def test_append_and_iterate_in_order(self):
+        buf = TraceBuffer(capacity=8)
+        for index in range(3):
+            buf.append(ev(name=f"e{index}", ts=float(index)))
+        assert [e.name for e in buf] == ["e0", "e1", "e2"]
+        assert len(buf) == 3
+        assert buf.dropped == 0
+
+    def test_overflow_drops_oldest_and_counts(self):
+        buf = TraceBuffer(capacity=3)
+        for index in range(5):
+            buf.append(ev(name=f"e{index}"))
+        assert [e.name for e in buf.events()] == ["e2", "e3", "e4"]
+        assert buf.dropped == 2
+        assert len(buf) == 3
+
+    def test_clear_resets_dropped(self):
+        buf = TraceBuffer(capacity=1)
+        buf.append(ev())
+        buf.append(ev())
+        buf.clear()
+        assert len(buf) == 0
+        assert buf.dropped == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+
+class TestEventJson:
+    def test_complete_span_has_dur(self):
+        d = ev(ph="X", ts=10.0, dur=5.0).to_json_dict()
+        assert d["ph"] == "X"
+        assert d["dur"] == 5.0
+
+    def test_instant_has_scope_and_no_dur(self):
+        d = ev(ph="i", ts=1.0).to_json_dict()
+        assert d["s"] == "t"
+        assert "dur" not in d
+
+    def test_counter_args_pass_through(self):
+        d = ev(ph="C", args={"vm0": 0.5}).to_json_dict()
+        assert d["args"] == {"vm0": 0.5}
+        assert "dur" not in d
+
+
+class TestChromeTraceExport:
+    def test_dict_includes_metadata_for_seen_pids_only(self):
+        payload = chrome_trace_dict([ev(pid=SIM_PID)])
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert len(metadata) == 1
+        assert metadata[0]["pid"] == SIM_PID
+        assert "cycle" in metadata[0]["args"]["name"]
+
+    def test_both_clock_domains_labelled(self):
+        payload = chrome_trace_dict([ev(pid=SIM_PID), ev(pid=WALL_PID)])
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert {m["pid"] for m in metadata} == {SIM_PID, WALL_PID}
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        events = [
+            ev(name="span", ph="X", ts=0.0, dur=3.0, pid=WALL_PID),
+            ev(name="mark", ph="i", ts=1.0, pid=SIM_PID),
+        ]
+        path = export_chrome_trace(events, tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        names = [e["name"] for e in loaded["traceEvents"]]
+        assert "span" in names and "mark" in names
+        # every event carries the fields Perfetto requires
+        for event in loaded["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(event)

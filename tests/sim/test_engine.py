@@ -154,3 +154,27 @@ class TestThreadStats:
         stats = ThreadStats()
         stats.record(0, 5, AccessResult(HitLevel.L0, 1, 1, 0, 0, 0))
         assert stats.cycles == 1 + 5 + 1
+
+
+class TestFinalTime:
+    """final_time is when the *last VM completes*, i.e. the max VM
+    completion time — not the issue time of the last popped event
+    (which undercounts the completing access's latency)."""
+
+    def test_final_time_includes_last_access_latency(self):
+        machine = FixedLatencyMachine(latency=99)
+        result = Engine(machine, [make_thread(measured=3)]).run()
+        # 3 refs at (99 + 1) cycles each; the old issue_time-based value
+        # would have reported 2 * 100 = 200 here.
+        assert result.vm_completion_times[0] == 300
+        assert result.final_time == 300
+
+    def test_final_time_is_max_vm_completion(self):
+        machine = FixedLatencyMachine(latency=9)
+        threads = [
+            make_thread(tid=0, vm=0, core=0, measured=2),
+            make_thread(tid=1, vm=1, core=1, measured=5),
+        ]
+        result = Engine(machine, threads).run()
+        assert result.final_time == max(result.vm_completion_times.values())
+        assert result.final_time == 50

@@ -4,7 +4,7 @@ import itertools
 
 import pytest
 
-from repro.sim.engine import Engine, EngineResult, ThreadContext
+from repro.sim.engine import Engine, ThreadContext
 from repro.sim.records import AccessResult, HitLevel
 
 

@@ -1,7 +1,5 @@
 """Tests for record types and hit-level semantics."""
 
-import pytest
-
 from repro.sim.records import (
     BLOCK_BYTES,
     BLOCK_SHIFT,

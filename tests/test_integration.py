@@ -82,7 +82,6 @@ class TestConsolidationInterference:
     def test_vm_isolation_is_functional(self):
         """VMs never share blocks: residency sets partition by VM."""
         result = run("mix5", policy="rr")
-        from repro.core.experiment import resolve_mix
         # occupancies per domain must only contain the four VM ids
         for domain_counts in result.occupancy:
             assert set(domain_counts) <= {0, 1, 2, 3}

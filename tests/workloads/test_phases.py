@@ -1,6 +1,5 @@
 """Tests for workload phases (Section VII phase analysis)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import WorkloadError

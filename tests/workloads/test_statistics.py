@@ -7,7 +7,6 @@ the simulator.
 """
 
 import numpy as np
-import pytest
 from scipy import stats as sps
 
 from repro.sim.rng import RngFactory
