@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""QoS control-loop overhead micro-benchmark.
+
+The QoS hook runs inside the engines' hot loop (one ``on_step`` per
+event-loop step), so its cost must stay negligible next to the
+simulation itself.  The clean measurement is ``static-equal`` vs. the
+legacy ``l2_vm_quota`` static path: the two simulations are
+byte-identical (enforced by ``tests/qos/test_determinism.py``), so any
+wall-clock difference on the 2x2 smoke grid (two Table IV mixes x two
+seeds, fully shared L2) is purely the sensing/decide/actuate loop.
+That overhead is checked against a budget (default 5%).
+
+The dynamic controllers (``missrate-prop``, ``ucp``) are timed too,
+against the uncontrolled run, but only informationally: they *change*
+the simulation (quota moves alter victim selection and miss patterns),
+so their delta mixes control cost with simulated-behaviour drift.
+
+Artifacts land next to the other bench outputs:
+``benchmarks/results/bench_qos.json`` holds per-policy wall-clock
+seconds, overhead fractions, and the pass/fail verdict; the rendered
+table also goes to ``benchmarks/results/bench_qos.txt`` and stdout.
+
+Run it directly (it is not part of the pytest bench suite — wall-clock
+assertions are too machine-dependent for CI)::
+
+    PYTHONPATH=src python benchmarks/bench_qos.py [--refs N] [--budget F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.core.experiment import (
+    ExperimentSpec,
+    clear_result_cache,
+    run_experiment,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: 2x2 smoke grid: a heterogeneous and a balanced mix, two seeds
+GRID = [("mix7", 1), ("mix7", 2), ("mix5", 1), ("mix5", 2)]
+
+#: (label, spec overrides) — the first two rows are the budgeted pair
+CONFIGS = [
+    ("static-quota", dict(l2_vm_quota=True)),
+    ("static-equal", dict(qos_policy="static-equal")),
+    ("uncontrolled", {}),
+    ("missrate-prop", dict(qos_policy="missrate-prop")),
+    ("ucp", dict(qos_policy="ucp")),
+]
+
+
+def time_cell(overrides: dict, mix: str, seed: int,
+              refs: int, epoch: int) -> float:
+    """Wall-clock seconds to simulate one grid cell once."""
+    clear_result_cache()
+    start = time.perf_counter()
+    run_experiment(
+        ExperimentSpec(mix=mix, sharing="shared", policy="rr",
+                       seed=seed, measured_refs=refs,
+                       warmup_refs=refs // 4, qos_epoch=epoch,
+                       **overrides),
+        use_cache=False,
+    )
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--refs", type=int, default=1500,
+                        help="measured references per thread")
+    parser.add_argument("--epoch", type=int, default=10_000,
+                        help="control period in simulated cycles")
+    parser.add_argument("--budget", type=float, default=0.05,
+                        help="allowed control-loop overhead fraction")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing rounds per grid cell")
+    args = parser.parse_args(argv)
+
+    # Pairing is at the finest granularity the bench allows: within one
+    # (cell, round) all five configs run back-to-back, and the config
+    # order reverses on alternating iterations so slow drift (load,
+    # thermal) cancels instead of biasing one side.  Overheads are the
+    # median over every per-(cell, round) ratio — 4 cells x repeats
+    # samples — which is far more robust to load spikes than comparing
+    # whole-grid aggregates.
+    samples: list = []  # per (cell, round): {label: seconds}
+    for rep in range(args.repeats):
+        for index, (mix, seed) in enumerate(GRID):
+            order = CONFIGS if (rep + index) % 2 == 0 else CONFIGS[::-1]
+            timing = {
+                label: time_cell(overrides, mix, seed, args.refs, args.epoch)
+                for label, overrides in order
+            }
+            samples.append(timing)
+    med = {label: statistics.median(s[label] for s in samples)
+           for label, _ in CONFIGS}
+
+    def ratio(label: str, baseline: str) -> float:
+        return statistics.median(
+            s[label] / s[baseline] for s in samples) - 1.0
+
+    # the budgeted comparison: identical simulations, loop on vs. off
+    overhead = ratio("static-equal", "static-quota")
+    ok = overhead < args.budget
+
+    rows = [
+        ["static-quota", round(med["static-quota"], 3), "baseline", "-"],
+        ["static-equal", round(med["static-equal"], 3),
+         f"{overhead:+.1%}", "ok" if ok else "OVER"],
+        ["uncontrolled", round(med["uncontrolled"], 3), "-", "-"],
+    ]
+    for label in ("missrate-prop", "ucp"):
+        rows.append([label, round(med[label], 3),
+                     f"{ratio(label, 'uncontrolled'):+.1%}", "info"])
+
+    table = format_table(
+        ["Policy", "Cell wall (s)", "Delta", f"Budget {args.budget:.0%}"],
+        rows, title=f"QoS overhead, 2x2 grid @ {args.refs} refs "
+                    f"({len(samples)} paired samples)")
+    print(table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "grid": [list(cell) for cell in GRID],
+        "refs": args.refs,
+        "epoch": args.epoch,
+        "budget": args.budget,
+        "seconds": {label: round(t, 4) for label, t in med.items()},
+        "control_loop_overhead": round(overhead, 4),
+        "ok": ok,
+    }
+    (RESULTS_DIR / "bench_qos.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    (RESULTS_DIR / "bench_qos.txt").write_text(table + "\n")
+    print(f"\nartifacts: {RESULTS_DIR / 'bench_qos.json'}")
+    if not ok:
+        print("error: control-loop overhead exceeds budget", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

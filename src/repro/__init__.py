@@ -77,6 +77,14 @@ from .obs import (
     TraceEvent,
     export_chrome_trace,
 )
+from .qos import (
+    QosController,
+    QosHook,
+    QosReport,
+    controller_names,
+    make_controller,
+    qos_report,
+)
 from .workloads import (
     WORKLOADS,
     WorkloadProfile,
@@ -140,6 +148,12 @@ __all__ = [
     "TraceBuffer",
     "TraceEvent",
     "export_chrome_trace",
+    "QosController",
+    "QosHook",
+    "QosReport",
+    "controller_names",
+    "make_controller",
+    "qos_report",
     "WORKLOADS",
     "WorkloadProfile",
     "get_profile",

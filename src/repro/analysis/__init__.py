@@ -12,6 +12,7 @@ from .characterize import (
 from .fairness import FairnessReport, fairness_report, jains_index
 from .occupancy import OccupancySnapshot, measure_occupancy
 from .persist import load_result, result_from_dict, result_to_dict, save_result
+from .qos_report import compare_policies, policy_table
 from .replication import ReplicationSnapshot, measure_replication
 from .report import bar, format_kv, format_series, format_table
 from .timeline import render_metric, sparkline, timeline_report
@@ -34,6 +35,8 @@ __all__ = [
     "result_from_dict",
     "result_to_dict",
     "save_result",
+    "compare_policies",
+    "policy_table",
     "ReplicationSnapshot",
     "measure_replication",
     "bar",

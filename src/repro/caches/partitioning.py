@@ -44,18 +44,51 @@ class WayQuota:
         if not quotas:
             raise ConfigurationError("way quotas need at least one VM")
         for vm, ways in quotas.items():
-            if ways <= 0:
-                raise ConfigurationError(
-                    f"VM {vm} quota must be positive, got {ways}"
-                )
-            if ways > assoc:
-                raise ConfigurationError(
-                    f"VM {vm} quota {ways} exceeds associativity {assoc}"
-                )
+            self._validate(vm, ways, assoc)
         self.quotas = dict(quotas)
         self.assoc = assoc
         self.self_evictions = 0
         self.reclaims = 0
+        self.adjustments = 0
+
+    @staticmethod
+    def _validate(vm: int, ways: int, assoc: int) -> None:
+        if ways <= 0:
+            raise ConfigurationError(
+                f"VM {vm} quota must be positive, got {ways}"
+            )
+        if ways > assoc:
+            raise ConfigurationError(
+                f"VM {vm} quota {ways} exceeds associativity {assoc}"
+            )
+
+    def set_quota(self, vm_id: int, ways: int) -> None:
+        """Rewrite one VM's quota live (QoS controller actuation).
+
+        Only VMs present at construction may be adjusted: quotas define
+        *which* VMs the partition governs, controllers only move ways
+        between them.  The same associativity bounds as construction
+        apply.  No-op rewrites (same value) are not counted as
+        adjustments, so a static controller leaves the counters — and
+        the victim-selection behaviour — untouched.
+        """
+        if vm_id not in self.quotas:
+            raise ConfigurationError(
+                f"VM {vm_id} has no way quota in this domain; known VMs: "
+                f"{sorted(self.quotas)} (quotas can be adjusted, not added)"
+            )
+        self._validate(vm_id, ways, self.assoc)
+        if self.quotas[vm_id] != ways:
+            self.quotas[vm_id] = ways
+            self.adjustments += 1
+
+    def update(self, quotas: Dict[int, int]) -> int:
+        """Apply many :meth:`set_quota` rewrites; returns how many
+        actually changed a value."""
+        before = self.adjustments
+        for vm_id, ways in sorted(quotas.items()):
+            self.set_quota(vm_id, ways)
+        return self.adjustments - before
 
     def victim_selector(self, vm_id: int):
         """A per-insertion victim selector for

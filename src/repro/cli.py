@@ -13,6 +13,10 @@
     persistent result store so re-runs simulate nothing.
     ``--telemetry`` records executor spans and store counters;
     ``--epoch N`` epoch-samples every cold cell into store sidecars.
+``qos``
+    One experiment under a dynamic cache-QoS policy (``--policy ucp``,
+    ``--policy target-slowdown --target 1.3``, ...) with a scorecard:
+    per-VM slowdown, weighted/harmonic speedup, fairness, violations.
 ``suite``
     Run a canned experiment suite by name (``repro suite list`` shows
     the registry); takes the same ``--jobs`` / ``--store`` flags.
@@ -83,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-VM start-time stagger in cycles")
     run_p.add_argument("--vm-quota", action="store_true",
                        help="enable per-VM way-quota partitioning")
+    _add_qos_flags(run_p)
     run_p.add_argument("--rebind", default="", choices=("", "random",
                                                         "affinity"),
                        help="dynamic thread rebinding policy")
@@ -105,8 +110,39 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("cycles", "miss_rate", "miss_latency"))
     sweep_p.add_argument("--refs", type=int, default=None)
     sweep_p.add_argument("--seed", type=int, default=0)
+    _add_qos_flags(sweep_p)
     _add_executor_flags(sweep_p)
     _add_telemetry_flags(sweep_p)
+
+    qos_p = sub.add_parser(
+        "qos", help="run one experiment under a cache-QoS policy and "
+                    "print its scorecard")
+    qos_p.add_argument("--policy", default="ucp",
+                       help="QoS controller: static-equal, "
+                            "missrate-prop, ucp, or target-slowdown")
+    qos_p.add_argument("--mix", default="mix7",
+                       help="Table IV mix name")
+    qos_p.add_argument("--sharing", default="shared", choices=_SHARINGS,
+                       help="L2 sharing degree (default: fully shared, "
+                            "so VMs actually contend)")
+    qos_p.add_argument("--sched", default="affinity", choices=_POLICIES,
+                       help="scheduling policy")
+    qos_p.add_argument("--target", type=float, default=0.0,
+                       help="slowdown ceiling for target-slowdown "
+                            "(e.g. 1.3)")
+    qos_p.add_argument("--qos-epoch", type=int, default=10_000,
+                       help="control period in simulated cycles")
+    qos_p.add_argument("--refs", type=int, default=None)
+    qos_p.add_argument("--warmup", type=int, default=None)
+    qos_p.add_argument("--seed", type=int, default=0)
+    qos_p.add_argument("--slots-per-core", type=int, default=1,
+                       help=">1 over-commits cores; enables "
+                            "controller-driven thread re-binding")
+    qos_p.add_argument("--baseline", action="store_true",
+                       help="also run the uncontrolled shared-L2 run "
+                            "and print the comparison")
+    qos_p.add_argument("--json", default=None, metavar="PATH",
+                       help="save the scorecard as JSON")
 
     suite_p = sub.add_parser(
         "suite", help="run a canned experiment suite by name")
@@ -186,6 +222,17 @@ def _add_executor_flags(parser) -> None:
                         help="print per-cell progress to stderr")
 
 
+def _add_qos_flags(parser) -> None:
+    parser.add_argument("--qos-policy", default="",
+                        help="dynamic cache-QoS controller "
+                             "(static-equal, missrate-prop, ucp, "
+                             "target-slowdown); empty = off")
+    parser.add_argument("--qos-target", type=float, default=0.0,
+                        help="slowdown ceiling for target-slowdown")
+    parser.add_argument("--qos-epoch", type=int, default=10_000,
+                        help="QoS control period in simulated cycles")
+
+
 def _add_telemetry_flags(parser) -> None:
     parser.add_argument("--telemetry", action="store_true",
                         help="enable the telemetry hub (counters, "
@@ -252,6 +299,9 @@ def _spec_from_args(args) -> ExperimentSpec:
         rebind=args.rebind,
         rebind_interval=args.rebind_interval,
         phase_plan=args.phase_plan,
+        qos_policy=args.qos_policy,
+        qos_target=args.qos_target,
+        qos_epoch=args.qos_epoch,
     )
     if args.scale is not None:
         params["scale"] = args.scale
@@ -307,6 +357,14 @@ def _cmd_run(args) -> int:
         "directory cache hit rate":
             f"{100 * summary.directory_cache_hit_rate:.1f}%",
     }))
+    if result.qos:
+        print()
+        print(format_kv("QoS", {
+            "policy": result.qos.get("policy"),
+            "control epochs": result.qos.get("control_epochs", 0),
+            "quota adjustments": result.qos.get("quota_adjustments", 0),
+            "rebinds": result.qos.get("rebinds", 0),
+        }))
     if result.series is not None:
         _print_timeline(result.series)
     if args.series_out:
@@ -331,7 +389,10 @@ def _cmd_sweep(args) -> int:
 
     telemetry = _make_telemetry(args)
     base = ExperimentSpec(mix=args.mix, seed=args.seed,
-                          measured_refs=args.refs)
+                          measured_refs=args.refs,
+                          qos_policy=args.qos_policy,
+                          qos_target=args.qos_target,
+                          qos_epoch=args.qos_epoch)
     suite = sharing_policy_suite(args.mix, sharings=_SHARINGS,
                                  policies=_POLICIES, base=base)
     outcome = SuiteRunner(_make_executor(args, telemetry)).run(suite)
@@ -357,6 +418,74 @@ def _cmd_sweep(args) -> int:
         if args.trace_out:
             print()
             _write_trace(telemetry, args.trace_out)
+    return 0
+
+
+def _cmd_qos(args) -> int:
+    from .qos import qos_report
+
+    spec = ExperimentSpec(
+        mix=args.mix, sharing=args.sharing, policy=args.sched,
+        seed=args.seed, measured_refs=args.refs, warmup_refs=args.warmup,
+        slots_per_core=args.slots_per_core,
+        qos_policy=args.policy, qos_target=args.target,
+        qos_epoch=args.qos_epoch,
+    )
+    # bypass the cache: the controller's live account (result.qos) is
+    # not part of the serialized result, so a cache hit would lose it
+    result = run_experiment(spec, use_cache=False)
+    report = qos_report(result)
+
+    headers = ["VM", "Workload", "Slowdown"]
+    if report.target > 0:
+        headers.append("Target")
+    rows = [[row[0], row[1], round(row[2], 3)] + row[3:]
+            for row in report.rows()]
+    print(format_table(
+        headers, rows,
+        title=f"QoS {args.policy}: {spec.mix} / {spec.sharing}"))
+    control = report.control
+    scorecard = {
+        "weighted speedup": f"{report.weighted_speedup:.3f}",
+        "harmonic speedup": f"{report.harmonic_speedup:.3f}",
+        "fairness (Jain)": f"{report.fairness:.3f}",
+        "max slowdown": f"{report.max_slowdown:.3f}",
+        "control epochs": control.get("control_epochs", 0),
+        "quota adjustments": control.get("quota_adjustments", 0),
+        "rebinds": control.get("rebinds", 0),
+    }
+    if report.target > 0:
+        scorecard["target"] = report.target
+        scorecard["violation epochs"] = report.violation_epochs
+        scorecard["VMs over target"] = (
+            ", ".join(f"vm{v}" for v in report.violating_vms) or "none"
+        )
+    for domain, quotas in sorted((control.get("final_quotas") or {}).items()):
+        scorecard[f"domain {domain} ways"] = ", ".join(
+            f"vm{vm}:{ways}"
+            for vm, ways in sorted(quotas.items(), key=lambda kv: int(kv[0]))
+        )
+    print()
+    print(format_kv("Scorecard", scorecard))
+
+    if args.baseline:
+        from dataclasses import replace
+
+        base_spec = replace(spec, qos_policy="", qos_target=0.0)
+        base_report = qos_report(run_experiment(base_spec))
+        print()
+        print(format_kv("Uncontrolled baseline", {
+            "weighted speedup": f"{base_report.weighted_speedup:.3f}",
+            "harmonic speedup": f"{base_report.harmonic_speedup:.3f}",
+            "fairness (Jain)": f"{base_report.fairness:.3f}",
+            "max slowdown": f"{base_report.max_slowdown:.3f}",
+        }))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"\nscorecard saved to {args.json}")
     return 0
 
 
@@ -536,6 +665,7 @@ def _cmd_compare(args) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "qos": _cmd_qos,
     "suite": _cmd_suite,
     "trace": _cmd_trace,
     "profile": _cmd_profile,

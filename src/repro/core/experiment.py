@@ -144,6 +144,18 @@ class ExperimentSpec:
         the performance-isolation mechanism the paper's conclusion
         argues for.  Each domain's ways are split equally among the
         VMs scheduled onto it.
+    qos_policy:
+        Dynamic cache-QoS controller (see :mod:`repro.qos`):
+        ``"static-equal"``, ``"missrate-prop"``, ``"ucp"``, or
+        ``"target-slowdown"``.  Empty (default) disables the QoS layer
+        entirely.  Mutually exclusive with ``l2_vm_quota`` — both claim
+        ownership of the way quotas.
+    qos_target:
+        Per-VM slowdown ceiling for the ``target-slowdown`` feedback
+        controller (e.g. ``1.3`` = at most 30% slower than isolation);
+        ignored by the other policies.
+    qos_epoch:
+        Control period in simulated cycles between QoS decisions.
     phase_plan:
         Name of a registered workload phase plan (see
         :mod:`repro.workloads.phases`); empty = steady behaviour.
@@ -169,6 +181,9 @@ class ExperimentSpec:
     start_stagger: int = 0
     num_cores: int = 16
     l2_vm_quota: bool = False
+    qos_policy: str = ""
+    qos_target: float = 0.0
+    qos_epoch: int = 10_000
     phase_plan: str = ""
     rebind: str = ""
     rebind_interval: int = 100_000
@@ -252,6 +267,13 @@ class ExperimentResult:
     the result codec (:func:`repro.core.store.result_to_dict`) — the
     serialized result is byte-identical with telemetry on or off, and
     series persist as store sidecar files instead.
+
+    ``qos`` holds the QoS controller's end-of-run account (the
+    :meth:`repro.qos.hook.QosHook.summary` dict: policy, control
+    epochs, quota adjustments, re-binds, final quotas, violations) for
+    runs with ``spec.qos_policy`` set.  Like ``series`` it is excluded
+    from the result codec, so a ``static-equal`` run serializes
+    byte-identically to the legacy static-quota path.
     """
 
     spec: ExperimentSpec
@@ -264,6 +286,7 @@ class ExperimentResult:
     domain_lines: int
     assignments: List[List[int]] = field(default_factory=list)
     series: Optional[Dict[str, list]] = None
+    qos: Optional[Dict[str, object]] = None
 
     def metrics_for(self, workload: str) -> List[VMMetrics]:
         """All VM metrics of one workload, in VM order."""
@@ -309,19 +332,16 @@ def _make_rebinder(kind: str, chip: Chip, rng_factory: RngFactory):
 
 
 def _apply_vm_quotas(chip: Chip, assignments) -> None:
-    """Split each shared domain's ways equally among its resident VMs."""
-    from ..caches.partitioning import WayQuota, equal_quotas
+    """Split each shared domain's ways equally among its resident VMs.
 
-    domain_vms: Dict[int, set] = {}
-    for vm_id, cores in enumerate(assignments):
-        for core in cores:
-            domain_vms.setdefault(chip.domain_of_core(core), set()).add(vm_id)
-    assoc = chip.config.l2_assoc
-    for domain_id, vms in domain_vms.items():
-        if len(vms) > 1:
-            chip.domains[domain_id].set_quota(
-                WayQuota(equal_quotas(sorted(vms), assoc), assoc)
-            )
+    Delegates to :meth:`repro.qos.controllers.QosController.install`,
+    the single owner of initial quota construction — the legacy
+    ``l2_vm_quota`` flag and every dynamic QoS policy set up their
+    starting split through the same code path.
+    """
+    from ..qos.controllers import QosController
+
+    QosController.install(chip, assignments)
 
 
 def clear_result_cache() -> None:
@@ -373,6 +393,13 @@ def run_experiment(
     want_series = telemetry.enabled and epoch > 0
 
     spec = spec.normalized()
+    if spec.qos_policy and spec.l2_vm_quota:
+        raise ConfigurationError(
+            "l2_vm_quota and qos_policy both claim ownership of the way "
+            "quotas; use qos_policy='static-equal' for the static split"
+        )
+    if spec.qos_policy and spec.qos_epoch <= 0:
+        raise ConfigurationError("qos_epoch must be positive")
     if store is None:
         store = get_default_store()
     if use_cache:
@@ -444,22 +471,50 @@ def run_experiment(
         raise ConfigurationError(
             "dynamic rebinding and over-commit cannot be combined"
         )
+    control = None
+    if spec.qos_policy:
+        from ..qos.controllers import TargetSlowdown, make_controller
+        from ..qos.hook import QosHook
+
+        controller = make_controller(spec.qos_policy)
+        baseline_cpr: Dict[int, float] = {}
+        if isinstance(controller, TargetSlowdown):
+            # isolated baselines come memoized from the result store;
+            # isolation_spec strips the qos fields, so this never
+            # recurses into another QoS run
+            from .isolation import run_isolated
+
+            per_thread = spec.warmup_refs + spec.measured_refs
+            for vm_id, profile in enumerate(profiles):
+                iso = run_isolated(profile.name, template=spec)
+                baseline_cpr[vm_id] = iso.vm_metrics[0].cycles / per_thread
+        control = QosHook(
+            chip, contexts, controller, assignments,
+            epoch=spec.qos_epoch, telemetry=telemetry,
+            hypervisor=hypervisor, baseline_cpr=baseline_cpr,
+            target=spec.qos_target,
+            vm_workloads={vm.vm_id: vm.workload_name
+                          for vm in hypervisor.vms},
+        )
     probe = None
     if spec.slots_per_core > 1:
-        engine = OvercommitEngine(chip, contexts)
+        engine = OvercommitEngine(chip, contexts, control=control)
+        if control is not None:
+            control.bind_actuator(engine)
     elif spec.rebind:
         engine = MigratingEngine(
             chip,
             contexts,
             rebinder=_make_rebinder(spec.rebind, chip, rng_factory),
             interval=spec.rebind_interval,
+            control=control,
         )
     else:
         if want_series:
             from ..obs.probes import EpochProbe
 
             probe = EpochProbe(chip, contexts, epoch, telemetry)
-        engine = Engine(chip, contexts, probe=probe)
+        engine = Engine(chip, contexts, probe=probe, control=control)
     with telemetry.span(f"simulate {spec.mix}/{spec.sharing}/{spec.policy}",
                         cat="experiment"):
         engine_result = engine.run()
@@ -514,6 +569,8 @@ def run_experiment(
         from ..obs.series import series_to_dict
 
         result.series = series_to_dict(telemetry.series)
+    if control is not None:
+        result.qos = control.summary()
     if use_cache:
         store.put(spec, result)
         if result.series is not None:

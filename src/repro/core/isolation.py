@@ -35,11 +35,17 @@ def isolation_spec(
     template: Optional[ExperimentSpec] = None,
 ) -> ExperimentSpec:
     """Spec of an isolation run, inheriting run-length/seed/scale from
-    ``template`` (typically the consolidated spec being normalized)."""
+    ``template`` (typically the consolidated spec being normalized).
+
+    QoS fields are always cleared: a baseline is by definition an
+    uncontrolled single-VM run (and the ``target-slowdown`` controller
+    fetches these baselines itself, so inheriting ``qos_policy`` would
+    recurse)."""
     if template is None:
         return ExperimentSpec(mix=f"iso-{workload}", sharing=sharing, policy=policy)
     return replace(
-        template, mix=f"iso-{workload}", sharing=sharing, policy=policy
+        template, mix=f"iso-{workload}", sharing=sharing, policy=policy,
+        qos_policy="", qos_target=0.0,
     )
 
 

@@ -38,6 +38,7 @@ __all__ = [
     "SuiteRunner",
     "sharing_policy_suite",
     "mixes_suite",
+    "qos_suite",
     "SUITES",
     "suite_names",
     "get_suite",
@@ -237,9 +238,38 @@ def mixes_suite(
     )
 
 
+def qos_suite(
+    mix: str = "mix5",
+    policies: Sequence[str] = None,
+    base: Optional[ExperimentSpec] = None,
+) -> ExperimentSuite:
+    """One cell per cache-QoS policy on a fully shared L2.
+
+    The empty-string cell is the uncontrolled run every policy is
+    compared against; ``target-slowdown`` is omitted by default because
+    it needs an explicit ``qos_target``.
+    """
+    if policies is None:
+        policies = ["", "static-equal", "missrate-prop", "ucp"]
+    base = base or ExperimentSpec(mix=mix)
+    # a fully shared L2 puts every VM in one domain, so the policies
+    # have capacity to arbitrate; shared-4 + affinity would give each
+    # VM a private domain and reduce every policy to a no-op
+    base = replace(base, mix=mix, sharing="shared", l2_vm_quota=False)
+    return ExperimentSuite.build(
+        f"qos/{mix}", base,
+        description=(
+            "Cache-QoS policy comparison on a fully shared L2 "
+            "('' = uncontrolled)"
+        ),
+        qos_policy=list(policies),
+    )
+
+
 SUITES: Dict[str, Callable[..., ExperimentSuite]] = {
     "sharing-policy": sharing_policy_suite,
     "mixes": mixes_suite,
+    "qos": qos_suite,
 }
 """Canned suite factories addressable by name (``repro suite <name>``)."""
 

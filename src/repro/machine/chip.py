@@ -93,6 +93,8 @@ class Chip:
             for d in range(len(self.domains))
         ]
         self.vm_of_core: List[int] = [-1] * config.num_cores
+        # optional observer of the L2 access stream (see set_l2_tap)
+        self.l2_tap = None
         # chip-level event counters
         self.intra_domain_transfers = 0
         self.upgrade_transactions = 0
@@ -110,6 +112,19 @@ class Chip:
 
     def domain_of_core(self, core_id: int) -> int:
         return self.placement.domain_of[core_id]
+
+    def set_l2_tap(self, tap) -> None:
+        """Install (or remove, with ``None``) an L2 access observer.
+
+        ``tap(domain_id, vm_id, block)`` is called for every reference
+        that reaches a shared L2 domain (i.e. every private-cache
+        miss), *before* the domain lookup.  Taps must be read-only with
+        respect to machine state — they exist so QoS utility monitors
+        (:mod:`repro.qos.sensors`) can shadow the access stream without
+        perturbing the simulation; the cost when absent is one ``is not
+        None`` test per L2 access.
+        """
+        self.l2_tap = tap
 
     # ------------------------------------------------------------------
     # the MachineModel interface
@@ -141,6 +156,8 @@ class Chip:
         # ---- local L2 domain -----------------------------------------
         domain_id = self.placement.domain_of[core_id]
         domain = self.domains[domain_id]
+        if self.l2_tap is not None:
+            self.l2_tap(domain_id, self.vm_of_core[core_id], block)
         home = self.placement.home_tile[domain_id]
         cache = config.l0_geometry.latency + config.l1_geometry.latency
         net = self.mesh.traverse(

@@ -9,7 +9,7 @@ wall-clock spans, and everything exports to Chrome-trace JSON
 (loadable in Perfetto).  See ``docs/observability.md``.
 """
 
-from .probes import EpochProbe
+from .probes import EpochProbe, VmDelta, VmDeltaTracker
 from .series import TimeSeries, series_from_dict, series_to_dict
 from .telemetry import (
     NULL_TELEMETRY,
@@ -30,6 +30,8 @@ from .trace import (
 
 __all__ = [
     "EpochProbe",
+    "VmDelta",
+    "VmDeltaTracker",
     "TimeSeries",
     "series_from_dict",
     "series_to_dict",

@@ -32,7 +32,82 @@ from typing import Dict, List, Optional
 from .telemetry import Telemetry
 from .trace import SIM_PID, TraceEvent
 
-__all__ = ["EpochProbe"]
+__all__ = ["VmDeltaTracker", "VmDelta", "EpochProbe"]
+
+
+class VmDelta:
+    """Per-VM activity inside one sampling window.
+
+    All counts are *deltas* over the window, derived from the engine's
+    cumulative :class:`~repro.sim.engine.ThreadStats`; ``issued`` is the
+    cumulative mean references issued per thread (warm-up included),
+    which feedback controllers use as a progress signal.
+    """
+
+    __slots__ = ("l1_misses", "l2_misses", "refs", "miss_latency_cycles",
+                 "issued")
+
+    def __init__(self, l1_misses: int, l2_misses: int, refs: int,
+                 miss_latency_cycles: int, issued: float):
+        self.l1_misses = l1_misses
+        self.l2_misses = l2_misses
+        self.refs = refs
+        self.miss_latency_cycles = miss_latency_cycles
+        self.issued = issued
+
+    @property
+    def miss_rate(self) -> float:
+        """L2 misses per L2 access (L1 miss) inside the window."""
+        return self.l2_misses / self.l1_misses if self.l1_misses else 0.0
+
+    @property
+    def mean_miss_latency(self) -> float:
+        return (self.miss_latency_cycles / self.l1_misses
+                if self.l1_misses else 0.0)
+
+
+class VmDeltaTracker:
+    """Turns cumulative per-thread counters into per-VM window deltas.
+
+    Shared by the :class:`EpochProbe` (telemetry sampling) and the QoS
+    control loop (:mod:`repro.qos.sensors`): both observe the same
+    read-only :class:`~repro.sim.engine.ThreadStats` counters, so
+    extracting the delta bookkeeping keeps the two consumers consistent
+    by construction.
+    """
+
+    def __init__(self, threads):
+        self.threads = list(threads)
+        self.vm_ids = sorted({t.vm_id for t in self.threads})
+        self.by_vm: Dict[int, List] = {}
+        for thread in self.threads:
+            self.by_vm.setdefault(thread.vm_id, []).append(thread)
+        self._prev: Dict[int, tuple] = {
+            vm: (0, 0, 0, 0) for vm in self.vm_ids
+        }
+
+    def snapshot(self) -> Dict[int, VmDelta]:
+        """Deltas since the previous snapshot, keyed by VM id."""
+        out: Dict[int, VmDelta] = {}
+        for vm in self.vm_ids:
+            l1 = l2 = refs = miss_lat = issued = 0
+            for thread in self.by_vm[vm]:
+                stats = thread.stats
+                l1 += stats.l1_misses
+                l2 += stats.l2_misses
+                refs += stats.refs
+                miss_lat += stats.miss_latency_cycles
+                issued += thread.issued
+            p_l1, p_l2, p_refs, p_lat = self._prev[vm]
+            self._prev[vm] = (l1, l2, refs, miss_lat)
+            out[vm] = VmDelta(
+                l1_misses=l1 - p_l1,
+                l2_misses=l2 - p_l2,
+                refs=refs - p_refs,
+                miss_latency_cycles=miss_lat - p_lat,
+                issued=issued / len(self.by_vm[vm]),
+            )
+        return out
 
 
 class EpochProbe:
@@ -62,14 +137,8 @@ class EpochProbe:
         self.telemetry = telemetry
         self.next_due = epoch
         self.samples = 0
-        self._vm_ids = sorted({t.vm_id for t in self.threads})
-        self._by_vm: Dict[int, List] = {}
-        for thread in self.threads:
-            self._by_vm.setdefault(thread.vm_id, []).append(thread)
-        # previous cumulative (l1, l2, refs, miss_latency_cycles) per VM
-        self._prev: Dict[int, tuple] = {
-            vm: (0, 0, 0, 0) for vm in self._vm_ids
-        }
+        self._tracker = VmDeltaTracker(self.threads)
+        self._vm_ids = self._tracker.vm_ids
         self._queue_depths = getattr(machine, "queue_depths", None)
         self._l2_share = getattr(machine, "l2_occupancy_share", None)
 
@@ -100,24 +169,14 @@ class EpochProbe:
         telemetry = self.telemetry
         self.samples += 1
         shares = self._l2_share() if self._l2_share is not None else {}
+        deltas = self._tracker.snapshot()
         miss_rate_args: Dict[str, float] = {}
         latency_args: Dict[str, float] = {}
         share_args: Dict[str, float] = {}
         for vm in self._vm_ids:
-            l1 = l2 = refs = miss_lat = 0
-            for thread in self._by_vm[vm]:
-                stats = thread.stats
-                l1 += stats.l1_misses
-                l2 += stats.l2_misses
-                refs += stats.refs
-                miss_lat += stats.miss_latency_cycles
-            p_l1, p_l2, p_refs, p_lat = self._prev[vm]
-            self._prev[vm] = (l1, l2, refs, miss_lat)
-            d_l1 = l1 - p_l1
-            d_l2 = l2 - p_l2
-            d_lat = miss_lat - p_lat
-            miss_rate = d_l2 / d_l1 if d_l1 else 0.0
-            miss_latency = d_lat / d_l1 if d_l1 else 0.0
+            delta = deltas[vm]
+            miss_rate = delta.miss_rate
+            miss_latency = delta.mean_miss_latency
             share = float(shares.get(vm, 0.0))
             telemetry.series_for(f"vm{vm}.miss_rate").append(now, miss_rate)
             telemetry.series_for(f"vm{vm}.miss_latency").append(

@@ -1,0 +1,57 @@
+"""Dynamic cache QoS: sensors, controllers, actuation, scorecards.
+
+The consolidation paper's conclusion asks for performance isolation
+between co-scheduled VMs; the seed repo answered with a *static* equal
+way split (``l2_vm_quota``).  This package closes the loop: UMON-style
+shadow-tag sensing (:mod:`~repro.qos.sensors`), pluggable partitioning
+policies (:mod:`~repro.qos.controllers`), epoch-boundary actuation
+inside the engines (:mod:`~repro.qos.hook`), and QoS scorecards
+(:mod:`~repro.qos.metrics`).  Select a policy with
+``ExperimentSpec(qos_policy="ucp")`` or ``repro qos --policy ucp``.
+"""
+
+from .controllers import (
+    CONTROLLERS,
+    MissRateProportional,
+    QosController,
+    QosDecision,
+    QosView,
+    StaticEqual,
+    TargetSlowdown,
+    UcpLookahead,
+    controller_names,
+    make_controller,
+    ucp_partition,
+)
+from .hook import QosHook
+from .metrics import (
+    QosReport,
+    harmonic_speedup,
+    per_vm_slowdowns,
+    qos_report,
+    weighted_speedup,
+)
+from .sensors import EpochSensor, QosWindow, UtilityMonitor
+
+__all__ = [
+    "CONTROLLERS",
+    "EpochSensor",
+    "QosReport",
+    "MissRateProportional",
+    "QosController",
+    "QosDecision",
+    "QosHook",
+    "QosView",
+    "QosWindow",
+    "StaticEqual",
+    "TargetSlowdown",
+    "UcpLookahead",
+    "UtilityMonitor",
+    "controller_names",
+    "harmonic_speedup",
+    "make_controller",
+    "per_vm_slowdowns",
+    "qos_report",
+    "ucp_partition",
+    "weighted_speedup",
+]

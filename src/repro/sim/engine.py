@@ -224,6 +224,11 @@ class Engine:
         time series as simulated time advances.  Probes are strictly
         read-only: a run with a probe is bit-identical to one without
         (the probe costs one ``is not None`` test per step when absent).
+    control:
+        Optional :class:`~repro.qos.hook.QosHook` driven with the same
+        per-step cadence as ``probe``.  Unlike probes, a control hook
+        *may* change machine state (it rewrites live way quotas at
+        control-epoch boundaries) — that is its purpose.
     """
 
     def __init__(
@@ -232,6 +237,7 @@ class Engine:
         threads: List[ThreadContext],
         max_steps: Optional[int] = None,
         probe=None,
+        control=None,
     ):
         cores_seen = set()
         for thread in threads:
@@ -246,6 +252,7 @@ class Engine:
         self.machine = machine
         self.threads = {t.thread_id: t for t in threads}
         self.probe = probe
+        self.control = control
         demand = sum(t.warmup_refs + t.measured_refs for t in threads)
         # Completed VMs keep running while others finish; 32x the
         # measured demand is far beyond any legitimate imbalance.
@@ -280,6 +287,12 @@ class Engine:
         pending_vms = len(vm_pending)
 
         probe = self.probe
+        control = self.control
+        # the hook only acts at control-epoch boundaries, so the hot
+        # loop gates on its published next-due cycle: an int compare
+        # per step instead of a Python call into an early-returning
+        # on_step
+        control_due = control.next_due if control is not None else None
         steps = 0
         while pending_vms > 0:
             steps += 1
@@ -291,6 +304,9 @@ class Engine:
             issue_time, tid = heapq.heappop(heap)
             if probe is not None:
                 probe.on_step(issue_time)
+            if control_due is not None and issue_time >= control_due:
+                control.on_step(issue_time)
+                control_due = control.next_due
             thread = threads[tid]
             block, access, think = pending[tid]
             result = self.machine.access(
@@ -329,6 +345,8 @@ class Engine:
         final_time = max(vm_completion.values())
         if probe is not None:
             probe.finish(final_time)
+        if control is not None:
+            control.finish(final_time)
         result = EngineResult(
             final_time=final_time,
             vm_completion_times=vm_completion,

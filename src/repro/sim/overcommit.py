@@ -42,6 +42,11 @@ class OvercommitEngine:
         Cycles charged on every context switch (pipeline refill, state
         swap); misses caused by the evicted thread's cooled-down cache
         footprint emerge from the cache model itself.
+    control:
+        Optional :class:`~repro.qos.hook.QosHook` called once per step.
+        Beyond quota rewrites, a control hook attached to this engine
+        may also migrate *waiting* threads between run queues through
+        :meth:`rebind_thread` (QoS-driven load shedding).
     """
 
     def __init__(
@@ -51,6 +56,7 @@ class OvercommitEngine:
         quantum_refs: int = 64,
         switch_penalty: int = 200,
         max_steps: int | None = None,
+        control=None,
     ):
         if not threads:
             raise SimulationError("engine needs at least one thread")
@@ -62,6 +68,7 @@ class OvercommitEngine:
         self.threads = {t.thread_id: t for t in threads}
         self.quantum_refs = quantum_refs
         self.switch_penalty = switch_penalty
+        self.control = control
         demand = sum(t.warmup_refs + t.measured_refs for t in threads)
         self.max_steps = max_steps if max_steps is not None else 64 * demand
         self._queues: Dict[int, Deque[int]] = {}
@@ -69,11 +76,57 @@ class OvercommitEngine:
             self._queues.setdefault(thread.core_id, deque()).append(
                 thread.thread_id
             )
+        # run-state shared with the QoS re-bind actuator (filled in run)
+        self._pending: Dict[int, tuple] = {}
+        self._heap: List[Tuple[int, int]] = []
+        self._quantum_left: Dict[int, int] = {}
+        self._bind = None
+        self.qos_rebinds = 0
+
+    # -- QoS actuator surface (used by repro.qos.hook.QosHook) ---------
+
+    def run_queues(self) -> Dict[int, List[int]]:
+        """Snapshot of each core's run queue (head = active thread)."""
+        return {core: list(queue) for core, queue in self._queues.items()}
+
+    def rebind_thread(self, tid: int, core: int, now: int):
+        """Migrate a *waiting* thread to another core's run queue.
+
+        Returns ``None`` when the move is refused (unknown thread, a
+        no-op move, or the thread is at the head of its queue — i.e.
+        currently running), ``True`` when the thread became the head of
+        a previously idle core (which gets a fresh heap entry and the
+        VM binding), and ``False`` when it joined the tail of a busy
+        queue and will run at a future rotation.
+        """
+        thread = self.threads.get(tid)
+        if thread is None or core == thread.core_id:
+            return None
+        source = self._queues.get(thread.core_id)
+        if not source or source[0] == tid or tid not in source:
+            return None
+        source.remove(tid)
+        target = self._queues.setdefault(core, deque())
+        became_head = not target
+        target.append(tid)
+        thread.core_id = core
+        self.qos_rebinds += 1
+        if became_head:
+            # wake the idle core: charge a switch penalty and schedule
+            # the migrated thread's pending reference
+            self._quantum_left[core] = self.quantum_refs
+            heapq.heappush(
+                self._heap,
+                (now + self.switch_penalty + self._pending[tid][2], core),
+            )
+            if self._bind is not None:
+                self._bind(core, thread.vm_id)
+        return became_head
 
     def run(self) -> EngineResult:
         threads = self.threads
         queues = self._queues
-        pending: Dict[int, tuple] = {}
+        pending = self._pending
         for tid, thread in threads.items():
             ref = next(thread.references, None)
             if ref is None:
@@ -82,11 +135,11 @@ class OvercommitEngine:
 
         # heap of (next issue time, core); each core runs the thread at
         # the head of its queue
-        heap: List[Tuple[int, int]] = []
-        quantum_left: Dict[int, int] = {}
+        heap = self._heap
+        quantum_left = self._quantum_left
         # keep the machine's core->VM attribution in step with the
         # active thread so occupancy snapshots stay meaningful
-        bind = getattr(self.machine, "bind_core_to_vm", None)
+        bind = self._bind = getattr(self.machine, "bind_core_to_vm", None)
         for core, queue in queues.items():
             tid = queue[0]
             thread = threads[tid]
@@ -102,6 +155,9 @@ class OvercommitEngine:
         vm_completion: Dict[int, int] = {}
         pending_vms = len(vm_pending)
 
+        control = self.control
+        # epoch-gated like the base engine: int compare per step
+        control_due = control.next_due if control is not None else None
         steps = 0
         issue_time = 0
         context_switches = 0
@@ -113,6 +169,11 @@ class OvercommitEngine:
                     f"{pending_vms} VM(s) still pending"
                 )
             issue_time, core = heapq.heappop(heap)
+            if control_due is not None and issue_time >= control_due:
+                # the hook may rewrite quotas and migrate *waiting*
+                # threads; the popped core's head thread never moves
+                control.on_step(issue_time)
+                control_due = control.next_due
             queue = queues[core]
             tid = queue[0]
             thread = threads[tid]
@@ -154,10 +215,13 @@ class OvercommitEngine:
                 next_tid = tid
             heapq.heappush(heap, (finish + pending[next_tid][2], core))
 
+        final_time = max(vm_completion.values())
+        if control is not None:
+            control.finish(final_time)
         result = EngineResult(
             # the run ends when the last VM completes (max completion
             # time), not at the last popped issue time
-            final_time=max(vm_completion.values()),
+            final_time=final_time,
             vm_completion_times=vm_completion,
             thread_stats={tid: t.stats for tid, t in threads.items()},
             total_refs_processed=steps,

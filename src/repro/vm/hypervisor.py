@@ -173,6 +173,41 @@ class Hypervisor:
                 thread_id += 1
         return contexts
 
+    def rebind_thread(
+        self,
+        context: ThreadContext,
+        core: int,
+        previous: int = -1,
+        bind_core: bool = True,
+    ) -> None:
+        """Move a launched thread's binding to another physical core.
+
+        The paper's methodology binds statically; this exists for the
+        QoS layer (:mod:`repro.qos`), whose feedback controller may
+        migrate a waiting thread on an over-committed machine.  Updates
+        the VM's core list and the context's binding; pass the thread's
+        ``previous`` core explicitly when the caller (the engine's
+        run-queue actuator) already rewrote ``context.core_id``.
+        ``bind_core=False`` skips the chip's core→VM attribution update
+        (used when the thread joined a busy queue whose active thread
+        belongs to another VM).
+        """
+        if not 0 <= core < self.chip.config.num_cores:
+            raise SchedulingError(
+                f"core {core} out of range for a "
+                f"{self.chip.config.num_cores}-core chip"
+            )
+        vm = self.vms[context.vm_id]
+        old = context.core_id if previous < 0 else previous
+        try:
+            vm.cores.remove(old)
+        except ValueError:
+            pass
+        vm.cores.append(core)
+        context.core_id = core
+        if bind_core:
+            self.chip.bind_core_to_vm(core, context.vm_id)
+
     def vm_of_block(self, block: int) -> int:
         """VM owning a physical block, or -1 (for analysis code)."""
         for vm in self.vms:

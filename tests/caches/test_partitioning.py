@@ -74,6 +74,54 @@ class TestWayQuota:
             WayQuota({0: 5}, assoc=4)
 
 
+class TestSetQuota:
+    def test_rewrite_changes_the_live_quota(self):
+        quota = WayQuota({0: 2, 1: 2}, assoc=4)
+        quota.set_quota(0, 3)
+        assert quota.quotas == {0: 3, 1: 2}
+        assert quota.adjustments == 1
+
+    def test_noop_rewrite_not_counted(self):
+        quota = WayQuota({0: 2, 1: 2}, assoc=4)
+        quota.set_quota(0, 2)
+        assert quota.adjustments == 0
+
+    def test_over_associativity_rejected(self):
+        quota = WayQuota({0: 2, 1: 2}, assoc=4)
+        with pytest.raises(ConfigurationError):
+            quota.set_quota(0, 5)
+        assert quota.quotas[0] == 2  # unchanged after the failure
+
+    def test_non_positive_rejected(self):
+        quota = WayQuota({0: 2, 1: 2}, assoc=4)
+        with pytest.raises(ConfigurationError):
+            quota.set_quota(0, 0)
+
+    def test_unknown_vm_rejected(self):
+        quota = WayQuota({0: 2, 1: 2}, assoc=4)
+        with pytest.raises(ConfigurationError, match="no way quota"):
+            quota.set_quota(9, 1)
+
+    def test_update_applies_many_and_counts_changes(self):
+        quota = WayQuota({0: 2, 1: 2}, assoc=4)
+        assert quota.update({0: 3, 1: 1}) == 2
+        assert quota.update({0: 3, 1: 1}) == 0
+        assert quota.quotas == {0: 3, 1: 1}
+
+    def test_raised_quota_takes_effect_at_the_next_insertion(self):
+        cache = one_set_cache(assoc=4)
+        quota = WayQuota({0: 2, 1: 2}, assoc=4)
+        fill(cache, quota, 0, [0, 1])
+        fill(cache, quota, 1, [2, 3])
+        quota.set_quota(0, 3)          # controller grows VM0's share
+        quota.set_quota(1, 1)
+        fill(cache, quota, 0, [4])     # VM0 may now take a third way
+        owners = [line.vm_id for _b, line in cache.contents()]
+        assert owners.count(0) == 3
+        assert owners.count(1) == 1
+        assert quota.reclaims == 1     # VM1 is over its shrunk quota
+
+
 class TestEqualQuotas:
     def test_even_split(self):
         assert equal_quotas([0, 1], 16) == {0: 8, 1: 8}

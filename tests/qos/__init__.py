@@ -1,0 +1,1 @@
+"""Tests for the QoS subsystem (repro.qos)."""

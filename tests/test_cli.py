@@ -131,6 +131,71 @@ class TestCommands:
         assert "unknown mix" in err
 
 
+class TestQosCommand:
+    def test_qos_defaults(self):
+        args = build_parser().parse_args(["qos"])
+        assert args.policy == "ucp"
+        assert args.mix == "mix7"
+        assert args.sharing == "shared"
+
+    def test_qos_help_names_the_policies(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["qos", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for policy in ("static-equal", "missrate-prop", "ucp",
+                       "target-slowdown"):
+            assert policy in out
+
+    def test_qos_run(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "qos", "--policy", "static-equal", "--mix", "mix7",
+            "--refs", "300", "--seed", "1")
+        assert code == 0
+        assert "Slowdown" in out
+        assert "weighted speedup" in out
+        assert "fairness (Jain)" in out
+
+    def test_qos_json_artifact(self, capsys, tmp_path):
+        path = tmp_path / "qos.json"
+        code, _out, _err = run_cli(
+            capsys, "qos", "--policy", "missrate-prop", "--mix", "mix7",
+            "--refs", "300", "--seed", "1", "--json", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["policy"] == "missrate-prop"
+        assert set(payload["slowdowns"]) == {"0", "1", "2", "3"}
+
+    def test_run_accepts_qos_policy_flag(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "run", "--mix", "mix7", "--sharing", "shared",
+            "--refs", "300", "--seed", "1",
+            "--qos-policy", "missrate-prop")
+        assert code == 0
+        assert "QoS" in out
+
+    def test_unknown_qos_policy_is_clean_error(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "qos", "--policy", "nope", "--refs", "200",
+            "--seed", "1")
+        assert code == 2
+        assert "unknown QoS policy" in err
+
+    def test_target_without_value_is_clean_error(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "qos", "--policy", "target-slowdown", "--refs", "200",
+            "--seed", "1")
+        assert code == 2
+        assert "qos_target" in err
+
+    def test_suite_qos(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "suite", "qos", "--mix", "mix7", "--refs", "300",
+            "--seed", "1")
+        assert code == 0
+        assert "qos/mix7" in out
+
+
 class TestSweepExecutorFlags:
     def test_sweep_with_jobs(self, capsys):
         code, out, _err = run_cli(
