@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Service-layer overhead micro-benchmark.
+
+The job service wraps the same ``SweepExecutor`` + ``ResultStore``
+machinery the library exposes directly, so its tax is everything in
+between: HTTP round-trips, JSON codecs, the journal fsync per state
+transition, and the scheduler hop.  The clean measurement is on a
+*warm* store — both paths then execute zero cells, and the wall-clock
+difference is purely service plumbing:
+
+* ``direct``  — ``SweepExecutor.run`` over a warm store, in process;
+* ``service`` — ``ServiceClient.submit`` + ``wait`` + one result
+  fetch against an embedded server on a warm store (dedup path).
+
+Absolute per-job latency matters more than the ratio here (the direct
+path is microseconds — any HTTP hop is thousands of percent "slower"),
+so the verdict checks the service round-trip against a latency budget
+(default 250 ms/job) rather than a fraction.
+
+Artifacts land next to the other bench outputs:
+``benchmarks/results/bench_service.json`` holds per-path seconds and
+the verdict; the rendered table also goes to stdout.
+
+Run it directly (not part of the pytest bench suite — wall-clock
+assertions are too machine-dependent for CI)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--refs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.core.executor import SweepExecutor
+from repro.core.experiment import ExperimentSpec
+from repro.core.store import ResultStore
+from repro.service import ServiceClient, ServiceServer
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def grid(refs: int):
+    return [
+        ((sharing, policy),
+         ExperimentSpec(mix="iso-tpch", sharing=sharing, policy=policy,
+                        seed=1, measured_refs=refs,
+                        warmup_refs=refs // 4))
+        for sharing in ("private", "shared-4")
+        for policy in ("rr", "affinity")
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--refs", type=int, default=1500,
+                        help="measured references per thread")
+    parser.add_argument("--repeats", type=int, default=20,
+                        help="warm round-trips to time per path")
+    parser.add_argument("--budget", type=float, default=0.25,
+                        help="allowed service seconds per warm job")
+    args = parser.parse_args(argv)
+
+    store = ResultStore()
+    cells = grid(args.refs)
+    specs = [spec for _key, spec in cells]
+
+    cold_start = time.perf_counter()
+    SweepExecutor(store=store).run(cells)  # warm the store once
+    cold = time.perf_counter() - cold_start
+
+    direct = []
+    for _ in range(args.repeats):
+        start = time.perf_counter()
+        outcomes = SweepExecutor(store=store).run(cells)
+        direct.append(time.perf_counter() - start)
+        assert all(o.from_cache for o in outcomes)
+
+    server = ServiceServer(store=store).start_in_thread()
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{server.port}",
+                               client_id="bench")
+        service = []
+        for _ in range(args.repeats):
+            start = time.perf_counter()
+            job = client.submit(specs)
+            job = client.wait(job["job_id"], poll=0.001)
+            client.result(job["result_keys"][0])
+            service.append(time.perf_counter() - start)
+            assert job["cells_simulated"] == 0
+        dedup_hits = client.metrics()["counters"]["service.dedup_hits"]
+    finally:
+        server.shutdown()
+    assert dedup_hits >= args.repeats
+
+    med_direct = statistics.median(direct)
+    med_service = statistics.median(service)
+    tax = med_service - med_direct
+    ok = med_service < args.budget
+
+    rows = [
+        ["cold simulate (4 cells)", round(cold, 4), "-", "-"],
+        ["direct warm run", round(med_direct, 4), "baseline", "-"],
+        ["service warm round-trip", round(med_service, 4),
+         f"+{tax * 1000:.1f} ms", "ok" if ok else "OVER"],
+    ]
+    print(format_table(
+        ["Path", "Wall (s)", "Service tax",
+         f"Budget {args.budget * 1000:.0f} ms"],
+        rows, title=f"Service overhead, warm 2x2 grid @ {args.refs} "
+                    f"refs ({args.repeats} round-trips)"))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "refs": args.refs,
+        "repeats": args.repeats,
+        "budget_s": args.budget,
+        "seconds": {
+            "cold_simulate": round(cold, 4),
+            "direct_warm": round(med_direct, 5),
+            "service_warm": round(med_service, 5),
+        },
+        "service_tax_s": round(tax, 5),
+        "dedup_hits": dedup_hits,
+        "ok": ok,
+    }
+    (RESULTS_DIR / "bench_service.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {RESULTS_DIR / 'bench_service.json'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

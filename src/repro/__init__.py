@@ -63,6 +63,7 @@ from .errors import (
     ConfigurationError,
     ReproError,
     SchedulingError,
+    ServiceError,
     SimulationError,
     SweepError,
     WorkloadError,
@@ -84,6 +85,14 @@ from .qos import (
     controller_names,
     make_controller,
     qos_report,
+)
+from .service import (
+    Job,
+    JobQueue,
+    JobScheduler,
+    JobState,
+    ServiceClient,
+    ServiceServer,
 )
 from .workloads import (
     WORKLOADS,
@@ -148,6 +157,13 @@ __all__ = [
     "TraceBuffer",
     "TraceEvent",
     "export_chrome_trace",
+    "Job",
+    "JobQueue",
+    "JobScheduler",
+    "JobState",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
     "QosController",
     "QosHook",
     "QosReport",

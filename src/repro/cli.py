@@ -27,6 +27,15 @@
 ``profile``
     Run a suite with wall-clock executor spans and export the Chrome
     trace of where the sweep spent its time.
+``serve``
+    Run the long-lived simulation service: an HTTP job API over a
+    shared result store with a durable job journal (see
+    ``docs/service.md``).
+``submit``
+    Submit an experiment grid to a running service (and optionally
+    wait for the results).
+``jobs``
+    List a running service's jobs, or show one job's record.
 ``stats``
     The Table II characterization of one workload.
 ``workloads``
@@ -37,6 +46,11 @@
 Every command honours ``REPRO_REFS`` / ``REPRO_SEED`` and takes
 explicit overrides.  Telemetry never changes simulation results (see
 ``docs/observability.md``).
+
+Exit codes are uniform across commands: ``0`` success, ``2`` library
+error (bad configuration, failed sweep cells, service rejection),
+``3`` I/O error (unreadable/unwritable files, unreachable service),
+``130`` interrupted.  Argparse keeps its own ``2`` for usage errors.
 """
 
 from __future__ import annotations
@@ -53,13 +67,21 @@ from .errors import ReproError
 from .workloads.calibrate import measure_workload_statistics
 from .workloads.library import WORKLOADS
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_OK", "EXIT_ERROR", "EXIT_IO",
+           "EXIT_INTERRUPTED"]
 
 _SHARINGS = ("private", "shared-2", "shared-4", "shared-8", "shared")
 _POLICIES = ("rr", "affinity", "rr-aff", "random")
 
+EXIT_OK = 0
+EXIT_ERROR = 2
+EXIT_IO = 3
+EXIT_INTERRUPTED = 130
+
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -67,6 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
             "(IISWC 2007 reproduction)"
         ),
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run one consolidation experiment")
@@ -195,6 +219,68 @@ def build_parser() -> argparse.ArgumentParser:
     profile_p.add_argument("--out", default="profile.json", metavar="PATH",
                            help="Chrome-trace JSON output path")
     _add_executor_flags(profile_p)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the long-lived simulation service "
+                      "(HTTP job API; see docs/service.md)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8765,
+                         help="bind port (0 picks a free one)")
+    serve_p.add_argument("--store", default=None, metavar="PATH",
+                         help="persistent result-store directory "
+                              "(default: memory-only)")
+    serve_p.add_argument("--journal", default=None, metavar="PATH",
+                         help="durable job journal; jobs survive "
+                              "restarts and crashes")
+    serve_p.add_argument("--jobs", type=int, default=1,
+                         help="executor worker processes per job")
+    serve_p.add_argument("--queue-limit", type=int, default=64,
+                         help="pending jobs admitted before 429 "
+                              "backpressure")
+    serve_p.add_argument("--rate", type=float, default=0.0,
+                         help="per-client requests/second "
+                              "(0 = unlimited)")
+    serve_p.add_argument("--burst", type=int, default=20,
+                         help="per-client burst size for --rate")
+    serve_p.add_argument("--max-attempts", type=int, default=3,
+                         help="job attempts before quarantine")
+    serve_p.add_argument("--backoff", type=float, default=0.5,
+                         help="base retry backoff in seconds")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit an experiment grid to a running service")
+    submit_p.add_argument("--url", default="http://127.0.0.1:8765",
+                          help="service base URL")
+    submit_p.add_argument("--mix", default="mix5",
+                          help="Table IV mix name or iso-<workload>")
+    submit_p.add_argument("--sharings", default="shared-4",
+                          help="comma-separated sharing degrees "
+                               "(grid axis)")
+    submit_p.add_argument("--policies", default="affinity",
+                          help="comma-separated scheduling policies "
+                               "(grid axis)")
+    submit_p.add_argument("--refs", type=int, default=None)
+    submit_p.add_argument("--warmup", type=int, default=None)
+    submit_p.add_argument("--seed", type=int, default=0)
+    submit_p.add_argument("--priority", type=int, default=10,
+                          help="lower runs sooner")
+    submit_p.add_argument("--client-id", default="cli",
+                          help="client identity for rate limiting")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="poll until the job finishes and print "
+                               "its result keys")
+    submit_p.add_argument("--timeout", type=float, default=600.0,
+                          help="--wait timeout in seconds")
+    submit_p.add_argument("--busy-timeout", type=float, default=0.0,
+                          help="keep retrying through 429 responses "
+                               "for this many seconds")
+
+    jobs_p = sub.add_parser(
+        "jobs", help="list a running service's jobs (or show one)")
+    jobs_p.add_argument("job_id", nargs="?", default=None,
+                        help="job id for a detailed record")
+    jobs_p.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="service base URL")
 
     stats_p = sub.add_parser(
         "stats", help="Table II characterization of one workload")
@@ -604,6 +690,104 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import ServiceServer
+
+    server = ServiceServer(
+        store=args.store, journal=args.journal,
+        host=args.host, port=args.port,
+        queue_limit=args.queue_limit, rate=args.rate, burst=args.burst,
+        executor_jobs=args.jobs, max_attempts=args.max_attempts,
+        backoff_base=args.backoff,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"repro service listening on "
+              f"http://{server.host}:{server.port}", file=sys.stderr)
+        where = repr(server.store)
+        journal = args.journal or "none (volatile queue)"
+        print(f"store: {where}; journal: {journal}", file=sys.stderr)
+        if server.queue.recovered:
+            print(f"recovered {server.queue.recovered} journaled job(s)",
+                  file=sys.stderr)
+        await server.serve()
+        print("drained; bye", file=sys.stderr)
+
+    asyncio.run(_serve())
+    return EXIT_OK
+
+
+def _submit_cells(args):
+    sharings = [s.strip() for s in args.sharings.split(",") if s.strip()]
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    keys, specs = [], []
+    for sharing in sharings:
+        for policy in policies:
+            keys.append((sharing, policy))
+            specs.append(ExperimentSpec(
+                mix=args.mix, sharing=sharing, policy=policy,
+                seed=args.seed, measured_refs=args.refs,
+                warmup_refs=args.warmup))
+    return keys, specs
+
+
+def _cmd_submit(args) -> int:
+    from .service import JobState, ServiceClient
+
+    client = ServiceClient(args.url, client_id=args.client_id,
+                           busy_timeout=args.busy_timeout)
+    keys, specs = _submit_cells(args)
+    job = client.submit(specs, priority=args.priority, keys=keys)
+    print(f"job {job['job_id']}: {job['state']} "
+          f"({job['cells']} cells, priority {job['priority']})")
+    if not args.wait:
+        return EXIT_OK
+    job = client.wait(job["job_id"], timeout=args.timeout)
+    if job["state"] != JobState.DONE:
+        print(f"job {job['job_id']} {job['state']}: {job.get('error')}",
+              file=sys.stderr)
+        return EXIT_ERROR
+    rows = [[" / ".join(str(v) for v in key), result_key]
+            for key, result_key in zip(keys, job["result_keys"])]
+    print(format_table(["Cell", "Result key"], rows,
+                       title=f"Job {job['job_id']} done"))
+    print()
+    print(f"{job['cells_cached']} cells cached, "
+          f"{job['cells_simulated']} simulated, "
+          f"attempt(s) {job['attempts']}")
+    return EXIT_OK
+
+
+def _cmd_jobs(args) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job_id:
+        job = client.job(args.job_id)
+        print(format_kv(f"Job {job['job_id']}", {
+            "state": job["state"],
+            "client": job["client"],
+            "priority": job["priority"],
+            "attempts": job["attempts"],
+            "cells": len(job["cells"]),
+            "coalesced with": job.get("coalesced_with") or "-",
+            "error": job.get("error") or "-",
+            "result keys": ", ".join(job["result_keys"]) or "-",
+        }))
+        return EXIT_OK
+    rows = [
+        [job["job_id"], job["state"], job["cells"], job["attempts"],
+         job["client"]]
+        for job in client.jobs()
+    ]
+    print(format_table(["Job", "State", "Cells", "Attempts", "Client"],
+                       rows, title=f"Jobs at {args.url}"))
+    return EXIT_OK
+
+
 def _cmd_stats(args) -> int:
     stats = measure_workload_statistics(args.workload,
                                         measured_refs=args.refs,
@@ -669,6 +853,9 @@ _COMMANDS = {
     "suite": _cmd_suite,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
     "stats": _cmd_stats,
     "compare": _cmd_compare,
     "workloads": _cmd_workloads,
@@ -677,16 +864,30 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a uniform exit code, never raises.
+
+    ``EXIT_ERROR`` (2) for any :class:`ReproError` (configuration
+    mistakes, failed sweep cells, service rejections), ``EXIT_IO``
+    (3) for OS-level failures (missing files, unreachable hosts), and
+    ``EXIT_INTERRUPTED`` (130) for Ctrl-C, so scripts and CI can
+    branch on *why* a command failed instead of parsing stderr.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
     except BrokenPipeError:
         # output truncated by a downstream pager/head; not an error
-        return 0
+        return EXIT_OK
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_IO
 
 
 if __name__ == "__main__":

@@ -32,7 +32,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..errors import ConfigurationError
 from .experiment import ExperimentResult, ExperimentSpec, resolve_defaults
 
-__all__ = ["CellOutcome", "ProgressCallback", "SweepExecutor"]
+__all__ = ["CellOutcome", "ProgressCallback", "RetryCallback",
+           "SweepExecutor"]
 
 
 @dataclass
@@ -50,6 +51,7 @@ class CellOutcome:
     error: Optional[str] = None
     wall_time: float = 0.0
     from_cache: bool = False
+    retried: int = 0
 
     @property
     def ok(self) -> bool:
@@ -58,6 +60,9 @@ class CellOutcome:
 
 ProgressCallback = Callable[[int, int, CellOutcome], None]
 """Called as ``progress(done, total, outcome)`` after every cell."""
+
+RetryCallback = Callable[[tuple, ExperimentSpec, int, str], None]
+"""Called as ``on_retry(key, spec, attempt, error)`` before a retry."""
 
 
 def _run_cell(payload: Tuple[int, ExperimentSpec, int]):
@@ -115,6 +120,19 @@ class SweepExecutor:
         Positive to epoch-sample every cold cell (worker-local probes;
         see :func:`_run_cell`).  Sampled series come back on each
         ``result.series`` and are persisted as store sidecars.
+    retries:
+        Per-cell transient-failure retries (default 0 — a failed cell
+        is final, the historical behaviour).  A positive count re-runs
+        a failed cell up to ``retries`` more times *in the parent*,
+        sleeping ``retry_backoff * 2**(attempt-1)`` seconds first; the
+        recovery is recorded on :attr:`CellOutcome.retried` and in the
+        ``executor.retries`` telemetry counter.  This is what makes a
+        sweep resumable past a crashed worker process.
+    retry_backoff:
+        Base backoff delay in seconds (0 retries instantly — tests).
+    on_retry:
+        Optional ``on_retry(key, spec, attempt, error)`` callback
+        invoked before each retry (the service journals these).
     """
 
     def __init__(
@@ -125,11 +143,19 @@ class SweepExecutor:
         mp_context: str = "spawn",
         telemetry=None,
         epoch: int = 0,
+        retries: int = 0,
+        retry_backoff: float = 0.5,
+        on_retry: Optional[RetryCallback] = None,
     ):
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         if epoch < 0:
             raise ConfigurationError(f"epoch must be >= 0, got {epoch}")
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0, got {retry_backoff}")
         if telemetry is None:
             from ..obs.telemetry import NULL_TELEMETRY
 
@@ -140,6 +166,9 @@ class SweepExecutor:
         self.mp_context = mp_context
         self.telemetry = telemetry
         self.epoch = epoch
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.on_retry = on_retry
 
     def run(
         self, cells: Sequence[Tuple[tuple, ExperimentSpec]]
@@ -191,6 +220,8 @@ class SweepExecutor:
                     for spec, indices in pending.items()]
             for index, result, error, wall in self._execute(jobs):
                 key, spec = resolved[index]
+                result, error, wall, retried = self._maybe_retry(
+                    index, spec, key, result, error, wall)
                 telemetry.counter("executor.simulated").inc()
                 telemetry.histogram(
                     "executor.cell_seconds",
@@ -209,8 +240,30 @@ class SweepExecutor:
                     record(cell_index, CellOutcome(
                         cell_key, spec, result=result, error=error,
                         wall_time=wall, from_cache=cell_index != index,
+                        retried=retried,
                     ))
         return outcomes  # type: ignore[return-value]
+
+    def _maybe_retry(self, index: int, spec: ExperimentSpec, key: tuple,
+                     result, error, wall: float):
+        """Re-run a failed cold cell up to ``self.retries`` times.
+
+        Retries run serially in the parent — by then the original
+        worker (possibly a crashed process) is gone, and a transient
+        failure is exactly one that a clean re-run survives.
+        """
+        attempt = 0
+        while error is not None and attempt < self.retries:
+            attempt += 1
+            self.telemetry.counter("executor.retries").inc()
+            if self.on_retry is not None:
+                self.on_retry(key, spec, attempt, error)
+            if self.retry_backoff > 0:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            _index, result, error, retry_wall = _run_cell(
+                (index, spec, self.epoch))
+            wall += retry_wall
+        return result, error, wall, attempt
 
     def _execute(self, jobs: List[Tuple[int, ExperimentSpec, int]]):
         """Yield ``(index, result, error, wall_time)`` per cold cell."""

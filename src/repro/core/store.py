@@ -27,9 +27,9 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Union
 
@@ -139,6 +139,37 @@ def result_from_dict(payload: dict) -> ExperimentResult:
 
 
 # ----------------------------------------------------------------------
+# atomic multi-process-safe publication
+# ----------------------------------------------------------------------
+
+_TMP_COUNTER = itertools.count()
+
+
+def _atomic_write(final_path: Path, payload: str) -> None:
+    """Publish ``payload`` at ``final_path`` atomically.
+
+    The temp name embeds the writer's pid and a process-local counter,
+    so any number of concurrent writers — threads of one service
+    process or entirely separate processes sharing a store directory —
+    write distinct temp files and race only on the final ``os.replace``,
+    which is atomic: readers see the old complete file or the new
+    complete file, never a torn one.
+    """
+    tmp_path = final_path.with_name(
+        f".{final_path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
+    try:
+        with open(tmp_path, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp_path, final_path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
 # the store
 # ----------------------------------------------------------------------
 
@@ -202,7 +233,15 @@ class ResultStore:
         A disk hit is promoted into the memory tier.  Corrupt and
         stale-schema records count as misses.
         """
-        key = spec_key(spec)
+        return self.get_by_key(spec_key(spec))
+
+    def get_by_key(self, key: str) -> Optional[ExperimentResult]:
+        """Return the stored result for a raw spec key, or ``None``.
+
+        The service's ``GET /results/<key>`` endpoint reads through
+        this: callers hold keys (from job records), not specs.  Hit
+        and miss accounting matches :meth:`get`.
+        """
         hit = self._memory.get(key)
         if hit is not None:
             self.stats.memory_hits += 1
@@ -260,23 +299,17 @@ class ResultStore:
                 "spec_key": key,
                 "series": series,
             }, indent=2)
-            fd, tmp_name = tempfile.mkstemp(
-                prefix=f".{key}.", suffix=".tmp", dir=self.path
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    handle.write(payload)
-                os.replace(tmp_name, self._series_path(key))
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
+            _atomic_write(self._series_path(key), payload)
         return key
 
     def get_series(self, spec: ExperimentSpec) -> Optional[dict]:
-        """The stored time-series for ``spec``, or ``None``."""
+        """The stored time-series for ``spec``, or ``None``.
+
+        A torn or corrupt sidecar is treated exactly like a corrupt
+        result record in :meth:`get`: counted (``stats.corrupt`` /
+        ``stats.schema_mismatches`` and the matching ``store.*``
+        telemetry counters) and reported as a miss, never raised.
+        """
         key = spec_key(spec)
         hit = self._memory_series.get(key)
         if hit is not None:
@@ -289,13 +322,18 @@ class ResultStore:
             return None
         try:
             record = json.loads(raw)
-            series = record["series"]
-            if record.get("store_schema") != STORE_SCHEMA_VERSION:
-                return None
-            if not isinstance(series, dict):
-                raise ValueError("series is not an object")
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            self.stats.corrupt += 1
+            if not isinstance(record, dict):
+                raise ValueError("series record is not an object")
+        except (json.JSONDecodeError, ValueError):
+            self._count_corrupt()
+            return None
+        if record.get("store_schema") != STORE_SCHEMA_VERSION:
+            self.stats.schema_mismatches += 1
+            self.telemetry.counter("store.schema_mismatches").inc()
+            return None
+        series = record.get("series")
+        if record.get("spec_key") != key or not isinstance(series, dict):
+            self._count_corrupt()
             return None
         self._memory_series[key] = series
         return series
@@ -340,19 +378,24 @@ class ResultStore:
             if not isinstance(record, dict):
                 raise ValueError("record is not an object")
         except (json.JSONDecodeError, ValueError):
-            self.stats.corrupt += 1
+            self._count_corrupt()
             return None
         if record.get("store_schema") != STORE_SCHEMA_VERSION:
             self.stats.schema_mismatches += 1
+            self.telemetry.counter("store.schema_mismatches").inc()
             return None
         if record.get("spec_key") != key:
-            self.stats.corrupt += 1
+            self._count_corrupt()
             return None
         try:
             return result_from_dict(record["result"])
         except (ReproError, KeyError, TypeError, ValueError):
-            self.stats.corrupt += 1
+            self._count_corrupt()
             return None
+
+    def _count_corrupt(self) -> None:
+        self.stats.corrupt += 1
+        self.telemetry.counter("store.corrupt").inc()
 
     def _write_record(self, key: str, result: ExperimentResult) -> None:
         assert self.path is not None
@@ -363,23 +406,7 @@ class ResultStore:
             "result": result_to_dict(result),
         }
         payload = json.dumps(record, indent=2)
-        # Atomic publish: write a private temp file in the same
-        # directory, then os.replace it over the final name.  Readers
-        # either see the old complete record or the new complete record,
-        # never a partial write, even with many concurrent writers.
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key}.", suffix=".tmp", dir=self.path
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, self._record_path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        _atomic_write(self._record_path(key), payload)
 
 
 # ----------------------------------------------------------------------

@@ -49,6 +49,21 @@ class SweepError(ReproError):
         )
 
 
+class ServiceError(ReproError):
+    """A simulation-service request or job failed.
+
+    Raised by :class:`repro.service.client.ServiceClient` when the
+    server rejects a request (with :attr:`status` carrying the HTTP
+    status and :attr:`retry_after` the server's back-off hint, when
+    given) and by service helpers when a job ends quarantined.
+    """
+
+    def __init__(self, message, status=None, retry_after=None):
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
 class WorkloadError(ReproError):
     """A workload profile or generator was misused or is inconsistent."""
 

@@ -18,6 +18,7 @@ from .telemetry import (
     Histogram,
     NullTelemetry,
     Telemetry,
+    render_prometheus,
 )
 from .trace import (
     SIM_PID,
@@ -41,6 +42,7 @@ __all__ = [
     "Histogram",
     "NullTelemetry",
     "Telemetry",
+    "render_prometheus",
     "SIM_PID",
     "WALL_PID",
     "TraceBuffer",

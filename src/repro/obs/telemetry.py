@@ -42,6 +42,7 @@ __all__ = [
     "Telemetry",
     "NullTelemetry",
     "NULL_TELEMETRY",
+    "render_prometheus",
 ]
 
 
@@ -224,6 +225,44 @@ class Telemetry:
             "trace_events": len(self.trace),
             "trace_dropped": self.trace.dropped,
         }
+
+
+def _prometheus_name(name: str) -> str:
+    """Map an instrument name to a legal Prometheus metric name."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{cleaned}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Prometheus text exposition (v0.0.4) of a :meth:`Telemetry
+    .snapshot`.
+
+    Counters become ``repro_<name>_total``, gauges ``repro_<name>``,
+    histograms the conventional ``_bucket``/``_sum``/``_count``
+    triple with cumulative ``le`` buckets.  The service's ``/metrics``
+    endpoint serves this under ``?format=prometheus``.
+    """
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prometheus_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        cumulative += hist["counts"][-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {hist.get('mean', 0.0) * hist['observations']}")
+        lines.append(f"{metric}_count {hist['observations']}")
+    return "\n".join(lines) + "\n"
 
 
 class _NullInstrument:

@@ -1,0 +1,195 @@
+"""Thin synchronous client for the simulation service.
+
+Speaks the ``repro serve`` HTTP API with nothing but ``http.client``:
+
+>>> client = ServiceClient("http://127.0.0.1:8765")     # doctest: +SKIP
+>>> job = client.submit([ExperimentSpec(mix="mix5")])   # doctest: +SKIP
+>>> job = client.wait(job["job_id"])                    # doctest: +SKIP
+>>> result = client.result(job["result_keys"][0])       # doctest: +SKIP
+
+``submit`` transparently honours ``429`` backpressure: it sleeps the
+server's ``Retry-After`` hint and retries until ``busy_timeout`` is
+spent, then raises :class:`~repro.errors.ServiceError` with the status
+attached.  Every other non-2xx response raises immediately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import json
+import time
+from typing import Iterable, List, Optional, Tuple, Union
+from urllib.parse import urlsplit
+
+from ..core.experiment import ExperimentSpec
+from ..core.store import result_from_dict
+from ..errors import ServiceError
+from .jobs import JobState
+
+__all__ = ["ServiceClient"]
+
+SpecLike = Union[ExperimentSpec, dict]
+
+
+class ServiceClient:
+    """Synchronous HTTP client bound to one service URL.
+
+    Parameters
+    ----------
+    url:
+        Base URL, e.g. ``http://127.0.0.1:8765``.
+    client_id:
+        Sent as ``X-Client-Id``; the server rate-limits per client.
+    timeout:
+        Socket timeout per request, seconds.
+    busy_timeout:
+        Total time :meth:`submit` keeps retrying through ``429``
+        responses before giving up (0 = fail on the first 429).
+    """
+
+    def __init__(self, url: str, client_id: str = "anon",
+                 timeout: float = 30.0, busy_timeout: float = 0.0):
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ServiceError(f"unsupported URL scheme {parts.scheme!r}")
+        if not parts.hostname:
+            raise ServiceError(f"invalid service URL {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 8765
+        self.client_id = client_id
+        self.timeout = timeout
+        self.busy_timeout = busy_timeout
+
+    # -- API calls -----------------------------------------------------
+
+    def submit(self, specs: Iterable[SpecLike], priority: int = 10,
+               keys: Optional[List[tuple]] = None) -> dict:
+        """Submit one job; returns the job summary dict (state etc.).
+
+        ``specs`` may be :class:`ExperimentSpec` instances or plain
+        dicts; ``keys`` optionally labels each cell (defaults to its
+        index).
+        """
+        entries = []
+        for index, spec in enumerate(specs):
+            entry = (dataclasses.asdict(spec)
+                     if isinstance(spec, ExperimentSpec) else dict(spec))
+            if keys is not None:
+                entry["key"] = list(keys[index])
+            entries.append(entry)
+        body = {"specs": entries, "priority": priority}
+        deadline = time.monotonic() + self.busy_timeout
+        while True:
+            status, headers, payload = self._request("POST", "/jobs", body)
+            if status != 429:
+                self._check(status, payload)
+                return payload["job"]
+            retry_after = float(headers.get("retry-after", 1))
+            if time.monotonic() + retry_after > deadline:
+                raise ServiceError(
+                    f"server busy: {payload.get('error', '429')}",
+                    status=429, retry_after=retry_after)
+            time.sleep(retry_after)
+
+    def job(self, job_id: str) -> dict:
+        status, _headers, payload = self._request(
+            "GET", f"/jobs/{job_id}")
+        self._check(status, payload)
+        return payload["job"]
+
+    def jobs(self) -> List[dict]:
+        status, _headers, payload = self._request("GET", "/jobs")
+        self._check(status, payload)
+        return payload["jobs"]
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll: float = 0.1) -> dict:
+        """Poll until the job reaches a terminal state; returns it.
+
+        Raises :class:`ServiceError` on timeout — but *not* on a
+        quarantined job: the terminal record (with its error) is
+        returned for the caller to inspect.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in JobState.TERMINAL:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['state']} after {timeout}s")
+            time.sleep(poll)
+
+    def result(self, key: str, decode: bool = True):
+        """Fetch a stored result by spec key.
+
+        ``decode=True`` returns an
+        :class:`~repro.core.experiment.ExperimentResult`; ``False``
+        returns the raw record dict (useful for byte-level comparisons).
+        """
+        status, _headers, payload = self._request(
+            "GET", f"/results/{key}")
+        self._check(status, payload)
+        if decode:
+            return result_from_dict(payload["result"])
+        return payload
+
+    def healthz(self) -> dict:
+        status, _headers, payload = self._request("GET", "/healthz")
+        self._check(status, payload)
+        return payload
+
+    def metrics(self) -> dict:
+        status, _headers, payload = self._request("GET", "/metrics")
+        self._check(status, payload)
+        return payload
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of ``/metrics``."""
+        status, _headers, payload = self._request(
+            "GET", "/metrics?format=prometheus", raw=True)
+        if status != 200:
+            raise ServiceError(f"metrics failed: HTTP {status}",
+                               status=status)
+        return payload
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None,
+                 raw: bool = False) -> Tuple[int, dict, object]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"X-Client-Id": self.client_id}
+            data = None
+            if body is not None:
+                data = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            try:
+                connection.request(method, path, body=data, headers=headers)
+                response = connection.getresponse()
+                text = response.read().decode("utf-8")
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"cannot reach service at "
+                    f"http://{self.host}:{self.port}: {exc}") from None
+            response_headers = {k.lower(): v
+                                for k, v in response.getheaders()}
+            if raw:
+                return response.status, response_headers, text
+            try:
+                payload = json.loads(text) if text else {}
+            except json.JSONDecodeError:
+                payload = {"error": text.strip()}
+            return response.status, response_headers, payload
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _check(status: int, payload) -> None:
+        if 200 <= status < 300:
+            return
+        message = (payload.get("error", f"HTTP {status}")
+                   if isinstance(payload, dict) else f"HTTP {status}")
+        raise ServiceError(f"service error: {message}", status=status)

@@ -1,0 +1,56 @@
+"""Per-client token-bucket rate limiting for the service API.
+
+Each client key (the ``X-Client-Id`` header, falling back to the peer
+address) owns a bucket of ``burst`` tokens refilled at ``rate`` tokens
+per second.  A request costs one token; an empty bucket yields a
+``429`` with a ``Retry-After`` hint of how long until one token
+refills.  The clock is injectable so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Keyed token buckets: ``allow(key)`` -> ``(ok, retry_after_s)``.
+
+    ``rate <= 0`` disables limiting (every request is allowed) so the
+    server can treat "no limit configured" and "limiter" uniformly.
+    """
+
+    def __init__(self, rate: float, burst: int = 10,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate > 0 and burst < 1:
+            raise ConfigurationError(
+                f"burst must be >= 1 when rate limiting, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.clock = clock
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def allow(self, key: str) -> Tuple[bool, float]:
+        """Spend one token for ``key``.
+
+        Returns ``(True, 0.0)`` when allowed, else ``(False, seconds)``
+        where ``seconds`` is the time until the next token refills.
+        """
+        if not self.enabled:
+            return True, 0.0
+        now = self.clock()
+        tokens, last = self._buckets.get(key, (float(self.burst), now))
+        tokens = min(float(self.burst), tokens + (now - last) * self.rate)
+        if tokens >= 1.0:
+            self._buckets[key] = (tokens - 1.0, now)
+            return True, 0.0
+        self._buckets[key] = (tokens, now)
+        return False, (1.0 - tokens) / self.rate

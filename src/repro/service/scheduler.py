@@ -1,0 +1,258 @@
+"""Async job dispatcher: dedup, coalescing, retries, quarantine.
+
+The :class:`JobScheduler` sits between the HTTP front end and the
+simulation machinery.  On submission it short-circuits work that is
+already done or already happening:
+
+dedup (warm store)
+    A job whose every cell is present in the
+    :class:`~repro.core.store.ResultStore` completes immediately —
+    zero cells executed, counted in ``service.dedup_hits``.
+
+coalescing (in flight)
+    A job whose :func:`~repro.service.jobs.job_key_of` identity matches
+    a job currently queued or running attaches to it as a *follower*:
+    it is journaled (so a crash still replays it) but never enqueued;
+    when the primary finishes, every follower completes with the same
+    result keys.  Counted in ``service.coalesced``.
+
+Everything else is pulled off the :class:`~repro.service.jobs.JobQueue`
+in priority order by the run loop and executed through a
+:class:`~repro.core.executor.SweepExecutor` on a worker thread (the
+executor may itself fan cells out over processes and retries transient
+cell failures once in place).  A job that still has failing cells
+afterwards is retried with exponential backoff — ``backoff_base *
+2**(attempt-1)`` seconds, capped — until ``max_attempts`` is spent,
+then quarantined as poison (``service.quarantined``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+from ..core.executor import SweepExecutor
+from ..core.store import ResultStore, spec_key
+from .jobs import Job, JobQueue, JobState
+
+__all__ = ["JobScheduler"]
+
+
+class JobScheduler:
+    """Drain the job queue through an executor, asynchronously.
+
+    Parameters
+    ----------
+    queue, store:
+        The durable queue and the (shared, warm) result store.
+    executor_jobs:
+        Worker processes per job's :class:`SweepExecutor` (1 = in
+        process, serial — the safe default under asyncio).
+    max_attempts:
+        Execution attempts per job before quarantine.
+    backoff_base, backoff_cap:
+        Exponential retry delay parameters in seconds.
+    executor_retries:
+        Cell-level transient retries inside each executor run.
+    telemetry:
+        Hub for the ``service.*`` counters.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store: ResultStore,
+        executor_jobs: int = 1,
+        max_attempts: int = 3,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        executor_retries: int = 1,
+        telemetry=None,
+    ):
+        if telemetry is None:
+            from ..obs.telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self.queue = queue
+        self.store = store
+        self.executor_jobs = executor_jobs
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.executor_retries = executor_retries
+        self.telemetry = telemetry
+        self._inflight: Dict[str, str] = {}  # job_key -> primary job_id
+        self._followers: Dict[str, List[str]] = {}
+        # created lazily inside the run loop: binding an asyncio.Event
+        # at construction time would capture the wrong loop on py3.9
+        self._wakeup: Optional[asyncio.Event] = None
+        self._stopped = False
+        self._draining = False
+        self._running_job: Optional[str] = None
+        self.paused = False
+        # on restart, recovered jobs are already in the heap; register
+        # their identities so new submissions coalesce against them
+        for job in self.queue.jobs():
+            if not job.done:
+                self._inflight.setdefault(job.job_key, job.job_id)
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        """Admit one job (event-loop context).
+
+        Applies dedup and coalescing before enqueueing; always journals
+        the submission first so a crash between admission and execution
+        cannot lose it.
+        """
+        self.telemetry.counter("service.submitted").inc()
+        primary = self._inflight.get(job.job_key)
+        if primary is not None and self.coalesces(job.job_key):
+            job.coalesced_with = primary
+            self.queue.submit(job)
+            self._followers.setdefault(primary, []).append(job.job_id)
+            self.telemetry.counter("service.coalesced").inc()
+            return job
+        self.queue.submit(job)
+        warm = self._warm_keys(job)
+        if warm is not None:
+            self.queue.mark_done(job.job_id, warm,
+                                 cells_cached=len(job.cells),
+                                 cells_simulated=0)
+            self.telemetry.counter("service.dedup_hits").inc()
+            self.telemetry.counter("service.completed").inc()
+            return job
+        self._inflight[job.job_key] = job.job_id
+        self._wake()
+        return job
+
+    def coalesces(self, job_key: str) -> bool:
+        """Would a job with this identity attach to one in flight?"""
+        primary = self._inflight.get(job_key)
+        primary_job = self.queue.get(primary) if primary else None
+        return primary_job is not None and not primary_job.done
+
+    def _warm_keys(self, job: Job) -> Optional[List[str]]:
+        """Result keys if *every* cell is already stored, else None."""
+        keys = []
+        for _key, spec in job.cells:
+            if self.store.get(spec) is None:
+                return None
+            keys.append(spec_key(spec))
+        return keys
+
+    # -- the run loop --------------------------------------------------
+
+    def _wake(self) -> None:
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    async def run(self) -> None:
+        """Claim and execute jobs until :meth:`stop` (or drain)."""
+        if self._wakeup is None:
+            self._wakeup = asyncio.Event()
+        while not self._stopped:
+            job = None if self.paused else self.queue.claim()
+            if job is None:
+                if self._draining and self._running_job is None:
+                    break
+                self._wakeup.clear()
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(), timeout=0.1)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            await self._execute(job)
+
+    async def _execute(self, job: Job) -> None:
+        self._running_job = job.job_id
+        try:
+            outcomes = await asyncio.to_thread(self._run_cells, job)
+        except Exception as exc:  # executor machinery itself broke
+            outcomes = None
+            error = f"executor error: {exc!r}"
+        finally:
+            self._running_job = None
+        if outcomes is not None:
+            failures = [o for o in outcomes if not o.ok]
+            if not failures:
+                keys = [spec_key(spec) for _key, spec in job.cells]
+                done = self.queue.mark_done(
+                    job.job_id, keys,
+                    cells_cached=sum(1 for o in outcomes if o.from_cache),
+                    cells_simulated=sum(
+                        1 for o in outcomes
+                        if not o.from_cache and not o.error),
+                )
+                self.telemetry.counter("service.completed").inc()
+                self._finish(done)
+                return
+            error = (f"{len(failures)}/{len(outcomes)} cells failed; "
+                     f"first: {failures[0].error.strip().splitlines()[-1]}")
+        self.queue.mark_failed(job.job_id, error)
+        if job.attempts >= self.max_attempts:
+            quarantined = self.queue.quarantine(job.job_id, error)
+            self.telemetry.counter("service.quarantined").inc()
+            self._finish(quarantined)
+            return
+        self.telemetry.counter("service.retries").inc()
+        delay = min(self.backoff_cap,
+                    self.backoff_base * (2 ** (job.attempts - 1)))
+        loop = asyncio.get_running_loop()
+        loop.call_later(delay, self._requeue, job.job_id)
+
+    def _run_cells(self, job: Job):
+        """Worker-thread body: one executor run over the job's cells."""
+        executor = SweepExecutor(
+            jobs=self.executor_jobs,
+            store=self.store,
+            telemetry=self.telemetry,
+            retries=self.executor_retries,
+        )
+        return executor.run(job.cells)
+
+    def _requeue(self, job_id: str) -> None:
+        job = self.queue.get(job_id)
+        if job is None or job.state != JobState.FAILED:
+            return
+        self.queue.requeue(job_id)
+        self._wake()
+
+    def _finish(self, job: Job) -> None:
+        """Terminal bookkeeping: release identity, complete followers."""
+        if self._inflight.get(job.job_key) == job.job_id:
+            del self._inflight[job.job_key]
+        for follower_id in self._followers.pop(job.job_id, ()):
+            if job.state == JobState.DONE:
+                self.queue.mark_done(
+                    follower_id, job.result_keys,
+                    cells_cached=len(job.result_keys), cells_simulated=0)
+                self.telemetry.counter("service.completed").inc()
+            else:
+                self.queue.quarantine(
+                    follower_id,
+                    f"coalesced primary {job.job_id} quarantined: "
+                    f"{job.error}")
+                self.telemetry.counter("service.quarantined").inc()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def drain(self) -> None:
+        """Finish the running job, then exit; pending jobs stay
+        journaled for the next process."""
+        self._draining = True
+        self.paused = True
+        self._wake()
+
+    def stop(self) -> None:
+        """Exit the run loop as soon as the current job completes."""
+        self._stopped = True
+        self._wake()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def running_job(self) -> Optional[str]:
+        return self._running_job

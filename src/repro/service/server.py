@@ -1,0 +1,408 @@
+"""The simulation service's HTTP front end (stdlib asyncio only).
+
+A deliberately small HTTP/1.1 JSON API — no framework, no threads per
+connection — in front of the :class:`~repro.service.scheduler
+.JobScheduler`:
+
+====================  =================================================
+``POST /jobs``        submit a batch of experiment specs; ``202`` with
+                      the job record, ``400`` on malformed bodies,
+                      ``429`` + ``Retry-After`` under backpressure or
+                      rate limiting, ``503`` while draining
+``GET /jobs``         every known job (summaries)
+``GET /jobs/<id>``    one job's full record
+``GET /results/<k>``  a stored result by spec key (``404`` on miss)
+``GET /healthz``      liveness + queue depths
+``GET /metrics``      telemetry snapshot (JSON; ``?format=prometheus``
+                      for text exposition)
+====================  =================================================
+
+Backpressure is bounded-queue admission: when ``queue_limit`` jobs are
+already pending the server answers ``429`` with a ``Retry-After`` hint
+instead of buffering unboundedly — callers are expected to back off
+(the bundled :class:`~repro.service.client.ServiceClient` does).
+
+On ``SIGTERM`` (and ``SIGINT``) the server *drains*: it stops
+admitting jobs (``503``), lets the running job finish its cells, and
+exits; everything still pending is in the journal and replays on the
+next start.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from ..core.experiment import ExperimentSpec
+from ..core.store import ResultStore, result_to_dict
+from ..errors import ServiceError
+from ..obs.telemetry import Telemetry, render_prometheus
+from .jobs import Job, JobQueue
+from .ratelimit import TokenBucket
+from .scheduler import JobScheduler
+
+__all__ = ["ServiceServer"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _BadRequest(ServiceError):
+    """Maps to a 400 response."""
+
+
+class ServiceServer:
+    """A long-running simulation service bound to one store + journal.
+
+    Parameters
+    ----------
+    store:
+        A :class:`ResultStore`, or a path for its disk tier, or
+        ``None`` for memory-only.
+    journal:
+        Job-journal path (``None`` = volatile queue).
+    host, port:
+        Bind address; port ``0`` picks a free port (see :attr:`port`
+        after :meth:`start`).
+    queue_limit:
+        Pending-job bound before ``429`` backpressure.
+    rate, burst:
+        Per-client token-bucket rate limit (``rate<=0`` disables).
+    executor_jobs, max_attempts, backoff_base, backoff_cap,
+    executor_retries:
+        Forwarded to the :class:`JobScheduler`.
+    """
+
+    def __init__(
+        self,
+        store: Optional[Union[str, Path, ResultStore]] = None,
+        journal: Optional[Union[str, Path]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_limit: int = 64,
+        rate: float = 0.0,
+        burst: int = 20,
+        executor_jobs: int = 1,
+        max_attempts: int = 3,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        executor_retries: int = 1,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        if isinstance(store, ResultStore):
+            self.store = store
+        else:
+            self.store = ResultStore(store, telemetry=self.telemetry)
+        self.queue = JobQueue(journal, telemetry=self.telemetry)
+        self.scheduler = JobScheduler(
+            self.queue, self.store,
+            executor_jobs=executor_jobs,
+            max_attempts=max_attempts,
+            backoff_base=backoff_base,
+            backoff_cap=backoff_cap,
+            executor_retries=executor_retries,
+            telemetry=self.telemetry,
+        )
+        self.host = host
+        self.port = port
+        self.queue_limit = queue_limit
+        self.limiter = TokenBucket(rate, burst)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._start_time = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the scheduler (loop context)."""
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._scheduler_task = asyncio.create_task(self.scheduler.run())
+        self._install_signal_handlers()
+        self._start_time = time.monotonic()
+        self._started.set()
+
+    async def serve(self) -> None:
+        """Run until a drain (SIGTERM) or :meth:`shutdown` completes."""
+        if self._server is None:
+            await self.start()
+        await self._stopping.wait()
+        await self._shutdown_async()
+
+    def serve_forever(self) -> None:
+        """Blocking entry point (``repro serve``)."""
+        asyncio.run(self.serve())
+
+    def start_in_thread(self) -> "ServiceServer":
+        """Run the server on a daemon thread; returns once bound.
+
+        The test-and-embedding path: the caller keeps its thread, talks
+        to :attr:`port` over HTTP, and ends with :meth:`shutdown` (or
+        :meth:`abort` to simulate a crash).
+        """
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise ServiceError("service server failed to start")
+        return self
+
+    def begin_drain(self) -> None:
+        """Stop admitting jobs, finish the running one, then exit."""
+        self.scheduler.drain()
+        if self._stopping is not None:
+            self._stopping.set()
+
+    def shutdown(self) -> None:
+        """Graceful stop from any thread (drains first); idempotent."""
+        if self._loop is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self.begin_drain)
+        except RuntimeError:
+            return  # loop already closed: nothing left to stop
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def abort(self) -> None:
+        """Ungraceful stop: kill the loop without draining.
+
+        Simulates a crash (``kill -9``) for recovery tests — the
+        journal keeps whatever was admitted.
+        """
+        if self._loop is None:
+            return
+
+        def _die() -> None:
+            self.scheduler.stop()
+            if self._scheduler_task is not None:
+                self._scheduler_task.cancel()
+            if self._server is not None:
+                self._server.close()
+            self._stopping.set()
+
+        try:
+            self._loop.call_soon_threadsafe(_die)
+        except RuntimeError:
+            pass  # loop already closed: just release the journal below
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        self.queue.close()
+
+    async def _shutdown_async(self) -> None:
+        self.scheduler.drain()
+        if self._scheduler_task is not None:
+            try:
+                await asyncio.wait_for(self._scheduler_task, timeout=None)
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.queue.close()
+
+    def _install_signal_handlers(self) -> None:
+        try:
+            self._loop.add_signal_handler(signal.SIGTERM, self.begin_drain)
+            self._loop.add_signal_handler(signal.SIGINT, self.begin_drain)
+        except (NotImplementedError, RuntimeError, ValueError):
+            # non-main thread or platform without signal support; the
+            # embedding code owns shutdown instead
+            pass
+
+    # -- request handling ----------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, query, headers, body = \
+                    await self._read_request(reader)
+            except _BadRequest as exc:
+                await self._respond(writer, 400, {"error": str(exc)})
+                return
+            except (asyncio.IncompleteReadError, ConnectionError,
+                    asyncio.LimitOverrunError):
+                return
+            self.telemetry.counter("service.http_requests").inc()
+            try:
+                status, payload, extra = self._route(
+                    method, path, query, headers, body, writer)
+            except _BadRequest as exc:
+                status, payload, extra = 400, {"error": str(exc)}, {}
+            except Exception as exc:  # never kill the accept loop
+                self.telemetry.counter("service.http_errors").inc()
+                status, payload, extra = (
+                    500, {"error": f"internal error: {exc!r}"}, {})
+            await self._respond(writer, status, payload, extra)
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader) -> Tuple[str, str, str, dict,
+                                                   Optional[bytes]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line {request_line!r}")
+        method, target, _version = parts
+        path, _, query = target.partition("?")
+        headers = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = None
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                length = int(length)
+            except ValueError:
+                raise _BadRequest("invalid Content-Length") from None
+            if length > _MAX_BODY_BYTES:
+                raise _BadRequest("request body too large")
+            body = await reader.readexactly(length)
+        return method.upper(), path, query, headers, body
+
+    def _route(self, method, path, query, headers, body, writer):
+        if path == "/healthz" and method == "GET":
+            return 200, self._healthz(), {}
+        if path == "/metrics" and method == "GET":
+            return self._metrics(query)
+        if path == "/jobs" and method == "POST":
+            return self._submit(headers, body, writer)
+        if path == "/jobs" and method == "GET":
+            return 200, {"jobs": [job.summary()
+                                  for job in self.queue.jobs()]}, {}
+        if path.startswith("/jobs/") and method == "GET":
+            job = self.queue.get(path[len("/jobs/"):])
+            if job is None:
+                return 404, {"error": "unknown job"}, {}
+            return 200, {"job": job.to_dict()}, {}
+        if path.startswith("/results/") and method == "GET":
+            key = path[len("/results/"):]
+            result = self.store.get_by_key(key)
+            if result is None:
+                return 404, {"error": "unknown result key"}, {}
+            return 200, {"spec_key": key,
+                         "result": result_to_dict(result)}, {}
+        if path in ("/healthz", "/metrics", "/jobs") or \
+                path.startswith(("/jobs/", "/results/")):
+            return 405, {"error": f"{method} not allowed on {path}"}, {}
+        return 404, {"error": f"no route for {path}"}, {}
+
+    # -- endpoints -----------------------------------------------------
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "draining" if self.scheduler.draining else "ok",
+            "uptime_s": round(time.monotonic() - self._start_time, 3),
+            "pending": self.queue.pending_count,
+            "running": self.queue.running_count,
+            "queue_limit": self.queue_limit,
+            "store": repr(self.store),
+        }
+
+    def _metrics(self, query: str):
+        snapshot = self.telemetry.snapshot()
+        if "format=prometheus" in query:
+            text = render_prometheus(snapshot)
+            return 200, text, {"content_type": "text/plain; version=0.0.4"}
+        snapshot.pop("series", None)
+        return 200, snapshot, {}
+
+    def _submit(self, headers, body, writer):
+        client = headers.get("x-client-id")
+        if not client:
+            peer = writer.get_extra_info("peername")
+            client = peer[0] if peer else "anon"
+        allowed, retry_after = self.limiter.allow(client)
+        if not allowed:
+            self.telemetry.counter("service.rejected_ratelimit").inc()
+            return 429, {"error": "rate limit exceeded"}, {
+                "retry_after": max(1, int(retry_after + 0.999))}
+        if self.scheduler.draining:
+            return 503, {"error": "server is draining"}, {}
+        job = self._parse_job(body, client)
+        # followers of an in-flight job add no work, so they are always
+        # admitted; only jobs that would occupy a queue slot backpressure
+        if not self.scheduler.coalesces(job.job_key) and \
+                self.queue.pending_count >= self.queue_limit:
+            self.telemetry.counter("service.rejected_backpressure").inc()
+            return 429, {"error": "job queue is full"}, {"retry_after": 2}
+        job = self.scheduler.submit(job)
+        return 202, {"job": job.summary()}, {}
+
+    def _parse_job(self, body: Optional[bytes], client: str) -> Job:
+        if not body:
+            raise _BadRequest("POST /jobs needs a JSON body")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest(f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _BadRequest("body must be a JSON object")
+        specs = payload.get("specs")
+        if not isinstance(specs, list) or not specs:
+            raise _BadRequest("'specs' must be a non-empty list")
+        cells = []
+        for index, entry in enumerate(specs):
+            if not isinstance(entry, dict):
+                raise _BadRequest(f"spec #{index} is not an object")
+            key = entry.pop("key", None)
+            key = tuple(key) if isinstance(key, list) else (index,)
+            try:
+                spec = ExperimentSpec(**entry)
+            except TypeError as exc:
+                raise _BadRequest(f"spec #{index}: {exc}") from None
+            cells.append((key, spec))
+        priority = payload.get("priority", 10)
+        if not isinstance(priority, int):
+            raise _BadRequest("'priority' must be an integer")
+        return Job.create(cells, priority=priority, client=client)
+
+    # -- response writing ----------------------------------------------
+
+    async def _respond(self, writer, status: int, payload,
+                       extra=None) -> None:
+        extra = extra or {}
+        content_type = extra.get("content_type", "application/json")
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = (json.dumps(payload, indent=1) + "\n").encode("utf-8")
+        head = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        if "retry_after" in extra:
+            head.append(f"Retry-After: {extra['retry_after']}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                     + body)
+        await writer.drain()

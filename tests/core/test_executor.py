@@ -252,3 +252,81 @@ class TestExecutorTelemetry:
     def test_negative_epoch_rejected(self):
         with pytest.raises(ConfigurationError):
             SweepExecutor(epoch=-1)
+
+
+class TestTransientRetries:
+    """Cell-level retry of transient failures (``retries=N``)."""
+
+    @pytest.fixture
+    def flaky_run_cell(self, monkeypatch):
+        """Patch ``_run_cell`` to fail a configurable number of times."""
+        import repro.core.executor as executor_mod
+
+        real = executor_mod._run_cell
+        state = {"failures": 0, "calls": 0}
+
+        def run(payload):
+            state["calls"] += 1
+            if state["failures"] > 0:
+                state["failures"] -= 1
+                return payload[0], None, "OSError: transient", 0.01
+            return real(payload)
+
+        monkeypatch.setattr(executor_mod, "_run_cell", run)
+        return state
+
+    def test_transient_failure_recovers(self, flaky_run_cell):
+        flaky_run_cell["failures"] = 1
+        cells = grid_cells(policies=("rr",), sharings=("private",))
+        outcomes = SweepExecutor(jobs=1, store=ResultStore(), retries=1,
+                                 retry_backoff=0.0).run(cells)
+        assert all(o.ok for o in outcomes)
+        assert outcomes[0].retried == 1
+        assert not outcomes[0].from_cache
+
+    def test_retry_budget_exhausts(self, flaky_run_cell):
+        flaky_run_cell["failures"] = 5
+        cells = grid_cells(policies=("rr",), sharings=("private",))
+        outcomes = SweepExecutor(jobs=1, store=ResultStore(), retries=2,
+                                 retry_backoff=0.0).run(cells)
+        assert not outcomes[0].ok
+        assert "transient" in outcomes[0].error
+        assert outcomes[0].retried == 2
+
+    def test_no_retries_by_default(self, flaky_run_cell):
+        flaky_run_cell["failures"] = 1
+        cells = grid_cells(policies=("rr",), sharings=("private",))
+        outcomes = SweepExecutor(jobs=1, store=ResultStore()).run(cells)
+        assert not outcomes[0].ok
+        assert outcomes[0].retried == 0
+        assert flaky_run_cell["calls"] == 1
+
+    def test_permanent_failure_not_masked(self):
+        outcomes = SweepExecutor(jobs=1, store=ResultStore(), retries=2,
+                                 retry_backoff=0.0).run(
+            [(("bad",), ExperimentSpec(mix="mix99", **TINY))])
+        assert not outcomes[0].ok
+        assert outcomes[0].retried == 2  # tried, still failed
+
+    def test_on_retry_callback_and_counter(self, flaky_run_cell):
+        from repro.obs.telemetry import Telemetry
+
+        flaky_run_cell["failures"] = 1
+        seen = []
+        telemetry = Telemetry()
+        cells = grid_cells(policies=("rr",), sharings=("private",))
+        SweepExecutor(
+            jobs=1, store=ResultStore(), retries=1, retry_backoff=0.0,
+            telemetry=telemetry,
+            on_retry=lambda key, spec, attempt, error: seen.append(
+                (key, spec.policy, attempt, error)),
+        ).run(cells)
+        assert telemetry.counters["executor.retries"].value == 1
+        assert seen == [(("private", "rr"), "rr", 1,
+                         "OSError: transient")]
+
+    def test_invalid_retry_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(retries=-1)
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(retry_backoff=-0.1)

@@ -292,3 +292,113 @@ class TestSeriesSidecars:
         (tmp_path / f"{key}.series.json").write_text("{not json")
         warm = ResultStore(tmp_path)
         assert warm.get_series(SPEC) is None
+
+
+class TestGetByKey:
+    def test_key_lookup_matches_spec_lookup(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, small_result)
+        assert store.get_by_key(key) is store.get(SPEC)
+
+    def test_unknown_key_is_a_counted_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get_by_key("0" * 64) is None
+        assert store.stats.misses == 1
+
+    def test_disk_hit_promotes_to_memory(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, small_result)
+        warm = ResultStore(tmp_path)
+        assert warm.get_by_key(key) is not None
+        assert warm.stats.disk_hits == 1
+        assert warm.get_by_key(key) is not None
+        assert warm.stats.memory_hits == 1
+
+
+class TestAtomicWriteHygiene:
+    def test_no_temp_files_left_behind(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, small_result)
+        store.put_series(SPEC, {"vm0.miss_rate": [[1, 0.1]]})
+        leftovers = list(tmp_path.glob(".*.tmp")) + \
+            list(tmp_path.glob("*.tmp"))
+        assert leftovers == []
+
+    def test_temp_names_are_writer_unique(self, tmp_path):
+        """Two processes writing the same record never share a temp
+        file: the name embeds the pid and a per-process counter."""
+        from repro.core.store import _TMP_COUNTER, _atomic_write
+
+        target = tmp_path / "record.json"
+        before = next(_TMP_COUNTER)
+        _atomic_write(target, "{}")
+        _atomic_write(target, "{}")
+        after = next(_TMP_COUNTER)
+        assert after >= before + 3  # each write consumed a fresh number
+        assert target.read_text() == "{}"
+
+    def test_failed_write_cleans_up_its_temp(self, tmp_path):
+        from repro.core.store import _atomic_write
+
+        target = tmp_path / "sub" / "record.json"
+        with pytest.raises(FileNotFoundError):
+            _atomic_write(target, "{}")  # parent dir missing
+        assert list(tmp_path.glob("**/.*")) == []
+
+
+class TestCorruptRecordTolerance:
+    def test_torn_record_is_a_counted_miss(self, small_result, tmp_path):
+        from repro.obs.telemetry import Telemetry
+
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, small_result)
+        (tmp_path / f"{key}.json").write_text('{"torn')
+
+        telemetry = Telemetry()
+        fresh = ResultStore(tmp_path, telemetry=telemetry)
+        assert fresh.get(SPEC) is None
+        assert fresh.stats.corrupt == 1
+        assert fresh.stats.misses == 1
+        assert telemetry.counters["store.corrupt"].value == 1
+
+    def test_corrupt_series_is_counted(self, small_result, tmp_path):
+        from repro.obs.telemetry import Telemetry
+
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, small_result)
+        store.put_series(SPEC, {"vm0.miss_rate": [[1, 0.1]]})
+        (tmp_path / f"{key}.series.json").write_text("[1, 2, 3]")
+
+        telemetry = Telemetry()
+        fresh = ResultStore(tmp_path, telemetry=telemetry)
+        assert fresh.get_series(SPEC) is None
+        assert fresh.stats.corrupt == 1
+        assert telemetry.counters["store.corrupt"].value == 1
+
+    def test_series_schema_mismatch_is_counted(self, small_result,
+                                               tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, small_result)
+        store.put_series(SPEC, {"vm0.miss_rate": [[1, 0.1]]})
+        sidecar = tmp_path / f"{key}.series.json"
+        payload = json.loads(sidecar.read_text())
+        payload["store_schema"] = 999
+        sidecar.write_text(json.dumps(payload))
+
+        fresh = ResultStore(tmp_path)
+        assert fresh.get_series(SPEC) is None
+        assert fresh.stats.schema_mismatches == 1
+        assert fresh.stats.corrupt == 0
+
+    def test_series_key_mismatch_is_corrupt(self, small_result, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, small_result)
+        store.put_series(SPEC, {"vm0.miss_rate": [[1, 0.1]]})
+        sidecar = tmp_path / f"{key}.series.json"
+        payload = json.loads(sidecar.read_text())
+        payload["spec_key"] = "f" * 64
+        sidecar.write_text(json.dumps(payload))
+
+        fresh = ResultStore(tmp_path)
+        assert fresh.get_series(SPEC) is None
+        assert fresh.stats.corrupt == 1

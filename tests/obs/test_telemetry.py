@@ -137,3 +137,51 @@ class TestNullTelemetry:
         hub.series_for("x").append(1, 2.0)
         assert hub.series == {}
         assert len(hub.series_for("x").points) == 0
+
+
+class TestPrometheusRendering:
+    """``render_prometheus`` maps a snapshot to text exposition v0.0.4
+    (what ``GET /metrics?format=prometheus`` serves)."""
+
+    def test_counters_and_gauges(self):
+        from repro.obs.telemetry import render_prometheus
+
+        hub = Telemetry()
+        hub.counter("service.submitted").inc(3)
+        hub.gauge("service.queue_depth").set(7)
+        text = render_prometheus(hub.snapshot())
+        assert "# TYPE repro_service_submitted_total counter" in text
+        assert "repro_service_submitted_total 3" in text
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "repro_service_queue_depth 7" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        from repro.obs.telemetry import render_prometheus
+
+        hub = Telemetry()
+        hist = hub.histogram("job.wall_s", bounds=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(0.7)
+        hist.observe(5.0)
+        text = render_prometheus(hub.snapshot())
+        assert '# TYPE repro_job_wall_s histogram' in text
+        assert 'repro_job_wall_s_bucket{le="1.0"} 2' in text
+        assert 'repro_job_wall_s_bucket{le="10.0"} 3' in text
+        assert 'repro_job_wall_s_bucket{le="+Inf"} 3' in text
+        assert "repro_job_wall_s_count 3" in text
+        assert "repro_job_wall_s_sum 6.2" in text
+
+    def test_illegal_characters_are_sanitized(self):
+        from repro.obs.telemetry import render_prometheus
+
+        hub = Telemetry()
+        hub.counter("weird-name.with chars").inc()
+        text = render_prometheus(hub.snapshot())
+        assert "repro_weird_name_with_chars_total 1" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        from repro.obs.telemetry import render_prometheus
+
+        assert render_prometheus(Telemetry().snapshot()) == "\n"
+        assert render_prometheus(NULL_TELEMETRY.snapshot()) == "\n"

@@ -1,0 +1,60 @@
+"""Shared fixtures for the service test suite.
+
+Servers bind port 0 (the OS picks a free one) and run on a daemon
+thread; every fixture tears its server down, so tests never leak
+sockets or scheduler threads.  Specs use a tiny reference budget to
+keep each simulated cell under ~100 ms.
+"""
+
+import pytest
+
+from repro.core.experiment import ExperimentSpec
+from repro.service import ServiceClient, ServiceServer
+
+TINY = dict(measured_refs=300, warmup_refs=100, seed=1)
+
+
+def tiny_spec(mix="iso-tpch", sharing="private", policy="rr", **overrides):
+    params = dict(TINY, mix=mix, sharing=sharing, policy=policy)
+    params.update(overrides)
+    return ExperimentSpec(**params)
+
+
+def tiny_cells(sharings=("private", "shared-4"),
+               policies=("rr", "affinity"), **overrides):
+    return [
+        ((sharing, policy),
+         tiny_spec(sharing=sharing, policy=policy, **overrides))
+        for sharing in sharings
+        for policy in policies
+    ]
+
+
+@pytest.fixture
+def make_server():
+    """Factory fixture: build + start servers, tear all of them down."""
+    servers = []
+
+    def build(**kwargs):
+        kwargs.setdefault("backoff_base", 0.01)
+        server = ServiceServer(**kwargs).start_in_thread()
+        servers.append(server)
+        return server
+
+    yield build
+    for server in servers:
+        try:
+            server.shutdown()
+        except Exception:
+            server.abort()
+
+
+@pytest.fixture
+def server(make_server):
+    return make_server()
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(f"http://127.0.0.1:{server.port}",
+                         client_id="pytest")

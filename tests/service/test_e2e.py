@@ -1,0 +1,110 @@
+"""End-to-end acceptance tests for the simulation service.
+
+The ISSUE's acceptance scenario, verbatim: start a server, submit the
+same 2x2 sweep twice from two different clients — the first run
+simulates, the second returns byte-identical results from the store
+with zero cells executed and ``/metrics`` reports the dedup hit.  Then
+kill the server without warning and check a restart recovers every
+journaled job.
+"""
+
+import json
+
+from repro.service import ServiceClient
+
+from .conftest import tiny_cells
+
+
+def sweep_specs():
+    """A 2x2 sweep: {private, shared-4} x {rr, affinity}."""
+    return [spec for _key, spec in tiny_cells()]
+
+
+class TestDedupAcrossClients:
+    def test_second_submission_is_served_from_the_store(self, make_server):
+        server = make_server()
+        url = f"http://127.0.0.1:{server.port}"
+        alice = ServiceClient(url, client_id="alice")
+        bob = ServiceClient(url, client_id="bob")
+
+        first = alice.submit(sweep_specs(), priority=5)
+        first = alice.wait(first["job_id"])
+        assert first["state"] == "done"
+        assert first["cells_simulated"] == 4
+        assert len(first["result_keys"]) == 4
+
+        second = bob.submit(sweep_specs(), priority=5)
+        second = bob.wait(second["job_id"])
+        assert second["state"] == "done"
+        assert second["cells_simulated"] == 0
+        assert sorted(second["result_keys"]) == sorted(
+            first["result_keys"])
+
+        # byte-identical payloads straight from the store
+        for key in first["result_keys"]:
+            alice_raw = json.dumps(alice.result(key, decode=False),
+                                   sort_keys=True)
+            bob_raw = json.dumps(bob.result(key, decode=False),
+                                 sort_keys=True)
+            assert alice_raw == bob_raw
+
+        metrics = alice.metrics()
+        assert metrics["counters"]["service.dedup_hits"] >= 1
+        assert metrics["counters"]["executor.simulated"] == 4
+
+    def test_decoded_results_are_equal_objects(self, make_server):
+        server = make_server()
+        url = f"http://127.0.0.1:{server.port}"
+        client = ServiceClient(url)
+        job = client.wait(client.submit(sweep_specs())["job_id"])
+        again = client.wait(client.submit(sweep_specs())["job_id"])
+        for key_a, key_b in zip(sorted(job["result_keys"]),
+                                sorted(again["result_keys"])):
+            assert client.result(key_a) == client.result(key_b)
+
+
+class TestCrashRecovery:
+    def test_kill_and_restart_recovers_journaled_jobs(self, tmp_path,
+                                                      make_server):
+        journal = tmp_path / "journal.jsonl"
+        store_dir = tmp_path / "store"
+
+        first = make_server(store=store_dir, journal=journal)
+        first.scheduler.paused = True  # jobs are admitted but never run
+        client = ServiceClient(f"http://127.0.0.1:{first.port}",
+                               client_id="doomed")
+        one = client.submit(sweep_specs())
+        two = client.submit([spec for _key, spec in tiny_cells(seed=2)])
+        first.abort()  # kill -9: no drain, no goodbye
+
+        second = make_server(store=store_dir, journal=journal)
+        assert second.queue.recovered == 2
+        client = ServiceClient(f"http://127.0.0.1:{second.port}",
+                               client_id="patient")
+        done_one = client.wait(one["job_id"])
+        done_two = client.wait(two["job_id"])
+        assert done_one["state"] == "done"
+        assert done_two["state"] == "done"
+        assert len(done_one["result_keys"]) == 4
+        assert client.result(done_one["result_keys"][0]) is not None
+
+    def test_crash_mid_run_costs_only_the_lost_attempt(self, tmp_path,
+                                                       make_server):
+        journal = tmp_path / "journal.jsonl"
+        store_dir = tmp_path / "store"
+
+        first = make_server(store=store_dir, journal=journal)
+        client = ServiceClient(f"http://127.0.0.1:{first.port}")
+        job = client.submit(sweep_specs())
+        done = client.wait(job["job_id"])
+        first.abort()
+
+        # restart: the finished job replays terminal, nothing re-runs
+        second = make_server(store=store_dir, journal=journal)
+        assert second.queue.recovered == 0
+        client = ServiceClient(f"http://127.0.0.1:{second.port}")
+        replayed = client.job(job["job_id"])
+        assert replayed["state"] == "done"
+        assert replayed["result_keys"] == done["result_keys"]
+        # and the store still serves the results across the restart
+        assert client.result(done["result_keys"][0]) is not None

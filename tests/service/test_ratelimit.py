@@ -1,0 +1,77 @@
+"""Tests for the per-client token-bucket rate limiter."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.ratelimit import TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_disabled_when_rate_nonpositive():
+    bucket = TokenBucket(0.0)
+    assert not bucket.enabled
+    for _ in range(1000):
+        allowed, retry = bucket.allow("anyone")
+        assert allowed and retry == 0.0
+
+
+def test_burst_then_reject():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+    assert all(bucket.allow("c")[0] for _ in range(3))
+    allowed, retry = bucket.allow("c")
+    assert not allowed
+    assert retry == pytest.approx(1.0)
+
+
+def test_refill_restores_tokens():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+    bucket.allow("c")
+    bucket.allow("c")
+    assert not bucket.allow("c")[0]
+    clock.advance(0.5)  # one token at 2/s
+    assert bucket.allow("c")[0]
+    assert not bucket.allow("c")[0]
+
+
+def test_clients_are_independent():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+    assert bucket.allow("a")[0]
+    assert not bucket.allow("a")[0]
+    assert bucket.allow("b")[0]
+
+
+def test_retry_after_shrinks_as_bucket_refills():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+    bucket.allow("c")
+    _, first = bucket.allow("c")
+    clock.advance(0.25)
+    _, second = bucket.allow("c")
+    assert second < first
+
+
+def test_tokens_cap_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+    clock.advance(100)
+    assert bucket.allow("c")[0]
+    assert bucket.allow("c")[0]
+    assert not bucket.allow("c")[0]
+
+
+def test_invalid_burst_rejected():
+    with pytest.raises(ConfigurationError):
+        TokenBucket(rate=1.0, burst=0)

@@ -1,0 +1,215 @@
+"""HTTP-layer tests: validation, backpressure, rate limiting, drain."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ServiceClient
+
+from .conftest import TINY, tiny_spec
+
+
+def raw_request(port, method, path, body=None, headers=None):
+    """Bypass ServiceClient so malformed payloads reach the wire."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        connection.request(method, path, body=body, headers=headers or {})
+        response = connection.getresponse()
+        text = response.read().decode("utf-8")
+        return response.status, dict(
+            (k.lower(), v) for k, v in response.getheaders()), text
+    finally:
+        connection.close()
+
+
+class TestValidation:
+    def test_malformed_json_body_is_400(self, server):
+        status, _h, text = raw_request(server.port, "POST", "/jobs",
+                                       body=b"{not json",
+                                       headers={"Content-Length": "9"})
+        assert status == 400
+        assert "invalid JSON" in text
+
+    def test_empty_body_is_400(self, server):
+        status, _h, text = raw_request(server.port, "POST", "/jobs")
+        assert status == 400
+        assert "JSON body" in text
+
+    def test_missing_specs_is_400(self, server):
+        body = json.dumps({"priority": 1}).encode()
+        status, _h, text = raw_request(server.port, "POST", "/jobs",
+                                       body=body)
+        assert status == 400
+        assert "specs" in text
+
+    def test_unknown_spec_field_is_400(self, server):
+        body = json.dumps({"specs": [{"mix": "mix5",
+                                      "bogus_field": 1}]}).encode()
+        status, _h, text = raw_request(server.port, "POST", "/jobs",
+                                       body=body)
+        assert status == 400
+        assert "bogus_field" in text
+
+    def test_non_integer_priority_is_400(self, server):
+        body = json.dumps({"specs": [{"mix": "mix5"}],
+                           "priority": "high"}).encode()
+        status, _h, text = raw_request(server.port, "POST", "/jobs",
+                                       body=body)
+        assert status == 400
+        assert "priority" in text
+
+    def test_unknown_route_is_404(self, server):
+        status, _h, _text = raw_request(server.port, "GET", "/nope")
+        assert status == 404
+
+    def test_unknown_job_is_404(self, server):
+        status, _h, _text = raw_request(server.port, "GET", "/jobs/ghost")
+        assert status == 404
+
+    def test_unknown_result_key_is_404(self, server):
+        status, _h, _text = raw_request(server.port, "GET",
+                                        "/results/deadbeef")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, server):
+        status, _h, _text = raw_request(server.port, "DELETE", "/jobs")
+        assert status == 405
+        status, _h, _text = raw_request(server.port, "POST", "/healthz")
+        assert status == 405
+
+
+class TestBackpressure:
+    def test_full_queue_is_429_with_retry_after(self, make_server):
+        server = make_server(queue_limit=1)
+        server.scheduler.paused = True  # nothing drains the queue
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        client.submit([tiny_spec()])
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit([tiny_spec(seed=2)])
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after >= 1
+        metrics = client.metrics()
+        assert metrics["counters"]["service.rejected_backpressure"] == 1
+
+    def test_coalesced_jobs_do_not_consume_queue_slots(self, make_server):
+        server = make_server(queue_limit=1)
+        server.scheduler.paused = True
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        first = client.submit([tiny_spec()])
+        # identical work coalesces instead of tripping backpressure
+        second = client.submit([tiny_spec()])
+        assert second["coalesced_with"] == first["job_id"]
+
+    def test_client_busy_timeout_retries_through_429(self, make_server):
+        server = make_server(queue_limit=1)
+        server.scheduler.paused = True
+        client = ServiceClient(f"http://127.0.0.1:{server.port}",
+                               busy_timeout=0.0)
+        client.submit([tiny_spec()])
+        with pytest.raises(ServiceError):
+            client.submit([tiny_spec(seed=2)])
+
+
+class TestRateLimit:
+    def test_second_request_within_burst_window_is_429(self, make_server):
+        server = make_server(rate=0.001, burst=1)
+        client = ServiceClient(f"http://127.0.0.1:{server.port}",
+                               client_id="limited")
+        server.scheduler.paused = True
+        client.submit([tiny_spec()])
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit([tiny_spec(seed=2)])
+        assert excinfo.value.status == 429
+        metrics = ServiceClient(
+            f"http://127.0.0.1:{server.port}", client_id="other").metrics()
+        assert metrics["counters"]["service.rejected_ratelimit"] == 1
+
+    def test_distinct_clients_have_distinct_buckets(self, make_server):
+        server = make_server(rate=0.001, burst=1)
+        server.scheduler.paused = True
+        one = ServiceClient(f"http://127.0.0.1:{server.port}",
+                            client_id="one")
+        two = ServiceClient(f"http://127.0.0.1:{server.port}",
+                            client_id="two")
+        one.submit([tiny_spec()])
+        two.submit([tiny_spec(seed=2)])  # different bucket: admitted
+
+    def test_reads_are_not_rate_limited(self, make_server):
+        server = make_server(rate=0.001, burst=1)
+        client = ServiceClient(f"http://127.0.0.1:{server.port}",
+                               client_id="reader")
+        for _ in range(5):
+            assert client.healthz()["status"] == "ok"
+
+
+class TestEndpoints:
+    def test_healthz_reports_queue_state(self, server, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["pending"] == 0
+        assert health["queue_limit"] == 64
+        assert health["uptime_s"] >= 0
+
+    def test_metrics_json_and_prometheus(self, server, client):
+        client.healthz()
+        metrics = client.metrics()
+        assert metrics["counters"]["service.http_requests"] >= 1
+        text = client.metrics_text()
+        assert "# TYPE repro_service_http_requests_total counter" in text
+
+    def test_jobs_listing(self, make_server):
+        server = make_server()
+        server.scheduler.paused = True
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        submitted = client.submit([tiny_spec()], priority=7)
+        listing = client.jobs()
+        assert len(listing) == 1
+        assert listing[0]["job_id"] == submitted["job_id"]
+        assert listing[0]["priority"] == 7
+        detail = client.job(submitted["job_id"])
+        assert detail["cells"][0]["spec"]["mix"] == "iso-tpch"
+        assert detail["cells"][0]["spec"]["measured_refs"] \
+            == TINY["measured_refs"]
+
+
+class TestDrain:
+    def test_draining_server_rejects_submissions_with_503(
+            self, make_server):
+        server = make_server()
+        server.scheduler.drain()
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        assert client.healthz()["status"] == "draining"
+        status, _h, text = raw_request(
+            server.port, "POST", "/jobs",
+            body=json.dumps({"specs": [{"mix": "mix5"}]}).encode())
+        assert status == 503
+        assert "draining" in text
+
+    def test_drain_journals_pending_jobs_for_next_process(
+            self, make_server, tmp_path):
+        from repro.service.jobs import JobQueue, JobState
+
+        journal = tmp_path / "journal.jsonl"
+        server = make_server(journal=journal)
+        server.scheduler.paused = True
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        job = client.submit([tiny_spec()])
+        server.shutdown()  # graceful: drains, leaves pending journaled
+
+        replayed = JobQueue(journal)
+        assert replayed.get(job["job_id"]).state == JobState.SUBMITTED
+        assert replayed.recovered == 1
+
+
+def test_client_raises_on_unreachable_server():
+    client = ServiceClient("http://127.0.0.1:1", timeout=1)
+    with pytest.raises(ServiceError) as excinfo:
+        client.healthz()
+    assert "cannot reach" in str(excinfo.value)
+
+
+def test_client_rejects_bad_urls():
+    with pytest.raises(ServiceError):
+        ServiceClient("ftp://example.com")

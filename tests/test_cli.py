@@ -254,3 +254,119 @@ class TestSuiteCommand:
         code, _out, err = run_cli(capsys, "suite", "nope", "--refs", "100")
         assert code == 2
         assert "unknown suite" in err
+
+
+class TestVersionAndExitCodes:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {repro.__version__}"
+
+    def test_repro_error_exits_2(self, capsys):
+        code, _out, err = run_cli(capsys, "run", "--mix", "mix99",
+                                  "--refs", "300")
+        assert code == 2
+        assert "error:" in err
+
+    def test_missing_result_file_exits_2(self, capsys):
+        # load_result wraps the missing file in a ReproError
+        code, _out, err = run_cli(capsys, "compare", "/no/such/a.json",
+                                  "/no/such/b.json")
+        assert code == 2
+        assert "does not exist" in err
+
+    def test_os_error_exits_3(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "run", "--mix", "iso-tpch", "--refs", "300",
+            "--seed", "1", "--output", "/no/such/dir/out.json")
+        assert code == 3
+        assert "error:" in err
+
+    def test_unreachable_service_exits_2(self, capsys):
+        code, _out, err = run_cli(capsys, "jobs", "--url",
+                                  "http://127.0.0.1:1")
+        assert code == 2
+        assert "cannot reach" in err
+
+    def test_success_exits_0(self, capsys):
+        code, _out, _err = run_cli(capsys, "mixes")
+        assert code == 0
+
+
+class TestServiceParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.queue_limit == 64
+        assert args.rate == 0.0
+        assert args.journal is None
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit"])
+        assert args.url == "http://127.0.0.1:8765"
+        assert args.mix == "mix5"
+        assert args.sharings == "shared-4"
+        assert args.policies == "affinity"
+        assert not args.wait
+
+    def test_jobs_takes_optional_id(self):
+        args = build_parser().parse_args(["jobs", "abc123"])
+        assert args.job_id == "abc123"
+        args = build_parser().parse_args(["jobs"])
+        assert args.job_id is None
+
+
+class TestServiceCommands:
+    """submit/jobs against an embedded server (the CLI serve path
+    itself is exercised by the CI smoke test)."""
+
+    @pytest.fixture
+    def service_url(self):
+        from repro.service import ServiceServer
+
+        server = ServiceServer(backoff_base=0.01).start_in_thread()
+        yield f"http://127.0.0.1:{server.port}"
+        server.shutdown()
+
+    def test_submit_wait_and_list(self, capsys, service_url):
+        code, out, _err = run_cli(
+            capsys, "submit", "--url", service_url,
+            "--mix", "iso-tpch", "--sharings", "private",
+            "--policies", "rr", "--refs", "300", "--warmup", "100",
+            "--seed", "1", "--wait")
+        assert code == 0
+        assert "done" in out
+        assert "1 simulated" in out or "0 cells cached" in out
+
+        code, out, _err = run_cli(capsys, "jobs", "--url", service_url)
+        assert code == 0
+        assert "done" in out
+
+    def test_submit_no_wait_returns_immediately(self, capsys,
+                                                service_url):
+        code, out, _err = run_cli(
+            capsys, "submit", "--url", service_url,
+            "--mix", "iso-tpch", "--sharings", "private",
+            "--policies", "rr", "--refs", "300", "--warmup", "100",
+            "--seed", "2")
+        assert code == 0
+        assert "job " in out
+
+    def test_jobs_detail_view(self, capsys, service_url):
+        code, out, _err = run_cli(
+            capsys, "submit", "--url", service_url,
+            "--mix", "iso-tpch", "--sharings", "private",
+            "--policies", "rr", "--refs", "300", "--warmup", "100",
+            "--seed", "3", "--wait")
+        assert code == 0
+        job_id = out.split()[1].rstrip(":")
+        code, out, _err = run_cli(capsys, "jobs", job_id, "--url",
+                                  service_url)
+        assert code == 0
+        assert job_id in out
+        assert "state" in out
