@@ -19,6 +19,17 @@ Quickstart
 
 See ``examples/`` for full studies and ``benchmarks/`` for the
 per-table/figure reproduction harness.
+
+Stability
+---------
+The names re-exported here are the package's stable surface; the ones
+used in every study are :func:`run_experiment`,
+:class:`ExperimentSpec`, :func:`resolve_defaults`, and the engine
+factory :func:`make_engine` / :class:`EngineRequest` (see
+``docs/engines.md``).  They follow the package version: breaking
+changes bump the major version and go through a deprecation cycle.
+Anything importable only from a submodule is internal and may change
+without notice.
 """
 
 from .core import (
@@ -94,6 +105,7 @@ from .service import (
     ServiceClient,
     ServiceServer,
 )
+from .sim import EngineRequest, engine_modes, make_engine, register_engine
 from .workloads import (
     WORKLOADS,
     WorkloadProfile,
@@ -139,6 +151,10 @@ __all__ = [
     "sweep",
     "sweep_mixes",
     "sweep_sharing_policy",
+    "EngineRequest",
+    "engine_modes",
+    "make_engine",
+    "register_engine",
     "SweepError",
     "CheckpointError",
     "CoherenceError",

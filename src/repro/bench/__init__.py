@@ -1,0 +1,28 @@
+"""Benchmark basket and machine-readable performance records.
+
+``repro bench`` runs a fixed basket of wall-clock benchmarks (cold and
+warm cell latency, reference-vs-batched kernel speedup, sweep
+throughput, service round-trip, QoS overhead) and appends the results
+to ``BENCH_kernel.json`` / ``BENCH_sweep.json`` at the repository
+root — the repo's performance trajectory, versioned with the code.
+"""
+
+from .basket import BenchContext, bench_names, run_basket
+from .records import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    append_records,
+    load_bench_file,
+    validate_bench_payload,
+)
+
+__all__ = [
+    "BenchContext",
+    "BenchRecord",
+    "SCHEMA_VERSION",
+    "append_records",
+    "bench_names",
+    "load_bench_file",
+    "run_basket",
+    "validate_bench_payload",
+]

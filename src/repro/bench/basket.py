@@ -1,0 +1,218 @@
+"""The fixed benchmark basket.
+
+A small registry of wall-clock benchmarks over the public simulation
+surface: cold/warm single-cell latency, reference-vs-batched kernel
+speedup, sweep throughput at N worker processes, the service's warm
+round-trip, and the overhead of running under a QoS controller.
+
+``run_basket`` executes a selection and returns
+:class:`~repro.bench.records.BenchRecord` rows; the CLI appends them
+to ``BENCH_kernel.json`` / ``BENCH_sweep.json`` at the repository
+root.  Every benchmark is deterministic in its simulation inputs —
+only the wall-clock readings vary between hosts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from ..core.experiment import ExperimentSpec, run_experiment
+from ..core.store import ResultStore
+from ..errors import ReproError
+from .records import BenchRecord
+
+__all__ = ["BenchContext", "bench_names", "run_basket"]
+
+
+@dataclass
+class BenchContext:
+    """Knobs shared by every benchmark in a basket run."""
+
+    quick: bool = False
+    seed: int = 1
+    jobs: int = 2
+    refs: Optional[int] = None  # None = per-bench default
+
+    def cell_refs(self, full: int, quick: int) -> int:
+        if self.refs is not None:
+            return self.refs
+        return quick if self.quick else full
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _spec(ctx: BenchContext, refs: int, **overrides) -> ExperimentSpec:
+    params = dict(mix="mix1", seed=ctx.seed, measured_refs=refs,
+                  warmup_refs=refs // 2)
+    params.update(overrides)
+    return ExperimentSpec(**params)
+
+
+# ----------------------------------------------------------------------
+# kernel basket
+# ----------------------------------------------------------------------
+
+
+def _bench_cell_cold(ctx: BenchContext) -> List[BenchRecord]:
+    """Cold single-cell latency, reference vs batched."""
+    refs = ctx.cell_refs(full=4000, quick=400)
+    spec = _spec(ctx, refs)
+    timings = {}
+    for mode in ("reference", "batched"):
+        run = replace(spec, engine_mode=mode)
+        timings[mode] = _timed(
+            lambda run=run: run_experiment(run, use_cache=False)
+        )
+    speedup = timings["reference"] / max(1e-9, timings["batched"])
+    return [BenchRecord(
+        bench="cell-cold", target="kernel", quick=ctx.quick,
+        params={"mix": spec.mix, "measured_refs": refs,
+                "warmup_refs": spec.warmup_refs, "seed": ctx.seed},
+        metrics={
+            "reference_seconds": timings["reference"],
+            "batched_seconds": timings["batched"],
+            "speedup": speedup,
+            "batched_cells_per_sec": 1.0 / max(1e-9, timings["batched"]),
+        },
+    )]
+
+
+def _bench_cell_warm(ctx: BenchContext) -> List[BenchRecord]:
+    """Warm-cell latency: a store hit through ``run_experiment``."""
+    refs = ctx.cell_refs(full=1000, quick=300)
+    spec = _spec(ctx, refs, engine_mode="batched")
+    store = ResultStore()  # private, memory-only
+    run_experiment(spec, store=store)  # populate
+    repeats = 5 if ctx.quick else 25
+    elapsed = _timed(lambda: [run_experiment(spec, store=store)
+                              for _ in range(repeats)])
+    return [BenchRecord(
+        bench="cell-warm", target="kernel", quick=ctx.quick,
+        params={"mix": spec.mix, "measured_refs": refs,
+                "repeats": repeats, "seed": ctx.seed},
+        metrics={"warm_ms": 1000.0 * elapsed / repeats},
+    )]
+
+
+def _bench_qos_overhead(ctx: BenchContext) -> List[BenchRecord]:
+    """Wall-clock overhead of running under the UCP QoS controller."""
+    refs = ctx.cell_refs(full=1500, quick=300)
+    base = _spec(ctx, refs, sharing="shared", engine_mode="reference")
+    qos = replace(base, qos_policy="ucp", qos_epoch=10_000)
+    t_base = _timed(lambda: run_experiment(base, use_cache=False))
+    t_qos = _timed(lambda: run_experiment(qos, use_cache=False))
+    return [BenchRecord(
+        bench="qos-overhead", target="kernel", quick=ctx.quick,
+        params={"mix": base.mix, "measured_refs": refs,
+                "policy": "ucp", "seed": ctx.seed},
+        metrics={
+            "plain_seconds": t_base,
+            "qos_seconds": t_qos,
+            "overhead_ratio": t_qos / max(1e-9, t_base),
+        },
+    )]
+
+
+# ----------------------------------------------------------------------
+# sweep / service basket
+# ----------------------------------------------------------------------
+
+
+def _bench_sweep_throughput(ctx: BenchContext) -> List[BenchRecord]:
+    """Cold sweep throughput (cells/sec) at N worker processes."""
+    from ..core.executor import SweepExecutor
+
+    refs = ctx.cell_refs(full=1200, quick=300)
+    sharings = ("shared-2", "shared-4")
+    policies = ("rr", "affinity")
+    specs = [
+        _spec(ctx, refs, sharing=sharing, policy=policy,
+              engine_mode="batched")
+        for sharing in sharings for policy in policies
+    ]
+    jobs = 1 if ctx.quick else ctx.jobs
+    executor = SweepExecutor(jobs=jobs, store=ResultStore())
+    cells = [((spec.sharing, spec.policy), spec) for spec in specs]
+    elapsed = _timed(lambda: executor.run(cells))
+    return [BenchRecord(
+        bench="sweep-throughput", target="sweep", quick=ctx.quick,
+        params={"mix": "mix1", "measured_refs": refs, "jobs": jobs,
+                "cells": len(specs), "seed": ctx.seed},
+        metrics={
+            "seconds": elapsed,
+            "cells_per_sec": len(specs) / max(1e-9, elapsed),
+        },
+    )]
+
+
+def _bench_service_roundtrip(ctx: BenchContext) -> List[BenchRecord]:
+    """Warm round-trip through the HTTP job API (all cells cached)."""
+    from ..service import ServiceClient, ServiceServer
+
+    refs = ctx.cell_refs(full=600, quick=300)
+    spec = _spec(ctx, refs, engine_mode="batched")
+    server = ServiceServer(port=0).start_in_thread()
+    try:
+        client = ServiceClient(f"http://{server.host}:{server.port}")
+        # first job simulates and fills the server's store ...
+        job = client.submit([spec])
+        client.wait(job["job_id"], timeout=120.0)
+        # ... so the timed round-trips are pure service overhead
+        repeats = 3 if ctx.quick else 10
+
+        def roundtrip():
+            handle = client.submit([spec])
+            client.wait(handle["job_id"], timeout=120.0)
+
+        elapsed = _timed(lambda: [roundtrip() for _ in range(repeats)])
+    finally:
+        server.shutdown()
+    return [BenchRecord(
+        bench="service-roundtrip", target="sweep", quick=ctx.quick,
+        params={"mix": spec.mix, "measured_refs": refs,
+                "repeats": repeats, "seed": ctx.seed},
+        metrics={"warm_roundtrip_ms": 1000.0 * elapsed / repeats},
+    )]
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+_BASKET: Dict[str, Callable[[BenchContext], List[BenchRecord]]] = {
+    "cell-cold": _bench_cell_cold,
+    "cell-warm": _bench_cell_warm,
+    "qos-overhead": _bench_qos_overhead,
+    "sweep-throughput": _bench_sweep_throughput,
+    "service-roundtrip": _bench_service_roundtrip,
+}
+
+
+def bench_names() -> List[str]:
+    return list(_BASKET)
+
+
+def run_basket(names: Optional[List[str]] = None,
+               ctx: Optional[BenchContext] = None,
+               progress=None) -> List[BenchRecord]:
+    """Run the selected benchmarks (default: the whole basket)."""
+    ctx = ctx or BenchContext()
+    selected = names or bench_names()
+    unknown = [n for n in selected if n not in _BASKET]
+    if unknown:
+        raise ReproError(
+            f"unknown benchmark(s) {', '.join(unknown)}; "
+            f"available: {', '.join(bench_names())}"
+        )
+    records: List[BenchRecord] = []
+    for name in selected:
+        if progress is not None:
+            progress(name)
+        records.extend(_BASKET[name](ctx))
+    return records

@@ -36,6 +36,11 @@
     wait for the results).
 ``jobs``
     List a running service's jobs, or show one job's record.
+``bench``
+    Run the fixed benchmark basket and append machine-readable
+    records to ``BENCH_kernel.json`` / ``BENCH_sweep.json`` (the
+    repo-root performance trajectory); ``--quick`` runs a seconds-long
+    CI-sized basket.
 ``stats``
     The Table II characterization of one workload.
 ``workloads``
@@ -43,9 +48,12 @@
 ``mixes``
     The Table IV mix matrix.
 
-Every command honours ``REPRO_REFS`` / ``REPRO_SEED`` and takes
-explicit overrides.  Telemetry never changes simulation results (see
-``docs/observability.md``).
+Run sizes and seeds are explicit flags (``--refs``, ``--seed``); the
+old ``REPRO_REFS`` / ``REPRO_SEED`` environment knobs were removed
+and now raise a configuration error when set.  Simulation commands
+take ``--engine`` to pick the kernel (``auto``, ``reference``,
+``batched`` — see ``docs/engines.md``).  Telemetry never changes
+simulation results (see ``docs/observability.md``).
 
 Exit codes are uniform across commands: ``0`` success, ``2`` library
 error (bad configuration, failed sweep cells, service rejection),
@@ -112,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--vm-quota", action="store_true",
                        help="enable per-VM way-quota partitioning")
     _add_qos_flags(run_p)
+    _add_engine_flag(run_p)
     run_p.add_argument("--rebind", default="", choices=("", "random",
                                                         "affinity"),
                        help="dynamic thread rebinding policy")
@@ -134,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("cycles", "miss_rate", "miss_latency"))
     sweep_p.add_argument("--refs", type=int, default=None)
     sweep_p.add_argument("--seed", type=int, default=0)
+    _add_engine_flag(sweep_p)
     _add_qos_flags(sweep_p)
     _add_executor_flags(sweep_p)
     _add_telemetry_flags(sweep_p)
@@ -282,6 +292,25 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_p.add_argument("--url", default="http://127.0.0.1:8765",
                         help="service base URL")
 
+    bench_p = sub.add_parser(
+        "bench", help="run the benchmark basket and append records to "
+                      "BENCH_kernel.json / BENCH_sweep.json")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="seconds-long CI basket (small runs)")
+    bench_p.add_argument("--only", action="append", default=None,
+                         metavar="NAME",
+                         help="run one benchmark (repeatable); "
+                              "'list' prints the basket")
+    bench_p.add_argument("--refs", type=int, default=None,
+                         help="override every benchmark's run size")
+    bench_p.add_argument("--seed", type=int, default=1)
+    bench_p.add_argument("--jobs", type=int, default=2,
+                         help="worker processes for the sweep benchmark")
+    bench_p.add_argument("--out-dir", default=".", metavar="DIR",
+                         help="where BENCH_*.json live (default: cwd)")
+    bench_p.add_argument("--dry-run", action="store_true",
+                         help="print records without writing files")
+
     stats_p = sub.add_parser(
         "stats", help="Table II characterization of one workload")
     stats_p.add_argument("workload", choices=sorted(WORKLOADS))
@@ -306,6 +335,16 @@ def _add_executor_flags(parser) -> None:
                              "cells are never re-simulated")
     parser.add_argument("--progress", action="store_true",
                         help="print per-cell progress to stderr")
+
+
+def _add_engine_flag(parser) -> None:
+    parser.add_argument("--engine", default="auto",
+                        choices=("auto", "reference", "batched"),
+                        help="simulation kernel: 'reference' is the "
+                             "event-driven model, 'batched' the "
+                             "epoch-folded fast path, 'auto' picks "
+                             "batched when the run shape allows "
+                             "(see docs/engines.md)")
 
 
 def _add_qos_flags(parser) -> None:
@@ -388,6 +427,7 @@ def _spec_from_args(args) -> ExperimentSpec:
         qos_policy=args.qos_policy,
         qos_target=args.qos_target,
         qos_epoch=args.qos_epoch,
+        engine_mode=args.engine,
     )
     if args.scale is not None:
         params["scale"] = args.scale
@@ -478,7 +518,8 @@ def _cmd_sweep(args) -> int:
                           measured_refs=args.refs,
                           qos_policy=args.qos_policy,
                           qos_target=args.qos_target,
-                          qos_epoch=args.qos_epoch)
+                          qos_epoch=args.qos_epoch,
+                          engine_mode=args.engine)
     suite = sharing_policy_suite(args.mix, sharings=_SHARINGS,
                                  policies=_POLICIES, base=base)
     outcome = SuiteRunner(_make_executor(args, telemetry)).run(suite)
@@ -788,6 +829,36 @@ def _cmd_jobs(args) -> int:
     return EXIT_OK
 
 
+def _cmd_bench(args) -> int:
+    from .bench import BenchContext, append_records, bench_names, run_basket
+
+    if args.only and "list" in args.only:
+        rows = [[name] for name in bench_names()]
+        print(format_table(["Benchmark"], rows, title="Bench basket"))
+        return EXIT_OK
+    ctx = BenchContext(quick=args.quick, seed=args.seed, jobs=args.jobs,
+                       refs=args.refs)
+    records = run_basket(
+        args.only, ctx,
+        progress=lambda name: print(f"bench: {name} ...", file=sys.stderr),
+    )
+    rows = [
+        [record.bench, record.target,
+         ", ".join(f"{k}={v:.4g}" for k, v in record.metrics.items())]
+        for record in records
+    ]
+    title = "Bench basket (quick)" if args.quick else "Bench basket"
+    print(format_table(["Benchmark", "File", "Metrics"], rows, title=title))
+    if args.dry_run:
+        print("\ndry run: no records written")
+        return EXIT_OK
+    written = append_records(args.out_dir, records)
+    print()
+    for path in written:
+        print(f"appended to {path}")
+    return EXIT_OK
+
+
 def _cmd_stats(args) -> int:
     stats = measure_workload_statistics(args.workload,
                                         measured_refs=args.refs,
@@ -856,6 +927,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
+    "bench": _cmd_bench,
     "stats": _cmd_stats,
     "compare": _cmd_compare,
     "workloads": _cmd_workloads,

@@ -16,33 +16,33 @@ footprint to capacity, which scaling preserves, while letting a run
 reach steady state within a few tens of thousands of references per
 thread.  ``scale=1.0`` gives the full-size machine of Table III.
 
-Environment knobs (deprecated)
-------------------------------
-``REPRO_REFS``
-    Default measured references per thread (default 24000).
-``REPRO_SEED``
-    Default experiment seed (default 1).
+Environment knobs (removed)
+---------------------------
+The deprecated ``REPRO_REFS`` / ``REPRO_SEED`` environment knobs have
+been retired: a set variable now raises
+:class:`~repro.errors.ConfigurationError` from :func:`resolve_defaults`
+instead of silently steering defaults.  Set
+``ExperimentSpec.measured_refs`` / ``ExperimentSpec.seed`` explicitly.
 
-Both knobs still work but are deprecated: every defaulted field is now
-resolved in one place, :func:`resolve_defaults`, which emits a
-``DeprecationWarning`` when an environment variable (rather than an
-explicit spec field) supplies the value.  Set
-``ExperimentSpec.measured_refs`` / ``ExperimentSpec.seed`` instead.
+Engine selection
+----------------
+``ExperimentSpec.engine_mode`` selects the execution kernel through
+:func:`repro.sim.factory.make_engine`: ``"reference"`` (the
+event-driven engines, the default), ``"batched"`` (the epoch-folded
+fast kernel, see ``docs/engines.md``), or ``"auto"`` (batched whenever
+the run shape allows it).
 """
 
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set
 
 from ..errors import ConfigurationError
 from ..machine.chip import Chip
 from ..machine.config import MachineConfig, SharingDegree
-from ..sim.dynamic import MigratingEngine
-from ..sim.engine import Engine
-from ..sim.overcommit import OvercommitEngine
+from ..sim.factory import EngineRequest, make_engine, resolve_mode
 from ..sim.rng import RngFactory
 from ..vm.hypervisor import Hypervisor
 from .metrics import VMMetrics
@@ -66,39 +66,38 @@ DEFAULT_SCALE = 1.0 / 16.0
 """Default capacity/footprint scale factor (see the module docstring)."""
 
 DEFAULT_MEASURED_REFS = 24000
-"""Built-in default for ``measured_refs`` when neither the spec nor the
-(deprecated) ``REPRO_REFS`` environment variable supplies one."""
+"""Built-in default for ``measured_refs`` when the spec leaves it
+unset."""
 
 DEFAULT_SEED = 1
 """Built-in default experiment seed."""
 
 
 def _env_default(var: str, fallback: int, field_name: str) -> int:
-    """Resolve one defaulted field, deprecating the environment path."""
-    raw = os.environ.get(var)
-    if raw is None:
-        return fallback
-    warnings.warn(
-        f"resolving {field_name} from the {var} environment variable is "
-        f"deprecated; set ExperimentSpec.{field_name} explicitly",
-        DeprecationWarning,
-        stacklevel=4,
-    )
-    return int(raw)
+    """Resolve one defaulted field, rejecting the removed env path."""
+    if os.environ.get(var) is not None:
+        raise ConfigurationError(
+            f"the {var} environment variable has been removed; set "
+            f"ExperimentSpec.{field_name} explicitly (it previously "
+            f"supplied the default for defaulted specs)"
+        )
+    return fallback
 
 
 def default_measured_refs() -> int:
-    """Per-thread measured references (``REPRO_REFS``, default 24000).
+    """Built-in per-thread measured references (24000).
 
-    Deprecated: use :func:`resolve_defaults` / explicit spec fields.
+    Raises :class:`~repro.errors.ConfigurationError` if the removed
+    ``REPRO_REFS`` environment knob is set.
     """
     return _env_default("REPRO_REFS", DEFAULT_MEASURED_REFS, "measured_refs")
 
 
 def default_seed() -> int:
-    """Default experiment seed (``REPRO_SEED``, default 1).
+    """Built-in default experiment seed (1).
 
-    Deprecated: use :func:`resolve_defaults` / explicit spec fields.
+    Raises :class:`~repro.errors.ConfigurationError` if the removed
+    ``REPRO_SEED`` environment knob is set.
     """
     return _env_default("REPRO_SEED", DEFAULT_SEED, "seed")
 
@@ -167,6 +166,13 @@ class ExperimentSpec:
     dir_cache_entries:
         Per-tile directory-cache capacity override; 0 = the machine
         default (16K entries).
+    engine_mode:
+        Execution kernel (see :mod:`repro.sim.factory`):
+        ``"reference"`` (event-driven, the default), ``"batched"``
+        (epoch-folded fast kernel), or ``"auto"`` (batched whenever the
+        run shape allows it; resolved to a concrete mode by
+        :func:`resolve_defaults`, so cached results are keyed by the
+        kernel that actually ran).
     """
 
     mix: str
@@ -188,6 +194,7 @@ class ExperimentSpec:
     rebind: str = ""
     rebind_interval: int = 100_000
     dir_cache_entries: int = 0  # 0 = machine default (16K per tile)
+    engine_mode: str = "reference"
 
     def normalized(self) -> "ExperimentSpec":
         """Resolve every defaulted field to a concrete value
@@ -212,12 +219,14 @@ class ExperimentSpec:
 def resolve_defaults(spec: ExperimentSpec) -> ExperimentSpec:
     """Resolve every defaulted field of ``spec`` to a concrete value.
 
-    This is the single place the library consults the deprecated
-    ``REPRO_REFS`` / ``REPRO_SEED`` environment knobs; when one of them
-    supplies a value (because the spec left the field defaulted) a
-    ``DeprecationWarning`` points at the explicit spec field to set
-    instead.  The returned spec is idempotent under re-resolution and is
-    what the result store hashes (see :func:`repro.core.store.spec_key`).
+    The removed ``REPRO_REFS`` / ``REPRO_SEED`` environment knobs are
+    rejected here with a :class:`~repro.errors.ConfigurationError`
+    naming the explicit spec field to set instead (they only ever
+    applied to *defaulted* specs, so an explicitly-filled spec never
+    consults the environment).  ``engine_mode="auto"`` resolves to a
+    concrete engine for the run shape.  The returned spec is
+    idempotent under re-resolution and is what the result store hashes
+    (see :func:`repro.core.store.spec_key`).
     """
     measured = spec.measured_refs or default_measured_refs()
     warmup = spec.warmup_refs if spec.warmup_refs is not None else measured // 2
@@ -228,6 +237,11 @@ def resolve_defaults(spec: ExperimentSpec) -> ExperimentSpec:
         warmup_refs=warmup,
         seed=seed,
         sharing=spec._canonical_sharing(),
+        engine_mode=resolve_mode(
+            spec.engine_mode,
+            slots_per_core=spec.slots_per_core,
+            rebind=spec.rebind,
+        ),
     )
 
 
@@ -496,25 +510,28 @@ def run_experiment(
             vm_workloads={vm.vm_id: vm.workload_name
                           for vm in hypervisor.vms},
         )
-    probe = None
-    if spec.slots_per_core > 1:
-        engine = OvercommitEngine(chip, contexts, control=control)
-        if control is not None:
-            control.bind_actuator(engine)
-    elif spec.rebind:
-        engine = MigratingEngine(
-            chip,
-            contexts,
-            rebinder=_make_rebinder(spec.rebind, chip, rng_factory),
-            interval=spec.rebind_interval,
+    rebinder = (
+        _make_rebinder(spec.rebind, chip, rng_factory) if spec.rebind else None
+    )
+    engine = make_engine(
+        EngineRequest(
+            machine=chip,
+            threads=contexts,
             control=control,
-        )
-    else:
-        if want_series:
-            from ..obs.probes import EpochProbe
+            slots_per_core=spec.slots_per_core,
+            rebinder=rebinder,
+            rebind_interval=spec.rebind_interval,
+        ),
+        mode=spec.engine_mode,
+    )
+    probe = None
+    if want_series and hasattr(engine, "probe"):
+        from ..obs.probes import EpochProbe
 
-            probe = EpochProbe(chip, contexts, epoch, telemetry)
-        engine = Engine(chip, contexts, probe=probe, control=control)
+        # batched engines expose the inspection surface themselves
+        probe_machine = engine if hasattr(engine, "l2_occupancy_share") else chip
+        probe = EpochProbe(probe_machine, contexts, epoch, telemetry)
+        engine.probe = probe
     with telemetry.span(f"simulate {spec.mix}/{spec.sharing}/{spec.policy}",
                         cat="experiment"):
         engine_result = engine.run()
@@ -533,26 +550,38 @@ def run_experiment(
             )
         )
 
-    coherence = chip.coherence.stats
-    total_dir_accesses = sum(c.hits + c.misses for c in chip.directory.caches)
-    total_dir_hits = sum(c.hits for c in chip.directory.caches)
-    summary = ChipSummary(
-        mesh_mean_latency=chip.mesh.mean_latency,
-        mesh_mean_queueing=chip.mesh.mean_queueing,
-        mesh_mean_hops=chip.mesh.mean_hops,
-        c2c_clean=coherence.c2c_clean,
-        c2c_dirty=coherence.c2c_dirty,
-        memory_fetches=coherence.memory_fetches,
-        coherence_writebacks=coherence.writebacks,
-        invalidations=coherence.invalidations_sent,
-        upgrades=coherence.upgrades,
-        intra_domain_transfers=chip.intra_domain_transfers,
-        directory_cache_hit_rate=(
-            total_dir_hits / total_dir_accesses if total_dir_accesses else 0.0
-        ),
-        memory_reads=chip.memory.total_reads,
-        memory_writebacks=chip.memory.total_writebacks,
-    )
+    if hasattr(engine, "summary_counters"):
+        # batched engines track chip-level effects themselves (the chip
+        # object never saw the references)
+        summary = ChipSummary(**engine.summary_counters())
+        occupancy = engine.l2_snapshot_by_vm()
+        residency = engine.l2_resident_sets()
+    else:
+        coherence = chip.coherence.stats
+        total_dir_accesses = sum(
+            c.hits + c.misses for c in chip.directory.caches
+        )
+        total_dir_hits = sum(c.hits for c in chip.directory.caches)
+        summary = ChipSummary(
+            mesh_mean_latency=chip.mesh.mean_latency,
+            mesh_mean_queueing=chip.mesh.mean_queueing,
+            mesh_mean_hops=chip.mesh.mean_hops,
+            c2c_clean=coherence.c2c_clean,
+            c2c_dirty=coherence.c2c_dirty,
+            memory_fetches=coherence.memory_fetches,
+            coherence_writebacks=coherence.writebacks,
+            invalidations=coherence.invalidations_sent,
+            upgrades=coherence.upgrades,
+            intra_domain_transfers=chip.intra_domain_transfers,
+            directory_cache_hit_rate=(
+                total_dir_hits / total_dir_accesses
+                if total_dir_accesses else 0.0
+            ),
+            memory_reads=chip.memory.total_reads,
+            memory_writebacks=chip.memory.total_writebacks,
+        )
+        occupancy = chip.l2_snapshot_by_vm()
+        residency = chip.l2_resident_sets()
 
     result = ExperimentResult(
         spec=spec,
@@ -560,8 +589,8 @@ def run_experiment(
         vm_metrics=vm_metrics,
         final_time=engine_result.final_time,
         chip_summary=summary,
-        occupancy=chip.l2_snapshot_by_vm(),
-        residency=chip.l2_resident_sets(),
+        occupancy=occupancy,
+        residency=residency,
         domain_lines=config.l2_geometry().num_lines,
         assignments=assignments,
     )

@@ -148,8 +148,13 @@ class EpochProbe:
         """Called once per engine step with the current issue time."""
         if now >= self.next_due:
             self.sample(now)
-            # re-align to the epoch grid, skipping any fully-idle epochs
-            self.next_due = (now // self.epoch + 1) * self.epoch
+            # Schedule relative to the *actual* sample time, not the
+            # epoch grid: grid realignment after an off-grid sample
+            # (e.g. sampling at 250 with epoch=100 and arming 300)
+            # produces a sub-epoch window whose deltas are biased low.
+            # Relative arming guarantees every window spans at least
+            # one full epoch.
+            self.next_due = now + self.epoch
 
     def on_vm_complete(self, vm_id: int, finish: int) -> None:
         """Mark a VM's completion instant in the trace."""

@@ -122,7 +122,12 @@ class QosHook:
         """Called once per engine step with the current issue time."""
         if now >= self.next_due:
             self.control(now)
-            self.next_due = (now // self.epoch + 1) * self.epoch
+            # Arm relative to the actual control instant rather than
+            # snapping back to the epoch grid: a grid-aligned next_due
+            # after an off-grid control cycle (now=250, epoch=100 →
+            # next_due=300) gives the controller a sub-epoch sensing
+            # window and biases its per-window slowdown estimates.
+            self.next_due = now + self.epoch
 
     def finish(self, final_time: int) -> None:
         """End-of-run cleanup: detach the tap, flush final telemetry."""

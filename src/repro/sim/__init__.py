@@ -1,7 +1,16 @@
-"""Simulation substrate: RNG streams, records, servers, event engine."""
+"""Simulation substrate: RNG streams, records, engines, engine factory."""
 
+from ._batchfold import HAVE_NUMPY, PrivateState, fold_private
+from .batched import BatchedEngine
 from .dynamic import AffinityRebinder, MigratingEngine, RandomRebinder
 from .engine import Engine, EngineResult, MachineModel, ThreadContext, ThreadStats
+from .factory import (
+    EngineRequest,
+    engine_modes,
+    make_engine,
+    register_engine,
+    resolve_mode,
+)
 from .overcommit import OvercommitEngine
 from .records import (
     BLOCK_BYTES,
@@ -16,6 +25,15 @@ from .rng import RngFactory, derive_seed, stream
 from .server import FifoServer, ServerStats
 
 __all__ = [
+    "HAVE_NUMPY",
+    "PrivateState",
+    "fold_private",
+    "BatchedEngine",
+    "EngineRequest",
+    "engine_modes",
+    "make_engine",
+    "register_engine",
+    "resolve_mode",
     "AffinityRebinder",
     "MigratingEngine",
     "RandomRebinder",
@@ -24,6 +42,7 @@ __all__ = [
     "MachineModel",
     "ThreadContext",
     "ThreadStats",
+    "OvercommitEngine",
     "BLOCK_BYTES",
     "BLOCK_SHIFT",
     "AccessResult",

@@ -1,0 +1,955 @@
+"""Batched (epoch-folded) execution kernel.
+
+:class:`BatchedEngine` is the fast, approximate counterpart to the
+byte-exact reference :class:`~repro.sim.engine.Engine`.  Instead of
+stepping one reference at a time through cache/coherence/mesh objects,
+it advances every thread one *epoch* (``epoch_refs`` references) at a
+time:
+
+1. each thread's address stream for the epoch is pulled as a batch
+   (numpy arrays when available — see
+   :meth:`repro.workloads.generator.ThreadTrace.take_batch`);
+2. references are classified against a stack-distance model of the
+   private L0/L1 (:mod:`repro.sim._batchfold`) — the vectorized hot
+   path, since it sees every reference;
+3. the surviving L2-level references are folded through per-set
+   occupancy state per L2 domain, classifying local hits,
+   cross-domain cache-to-cache transfers, and memory fetches;
+4. coherence effects of writes (upgrades, invalidations) and queueing
+   delays on shared resources (L2 banks, memory channels, mesh links —
+   an M/D/1 waiting-time estimate fed by the previous epoch's arrival
+   rates) are reconciled once per epoch boundary.
+
+The result is an :class:`~repro.sim.engine.EngineResult` shaped exactly
+like the reference engine's, with per-thread :class:`ThreadStats` and
+per-VM completion times, at a fraction of the cost.  Fidelity is
+*statistical*, not bit-exact: the cross-validation harness
+(:mod:`repro.sim.validate`) bounds the divergence on the paper's
+Table-IV mixes, and ``docs/engines.md`` states the tolerance contract.
+
+Known modelling simplifications (all reconciled at epoch granularity):
+
+* intra-domain peer-L1 transfers (``HitLevel.L2_PEER``) are detected
+  against sibling threads' epoch-boundary private resident sets rather
+  than their instantaneous L1 contents;
+* per-tile directory caches are modelled as fully-associative LRU
+  dictionaries of the configured entry count (the reference uses 8-way
+  set-associative); a dir-cache miss charges the same memory-latency
+  penalty as the reference path;
+* coherence between domains is resolved against epoch-*start* state;
+  two domains touching the same block inside one epoch only see each
+  other at the next boundary;
+* write upgrades are charged to the first writing thread of the epoch.
+
+QoS integration: the engine honours live
+:class:`~repro.caches.partitioning.WayQuota` objects installed on the
+chip's domains (reading them at every insertion, so epoch-boundary
+quota rewrites by a :class:`~repro.qos.hook.QosHook` actuate the very
+next epoch) and feeds the chip's L2 tap when one is installed (UCP
+utility monitors work unchanged).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from ._batchfold import HAVE_NUMPY, PrivateState, fold_private
+from .engine import EngineResult, ThreadStats
+from .records import HitLevel
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - fallback path
+    _np = None
+
+__all__ = ["BatchedEngine", "DEFAULT_EPOCH_REFS"]
+
+DEFAULT_EPOCH_REFS = 1024
+"""Default references per thread per folding epoch."""
+
+_LEVELS = len(HitLevel)
+
+
+class _Line:
+    """One resident L2 line (duck-typed for WayQuota victim selectors)."""
+
+    __slots__ = ("vm_id", "dirty")
+
+    def __init__(self, vm_id: int, dirty: bool):
+        self.vm_id = vm_id
+        self.dirty = dirty
+
+
+class _DomainState:
+    """Per-set occupancy of one L2 domain.
+
+    Each set is an insertion-ordered dict ``block -> _Line`` kept in
+    LRU -> MRU order (touches re-insert), so the first key is always
+    the LRU victim candidate — the same iteration order
+    :meth:`repro.caches.partitioning.WayQuota.victim_selector` expects.
+    """
+
+    __slots__ = ("domain_id", "sets", "resident", "recent_evictions",
+                 "evict_cap")
+
+    def __init__(self, domain_id: int, evict_cap: int = 0):
+        self.domain_id = domain_id
+        self.sets: Dict[int, Dict[int, _Line]] = {}
+        self.resident = 0
+        # blocks recently evicted from this L2 (LRU) — the window in
+        # which a peer L1 may still hold a line the L2 has dropped
+        self.recent_evictions: Dict[int, None] = {}
+        self.evict_cap = evict_cap
+
+    def occupancy_by_vm(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for cache_set in self.sets.values():
+            for line in cache_set.values():
+                out[line.vm_id] = out.get(line.vm_id, 0) + 1
+        return out
+
+    def resident_blocks(self) -> set:
+        blocks = set()
+        for cache_set in self.sets.values():
+            blocks.update(cache_set)
+        return blocks
+
+
+class BatchedEngine:
+    """Epoch-folded engine over a :class:`~repro.machine.chip.Chip`.
+
+    Parameters
+    ----------
+    machine:
+        A chip exposing ``config``, ``placement``, ``topology``,
+        ``mesh``, ``domains`` and (optionally) ``l2_tap`` /
+        ``vm_of_core``.  Unlike the reference engine the batched kernel
+        needs the chip's *structure* (geometry, placement, zero-load
+        latencies), not its per-reference ``access`` method.
+    threads:
+        Thread contexts, at most one per core.
+    probe:
+        Optional :class:`~repro.obs.probes.EpochProbe`; driven once per
+        folding epoch with the global clock.  Point it at this engine
+        (it exposes ``queue_depths`` / ``l2_occupancy_share``).
+    control:
+        Optional :class:`~repro.qos.hook.QosHook`; driven once per
+        folding epoch, so QoS control epochs are quantized to folding
+        epochs.
+    epoch_refs:
+        References per thread per folding epoch.
+    use_numpy:
+        Force (``True``) or forbid (``False``) the vectorized private
+        filter; ``None`` auto-detects.
+    """
+
+    def __init__(
+        self,
+        machine,
+        threads,
+        probe=None,
+        control=None,
+        epoch_refs: int = DEFAULT_EPOCH_REFS,
+        use_numpy: Optional[bool] = None,
+    ):
+        if not threads:
+            raise SimulationError("engine needs at least one thread")
+        cores_seen = set()
+        for thread in threads:
+            if thread.core_id in cores_seen:
+                raise SimulationError(
+                    f"core {thread.core_id} bound to more than one thread; "
+                    "the consolidation methodology never over-commits cores"
+                )
+            cores_seen.add(thread.core_id)
+        if epoch_refs <= 0:
+            raise SimulationError("epoch_refs must be positive")
+        if use_numpy is None:
+            use_numpy = HAVE_NUMPY
+        if use_numpy and not HAVE_NUMPY:
+            raise SimulationError("use_numpy=True but numpy is unavailable")
+        self.machine = machine
+        self.threads = {t.thread_id: t for t in threads}
+        self.probe = probe
+        self.control = control
+        self.epoch_refs = epoch_refs
+        self.use_numpy = use_numpy
+
+        config = machine.config
+        geometry = config.l2_geometry()
+        self._num_sets = geometry.num_sets
+        self._set_mask = geometry.num_sets - 1
+        self._assoc = geometry.assoc
+        self._c0 = max(1, config.l0_geometry.num_lines)
+        self._c1 = max(self._c0 + 1, config.l1_geometry.num_lines)
+        placement = machine.placement
+        self._domain_of_core = list(placement.domain_of)
+        self._num_domains = len(placement.domains)
+        cores_per_domain = max(len(d) for d in placement.domains)
+        self._domains = [
+            _DomainState(d, evict_cap=cores_per_domain * self._c1)
+            for d in range(self._num_domains)
+        ]
+        self._private = {
+            t.thread_id: PrivateState(self._c0, self._c1) for t in threads
+        }
+        # domain -> [(thread_id, private state)] for peer-L1 probes
+        self._domain_threads: Dict[int, List] = {}
+        for t in threads:
+            self._domain_threads.setdefault(
+                self._domain_of_core[t.core_id], []
+            ).append((t.thread_id, self._private[t.thread_id]))
+        self._order = sorted(self.threads)
+        # cycles-per-reference estimate from the previous epoch; drives
+        # the time-weighted event merge in :meth:`_fold_l2` (all threads
+        # start equal, so epoch 0 degenerates to index order)
+        self._rates: Dict[int, float] = {tid: 1.0 for tid in self.threads}
+
+        # directory caches: one LRU dict per tile, striped like the
+        # reference Directory (home tile = block % num_tiles)
+        self._dir_tiles = config.num_cores
+        self._dir_capacity = max(1, config.directory_cache_entries)
+        self._dircache = [dict() for _ in range(self._dir_tiles)]
+        self.dir_hits = 0
+        self.dir_misses = 0
+
+        # chip-level counters mirrored into the experiment's ChipSummary
+        self.c2c_clean = 0
+        self.c2c_dirty = 0
+        self.intra_domain_transfers = 0
+        self.memory_fetches = 0
+        self.writebacks = 0
+        self.invalidations = 0
+        self.upgrades = 0
+        self.net_messages = 0
+        self.net_cycles = 0.0
+        self.net_hops = 0
+        self.net_queueing = 0.0
+
+        self._build_latency_tables()
+        # previous-epoch arrival state feeding the queueing estimates
+        self._prev_now = 0.0
+        self._w_l2 = [0.0] * self._num_domains
+        self._w_mem = 0.0
+        self._rho_link = 0.0
+
+    # ------------------------------------------------------------------
+    # static latency precomputation
+    # ------------------------------------------------------------------
+
+    def _build_latency_tables(self) -> None:
+        """Per-core zero-load latency/hop constants for each hit level.
+
+        Mirrors the reference chip's message legs (see
+        :meth:`repro.machine.chip.Chip.access`), with block-dependent
+        tiles (directory home, memory controller, providing domain)
+        replaced by their uniform-striping expectations.
+        """
+        machine = self.machine
+        config = machine.config
+        mesh = machine.mesh
+        placement = machine.placement
+        topo = machine.topology
+        ctrl = config.control_flits
+        data = config.data_flits
+        tiles = range(config.num_cores)
+        mem_tiles = config.memory_tiles
+        zl = mesh.zero_load_latency
+        hops = topo.hops
+
+        def mean(pairs):
+            total_lat, total_hops, count = 0.0, 0.0, 0
+            for src, dst, flits in pairs:
+                total_lat += zl(src, dst, flits)
+                total_hops += hops(src, dst) if src != dst else 0
+                count += 1
+            return total_lat / count, total_hops / count
+
+        # block-independent: directory home -> memory controller leg
+        dir2mem_lat, dir2mem_hops = mean(
+            [(t, m, ctrl) for t in tiles for m in mem_tiles]
+        )
+        homes = list(placement.home_tile)
+
+        self._lat: Dict[int, List[float]] = {}
+        self._ctrl_hops: Dict[int, List[float]] = {}
+        self._data_hops: Dict[int, List[float]] = {}
+        self._upgrade_cost: Dict[int, float] = {}
+        self._upgrade_hops: Dict[int, float] = {}
+        l0 = config.l0_geometry.latency
+        l1 = config.l1_geometry.latency
+        l2 = config.l2_latency
+        for core in range(config.num_cores):
+            domain = placement.domain_of[core]
+            home = homes[domain]
+            c2h = zl(core, home, ctrl)
+            c2h_h = hops(core, home) if core != home else 0
+            h2c_lat = zl(home, core, data)
+            h2c_h = hops(home, core) if core != home else 0
+            h2dir_lat, h2dir_h = mean([(home, t, ctrl) for t in tiles])
+            mem2c_lat, mem2c_h = mean([(m, core, data) for m in mem_tiles])
+            other = [h for d, h in enumerate(homes) if d != domain] or [home]
+            dir2prov_lat, dir2prov_h = mean(
+                [(t, h, ctrl) for t in tiles for h in other]
+            )
+            prov2c_lat, prov2c_h = mean([(h, core, data) for h in other])
+            c2dir_lat, c2dir_h = mean([(core, t, ctrl) for t in tiles])
+            dir2c_lat, dir2c_h = mean([(t, core, ctrl) for t in tiles])
+
+            lat = [0.0] * _LEVELS
+            ctrl_hops = [0.0] * _LEVELS
+            data_hops = [0.0] * _LEVELS
+            lat[HitLevel.L0] = float(l0)
+            lat[HitLevel.L1] = float(l0 + l1)
+            # L2 hit: request to the home tile, bank access, data back
+            lat[HitLevel.L2] = l0 + l1 + l2 + c2h + h2c_lat
+            ctrl_hops[HitLevel.L2] = c2h_h
+            data_hops[HitLevel.L2] = h2c_h
+            # peer-L1 transfer: L2 lookup missed, probe a sibling L1,
+            # forward the line through the home tile
+            lat[HitLevel.L2_PEER] = lat[HitLevel.L2] + l1 + c2h
+            ctrl_hops[HitLevel.L2_PEER] = 2 * c2h_h
+            data_hops[HitLevel.L2_PEER] = h2c_h
+            # C2C: local lookup missed, directory indirection, remote
+            # domain lookup, data from the provider's home tile
+            c2c = (
+                l0 + l1 + 2 * l2 + config.directory_latency
+                + c2h + h2dir_lat + dir2prov_lat + prov2c_lat
+            )
+            lat[HitLevel.C2C_CLEAN] = c2c
+            lat[HitLevel.C2C_DIRTY] = c2c + l1
+            ctrl_hops[HitLevel.C2C_CLEAN] = c2h_h + h2dir_h + dir2prov_h
+            ctrl_hops[HitLevel.C2C_DIRTY] = ctrl_hops[HitLevel.C2C_CLEAN]
+            data_hops[HitLevel.C2C_CLEAN] = prov2c_h
+            data_hops[HitLevel.C2C_DIRTY] = prov2c_h
+            # memory: directory indirection then the off-chip access
+            lat[HitLevel.MEMORY] = (
+                l0 + l1 + l2 + config.directory_latency
+                + config.memory_latency
+                + c2h + h2dir_lat + dir2mem_lat + mem2c_lat
+            )
+            ctrl_hops[HitLevel.MEMORY] = c2h_h + h2dir_h + dir2mem_hops
+            data_hops[HitLevel.MEMORY] = mem2c_h
+            self._lat[core] = lat
+            self._ctrl_hops[core] = ctrl_hops
+            self._data_hops[core] = data_hops
+            # write upgrade: control round trip through the directory
+            self._upgrade_cost[core] = (
+                c2dir_lat + dir2c_lat + config.directory_latency
+            )
+            self._upgrade_hops[core] = c2dir_h + dir2c_h
+
+        self._num_links = len(list(topo.links()))
+        self._mem_service = float(
+            max(
+                config.memory_channel_occupancy,
+                config.memory_bank_occupancy / max(1, config.memory_banks),
+            )
+        )
+        self._mem_controllers = len(mem_tiles)
+        self._l2_service = float(config.l2_service_time)
+        self._ctrl_flits = float(ctrl)
+        self._data_flits = float(data)
+        self._hop_cycles = float(config.hop_cycles)
+
+    # ------------------------------------------------------------------
+    # per-epoch dynamic latencies
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _md1_wait(service: float, rho: float) -> float:
+        """M/D/1 mean waiting time, utilization-capped for stability."""
+        rho = min(rho, 0.95)
+        return service * rho / (2.0 * (1.0 - rho))
+
+    def _epoch_latencies(self, core: int) -> List[float]:
+        """Latency table for this epoch: constants + current waits."""
+        base = self._lat[core]
+        w_link_c = self._md1_wait(self._ctrl_flits, self._rho_link)
+        w_link_d = self._md1_wait(self._data_flits, self._rho_link)
+        domain = self._domain_of_core[core]
+        w_l2_local = self._w_l2[domain]
+        w_l2_mean = sum(self._w_l2) / len(self._w_l2)
+        ch = self._ctrl_hops[core]
+        dh = self._data_hops[core]
+        out = list(base)
+        for level in (HitLevel.L2, HitLevel.L2_PEER, HitLevel.C2C_CLEAN,
+                      HitLevel.C2C_DIRTY, HitLevel.MEMORY):
+            out[level] += ch[level] * w_link_c + dh[level] * w_link_d
+            out[level] += w_l2_local
+        # cross-domain transfers also queue at the provider's bank
+        out[HitLevel.C2C_CLEAN] += w_l2_mean
+        out[HitLevel.C2C_DIRTY] += w_l2_mean
+        out[HitLevel.MEMORY] += self._w_mem
+        return out
+
+    # ------------------------------------------------------------------
+    # batch acquisition
+    # ------------------------------------------------------------------
+
+    def _take_batch(self, thread):
+        """One epoch of (blocks, writes, thinks) for ``thread``."""
+        refs = thread.references
+        take = getattr(refs, "take_batch", None)
+        if take is not None:
+            return take(self.epoch_refs)
+        rows = []
+        for _ in range(self.epoch_refs):
+            ref = next(refs, None)
+            if ref is None:
+                raise SimulationError(
+                    f"thread {thread.thread_id} reference stream ended; "
+                    "workload generators must be infinite"
+                )
+            rows.append(ref)
+        blocks, writes, thinks = zip(*rows)
+        return list(blocks), list(writes), list(thinks)
+
+    # ------------------------------------------------------------------
+    # the epoch loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> EngineResult:
+        threads = [self.threads[tid] for tid in self._order]
+        clocks = {t.thread_id: float(t.start_time) for t in threads}
+        vm_pending: Dict[int, int] = {}
+        for t in threads:
+            vm_pending[t.vm_id] = vm_pending.get(t.vm_id, 0) + 1
+        vm_completion: Dict[int, int] = {}
+        remaining = {
+            t.thread_id: t.warmup_refs + t.measured_refs for t in threads
+        }
+        total_refs = 0
+        max_epochs = 32 * max(
+            1,
+            sum(remaining.values()) // (self.epoch_refs * max(1, len(threads))),
+        ) + 64
+        epochs = 0
+
+        while any(t.issued < t.warmup_refs + t.measured_refs for t in threads):
+            epochs += 1
+            if epochs > max_epochs:
+                raise SimulationError(
+                    f"batched engine exceeded {max_epochs} epochs without "
+                    "all VMs completing"
+                )
+            batches = {}
+            levels = {}
+            for t in threads:
+                blocks, writes, thinks = self._take_batch(t)
+                batches[t.thread_id] = (blocks, writes, thinks)
+                levels[t.thread_id] = fold_private(
+                    self._private[t.thread_id], blocks,
+                    use_numpy=self.use_numpy,
+                )
+                total_refs += len(blocks)
+
+            prev_clocks = dict(clocks)
+            dir_penalties = self._fold_l2(threads, batches, levels, clocks)
+            upgrades_by_thread = self._reconcile_writes(
+                threads, batches, clocks
+            )
+            arrivals = self._account_epoch(
+                threads, batches, levels, upgrades_by_thread, dir_penalties,
+                clocks, vm_pending, vm_completion,
+            )
+            for t in threads:
+                n = len(batches[t.thread_id][0])
+                if n:
+                    self._rates[t.thread_id] = (
+                        clocks[t.thread_id] - prev_clocks[t.thread_id]
+                    ) / n
+
+            # epoch-boundary "now": per-thread progress clamped at the
+            # thread's completion instant.  Clocks overshoot past the
+            # measured window (epochs are fixed-size), so the raw max
+            # clock can exceed the run's final_time; the clamped value
+            # is nondecreasing and converges exactly to final_time,
+            # keeping probe/control samples monotone.
+            now = max(
+                t.completion_time
+                if t.issued >= t.warmup_refs + t.measured_refs
+                else clocks[t.thread_id]
+                for t in threads
+            )
+            self._update_queue_estimates(now, arrivals)
+            now_int = int(now)
+            if self.probe is not None:
+                self.probe.on_step(now_int)
+            if self.control is not None:
+                self.control.on_step(now_int)
+
+        final_time = max(vm_completion.values())
+        if self.probe is not None:
+            self.probe.finish(final_time)
+        if self.control is not None:
+            self.control.finish(final_time)
+        result = EngineResult(
+            final_time=final_time,
+            vm_completion_times=vm_completion,
+            thread_stats={t.thread_id: t.stats for t in threads},
+            total_refs_processed=total_refs,
+        )
+        result._vm_of = {t.thread_id: t.vm_id for t in threads}
+        return result
+
+    # ------------------------------------------------------------------
+    # L2 folding
+    # ------------------------------------------------------------------
+
+    def _fold_l2(self, threads, batches, levels,
+                 clocks) -> Dict[int, List[int]]:
+        """Classify every private-stack miss through the L2 layer.
+
+        Rewrites the per-thread ``levels`` entries in place from the
+        provisional value ``2`` to the final :class:`HitLevel`.
+        Returns per-thread sorted lists of reference indices that
+        suffered a directory-cache miss (each costs an extra
+        memory-latency penalty, like the reference path).
+
+        Events within a domain are merged by *estimated issue time*
+        ``clock[tid] + (i + 1) * rate[tid]``, not by reference index.
+        The distinction matters for pipelined-scan workloads: the
+        thread leading the scan pays compulsory misses, slows down in
+        wall-clock, and in the reference engine the trailing threads
+        then overtake the scan front and share the miss load.  An
+        index-ordered merge pins every compulsory miss on the static
+        leader forever; the time-weighted merge reproduces the
+        reference's load-balancing feedback at epoch granularity.
+        """
+        tap = getattr(self.machine, "l2_tap", None)
+        by_domain: Dict[int, List] = {}
+        for t in threads:
+            lv = levels[t.thread_id]
+            if self.use_numpy:
+                idxs = _np.nonzero(lv == 2)[0].tolist()
+            else:
+                idxs = [i for i, v in enumerate(lv) if v == 2]
+            if not idxs:
+                continue
+            domain = self._domain_of_core[t.core_id]
+            blocks, writes, _thinks = batches[t.thread_id]
+            tid = t.thread_id
+            clock = clocks[tid]
+            rate = self._rates[tid]
+            events = by_domain.setdefault(domain, [])
+            for i in idxs:
+                events.append((clock + (i + 1) * rate, i, tid, t.vm_id,
+                               int(blocks[i]), bool(writes[i])))
+
+        dir_penalties: Dict[int, List[int]] = {}
+        for domain_id in sorted(by_domain):
+            events = by_domain[domain_id]
+            events.sort()
+            self._fold_domain(domain_id, events, levels, tap, dir_penalties)
+        for idxs in dir_penalties.values():
+            idxs.sort()
+        return dir_penalties
+
+    def _dir_access(self, block: int) -> bool:
+        """Directory-cache lookup at the block's home tile (LRU)."""
+        cache = self._dircache[block % self._dir_tiles]
+        if block in cache:
+            del cache[block]
+            cache[block] = None
+            self.dir_hits += 1
+            return True
+        cache[block] = None
+        if len(cache) > self._dir_capacity:
+            del cache[next(iter(cache))]
+        self.dir_misses += 1
+        return False
+
+    def _fold_domain(self, domain_id, events, levels, tap,
+                     dir_penalties) -> None:
+        state = self._domains[domain_id]
+        sets = state.sets
+        mask = self._set_mask
+        assoc = self._assoc
+        quota = getattr(self.machine.domains[domain_id], "quota", None)
+        others = [d for d in self._domains if d.domain_id != domain_id]
+        siblings = self._domain_threads.get(domain_id, ())
+        for _est, i, tid, vm_id, block, write in events:
+            if tap is not None:
+                tap(domain_id, vm_id, block)
+            set_id = block & mask
+            cache_set = sets.get(set_id)
+            if cache_set is None:
+                cache_set = sets[set_id] = {}
+            line = cache_set.get(block)
+            if line is not None:
+                # hit: refresh recency (move to MRU position)
+                del cache_set[block]
+                cache_set[block] = line
+                level = HitLevel.L2
+            else:
+                level = self._classify_miss(state, siblings, tid, others,
+                                            set_id, block)
+                if level != HitLevel.L2_PEER and not self._dir_access(block):
+                    dir_penalties.setdefault(tid, []).append(i)
+                if len(cache_set) >= assoc:
+                    self._evict(state, cache_set, vm_id, quota)
+                # a write miss fills the line exclusive: ownership is
+                # part of the fetch, so reconciliation must not charge
+                # a separate upgrade for it
+                cache_set[block] = _Line(vm_id, write)
+                state.recent_evictions.pop(block, None)
+                state.resident += 1
+            levels[tid][i] = int(level)
+
+    def _classify_miss(self, state, siblings, tid, others, set_id,
+                       block) -> HitLevel:
+        if block in state.recent_evictions:
+            # the L2 dropped the line recently; a sibling L1 may still
+            # hold it (the reference's intra-domain transfer window)
+            for peer_tid, peer_state in siblings:
+                if peer_tid != tid and block in peer_state.resident:
+                    self.intra_domain_transfers += 1
+                    return HitLevel.L2_PEER
+        for other in others:
+            other_set = other.sets.get(set_id)
+            if other_set is not None:
+                line = other_set.get(block)
+                if line is not None:
+                    if line.dirty:
+                        self.c2c_dirty += 1
+                        return HitLevel.C2C_DIRTY
+                    self.c2c_clean += 1
+                    return HitLevel.C2C_CLEAN
+        self.memory_fetches += 1
+        return HitLevel.MEMORY
+
+    def _evict(self, state, cache_set, vm_id, quota) -> None:
+        victim = None
+        if quota is not None:
+            victim = quota.victim_selector(vm_id)(cache_set)
+        if victim is None:
+            victim = next(iter(cache_set))  # LRU
+        line = cache_set.pop(victim)
+        if line.dirty:
+            self.writebacks += 1
+        recent = state.recent_evictions
+        recent.pop(victim, None)
+        recent[victim] = None
+        if len(recent) > state.evict_cap:
+            del recent[next(iter(recent))]
+
+    # ------------------------------------------------------------------
+    # write reconciliation (upgrades + invalidations)
+    # ------------------------------------------------------------------
+
+    def _reconcile_writes(self, threads, batches, clocks) -> Dict[int, int]:
+        """Epoch-boundary coherence pass over this epoch's writes.
+
+        For each domain, the set of blocks written this epoch is
+        resolved against L2 state: the *earliest* writing thread (by
+        the same estimated-issue-time order as :meth:`_fold_l2`) pays
+        an upgrade when the domain did not already hold the block
+        dirty, and copies in other domains are invalidated.
+        """
+        mask = self._set_mask
+        # domain -> {block: (earliest estimated write time, thread id)}
+        written: Dict[int, Dict[int, tuple]] = {}
+        for t in threads:
+            blocks, writes, _thinks = batches[t.thread_id]
+            domain = self._domain_of_core[t.core_id]
+            dom_written = written.setdefault(domain, {})
+            tid = t.thread_id
+            clock = clocks[tid]
+            rate = self._rates[tid]
+            if self.use_numpy and not isinstance(writes, list):
+                idxs = _np.nonzero(_np.asarray(writes) != 0)[0].tolist()
+            else:
+                idxs = [i for i, w in enumerate(writes) if w]
+            for i in idxs:
+                block = int(blocks[i])
+                est = (clock + (i + 1) * rate, tid)
+                prev = dom_written.get(block)
+                if prev is None or est < prev:
+                    dom_written[block] = est
+
+        upgrades_by_thread: Dict[int, int] = {}
+        for domain_id in sorted(written):
+            state = self._domains[domain_id]
+            others = [d for d in self._domains if d.domain_id != domain_id]
+            for block, (_est, tid) in written[domain_id].items():
+                set_id = block & mask
+                cache_set = state.sets.get(set_id)
+                line = cache_set.get(block) if cache_set is not None else None
+                if line is None:
+                    continue  # written block no longer L2-resident
+                if not line.dirty:
+                    line.dirty = True
+                    self.upgrades += 1
+                    upgrades_by_thread[tid] = (
+                        upgrades_by_thread.get(tid, 0) + 1
+                    )
+                for other in others:
+                    other_set = other.sets.get(set_id)
+                    if other_set is not None:
+                        victim = other_set.pop(block, None)
+                        if victim is not None:
+                            self.invalidations += 1
+                            if victim.dirty:
+                                self.writebacks += 1
+        return upgrades_by_thread
+
+    # ------------------------------------------------------------------
+    # stats + clock accounting
+    # ------------------------------------------------------------------
+
+    def _account_epoch(self, threads, batches, levels, upgrades_by_thread,
+                       dir_penalties, clocks, vm_pending,
+                       vm_completion) -> dict:
+        """Fold the epoch into ThreadStats, clocks, and completions.
+
+        Returns the arrival counts feeding next epoch's queueing
+        estimates.
+        """
+        l2_arrivals = [0] * self._num_domains
+        mem_arrivals = 0
+        flit_cycles = 0.0
+        completed_vms = []
+        for t in threads:
+            tid = t.thread_id
+            blocks, writes, thinks = batches[tid]
+            lv = levels[tid]
+            n = len(blocks)
+            lat = self._epoch_latencies(t.core_id)
+            counts = self._level_counts(lv)
+            think_total = self._total(thinks)
+            lat_total = 0.0
+            for level, count in enumerate(counts):
+                lat_total += count * lat[level]
+            upgrades = upgrades_by_thread.get(tid, 0)
+            upgrade_cycles = upgrades * self._upgrade_cost[t.core_id]
+            penalties = dir_penalties.get(tid, ())
+            mem_lat = float(self.machine.config.memory_latency)
+            lat_total += len(penalties) * mem_lat
+            domain = self._domain_of_core[t.core_id]
+            l1_miss_count = 0
+            for level in (HitLevel.L2, HitLevel.L2_PEER, HitLevel.C2C_CLEAN,
+                          HitLevel.C2C_DIRTY, HitLevel.MEMORY):
+                l1_miss_count += counts[level]
+            l2_arrivals[domain] += l1_miss_count
+            mem_arrivals += counts[HitLevel.MEMORY]
+            ch = self._ctrl_hops[t.core_id]
+            dh = self._data_hops[t.core_id]
+            for level in (HitLevel.L2, HitLevel.L2_PEER, HitLevel.C2C_CLEAN,
+                          HitLevel.C2C_DIRTY, HitLevel.MEMORY):
+                if counts[level]:
+                    legs = ch[level] + dh[level]
+                    flits = (ch[level] * self._ctrl_flits
+                             + dh[level] * self._data_flits)
+                    flit_cycles += counts[level] * flits
+                    self.net_messages += counts[level]
+                    self.net_hops += int(counts[level] * legs)
+                    self.net_cycles += counts[level] * (
+                        lat[level] - self._lat[t.core_id][level]
+                        + (ch[level] + dh[level]) * self._hop_cycles
+                    )
+            flit_cycles += upgrades * self._upgrade_hops[t.core_id]
+
+            issued_before = t.issued
+            window_start = t.warmup_refs
+            window_end = t.warmup_refs + t.measured_refs
+            a = min(n, max(0, window_start - issued_before))
+            b = min(n, max(0, window_end - issued_before))
+            if b > a:
+                self._record_window(t, blocks, writes, thinks, lv, lat,
+                                    a, b, counts)
+                if penalties:
+                    in_window = (bisect_left(penalties, b)
+                                 - bisect_left(penalties, a))
+                    if in_window:
+                        extra = int(round(in_window * mem_lat))
+                        t.stats.latency_cycles += extra
+                        t.stats.miss_latency_cycles += extra
+                        t.stats.memory_cycles += extra
+                if upgrades:
+                    frac = (b - a) / n
+                    t.stats.latency_cycles += int(round(
+                        upgrade_cycles * frac))
+            t.issued += n
+
+            # completion: the thread's measured window ends inside this
+            # epoch -> its completion instant is the partial clock
+            if issued_before < window_end <= issued_before + n:
+                k = window_end - issued_before
+                partial = (
+                    k
+                    + self._total(thinks[:k])
+                    + self._lat_sum(lv, lat, 0, k)
+                    + bisect_left(penalties, k) * mem_lat
+                )
+                t.completion_time = int(round(clocks[tid] + partial))
+                vm_pending[t.vm_id] -= 1
+                if vm_pending[t.vm_id] == 0:
+                    completed_vms.append(t.vm_id)
+
+            clocks[tid] += n + think_total + lat_total + upgrade_cycles
+
+        for vm in completed_vms:
+            finish = max(
+                t.completion_time for t in threads if t.vm_id == vm
+            )
+            vm_completion[vm] = finish
+            if self.probe is not None:
+                self.probe.on_vm_complete(vm, finish)
+        return {
+            "l2": l2_arrivals,
+            "mem": mem_arrivals,
+            "flit_cycles": flit_cycles,
+        }
+
+    def _record_window(self, t, blocks, writes, thinks, lv, lat, a, b,
+                       full_counts) -> None:
+        n = len(blocks)
+        stats = t.stats
+        if a == 0 and b == n:
+            counts = full_counts
+            w = self._total(writes)
+            think = self._total(thinks)
+        else:
+            counts = self._level_counts(lv[a:b])
+            w = self._total(writes[a:b])
+            think = self._total(thinks[a:b])
+        refs = b - a
+        stats.refs += refs
+        stats.writes += int(w)
+        stats.reads += refs - int(w)
+        stats.think_cycles += int(think)
+        lat_total = 0.0
+        miss_lat = 0.0
+        mem_cycles = 0.0
+        dir_cycles = 0.0
+        for level, count in enumerate(counts):
+            if not count:
+                continue
+            contribution = count * lat[level]
+            lat_total += contribution
+            hl = HitLevel(level)
+            stats.level_counts[hl] += count
+            if hl.is_l1_miss:
+                miss_lat += contribution
+            if hl == HitLevel.MEMORY:
+                mem_cycles += count * (self.machine.config.memory_latency
+                                       + self._w_mem)
+            if hl in (HitLevel.C2C_CLEAN, HitLevel.C2C_DIRTY,
+                      HitLevel.MEMORY):
+                dir_cycles += count * self.machine.config.directory_latency
+        stats.latency_cycles += int(round(lat_total))
+        stats.miss_latency_cycles += int(round(miss_lat))
+        stats.memory_cycles += int(round(mem_cycles))
+        stats.directory_cycles += int(round(dir_cycles))
+        # attribute the remainder between cache and network roughly:
+        # network gets the hop terms, cache the rest
+        net = 0.0
+        ch = self._ctrl_hops[t.core_id]
+        dh = self._data_hops[t.core_id]
+        for level, count in enumerate(counts):
+            if count:
+                net += count * (ch[level] + dh[level]) * self._hop_cycles
+        stats.network_cycles += int(round(net))
+        stats.cache_cycles += int(round(
+            lat_total - mem_cycles - dir_cycles - net
+        ))
+
+    # -- small backend-agnostic helpers --------------------------------
+
+    def _level_counts(self, lv):
+        counts = [0] * _LEVELS
+        if self.use_numpy and not isinstance(lv, list):
+            binned = _np.bincount(lv, minlength=_LEVELS)
+            for level in range(_LEVELS):
+                counts[level] = int(binned[level])
+        else:
+            for v in lv:
+                counts[v] += 1
+        return counts
+
+    def _total(self, values):
+        if self.use_numpy and not isinstance(values, (list, tuple)):
+            return float(_np.sum(values))
+        return float(sum(values))
+
+    def _lat_sum(self, lv, lat, a, b):
+        if self.use_numpy and not isinstance(lv, list):
+            table = _np.asarray(lat, dtype=_np.float64)
+            return float(table[lv[a:b]].sum())
+        return float(sum(lat[v] for v in lv[a:b]))
+
+    # ------------------------------------------------------------------
+    # queueing reconciliation
+    # ------------------------------------------------------------------
+
+    def _update_queue_estimates(self, now: float, arrivals: dict) -> None:
+        horizon = max(1.0, now - self._prev_now)
+        self._prev_now = now
+        s2 = self._l2_service
+        for d in range(self._num_domains):
+            rho = arrivals["l2"][d] * s2 / horizon
+            self._w_l2[d] = self._md1_wait(s2, rho)
+        sm = self._mem_service
+        rho_mem = arrivals["mem"] * sm / (self._mem_controllers * horizon)
+        self._w_mem = self._md1_wait(sm, rho_mem)
+        self._rho_link = min(
+            0.95, arrivals["flit_cycles"] / (self._num_links * horizon)
+        )
+        self.net_queueing += arrivals["flit_cycles"] / max(
+            1.0, self._num_links
+        )
+
+    # ------------------------------------------------------------------
+    # inspection surface (probes, experiment summary)
+    # ------------------------------------------------------------------
+
+    def queue_depths(self, now: int) -> Dict[str, float]:
+        """Estimated shared-resource waits (probe-compatible)."""
+        return {
+            "l2": sum(self._w_l2) / max(1, len(self._w_l2)),
+            "memory": self._w_mem,
+            "link": self._md1_wait(self._ctrl_flits, self._rho_link),
+        }
+
+    def l2_occupancy_share(self) -> Dict[int, float]:
+        totals: Dict[int, int] = {}
+        resident = 0
+        for state in self._domains:
+            for vm_id, lines in state.occupancy_by_vm().items():
+                resident += lines
+                if vm_id >= 0:
+                    totals[vm_id] = totals.get(vm_id, 0) + lines
+        if resident == 0:
+            return {vm: 0.0 for vm in totals}
+        return {vm: lines / resident for vm, lines in totals.items()}
+
+    def l2_snapshot_by_vm(self) -> List[Dict[int, int]]:
+        return [state.occupancy_by_vm() for state in self._domains]
+
+    def l2_resident_sets(self) -> List[set]:
+        return [state.resident_blocks() for state in self._domains]
+
+    def summary_counters(self) -> dict:
+        """Counters for :class:`repro.core.experiment.ChipSummary`."""
+        messages = max(1, self.net_messages)
+        return {
+            "mesh_mean_latency": self.net_cycles / messages,
+            "mesh_mean_queueing": 0.0,
+            "mesh_mean_hops": self.net_hops / messages,
+            "c2c_clean": self.c2c_clean,
+            "c2c_dirty": self.c2c_dirty,
+            "memory_fetches": self.memory_fetches,
+            "coherence_writebacks": self.writebacks,
+            "invalidations": self.invalidations,
+            "upgrades": self.upgrades,
+            "intra_domain_transfers": self.intra_domain_transfers,
+            "directory_cache_hit_rate": (
+                self.dir_hits / (self.dir_hits + self.dir_misses)
+                if (self.dir_hits + self.dir_misses) else 0.0
+            ),
+            "memory_reads": self.memory_fetches,
+            "memory_writebacks": self.writebacks,
+        }

@@ -1,0 +1,180 @@
+"""Unified engine construction: one registry, one entry point.
+
+Historically :func:`repro.core.experiment.run_experiment` picked an
+engine with ad-hoc ``if`` chains (over-commit → ``OvercommitEngine``,
+rebind → ``MigratingEngine``, else ``Engine``).  The factory replaces
+that with a small registry keyed by *engine mode*:
+
+``"reference"``
+    The event-driven engines — byte-identical to the historical
+    behaviour, including the over-commit and migrating variants.
+``"batched"``
+    The epoch-folded :class:`~repro.sim.batched.BatchedEngine`
+    (single-slot, statically-bound runs only).
+``"auto"``
+    Resolves to ``"batched"`` when the run shape allows it (one slot
+    per core, no dynamic rebinding) *and* numpy is available, else
+    ``"reference"``.
+
+Stability note: :func:`make_engine`, :class:`EngineRequest`, and the
+mode names above are public API — downstream code may rely on them;
+changes go through a deprecation cycle.  :func:`register_engine` is
+public but experimental: third-party engines must accept an
+:class:`EngineRequest` and return an object with ``run()`` and a
+settable ``probe`` attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ._batchfold import HAVE_NUMPY
+from .batched import DEFAULT_EPOCH_REFS, BatchedEngine
+from .dynamic import MigratingEngine
+from .engine import Engine
+from .overcommit import OvercommitEngine
+
+__all__ = [
+    "EngineRequest",
+    "make_engine",
+    "register_engine",
+    "resolve_mode",
+    "engine_modes",
+]
+
+
+@dataclass
+class EngineRequest:
+    """Everything an engine builder may need.
+
+    Attributes
+    ----------
+    machine:
+        The chip (or a machine-model stand-in for tests).
+    threads:
+        Thread contexts to run.
+    control:
+        Optional QoS hook; builders wire it into the engine and, for
+        over-commit, bind the run-queue actuator back onto the hook.
+    probe:
+        Optional epoch probe (reference single-slot and batched only).
+    slots_per_core:
+        >1 selects the over-commit engine on the reference path.
+    rebinder, rebind_interval:
+        Non-``None`` rebinder selects the migrating engine on the
+        reference path.
+    epoch_refs:
+        Folding epoch of the batched engine.
+    """
+
+    machine: object
+    threads: Sequence = field(default_factory=list)
+    control: Optional[object] = None
+    probe: Optional[object] = None
+    slots_per_core: int = 1
+    rebinder: Optional[object] = None
+    rebind_interval: int = 100_000
+    epoch_refs: int = DEFAULT_EPOCH_REFS
+
+
+def _build_reference(request: EngineRequest):
+    if request.slots_per_core > 1:
+        engine = OvercommitEngine(
+            request.machine, request.threads, control=request.control
+        )
+        if request.control is not None:
+            request.control.bind_actuator(engine)
+        return engine
+    if request.rebinder is not None:
+        return MigratingEngine(
+            request.machine,
+            request.threads,
+            rebinder=request.rebinder,
+            interval=request.rebind_interval,
+            control=request.control,
+        )
+    return Engine(
+        request.machine,
+        request.threads,
+        probe=request.probe,
+        control=request.control,
+    )
+
+
+def _build_batched(request: EngineRequest):
+    if request.slots_per_core > 1:
+        raise ConfigurationError(
+            "the batched engine cannot over-commit cores; "
+            "use engine_mode='reference' with slots_per_core>1"
+        )
+    if request.rebinder is not None:
+        raise ConfigurationError(
+            "the batched engine does not support dynamic rebinding; "
+            "use engine_mode='reference' with rebind set"
+        )
+    return BatchedEngine(
+        request.machine,
+        request.threads,
+        probe=request.probe,
+        control=request.control,
+        epoch_refs=request.epoch_refs,
+    )
+
+
+_REGISTRY: Dict[str, Callable[[EngineRequest], object]] = {
+    "reference": _build_reference,
+    "batched": _build_batched,
+}
+
+
+def register_engine(mode: str,
+                    builder: Callable[[EngineRequest], object]) -> None:
+    """Register (or override) an engine mode. Experimental API."""
+    if not mode or mode == "auto":
+        raise ConfigurationError(f"invalid engine mode name {mode!r}")
+    _REGISTRY[mode] = builder
+
+
+def engine_modes() -> list:
+    """Selectable modes, ``"auto"`` first."""
+    return ["auto"] + sorted(_REGISTRY)
+
+
+def resolve_mode(mode: str, *, slots_per_core: int = 1,
+                 rebind: str = "") -> str:
+    """Resolve ``"auto"`` to a concrete registry mode for a run shape.
+
+    ``"auto"`` picks ``"batched"`` only when the shape supports it (one
+    slot per core, no rebinding) and numpy is importable — the pure-
+    Python folding fallback exists for constrained environments, but
+    ``auto`` should never silently choose the slow path.  Explicitly
+    requesting ``"batched"`` without numpy is honoured (the fallback
+    runs); requesting it for an unsupported shape raises at build time.
+    """
+    mode = (mode or "auto").strip().lower()
+    if mode == "auto":
+        if slots_per_core == 1 and not rebind and HAVE_NUMPY:
+            return "batched"
+        return "reference"
+    if mode not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown engine mode {mode!r}; "
+            f"choose one of {', '.join(engine_modes())}"
+        )
+    return mode
+
+
+def make_engine(request: EngineRequest, mode: str = "auto"):
+    """Build an engine for ``request`` in the given mode.
+
+    The single construction path for every simulation engine: the
+    experiment runner, tests, and benches all come through here.
+    """
+    concrete = resolve_mode(
+        mode,
+        slots_per_core=request.slots_per_core,
+        rebind="rebind" if request.rebinder is not None else "",
+    )
+    return _REGISTRY[concrete](request)

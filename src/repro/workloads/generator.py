@@ -111,6 +111,31 @@ class ThreadTrace:
         for block, access, think in self:
             yield MemoryReference(block, access, think)
 
+    def take_batch(self, n: int) -> Tuple[List[int], List[int], List[int]]:
+        """Consume the next ``n`` references as three parallel columns.
+
+        Returns ``(blocks, writes, thinks)`` covering *exactly* the same
+        references, in the same order, as ``n`` calls to ``__next__`` —
+        the batched engine's bulk entry point.  Mixing ``take_batch``
+        and iteration is safe: any references already buffered for the
+        iterator are consumed first.
+        """
+        if n <= 0:
+            raise WorkloadError("take_batch size must be positive")
+        rows: List[Ref] = []
+        while len(rows) < n:
+            if not self._pending:
+                self._refill()
+            take = min(n - len(rows), len(self._pending))
+            # _pending is stored reversed (pop() from the end yields
+            # generation order), so the next `take` refs are the tail.
+            chunk = self._pending[-take:]
+            del self._pending[-take:]
+            chunk.reverse()
+            rows.extend(chunk)
+        blocks, writes, thinks = zip(*rows)
+        return list(blocks), list(writes), list(thinks)
+
     # ------------------------------------------------------------------
 
     def _current_phase(self):

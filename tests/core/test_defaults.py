@@ -1,4 +1,4 @@
-"""Tests for resolve_defaults and the deprecated environment knobs."""
+"""Tests for resolve_defaults and the retired environment knobs."""
 
 import warnings
 
@@ -10,6 +10,7 @@ from repro.core.experiment import (
     ExperimentSpec,
     resolve_defaults,
 )
+from repro.errors import ConfigurationError
 
 
 @pytest.fixture(autouse=True)
@@ -21,13 +22,15 @@ def clean_env(monkeypatch):
 class TestResolution:
     def test_builtin_defaults_without_env(self):
         with warnings.catch_warnings():
-            warnings.simplefilter("error")  # no deprecation expected
+            warnings.simplefilter("error")  # no warning expected
             resolved = resolve_defaults(ExperimentSpec(mix="mixA"))
         assert resolved.measured_refs == DEFAULT_MEASURED_REFS
         assert resolved.warmup_refs == DEFAULT_MEASURED_REFS // 2
         assert resolved.seed == DEFAULT_SEED
 
-    def test_explicit_fields_win_silently(self, monkeypatch):
+    def test_explicit_fields_ignore_env(self, monkeypatch):
+        # explicitly-filled specs never consult the environment, so the
+        # retired knobs are not even rejected
         monkeypatch.setenv("REPRO_REFS", "777")
         monkeypatch.setenv("REPRO_SEED", "9")
         spec = ExperimentSpec(mix="mixA", measured_refs=1000,
@@ -53,24 +56,36 @@ class TestResolution:
         spec = ExperimentSpec(mix="mixA", measured_refs=500, seed=2)
         assert spec.normalized() == resolve_defaults(spec)
 
+    def test_engine_mode_resolves_to_concrete(self):
+        resolved = resolve_defaults(
+            ExperimentSpec(mix="mixA", measured_refs=100, seed=1,
+                           engine_mode="auto"))
+        assert resolved.engine_mode in ("reference", "batched")
 
-class TestDeprecatedEnvKnobs:
-    def test_repro_refs_still_works_but_warns(self, monkeypatch):
+    def test_reference_mode_preserved(self):
+        resolved = resolve_defaults(
+            ExperimentSpec(mix="mixA", measured_refs=100, seed=1,
+                           engine_mode="reference"))
+        assert resolved.engine_mode == "reference"
+
+
+class TestRetiredEnvKnobs:
+    """The REPRO_REFS / REPRO_SEED shim is gone: a defaulted spec with
+    one of the old knobs set fails loudly instead of silently ignoring
+    (or silently honouring) it."""
+
+    def test_repro_refs_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_REFS", "4321")
-        with pytest.deprecated_call(match="REPRO_REFS"):
-            resolved = resolve_defaults(ExperimentSpec(mix="mixA", seed=1))
-        assert resolved.measured_refs == 4321
-        assert resolved.warmup_refs == 4321 // 2
+        with pytest.raises(ConfigurationError, match="REPRO_REFS"):
+            resolve_defaults(ExperimentSpec(mix="mixA", seed=1))
 
-    def test_repro_seed_still_works_but_warns(self, monkeypatch):
+    def test_repro_seed_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_SEED", "17")
-        with pytest.deprecated_call(match="REPRO_SEED"):
-            resolved = resolve_defaults(
-                ExperimentSpec(mix="mixA", measured_refs=100))
-        assert resolved.seed == 17
+        with pytest.raises(ConfigurationError, match="REPRO_SEED"):
+            resolve_defaults(ExperimentSpec(mix="mixA", measured_refs=100))
 
-    def test_warning_names_the_spec_field(self, monkeypatch):
+    def test_error_names_the_spec_field(self, monkeypatch):
         monkeypatch.setenv("REPRO_REFS", "100")
-        with pytest.warns(DeprecationWarning,
-                          match="ExperimentSpec.measured_refs"):
+        with pytest.raises(ConfigurationError,
+                           match="ExperimentSpec.measured_refs"):
             resolve_defaults(ExperimentSpec(mix="mixA", seed=1))

@@ -102,18 +102,16 @@ class TestFailureIsolation:
 
 
 class TestParallelExecution:
-    def test_parallel_smoke_2x2_suite(self, monkeypatch):
-        """Tier-1 smoke: 2x2 suite, jobs=2, tiny REPRO_REFS."""
-        monkeypatch.setenv("REPRO_REFS", "300")
+    def test_parallel_smoke_2x2_suite(self):
+        """Tier-1 smoke: 2x2 suite, jobs=2, tiny measured_refs."""
         suite = ExperimentSuite.build(
             "smoke",
-            ExperimentSpec(mix="iso-tpch", seed=1),
+            ExperimentSpec(mix="iso-tpch", seed=1, measured_refs=300),
             sharing=["private", "shared-4"],
             policy=["rr", "affinity"],
         )
         runner = SuiteRunner(jobs=2, store=ResultStore())
-        with pytest.deprecated_call():
-            outcome = runner.run(suite)
+        outcome = runner.run(suite)
         assert len(outcome.results) == 4
         assert not outcome.failures
         for result in outcome.results.values():
@@ -140,12 +138,10 @@ class TestParallelExecution:
         assert all(o.ok for key, o in by_key.items() if key != ("bad",))
 
 
-class _EngineBomb:
-    """Stands in for Engine to prove the store made simulation
+def _engine_bomb(*args, **kwargs):
+    """Stands in for make_engine to prove the store made simulation
     unnecessary."""
-
-    def __init__(self, *args, **kwargs):
-        raise AssertionError("engine invoked despite a warm store")
+    raise AssertionError("engine invoked despite a warm store")
 
 
 class TestWarmStoreSkipsSimulation:
@@ -157,7 +153,7 @@ class TestWarmStoreSkipsSimulation:
             base=base, store=ResultStore(tmp_path))
         # Fresh store instance on the same directory: only the disk tier
         # can satisfy it.  The engine must not be constructed at all.
-        monkeypatch.setattr("repro.core.experiment.Engine", _EngineBomb)
+        monkeypatch.setattr("repro.core.experiment.make_engine", _engine_bomb)
         second = sweep_sharing_policy(
             "mix5", sharings=("private", "shared-4"), policies=("affinity",),
             base=base, store=ResultStore(tmp_path))

@@ -107,6 +107,20 @@ class TestEpochSampling:
         assert instants["vm0 complete"] == result.vm_completion_times[0]
         assert instants["vm1 complete"] == result.vm_completion_times[1]
 
+    def test_off_grid_samples_never_open_sub_epoch_windows(self):
+        # Regression: after sampling off-grid (e.g. at 250 with
+        # epoch=100), grid realignment armed next_due=300 and the next
+        # window covered only ~50 cycles, biasing per-window deltas.
+        probe = EpochProbe(PlainMachine(), [make_thread()], 100, Telemetry())
+        sampled = []
+        for now in (250, 260, 300, 349, 350, 470):
+            before = probe.samples
+            probe.on_step(now)
+            if probe.samples > before:
+                sampled.append(now)
+        assert sampled == [250, 350, 470]
+        assert all(b - a >= 100 for a, b in zip(sampled, sampled[1:]))
+
     def test_invalid_epoch_rejected(self):
         with pytest.raises(ValueError):
             EpochProbe(PlainMachine(), [], 0, Telemetry())

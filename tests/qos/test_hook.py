@@ -130,8 +130,24 @@ class TestEpochCadence:
         h = hook(controller=controller, epoch=100)
         h.on_step(350)  # one control cycle, not three
         assert len(controller.windows) == 1
-        assert h.next_due == 400
+        assert h.next_due == 450  # relative to the actual control instant
         assert h.control_epochs == 1
+
+    def test_off_grid_control_never_yields_sub_epoch_window(self):
+        # Regression: snapping next_due back to the epoch grid after an
+        # off-grid control cycle (350 → next_due 400) produced a 50-cycle
+        # sensing window.  Consecutive control instants must always be at
+        # least one full epoch apart.
+        controller = ScriptedController([])
+        h = hook(controller=controller, epoch=100)
+        fired = []
+        for now in (350, 380, 400, 449, 450, 551):
+            before = h.control_epochs
+            h.on_step(now)
+            if h.control_epochs > before:
+                fired.append(now)
+        assert fired == [350, 450, 551]
+        assert all(b - a >= 100 for a, b in zip(fired, fired[1:]))
 
 
 class TestQuotaActuation:

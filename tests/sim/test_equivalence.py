@@ -1,0 +1,79 @@
+"""Reference-vs-batched cross-validation over the Table IV mixes.
+
+The batched engine's documented tolerance contract (docs/engines.md):
+
+- per-VM L2 miss rate within ``0.06`` (absolute),
+- per-VM mean miss latency within ``10%`` (relative),
+- per-VM completion cycles within ``12%`` (relative).
+
+Every Table IV mix is checked; a regression in the folding model shows
+up here as a broken bound rather than as silent drift.
+"""
+
+import pytest
+
+from repro.core.experiment import ExperimentSpec, run_experiment
+
+TABLE_IV_MIXES = [f"mix{i}" for i in range(1, 10)] + [
+    "mixA", "mixB", "mixC", "mixD",
+]
+
+# the documented tolerance contract — keep in sync with docs/engines.md
+MISS_RATE_ABS_TOL = 0.06
+MISS_LATENCY_REL_TOL = 0.10
+CYCLES_REL_TOL = 0.12
+
+_REFS = 2000
+_WARMUP = 1000
+
+
+def _pair(mix):
+    out = {}
+    for mode in ("reference", "batched"):
+        out[mode] = run_experiment(
+            ExperimentSpec(mix=mix, measured_refs=_REFS,
+                           warmup_refs=_WARMUP, seed=1, engine_mode=mode),
+            use_cache=False,
+        )
+    return out["reference"], out["batched"]
+
+
+@pytest.mark.parametrize("mix", TABLE_IV_MIXES)
+def test_batched_matches_reference_within_tolerance(mix):
+    reference, batched = _pair(mix)
+    assert len(reference.vm_metrics) == len(batched.vm_metrics)
+    for vm_ref, vm_bat in zip(reference.vm_metrics, batched.vm_metrics):
+        assert vm_bat.workload == vm_ref.workload
+        assert vm_bat.refs == vm_ref.refs
+
+        miss_ref = vm_ref.l2_misses / max(1, vm_ref.l1_misses)
+        miss_bat = vm_bat.l2_misses / max(1, vm_bat.l1_misses)
+        assert abs(miss_bat - miss_ref) <= MISS_RATE_ABS_TOL, (
+            f"{mix}/vm{vm_ref.vm_id} ({vm_ref.workload}): miss rate "
+            f"{miss_bat:.4f} vs reference {miss_ref:.4f}"
+        )
+
+        mml_ref = vm_ref.miss_latency_cycles / max(1, vm_ref.l1_misses)
+        mml_bat = vm_bat.miss_latency_cycles / max(1, vm_bat.l1_misses)
+        assert abs(mml_bat - mml_ref) <= MISS_LATENCY_REL_TOL * mml_ref, (
+            f"{mix}/vm{vm_ref.vm_id} ({vm_ref.workload}): mean miss "
+            f"latency {mml_bat:.1f} vs reference {mml_ref:.1f}"
+        )
+
+        assert (abs(vm_bat.cycles - vm_ref.cycles)
+                <= CYCLES_REL_TOL * vm_ref.cycles), (
+            f"{mix}/vm{vm_ref.vm_id} ({vm_ref.workload}): cycles "
+            f"{vm_bat.cycles} vs reference {vm_ref.cycles}"
+        )
+
+
+def test_chip_counters_same_magnitude():
+    """Chip-wide coherence traffic agrees in magnitude (2x band) —
+    a sanity net under the per-VM bounds, not a precision claim."""
+    reference, batched = _pair("mix4")
+    ref, bat = reference.chip_summary, batched.chip_summary
+    for field in ("memory_reads", "upgrades"):
+        r, b = getattr(ref, field), getattr(bat, field)
+        assert b <= 2 * r and r <= 2 * b, (
+            f"{field}: batched {b} vs reference {r}"
+        )

@@ -1,0 +1,164 @@
+"""Tests for the unified engine factory."""
+
+import numpy as _np
+import pytest
+
+from repro.core.experiment import ExperimentSpec, resolve_defaults
+from repro.core.store import result_from_dict, result_to_dict
+from repro.errors import ConfigurationError
+from repro.sim import (
+    Engine,
+    EngineRequest,
+    MigratingEngine,
+    OvercommitEngine,
+    RandomRebinder,
+    engine_modes,
+    make_engine,
+    register_engine,
+    resolve_mode,
+)
+from repro.sim.factory import _REGISTRY
+
+
+class _FakeMachine:
+    """Just enough machine for reference-engine construction."""
+
+    def access(self, *a, **k):  # pragma: no cover - never driven
+        raise AssertionError("not simulated in factory tests")
+
+
+def _threads(count=1):
+    from itertools import count as _count
+
+    from repro.sim import MemoryReference, ThreadContext
+
+    def stream():
+        for block in _count():
+            yield MemoryReference(block, 0, 0)
+
+    return [
+        ThreadContext(thread_id=i, vm_id=0, core_id=i,
+                      references=stream(), measured_refs=10,
+                      warmup_refs=0)
+        for i in range(count)
+    ]
+
+
+class TestResolveMode:
+    def test_unknown_mode_raises_and_names_choices(self):
+        with pytest.raises(ConfigurationError, match="unknown engine mode"):
+            resolve_mode("warp-speed")
+        with pytest.raises(ConfigurationError, match="batched"):
+            resolve_mode("warp-speed")
+
+    def test_auto_prefers_batched_for_plain_shape(self):
+        # numpy is importable in the test environment
+        assert resolve_mode("auto") == "batched"
+
+    def test_auto_falls_back_for_overcommit(self):
+        assert resolve_mode("auto", slots_per_core=2) == "reference"
+
+    def test_auto_falls_back_for_rebind(self):
+        assert resolve_mode("auto", rebind="random") == "reference"
+
+    def test_auto_falls_back_without_numpy(self, monkeypatch):
+        monkeypatch.setattr("repro.sim.factory.HAVE_NUMPY", False)
+        assert resolve_mode("auto") == "reference"
+
+    def test_explicit_batched_honoured_without_numpy(self, monkeypatch):
+        # the pure-Python fallback exists; only *auto* avoids it
+        monkeypatch.setattr("repro.sim.factory.HAVE_NUMPY", False)
+        assert resolve_mode("batched") == "batched"
+
+    def test_concrete_modes_pass_through(self):
+        assert resolve_mode("reference") == "reference"
+        assert resolve_mode("batched") == "batched"
+
+    def test_modes_listing_leads_with_auto(self):
+        modes = engine_modes()
+        assert modes[0] == "auto"
+        assert "reference" in modes and "batched" in modes
+
+
+class TestMakeEngine:
+    def test_reference_plain_shape_builds_engine(self):
+        engine = make_engine(
+            EngineRequest(machine=_FakeMachine(), threads=_threads()),
+            mode="reference")
+        assert isinstance(engine, Engine)
+
+    def test_reference_overcommit_builds_overcommit(self):
+        engine = make_engine(
+            EngineRequest(machine=_FakeMachine(), threads=_threads(),
+                          slots_per_core=2),
+            mode="reference")
+        assert isinstance(engine, OvercommitEngine)
+
+    def test_reference_rebinder_builds_migrating(self):
+        engine = make_engine(
+            EngineRequest(machine=_FakeMachine(), threads=_threads(),
+                          rebinder=RandomRebinder(1, _np.random.default_rng(0))),
+            mode="reference")
+        assert isinstance(engine, MigratingEngine)
+
+    def test_batched_rejects_overcommit(self):
+        with pytest.raises(ConfigurationError, match="over-commit"):
+            make_engine(
+                EngineRequest(machine=_FakeMachine(), threads=_threads(),
+                              slots_per_core=2),
+                mode="batched")
+
+    def test_batched_rejects_rebinder(self):
+        with pytest.raises(ConfigurationError, match="rebind"):
+            make_engine(
+                EngineRequest(machine=_FakeMachine(), threads=_threads(),
+                              rebinder=RandomRebinder(1, _np.random.default_rng(0))),
+                mode="batched")
+
+    def test_auto_with_overcommit_resolves_to_reference(self):
+        engine = make_engine(
+            EngineRequest(machine=_FakeMachine(), threads=_threads(),
+                          slots_per_core=2),
+            mode="auto")
+        assert isinstance(engine, OvercommitEngine)
+
+
+class TestRegisterEngine:
+    def test_custom_mode_round_trips(self):
+        sentinel = object()
+        register_engine("custom-test", lambda request: sentinel)
+        try:
+            engine = make_engine(
+                EngineRequest(machine=_FakeMachine(), threads=_threads()),
+                mode="custom-test")
+            assert engine is sentinel
+            assert "custom-test" in engine_modes()
+        finally:
+            _REGISTRY.pop("custom-test", None)
+
+    def test_auto_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_engine("auto", lambda request: None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_engine("", lambda request: None)
+
+
+class TestSpecRoundTrip:
+    def test_engine_mode_survives_store_codec(self):
+        spec = ExperimentSpec(mix="mixA", measured_refs=200, seed=1,
+                              engine_mode="batched")
+        from repro.core.experiment import run_experiment
+
+        result = run_experiment(spec, use_cache=False)
+        revived = result_from_dict(result_to_dict(result))
+        assert revived.spec.engine_mode == "batched"
+        assert revived.spec == resolve_defaults(spec)
+
+    def test_auto_resolves_before_hashing(self):
+        # the store must never key on the ambiguous "auto"
+        resolved = resolve_defaults(
+            ExperimentSpec(mix="mixA", measured_refs=200, seed=1,
+                           engine_mode="auto"))
+        assert resolved.engine_mode != "auto"
