@@ -1,14 +1,27 @@
-"""Benchmark basket and machine-readable performance records.
+"""Benchmark basket, load generation, and performance records.
 
 ``repro bench`` runs a fixed basket of wall-clock benchmarks (cold and
 warm cell latency, reference-vs-batched kernel speedup, sweep
-throughput, service round-trip, QoS overhead) and appends the results
-to ``BENCH_kernel.json`` / ``BENCH_sweep.json`` at the repository
-root — the repo's performance trajectory, versioned with the code.
+throughput, service round-trip and open-loop load response, QoS
+overhead) and appends the results to ``BENCH_kernel.json`` /
+``BENCH_sweep.json`` / ``BENCH_service.json`` at the repository root —
+the repo's performance trajectory, versioned with the code.
+
+``repro loadgen`` (:mod:`repro.bench.loadgen`) drives a live service
+or fleet with open-loop Poisson arrivals and measures saturation
+throughput and exact tail latency.
 """
 
 from .basket import BenchContext, bench_names, run_basket
+from .loadgen import (
+    LoadgenConfig,
+    LoadgenReport,
+    percentile,
+    run_loadgen,
+    saturation_sweep,
+)
 from .records import (
+    BENCH_TARGETS,
     SCHEMA_VERSION,
     BenchRecord,
     append_records,
@@ -17,12 +30,18 @@ from .records import (
 )
 
 __all__ = [
+    "BENCH_TARGETS",
     "BenchContext",
     "BenchRecord",
+    "LoadgenConfig",
+    "LoadgenReport",
     "SCHEMA_VERSION",
     "append_records",
     "bench_names",
     "load_bench_file",
+    "percentile",
     "run_basket",
+    "run_loadgen",
+    "saturation_sweep",
     "validate_bench_payload",
 ]

@@ -3,13 +3,15 @@
 A small registry of wall-clock benchmarks over the public simulation
 surface: cold/warm single-cell latency, reference-vs-batched kernel
 speedup, sweep throughput at N worker processes, the service's warm
-round-trip, and the overhead of running under a QoS controller.
+round-trip and open-loop load response, and the overhead of running
+under a QoS controller.
 
 ``run_basket`` executes a selection and returns
 :class:`~repro.bench.records.BenchRecord` rows; the CLI appends them
-to ``BENCH_kernel.json`` / ``BENCH_sweep.json`` at the repository
-root.  Every benchmark is deterministic in its simulation inputs —
-only the wall-clock readings vary between hosts.
+to ``BENCH_kernel.json`` / ``BENCH_sweep.json`` /
+``BENCH_service.json`` at the repository root (each record's
+``target`` picks its file).  Every benchmark is deterministic in its
+simulation inputs — only the wall-clock readings vary between hosts.
 """
 
 from __future__ import annotations
@@ -174,11 +176,35 @@ def _bench_service_roundtrip(ctx: BenchContext) -> List[BenchRecord]:
     finally:
         server.shutdown()
     return [BenchRecord(
-        bench="service-roundtrip", target="sweep", quick=ctx.quick,
+        bench="service-roundtrip", target="service", quick=ctx.quick,
         params={"mix": spec.mix, "measured_refs": refs,
                 "repeats": repeats, "seed": ctx.seed},
         metrics={"warm_roundtrip_ms": 1000.0 * elapsed / repeats},
     )]
+
+
+def _bench_service_loadgen(ctx: BenchContext) -> List[BenchRecord]:
+    """Open-loop Poisson load against a single in-process worker."""
+    from ..service import ServiceServer
+    from .loadgen import LoadgenConfig, run_loadgen
+
+    refs = ctx.cell_refs(full=600, quick=300)
+    server = ServiceServer(port=0, concurrency=2).start_in_thread()
+    try:
+        config = LoadgenConfig(
+            url=f"http://{server.host}:{server.port}",
+            rate=5.0 if ctx.quick else 20.0,
+            duration=2.0 if ctx.quick else 5.0,
+            warm_fraction=0.8,
+            pool=4,
+            refs=refs,
+            seed=ctx.seed,
+        )
+        report = run_loadgen(config)
+    finally:
+        server.shutdown()
+    return [report.to_record(quick=ctx.quick,
+                             extra_params={"workers": 1})]
 
 
 # ----------------------------------------------------------------------
@@ -191,6 +217,7 @@ _BASKET: Dict[str, Callable[[BenchContext], List[BenchRecord]]] = {
     "qos-overhead": _bench_qos_overhead,
     "sweep-throughput": _bench_sweep_throughput,
     "service-roundtrip": _bench_service_roundtrip,
+    "service-loadgen": _bench_service_loadgen,
 }
 
 

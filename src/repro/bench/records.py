@@ -2,7 +2,9 @@
 
 Benchmark results are appended to JSON files at the repository root
 (``BENCH_kernel.json`` for single-cell kernel latencies,
-``BENCH_sweep.json`` for sweep/service throughput) so the performance
+``BENCH_sweep.json`` for batch sweep throughput, and
+``BENCH_service.json`` for the HTTP service/fleet tier — round-trip
+latency and load-generator saturation sweeps) so the performance
 trajectory of the simulator is versioned alongside its code.  Each
 file is a single JSON object::
 
@@ -27,6 +29,7 @@ from ..errors import ReproError
 
 __all__ = [
     "SCHEMA_VERSION",
+    "BENCH_TARGETS",
     "BenchRecord",
     "append_records",
     "load_bench_file",
@@ -35,12 +38,15 @@ __all__ = [
 
 SCHEMA_VERSION = 1
 
+BENCH_TARGETS = ("kernel", "sweep", "service")
+"""Valid ``BenchRecord.target`` values, one ``BENCH_<t>.json`` each."""
+
 
 @dataclass
 class BenchRecord:
     """One benchmark observation.
 
-    ``target`` picks the output file (``"kernel"`` or ``"sweep"``);
+    ``target`` picks the output file (one of :data:`BENCH_TARGETS`);
     it is not serialized.
     """
 
@@ -118,10 +124,10 @@ def append_records(out_dir: Union[str, Path],
     out_dir = Path(out_dir)
     by_target: Dict[str, List[BenchRecord]] = {}
     for record in records:
-        if record.target not in ("kernel", "sweep"):
+        if record.target not in BENCH_TARGETS:
             raise ReproError(
                 f"unknown bench target {record.target!r} "
-                "(expected 'kernel' or 'sweep')"
+                f"(expected one of {', '.join(BENCH_TARGETS)})"
             )
         by_target.setdefault(record.target, []).append(record)
     written = []

@@ -30,17 +30,25 @@
 ``serve``
     Run the long-lived simulation service: an HTTP job API over a
     shared result store with a durable job journal (see
-    ``docs/service.md``).
+    ``docs/service.md``); ``--concurrency N`` runs N jobs at once.
+``fleet``
+    Run N worker services behind a consistent-hash routing front end
+    with health checks, journal-replay failover and aggregated
+    ``/metrics`` (see ``docs/service.md``).
 ``submit``
     Submit an experiment grid to a running service (and optionally
     wait for the results).
 ``jobs``
     List a running service's jobs, or show one job's record.
+``loadgen``
+    Open-loop Poisson load generation against a running service or
+    fleet: offered-rate sweep, exact p50/p95/p99 latency, records
+    appended to ``BENCH_service.json``.
 ``bench``
     Run the fixed benchmark basket and append machine-readable
-    records to ``BENCH_kernel.json`` / ``BENCH_sweep.json`` (the
-    repo-root performance trajectory); ``--quick`` runs a seconds-long
-    CI-sized basket.
+    records to ``BENCH_kernel.json`` / ``BENCH_sweep.json`` /
+    ``BENCH_service.json`` (the repo-root performance trajectory);
+    ``--quick`` runs a seconds-long CI-sized basket.
 ``stats``
     The Table II characterization of one workload.
 ``workloads``
@@ -244,6 +252,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "restarts and crashes")
     serve_p.add_argument("--jobs", type=int, default=1,
                          help="executor worker processes per job")
+    serve_p.add_argument("--concurrency", type=int, default=1,
+                         help="jobs executed at once by the scheduler")
     serve_p.add_argument("--queue-limit", type=int, default=64,
                          help="pending jobs admitted before 429 "
                               "backpressure")
@@ -256,6 +266,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="job attempts before quarantine")
     serve_p.add_argument("--backoff", type=float, default=0.5,
                          help="base retry backoff in seconds")
+
+    fleet_p = sub.add_parser(
+        "fleet", help="run N workers behind a consistent-hash routing "
+                      "front end (see docs/service.md)")
+    fleet_p.add_argument("--workers", type=int, default=2,
+                         help="worker process count")
+    fleet_p.add_argument("--host", default="127.0.0.1")
+    fleet_p.add_argument("--port", type=int, default=8765,
+                         help="front-end bind port (0 picks a free one)")
+    fleet_p.add_argument("--store", default=None, metavar="PATH",
+                         help="shared result-store directory (the "
+                              "fleet-wide dedup backbone); default: a "
+                              "temporary directory")
+    fleet_p.add_argument("--journal-dir", default=None, metavar="DIR",
+                         help="per-worker journal directory; reuse it "
+                              "across restarts to replay pending jobs")
+    fleet_p.add_argument("--replicas", type=int, default=64,
+                         help="virtual ring points per worker")
+    fleet_p.add_argument("--jobs", type=int, default=1,
+                         help="executor worker processes per job, "
+                              "per worker")
+    fleet_p.add_argument("--concurrency", type=int, default=1,
+                         help="concurrent jobs per worker")
+    fleet_p.add_argument("--queue-limit", type=int, default=64,
+                         help="pending jobs per worker before 429")
+    fleet_p.add_argument("--rate", type=float, default=0.0,
+                         help="per-client requests/second at each "
+                              "worker (0 = unlimited)")
+    fleet_p.add_argument("--burst", type=int, default=20,
+                         help="per-client burst size for --rate")
+    fleet_p.add_argument("--max-attempts", type=int, default=3,
+                         help="job attempts before quarantine")
+    fleet_p.add_argument("--backoff", type=float, default=0.5,
+                         help="base retry backoff in seconds")
+    fleet_p.add_argument("--health-interval", type=float, default=0.25,
+                         help="seconds between worker health probes")
 
     submit_p = sub.add_parser(
         "submit", help="submit an experiment grid to a running service")
@@ -291,6 +337,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="job id for a detailed record")
     jobs_p.add_argument("--url", default="http://127.0.0.1:8765",
                         help="service base URL")
+
+    loadgen_p = sub.add_parser(
+        "loadgen", help="open-loop Poisson load against a running "
+                        "service or fleet; appends BENCH_service.json")
+    loadgen_p.add_argument("--url", default="http://127.0.0.1:8765",
+                           help="service or fleet base URL")
+    loadgen_p.add_argument("--rate", type=float, default=20.0,
+                           help="offered arrivals/second (single run)")
+    loadgen_p.add_argument("--rates", default=None, metavar="R1,R2,...",
+                           help="comma-separated saturation sweep "
+                                "(overrides --rate)")
+    loadgen_p.add_argument("--duration", type=float, default=5.0,
+                           help="arrival window per run, seconds")
+    loadgen_p.add_argument("--warm-fraction", type=float, default=0.5,
+                           help="share of arrivals from the warm pool")
+    loadgen_p.add_argument("--pool", type=int, default=8,
+                           help="distinct pre-primed warm specs")
+    loadgen_p.add_argument("--refs", type=int, default=300,
+                           help="measured references per generated cell")
+    loadgen_p.add_argument("--seed", type=int, default=1)
+    loadgen_p.add_argument("--timeout", type=float, default=120.0,
+                           help="per-job completion timeout, seconds")
+    loadgen_p.add_argument("--workers", type=int, default=None,
+                           help="annotate records with the serving "
+                                "fleet's worker count")
+    loadgen_p.add_argument("--out-dir", default=".", metavar="DIR",
+                           help="where BENCH_service.json lives "
+                                "(default: cwd)")
+    loadgen_p.add_argument("--dry-run", action="store_true",
+                           help="print reports without writing records")
 
     bench_p = sub.add_parser(
         "bench", help="run the benchmark basket and append records to "
@@ -740,7 +816,8 @@ def _cmd_serve(args) -> int:
         store=args.store, journal=args.journal,
         host=args.host, port=args.port,
         queue_limit=args.queue_limit, rate=args.rate, burst=args.burst,
-        executor_jobs=args.jobs, max_attempts=args.max_attempts,
+        executor_jobs=args.jobs, concurrency=args.concurrency,
+        max_attempts=args.max_attempts,
         backoff_base=args.backoff,
     )
 
@@ -758,6 +835,89 @@ def _cmd_serve(args) -> int:
         print("drained; bye", file=sys.stderr)
 
     asyncio.run(_serve())
+    return EXIT_OK
+
+
+def _cmd_fleet(args) -> int:
+    import asyncio
+
+    from .service.fleet import FleetServer
+
+    fleet = FleetServer(
+        workers=args.workers, store=args.store,
+        journal_dir=args.journal_dir,
+        host=args.host, port=args.port, replicas=args.replicas,
+        health_interval=args.health_interval,
+        queue_limit=args.queue_limit, rate=args.rate, burst=args.burst,
+        executor_jobs=args.jobs, concurrency=args.concurrency,
+        max_attempts=args.max_attempts, backoff_base=args.backoff,
+    )
+
+    async def _serve() -> None:
+        await fleet.start()
+        print(f"repro fleet front end on "
+              f"http://{fleet.host}:{fleet.port}", file=sys.stderr)
+        for name, worker in fleet.workers.items():
+            print(f"  worker {name}: 127.0.0.1:{worker.port} "
+                  f"(pid {worker.process.pid})", file=sys.stderr)
+        print(f"store: {fleet.store_path}; "
+              f"journals: {fleet.journal_dir}", file=sys.stderr)
+        await fleet.serve()
+        print("fleet drained; bye", file=sys.stderr)
+
+    asyncio.run(_serve())
+    return EXIT_OK
+
+
+def _cmd_loadgen(args) -> int:
+    from .bench import append_records
+    from .bench.loadgen import LoadgenConfig, run_loadgen, saturation_sweep
+
+    base = LoadgenConfig(
+        url=args.url, rate=args.rate, duration=args.duration,
+        warm_fraction=args.warm_fraction, pool=args.pool,
+        refs=args.refs, seed=args.seed, timeout=args.timeout,
+    )
+
+    def announce(config):
+        print(f"loadgen: {config.rate:g} jobs/s for "
+              f"{config.duration:g}s against {config.url} ...",
+              file=sys.stderr)
+
+    if args.rates:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+        reports = saturation_sweep(args.url, rates, base=base,
+                                   progress=announce)
+    else:
+        announce(base)
+        reports = [run_loadgen(base)]
+    rows = []
+    for report in reports:
+        metrics = report.metrics()
+        rows.append([
+            f"{metrics['offered_rate']:g}",
+            f"{metrics['achieved_jobs_per_sec']:.2f}",
+            int(metrics["completed"]), int(metrics["shed"]),
+            int(metrics["failed"]),
+            f"{metrics['p50_ms']:.1f}", f"{metrics['p95_ms']:.1f}",
+            f"{metrics['p99_ms']:.1f}",
+            "yes" if report.sustained else "no",
+        ])
+    print(format_table(
+        ["Offered/s", "Achieved/s", "Done", "Shed", "Failed",
+         "p50 ms", "p95 ms", "p99 ms", "Sustained"],
+        rows, title=f"Open-loop load against {args.url}"))
+    best = max(r.achieved_rate for r in reports)
+    print(f"\npeak achieved throughput: {best:.2f} jobs/s")
+    if args.dry_run:
+        print("dry run: no records written")
+        return EXIT_OK
+    extra = {"url": args.url}
+    if args.workers is not None:
+        extra["workers"] = args.workers
+    records = [r.to_record(extra_params=extra) for r in reports]
+    for path in append_records(args.out_dir, records):
+        print(f"appended to {path}")
     return EXIT_OK
 
 
@@ -925,8 +1085,10 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
+    "loadgen": _cmd_loadgen,
     "bench": _cmd_bench,
     "stats": _cmd_stats,
     "compare": _cmd_compare,

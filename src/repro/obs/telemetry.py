@@ -43,6 +43,8 @@ __all__ = [
     "NullTelemetry",
     "NULL_TELEMETRY",
     "render_prometheus",
+    "histogram_percentile",
+    "merge_snapshots",
 ]
 
 
@@ -100,6 +102,12 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.observations if self.observations else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-th percentile (0 < q <= 100) from the buckets."""
+        return histogram_percentile(
+            {"bounds": self.bounds, "counts": self.counts,
+             "observations": self.observations}, q)
 
 
 class _Span:
@@ -263,6 +271,102 @@ def render_prometheus(snapshot: dict) -> str:
         lines.append(f"{metric}_sum {hist.get('mean', 0.0) * hist['observations']}")
         lines.append(f"{metric}_count {hist['observations']}")
     return "\n".join(lines) + "\n"
+
+
+def histogram_percentile(hist: dict, q: float) -> float:
+    """Estimated q-th percentile of a snapshot-shaped histogram.
+
+    ``hist`` is the ``{"bounds", "counts", "observations"}`` dict a
+    :meth:`Telemetry.snapshot` emits (or a live :class:`Histogram`'s
+    fields).  The estimate interpolates linearly inside the bucket the
+    rank lands in, treating the first bucket as spanning ``[0,
+    bounds[0]]``; ranks in the overflow bucket clamp to the last bound
+    (the histogram cannot know how far past it the tail reaches).
+    Returns 0.0 for an empty histogram.
+    """
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    bounds = list(hist["bounds"])
+    counts = list(hist["counts"])
+    observations = hist.get("observations") or sum(counts)
+    if not observations:
+        return 0.0
+    rank = q / 100.0 * observations
+    cumulative = 0
+    for index, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank:
+            if index >= len(bounds):  # overflow bucket: clamp
+                return float(bounds[-1]) if bounds else 0.0
+            low = float(bounds[index - 1]) if index else 0.0
+            high = float(bounds[index])
+            if not count:
+                return high
+            return low + (high - low) * (rank - previous) / count
+    return float(bounds[-1]) if bounds else 0.0
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Combine :meth:`Telemetry.snapshot` dicts from several hubs.
+
+    Built for the fleet front-end: each worker process owns a private
+    hub, and the aggregate over the fleet is well-defined
+    instrument-by-instrument — counters and gauges sum (every gauge
+    the service tier exports is a queue depth or worker count, where
+    the fleet-wide value *is* the sum), and histograms with identical
+    bounds merge bucket-wise, which preserves every percentile
+    estimate exactly as if all observations had hit one hub.  A
+    histogram whose bounds disagree with the first sighting of that
+    name is skipped rather than silently mis-merged.  Series and trace
+    data stay per-worker (they are ring buffers, not mergeable
+    aggregates); only their event counts are summed.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, dict] = {}
+    trace_events = 0
+    trace_dropped = 0
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0) + value
+        for name, hist in snap.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "bounds": list(hist["bounds"]),
+                    "counts": list(hist["counts"]),
+                    "total": hist.get("mean", 0.0) * hist["observations"],
+                    "observations": hist["observations"],
+                }
+                continue
+            if list(hist["bounds"]) != merged["bounds"]:
+                continue  # incompatible buckets: refuse to mis-merge
+            merged["counts"] = [a + b for a, b in
+                                zip(merged["counts"], hist["counts"])]
+            merged["observations"] += hist["observations"]
+            merged["total"] += hist.get("mean", 0.0) * hist["observations"]
+        trace_events += snap.get("trace_events", 0)
+        trace_dropped += snap.get("trace_dropped", 0)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {
+            name: {
+                "bounds": h["bounds"],
+                "counts": h["counts"],
+                "mean": (h["total"] / h["observations"]
+                         if h["observations"] else 0.0),
+                "observations": h["observations"],
+            }
+            for name, h in sorted(histograms.items())
+        },
+        "series": {},
+        "trace_events": trace_events,
+        "trace_dropped": trace_dropped,
+    }
 
 
 class _NullInstrument:

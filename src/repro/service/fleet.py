@@ -1,0 +1,693 @@
+"""Sharded multi-worker service fleet behind one HTTP front end.
+
+``repro fleet`` scales the single-process service horizontally: N
+worker processes — each a full :class:`~repro.service.server
+.ServiceServer` (journaled queue, scheduler, executor) — behind an
+asyncio front end that
+
+* **routes** every submitted job over a consistent-hash ring
+  (:class:`~repro.service.ring.HashRing`) keyed by the job's content
+  identity (:func:`~repro.service.jobs.job_key_of`), so identical
+  spec sets always land on the same worker and that worker's
+  in-flight coalescing keeps working fleet-wide;
+* **dedups fleet-wide** through the shared content-addressed
+  :class:`~repro.core.store.ResultStore`: every worker mounts the
+  same store directory (safe for concurrent multi-process writers),
+  so a cell simulated by one worker is a warm hit on all of them;
+* **health-checks** workers and, when one dies, removes it from the
+  ring (minimal remap — only its keys move) and **journal-replays**
+  its non-terminal jobs onto the survivors with their job ids
+  preserved, so clients polling through the front end never notice
+  beyond added latency;
+* **aggregates** observability: ``/metrics`` merges every worker's
+  telemetry snapshot (per-worker queue depth, queue-wait and
+  end-to-end job latency histograms) with the front end's own
+  routing metrics.
+
+The front end speaks the same HTTP API as a single worker (``POST
+/jobs``, ``GET /jobs[/<id>]``, ``GET /results/<key>``, ``/healthz``,
+``/metrics``), so :class:`~repro.service.client.ServiceClient`,
+``repro submit`` and ``repro loadgen`` work against either
+unmodified.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import multiprocessing
+import signal
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.store import ResultStore, result_to_dict
+from ..errors import ConfigurationError, ServiceError
+from ..obs.telemetry import (
+    Telemetry,
+    merge_snapshots,
+    render_prometheus,
+)
+from .httpcommon import BadRequest, fetch, read_request, respond
+from .jobs import JobQueue, JobState
+from .ring import HashRing
+from .scheduler import LATENCY_BOUNDS
+from .server import client_key_of, parse_job_body
+
+__all__ = ["FleetServer", "WorkerHandle"]
+
+
+def _worker_main(conn, config: dict) -> None:
+    """Child-process body: run one ServiceServer, report its port.
+
+    Top-level so the spawn context can pickle it.  The child owns its
+    own asyncio loop and signal handlers: SIGTERM drains it exactly
+    like a standalone ``repro serve`` process.
+    """
+    from .server import ServiceServer
+
+    server = ServiceServer(**config)
+
+    async def _run() -> None:
+        await server.start()
+        conn.send(server.port)
+        conn.close()
+        await server.serve()
+
+    asyncio.run(_run())
+
+
+@dataclass
+class WorkerHandle:
+    """The front end's view of one worker process."""
+
+    name: str
+    process: multiprocessing.process.BaseProcess
+    port: int
+    journal: Path
+    alive: bool = True
+    fails: int = 0
+
+    def describe(self) -> dict:
+        return {
+            "port": self.port,
+            "pid": self.process.pid,
+            "alive": self.alive,
+            "consecutive_fails": self.fails,
+        }
+
+
+@dataclass
+class _Route:
+    """Where one fleet-admitted job lives (and its replay payload)."""
+
+    worker: str
+    body: dict
+    job_key: str
+    client: str
+    final: Optional[dict] = None  # terminal record after worker death
+    replays: int = 0
+
+
+@dataclass
+class _WorkerDefaults:
+    """Scheduler/executor knobs forwarded to every worker."""
+
+    queue_limit: int = 64
+    rate: float = 0.0
+    burst: int = 20
+    executor_jobs: int = 1
+    concurrency: int = 1
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+    executor_retries: int = 1
+
+
+class FleetServer:
+    """N service workers behind a consistent-hash routing front end.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (>= 1).
+    store:
+        Directory of the shared result store.  All workers and the
+        front end mount it; it is the fleet-wide dedup backbone.
+        ``None`` creates a temporary directory (fine for tests, wrong
+        for production — results vanish with it).
+    journal_dir:
+        Directory for per-worker job journals
+        (``worker-<name>.jsonl``).  Reusing the same directory across
+        fleet restarts replays each worker's pending jobs.  ``None``
+        creates a temporary directory.
+    host, port:
+        Front-end bind address (port ``0`` picks a free port).
+    replicas:
+        Virtual ring points per worker (balance knob).
+    health_interval, health_fails:
+        Seconds between health probes, and consecutive probe failures
+        before a worker is declared dead.  A dead *process* is failed
+        immediately regardless.
+    proxy_timeout:
+        Per-request timeout talking to workers.
+    queue_limit, rate, burst, executor_jobs, concurrency,
+    max_attempts, backoff_base, backoff_cap, executor_retries:
+        Forwarded to each worker's :class:`ServiceServer`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        store: Optional[Union[str, Path]] = None,
+        journal_dir: Optional[Union[str, Path]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replicas: int = 64,
+        health_interval: float = 0.25,
+        health_fails: int = 3,
+        proxy_timeout: float = 30.0,
+        telemetry: Optional[Telemetry] = None,
+        **worker_knobs,
+    ):
+        if workers < 1:
+            raise ConfigurationError(
+                f"fleet needs at least one worker, got {workers}")
+        self.defaults = _WorkerDefaults(**worker_knobs)
+        self.worker_count = int(workers)
+        if store is None:
+            store = tempfile.mkdtemp(prefix="repro-fleet-store-")
+        if journal_dir is None:
+            journal_dir = tempfile.mkdtemp(prefix="repro-fleet-journal-")
+        self.store_path = Path(store)
+        self.journal_dir = Path(journal_dir)
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self.host = host
+        self.port = port
+        self.replicas = replicas
+        self.health_interval = health_interval
+        self.health_fails = health_fails
+        self.proxy_timeout = proxy_timeout
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.store = ResultStore(self.store_path, telemetry=self.telemetry)
+        self.ring = HashRing(replicas=replicas)
+        self.workers: Dict[str, WorkerHandle] = {}
+        self._routes: Dict[str, _Route] = {}
+        self._mp = multiprocessing.get_context("spawn")
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._failover_lock: Optional[asyncio.Lock] = None
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._draining = False
+        self._start_time = time.monotonic()
+
+    # -- worker lifecycle ----------------------------------------------
+
+    def _worker_config(self, name: str) -> dict:
+        d = self.defaults
+        return {
+            "store": str(self.store_path),
+            "journal": str(self.journal_dir / f"worker-{name}.jsonl"),
+            "host": "127.0.0.1",
+            "port": 0,
+            "queue_limit": d.queue_limit,
+            "rate": d.rate,
+            "burst": d.burst,
+            "executor_jobs": d.executor_jobs,
+            "concurrency": d.concurrency,
+            "max_attempts": d.max_attempts,
+            "backoff_base": d.backoff_base,
+            "backoff_cap": d.backoff_cap,
+            "executor_retries": d.executor_retries,
+        }
+
+    def _spawn_worker(self, name: str) -> WorkerHandle:
+        """Blocking: start one worker process and wait for its port."""
+        config = self._worker_config(name)
+        parent_conn, child_conn = self._mp.Pipe()
+        process = self._mp.Process(
+            target=_worker_main, args=(child_conn, config),
+            name=f"repro-fleet-{name}", daemon=True)
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(timeout=60):
+            process.kill()
+            raise ServiceError(f"fleet worker {name} failed to start")
+        try:
+            port = parent_conn.recv()
+        except EOFError:
+            process.kill()
+            raise ServiceError(
+                f"fleet worker {name} died during startup") from None
+        parent_conn.close()
+        return WorkerHandle(
+            name=name, process=process, port=port,
+            journal=Path(config["journal"]))
+
+    async def start(self) -> None:
+        """Spawn the workers, bind the front-end socket (loop ctx)."""
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        self._failover_lock = asyncio.Lock()
+        names = [f"w{i}" for i in range(self.worker_count)]
+        handles = await asyncio.gather(
+            *(asyncio.to_thread(self._spawn_worker, name)
+              for name in names))
+        for handle in handles:
+            self.workers[handle.name] = handle
+            self.ring.add(handle.name)
+        self.telemetry.gauge("fleet.workers").set(len(self.ring))
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._health_task = asyncio.create_task(self._health_loop())
+        self._install_signal_handlers()
+        self._start_time = time.monotonic()
+        self._started.set()
+
+    async def serve(self) -> None:
+        """Run until drain/shutdown completes."""
+        if self._server is None:
+            await self.start()
+        await self._stopping.wait()
+        await self._shutdown_async()
+
+    def serve_forever(self) -> None:
+        """Blocking entry point (``repro fleet``)."""
+        asyncio.run(self.serve())
+
+    def start_in_thread(self) -> "FleetServer":
+        """Run the fleet on a daemon thread; returns once bound."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=120):
+            raise ServiceError("fleet front end failed to start")
+        return self
+
+    def begin_drain(self) -> None:
+        """Stop admitting, SIGTERM the workers, then exit."""
+        self._draining = True
+        if self._stopping is not None:
+            self._stopping.set()
+
+    def shutdown(self) -> None:
+        """Graceful stop from any thread; idempotent."""
+        if self._loop is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self.begin_drain)
+        except RuntimeError:
+            return
+        if self._thread is not None:
+            self._thread.join(timeout=120)
+
+    def abort(self) -> None:
+        """Ungraceful stop: kill workers and the loop outright."""
+        for worker in self.workers.values():
+            if worker.process.is_alive():
+                worker.process.kill()
+        if self._loop is None:
+            return
+
+        def _die() -> None:
+            if self._health_task is not None:
+                self._health_task.cancel()
+            if self._server is not None:
+                self._server.close()
+            self._stopping.set()
+
+        try:
+            self._loop.call_soon_threadsafe(_die)
+        except RuntimeError:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    async def _shutdown_async(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+        for worker in self.workers.values():
+            if worker.process.is_alive():
+                worker.process.terminate()  # SIGTERM -> worker drains
+
+        def _join_all() -> None:
+            for worker in self.workers.values():
+                worker.process.join(timeout=60)
+
+        await asyncio.to_thread(_join_all)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def _install_signal_handlers(self) -> None:
+        try:
+            self._loop.add_signal_handler(signal.SIGTERM, self.begin_drain)
+            self._loop.add_signal_handler(signal.SIGINT, self.begin_drain)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread; the embedding code owns shutdown
+
+    # -- chaos / test hooks --------------------------------------------
+
+    def kill_worker(self, name: str) -> None:
+        """SIGKILL one worker (thread-safe chaos hook for tests).
+
+        The health loop (or the next failed forward) notices, removes
+        it from the ring, and replays its journal onto the survivors.
+        """
+        worker = self.workers[name]
+        if worker.process.is_alive():
+            worker.process.kill()
+
+    @property
+    def live_workers(self) -> List[str]:
+        return [name for name, w in self.workers.items() if w.alive]
+
+    def route_of(self, job_id: str) -> Optional[str]:
+        """Which worker currently owns a fleet-admitted job id."""
+        route = self._routes.get(job_id)
+        return route.worker if route else None
+
+    # -- health + failover ---------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval)
+            await asyncio.gather(
+                *(self._check_worker(name) for name in self.live_workers),
+                return_exceptions=True)
+
+    async def _check_worker(self, name: str) -> None:
+        worker = self.workers.get(name)
+        if worker is None or not worker.alive:
+            return
+        if not worker.process.is_alive():
+            await self._fail_worker(name, "process died")
+            return
+        try:
+            status, _headers, _payload = await fetch(
+                "127.0.0.1", worker.port, "GET", "/healthz",
+                timeout=max(1.0, 4 * self.health_interval))
+            ok = status == 200
+        except ServiceError:
+            ok = False
+        if ok:
+            worker.fails = 0
+            return
+        worker.fails += 1
+        if worker.fails >= self.health_fails:
+            await self._fail_worker(
+                name, f"{worker.fails} consecutive health failures")
+
+    async def _fail_worker(self, name: str, reason: str) -> None:
+        """Remove a dead worker and replay its journal onto survivors."""
+        async with self._failover_lock:
+            worker = self.workers.get(name)
+            if worker is None or not worker.alive:
+                return
+            worker.alive = False
+            if name in self.ring:
+                self.ring.remove(name)
+            self.telemetry.counter("fleet.worker_deaths").inc()
+            self.telemetry.gauge("fleet.workers").set(len(self.ring))
+            if worker.process.is_alive():
+                worker.process.kill()
+            await self._replay_journal(worker, reason)
+
+    async def _replay_journal(self, worker: WorkerHandle,
+                              reason: str) -> None:
+        """Re-route the dead worker's non-terminal jobs.
+
+        The worker journaled every admission and transition before
+        acting on it, so its journal is the authoritative record of
+        what it still owed.  Terminal jobs are pinned at the front end
+        (their results live in the shared store); everything else is
+        re-submitted — same job id, same cells, same priority — to
+        whichever survivor the shrunken ring now picks.
+        """
+        if not worker.journal.exists():
+            return
+        recovered = JobQueue(worker.journal)  # read-only replay
+        recovered.close()
+        for job in recovered.jobs():
+            route = self._routes.get(job.job_id)
+            if job.state in JobState.TERMINAL:
+                if route is not None:
+                    record = job.to_dict()
+                    record["worker"] = worker.name
+                    route.final = record
+                continue
+            body = _job_body(job)
+            status, payload = await self._forward(
+                job.job_key, body, {"X-Client-Id": job.client})
+            if status == 202 or _is_duplicate(status, payload):
+                self.telemetry.counter("fleet.replayed").inc()
+                if route is not None:
+                    route.replays += 1
+            else:
+                self.telemetry.counter("fleet.replay_failures").inc()
+
+    async def _forward(self, job_key: str, body: dict,
+                       headers: dict):
+        """POST one job to the ring's pick, failing workers over.
+
+        Returns ``(status, payload)``; records the route on 202.
+        Retries through worker deaths until the ring is empty.
+        """
+        for _attempt in range(self.worker_count + 1):
+            if len(self.ring) == 0:
+                return 503, {"error": "no live workers"}
+            name = self.ring.lookup(job_key)
+            worker = self.workers[name]
+            try:
+                status, _resp_headers, payload = await fetch(
+                    "127.0.0.1", worker.port, "POST", "/jobs",
+                    body=body, headers=headers,
+                    timeout=self.proxy_timeout)
+            except ServiceError:
+                self.telemetry.counter("fleet.rerouted").inc()
+                await self._fail_worker(name, "unreachable during submit")
+                continue
+            if status == 202:
+                job_id = payload.get("job", {}).get("job_id")
+                if job_id:
+                    route = self._routes.get(job_id)
+                    if route is None:
+                        self._routes[job_id] = _Route(
+                            worker=name, body=body, job_key=job_key,
+                            client=headers.get("X-Client-Id", "anon"))
+                    else:
+                        route.worker = name
+                        route.final = None
+            return status, payload
+        return 502, {"error": "no worker accepted the job"}
+
+    # -- request handling ----------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, query, headers, body = \
+                    await read_request(reader)
+            except BadRequest as exc:
+                await respond(writer, 400, {"error": str(exc)})
+                return
+            except (asyncio.IncompleteReadError, ConnectionError,
+                    asyncio.LimitOverrunError):
+                return
+            except asyncio.CancelledError:
+                # loop teardown during drain cancels in-flight
+                # handlers; the connection is going away regardless
+                return
+            self.telemetry.counter("fleet.http_requests").inc()
+            try:
+                status, payload, extra = await self._route_request(
+                    method, path, query, headers, body, writer)
+            except BadRequest as exc:
+                status, payload, extra = 400, {"error": str(exc)}, {}
+            except Exception as exc:  # never kill the accept loop
+                self.telemetry.counter("fleet.http_errors").inc()
+                status, payload, extra = (
+                    500, {"error": f"internal error: {exc!r}"}, {})
+            await respond(writer, status, payload, extra)
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _route_request(self, method, path, query, headers, body,
+                             writer):
+        if path == "/healthz" and method == "GET":
+            return 200, self._healthz(), {}
+        if path == "/metrics" and method == "GET":
+            return await self._metrics(query)
+        if path == "/jobs" and method == "POST":
+            return await self._submit(headers, body, writer)
+        if path == "/jobs" and method == "GET":
+            return await self._list_jobs()
+        if path.startswith("/jobs/") and method == "GET":
+            return await self._get_job(path[len("/jobs/"):])
+        if path.startswith("/results/") and method == "GET":
+            key = path[len("/results/"):]
+            result = self.store.get_by_key(key)
+            if result is None:
+                return 404, {"error": "unknown result key"}, {}
+            return 200, {"spec_key": key,
+                         "result": result_to_dict(result)}, {}
+        if path in ("/healthz", "/metrics", "/jobs") or \
+                path.startswith(("/jobs/", "/results/")):
+            return 405, {"error": f"{method} not allowed on {path}"}, {}
+        return 404, {"error": f"no route for {path}"}, {}
+
+    # -- endpoints -----------------------------------------------------
+
+    async def _submit(self, headers, body, writer):
+        if self._draining:
+            return 503, {"error": "fleet is draining"}, {}
+        client = client_key_of(headers, writer)
+        job = parse_job_body(body, client)
+        if job.job_id in self._routes:
+            return 400, {"error": f"duplicate job id {job.job_id!r}"}, {}
+        forward_headers = {"X-Client-Id": client}
+        peer = writer.get_extra_info("peername")
+        if peer:
+            forwarded = headers.get("x-forwarded-for")
+            forward_headers["X-Forwarded-For"] = (
+                f"{forwarded}, {peer[0]}" if forwarded else peer[0])
+        forward_body = _job_body(job)
+        start = time.monotonic()
+        status, payload = await self._forward(
+            job.job_key, forward_body, forward_headers)
+        self.telemetry.histogram(
+            "fleet.submit_seconds", bounds=LATENCY_BOUNDS
+        ).observe(time.monotonic() - start)
+        extra = {}
+        if status == 429:
+            extra["retry_after"] = 2
+        return status, payload, extra
+
+    async def _get_job(self, job_id: str):
+        route = self._routes.get(job_id)
+        if route is None:
+            # not fleet-admitted (or pre-restart): ask every worker
+            for name in self.live_workers:
+                worker = self.workers[name]
+                try:
+                    status, _h, payload = await fetch(
+                        "127.0.0.1", worker.port, "GET",
+                        f"/jobs/{job_id}", timeout=self.proxy_timeout)
+                except ServiceError:
+                    continue
+                if status == 200:
+                    return 200, payload, {}
+            return 404, {"error": "unknown job"}, {}
+        if route.final is not None:
+            return 200, {"job": route.final}, {}
+        worker = self.workers.get(route.worker)
+        if worker is not None and worker.alive:
+            try:
+                status, _h, payload = await fetch(
+                    "127.0.0.1", worker.port, "GET", f"/jobs/{job_id}",
+                    timeout=self.proxy_timeout)
+                return status, payload, {}
+            except ServiceError:
+                await self._fail_worker(route.worker,
+                                        "unreachable during poll")
+        # the worker died: failover just re-routed (or pinned) the job
+        route = self._routes.get(job_id)
+        if route is not None and route.final is not None:
+            return 200, {"job": route.final}, {}
+        if route is not None:
+            worker = self.workers.get(route.worker)
+            if worker is not None and worker.alive:
+                try:
+                    status, _h, payload = await fetch(
+                        "127.0.0.1", worker.port, "GET",
+                        f"/jobs/{job_id}", timeout=self.proxy_timeout)
+                    return status, payload, {}
+                except ServiceError:
+                    pass
+        return 502, {"error": f"job {job_id} temporarily unroutable"}, {}
+
+    async def _list_jobs(self):
+        jobs: List[dict] = []
+        for name in self.live_workers:
+            worker = self.workers[name]
+            try:
+                status, _h, payload = await fetch(
+                    "127.0.0.1", worker.port, "GET", "/jobs",
+                    timeout=self.proxy_timeout)
+            except ServiceError:
+                continue
+            if status == 200:
+                for job in payload.get("jobs", []):
+                    job["worker"] = name
+                    jobs.append(job)
+        return 200, {"jobs": jobs}, {}
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "role": "fleet-front-end",
+            "uptime_s": round(time.monotonic() - self._start_time, 3),
+            "workers": {name: worker.describe()
+                        for name, worker in self.workers.items()},
+            "live_workers": len(self.ring),
+            "ring": self.ring.describe(),
+            "routed_jobs": len(self._routes),
+            "store": repr(self.store),
+        }
+
+    async def _metrics(self, query: str):
+        worker_snaps: Dict[str, dict] = {}
+
+        async def grab(name: str) -> None:
+            worker = self.workers[name]
+            try:
+                status, _h, payload = await fetch(
+                    "127.0.0.1", worker.port, "GET", "/metrics",
+                    timeout=self.proxy_timeout)
+            except ServiceError:
+                return
+            if status == 200 and isinstance(payload, dict):
+                worker_snaps[name] = payload
+
+        await asyncio.gather(*(grab(name) for name in self.live_workers),
+                             return_exceptions=True)
+        own = self.telemetry.snapshot()
+        own.pop("series", None)
+        for name, snap in worker_snaps.items():
+            depth = snap.get("gauges", {}).get("service.queue_depth", 0)
+            own.setdefault("gauges", {})[
+                f"fleet.worker_depth.{name}"] = depth
+        aggregate = merge_snapshots([own] + list(worker_snaps.values()))
+        if "format=prometheus" in query:
+            text = render_prometheus(aggregate)
+            return 200, text, {"content_type": "text/plain; version=0.0.4"}
+        return 200, {"fleet": own, "workers": worker_snaps,
+                     "aggregate": aggregate}, {}
+
+
+def _job_body(job) -> dict:
+    """The ``POST /jobs`` payload that reproduces ``job`` exactly."""
+    specs = []
+    for key, spec in job.cells:
+        entry = dataclasses.asdict(spec)
+        entry["key"] = list(key)
+        specs.append(entry)
+    return {"specs": specs, "priority": job.priority,
+            "job_id": job.job_id}
+
+
+def _is_duplicate(status: int, payload) -> bool:
+    """A 400 'duplicate job id' during replay means it already made it."""
+    return (status == 400 and isinstance(payload, dict)
+            and "duplicate job id" in str(payload.get("error", "")))

@@ -1,0 +1,179 @@
+"""Shared stdlib HTTP/1.1 plumbing for the service tier.
+
+Both HTTP servers in the package — the single-node
+:class:`~repro.service.server.ServiceServer` and the fleet front-end
+:class:`~repro.service.fleet.FleetServer` — speak the same hand-rolled
+wire format.  This module owns the pieces they share so the two stay
+byte-compatible: request parsing (:func:`read_request`), response
+framing (:func:`respond`), and the asyncio client (:func:`fetch`) the
+front-end and the load generator use to talk to workers.
+
+Everything is ``Connection: close`` HTTP/1.1 over asyncio streams; no
+keep-alive, no chunked encoding — one request, one response, one
+socket, which keeps failure handling trivial (a dead peer is a
+connection error, never a half-open stream).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from ..errors import ServiceError
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "STATUS_TEXT",
+    "BadRequest",
+    "read_request",
+    "respond",
+    "fetch",
+]
+
+MAX_BODY_BYTES = 8 * 1024 * 1024
+STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    502: "Bad Gateway", 503: "Service Unavailable",
+}
+
+
+class BadRequest(ServiceError):
+    """Maps to a 400 response."""
+
+
+async def read_request(reader: asyncio.StreamReader) -> Tuple[
+        str, str, str, dict, Optional[bytes]]:
+    """Parse one request: ``(method, path, query, headers, body)``.
+
+    Raises :class:`BadRequest` on malformed input and
+    ``asyncio.IncompleteReadError`` on a closed/empty connection.
+    Header names are lower-cased; the body is read iff a valid
+    ``Content-Length`` is present (bounded by :data:`MAX_BODY_BYTES`).
+    """
+    request_line = (await reader.readline()).decode("latin-1").strip()
+    if not request_line:
+        raise asyncio.IncompleteReadError(b"", None)
+    parts = request_line.split()
+    if len(parts) != 3:
+        raise BadRequest(f"malformed request line {request_line!r}")
+    method, target, _version = parts
+    path, _, query = target.partition("?")
+    headers = {}
+    while True:
+        line = (await reader.readline()).decode("latin-1").strip()
+        if not line:
+            break
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = None
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            length = int(length)
+        except ValueError:
+            raise BadRequest("invalid Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise BadRequest("request body too large")
+        body = await reader.readexactly(length)
+    return method.upper(), path, query, headers, body
+
+
+async def respond(writer: asyncio.StreamWriter, status: int, payload,
+                  extra: Optional[dict] = None) -> None:
+    """Write one framed response and drain.
+
+    ``payload`` may be a ``str`` (sent as-is, e.g. Prometheus text) or
+    any JSON-serializable object.  ``extra`` carries ``content_type``
+    and ``retry_after`` overrides.
+    """
+    extra = extra or {}
+    content_type = extra.get("content_type", "application/json")
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+    else:
+        body = (json.dumps(payload, indent=1) + "\n").encode("utf-8")
+    head = [
+        f"HTTP/1.1 {status} {STATUS_TEXT.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    if "retry_after" in extra:
+        head.append(f"Retry-After: {extra['retry_after']}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                 + body)
+    await writer.drain()
+
+
+async def fetch(host: str, port: int, method: str, path: str,
+                body: Optional[dict] = None,
+                headers: Optional[dict] = None,
+                timeout: float = 10.0) -> Tuple[int, dict, object]:
+    """One asyncio HTTP round-trip: ``(status, headers, payload)``.
+
+    The JSON-decoded body is returned when it parses, else the raw
+    text.  Connection-level failures raise :class:`ServiceError` — the
+    caller decides whether that means "worker is dead".
+    """
+    data = b""
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+    head = [
+        f"{method} {path} HTTP/1.1",
+        f"Host: {host}:{port}",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        head.append(f"{name}: {value}")
+    if body is not None:
+        head.append("Content-Type: application/json")
+    head.append(f"Content-Length: {len(data)}")
+
+    async def _roundtrip() -> Tuple[int, dict, object]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(("\r\n".join(head) + "\r\n\r\n")
+                         .encode("latin-1") + data)
+            await writer.drain()
+            status_line = (await reader.readline()).decode("latin-1")
+            parts = status_line.split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ServiceError(
+                    f"malformed status line {status_line!r} "
+                    f"from {host}:{port}")
+            status = int(parts[1])
+            response_headers = {}
+            while True:
+                line = (await reader.readline()).decode("latin-1").strip()
+                if not line:
+                    break
+                name, _, value = line.partition(":")
+                response_headers[name.strip().lower()] = value.strip()
+            raw = await reader.read()
+            length = response_headers.get("content-length")
+            if length is not None and length.isdigit():
+                raw = raw[:int(length)]
+            text = raw.decode("utf-8", errors="replace")
+            try:
+                payload = json.loads(text) if text else {}
+            except json.JSONDecodeError:
+                payload = text
+            return status, response_headers, payload
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    try:
+        return await asyncio.wait_for(_roundtrip(), timeout=timeout)
+    except (OSError, asyncio.IncompleteReadError) as exc:
+        raise ServiceError(
+            f"cannot reach http://{host}:{port}{path}: {exc}") from None
+    except asyncio.TimeoutError:
+        raise ServiceError(
+            f"timeout after {timeout}s on "
+            f"http://{host}:{port}{path}") from None

@@ -1,0 +1,127 @@
+"""Consistent-hash ring for sharding job keys over fleet workers.
+
+The fleet front-end routes every job to ``ring.lookup(job_key)``, so
+identical spec sets always land on the same worker and that worker's
+in-flight coalescing and warm-store dedup keep working fleet-wide.
+Consistent hashing (Karger et al.) gives the two properties the fleet
+leans on:
+
+balance
+    Each worker owns many small arcs of the hash space (``replicas``
+    virtual points per worker), so key shares concentrate around
+    ``1/N`` instead of degenerating to modulo-hash hot spots.
+
+minimal remap
+    Removing a worker reassigns *only* the keys that worker owned;
+    adding one steals only the keys it now owns.  Every other key
+    keeps its route, so a worker death invalidates the smallest
+    possible slice of the fleet's routing (and of each surviving
+    worker's warm in-memory state).
+
+Hashes are sha256-derived and platform-independent: the same ring
+membership yields the same routes on every host and Python version
+(``hash()`` randomization never leaks in).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["HashRing"]
+
+
+def _hash64(data: str) -> int:
+    """First 8 bytes of sha256 as a big-endian integer."""
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to member nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Initial members.
+    replicas:
+        Virtual points per node.  More points tighten the balance
+        bound at the cost of a larger (still tiny) sorted table;
+        64 keeps the max/min key share within ~2x for small fleets.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), replicas: int = 64):
+        if replicas < 1:
+            raise ConfigurationError(
+                f"ring replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._points: List[Tuple[int, str]] = []  # sorted (hash, node)
+        self._hashes: List[int] = []  # parallel key list for bisect
+        self._nodes: set = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ----------------------------------------------------
+
+    def add(self, node: str) -> None:
+        """Add ``node``; a no-op error if it is already a member."""
+        if node in self._nodes:
+            raise ConfigurationError(f"node {node!r} already in ring")
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = (_hash64(f"{node}#{replica}"), node)
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._hashes.insert(index, point[0])
+
+    def remove(self, node: str) -> None:
+        """Remove ``node`` and all its virtual points."""
+        if node not in self._nodes:
+            raise ConfigurationError(f"node {node!r} not in ring")
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+        self._hashes = [h for h, _ in self._points]
+
+    @property
+    def nodes(self) -> List[str]:
+        """Current members, sorted for stable iteration."""
+        return sorted(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- routing -------------------------------------------------------
+
+    def lookup(self, key: str) -> str:
+        """The node owning ``key``: first point clockwise of its hash."""
+        if not self._points:
+            raise ConfigurationError("cannot route on an empty ring")
+        index = bisect.bisect_right(self._hashes, _hash64(key))
+        if index == len(self._points):
+            index = 0  # wrap past the top of the hash space
+        return self._points[index][1]
+
+    def shares(self, keys: Iterable[str]) -> Dict[str, int]:
+        """How many of ``keys`` each node owns (balance diagnostics)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts
+
+    def describe(self) -> dict:
+        """JSON-ready summary for ``/healthz``."""
+        return {
+            "nodes": self.nodes,
+            "replicas": self.replicas,
+            "points": len(self._points),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"HashRing(nodes={self.nodes}, "
+                f"replicas={self.replicas})")

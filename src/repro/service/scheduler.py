@@ -20,22 +20,36 @@ Everything else is pulled off the :class:`~repro.service.jobs.JobQueue`
 in priority order by the run loop and executed through a
 :class:`~repro.core.executor.SweepExecutor` on a worker thread (the
 executor may itself fan cells out over processes and retries transient
-cell failures once in place).  A job that still has failing cells
-afterwards is retried with exponential backoff — ``backoff_base *
-2**(attempt-1)`` seconds, capped — until ``max_attempts`` is spent,
-then quarantined as poison (``service.quarantined``).
+cell failures once in place).  Up to ``concurrency`` jobs run at once:
+each claimed job becomes its own task, so a short warm job is never
+stuck behind a long cold one (admission backpressure is unchanged —
+``queue_limit`` still bounds *pending* jobs at the server).  A job
+that still has failing cells afterwards is retried with exponential
+backoff — ``backoff_base * 2**(attempt-1)`` seconds, capped — until
+``max_attempts`` is spent, then quarantined as poison
+(``service.quarantined``).
+
+The scheduler also feeds two latency histograms the fleet front-end
+aggregates across workers: ``service.queue_wait_seconds`` (submission
+to claim) and ``service.job_seconds`` (submission to terminal state).
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Dict, List, Optional
 
 from ..core.executor import SweepExecutor
 from ..core.store import ResultStore, spec_key
+from ..errors import ConfigurationError
 from .jobs import Job, JobQueue, JobState
 
-__all__ = ["JobScheduler"]
+__all__ = ["JobScheduler", "LATENCY_BOUNDS"]
+
+LATENCY_BOUNDS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+                  2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+"""Histogram bucket bounds (seconds) for the service latency series."""
 
 
 class JobScheduler:
@@ -48,6 +62,10 @@ class JobScheduler:
     executor_jobs:
         Worker processes per job's :class:`SweepExecutor` (1 = in
         process, serial — the safe default under asyncio).
+    concurrency:
+        Jobs executed at once by this scheduler (1 = the strict
+        serial behaviour of earlier versions).  Each running job owns
+        a worker thread, so warm/short jobs interleave with long ones.
     max_attempts:
         Execution attempts per job before quarantine.
     backoff_base, backoff_cap:
@@ -55,7 +73,7 @@ class JobScheduler:
     executor_retries:
         Cell-level transient retries inside each executor run.
     telemetry:
-        Hub for the ``service.*`` counters.
+        Hub for the ``service.*`` counters and latency histograms.
     """
 
     def __init__(
@@ -63,6 +81,7 @@ class JobScheduler:
         queue: JobQueue,
         store: ResultStore,
         executor_jobs: int = 1,
+        concurrency: int = 1,
         max_attempts: int = 3,
         backoff_base: float = 0.5,
         backoff_cap: float = 30.0,
@@ -73,9 +92,13 @@ class JobScheduler:
             from ..obs.telemetry import NULL_TELEMETRY
 
             telemetry = NULL_TELEMETRY
+        if concurrency < 1:
+            raise ConfigurationError(
+                f"scheduler concurrency must be >= 1, got {concurrency}")
         self.queue = queue
         self.store = store
         self.executor_jobs = executor_jobs
+        self.concurrency = int(concurrency)
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -83,12 +106,13 @@ class JobScheduler:
         self.telemetry = telemetry
         self._inflight: Dict[str, str] = {}  # job_key -> primary job_id
         self._followers: Dict[str, List[str]] = {}
+        self._submit_times: Dict[str, float] = {}
         # created lazily inside the run loop: binding an asyncio.Event
         # at construction time would capture the wrong loop on py3.9
         self._wakeup: Optional[asyncio.Event] = None
         self._stopped = False
         self._draining = False
-        self._running_job: Optional[str] = None
+        self._running: Dict[str, asyncio.Task] = {}
         self.paused = False
         # on restart, recovered jobs are already in the heap; register
         # their identities so new submissions coalesce against them
@@ -106,6 +130,7 @@ class JobScheduler:
         cannot lose it.
         """
         self.telemetry.counter("service.submitted").inc()
+        self._submit_times[job.job_id] = time.monotonic()
         primary = self._inflight.get(job.job_key)
         if primary is not None and self.coalesces(job.job_key):
             job.coalesced_with = primary
@@ -121,6 +146,7 @@ class JobScheduler:
                                  cells_simulated=0)
             self.telemetry.counter("service.dedup_hits").inc()
             self.telemetry.counter("service.completed").inc()
+            self._observe_done(job.job_id)
             return job
         self._inflight[job.job_key] = job.job_id
         self._wake()
@@ -141,6 +167,22 @@ class JobScheduler:
             keys.append(spec_key(spec))
         return keys
 
+    # -- latency accounting --------------------------------------------
+
+    def _observe_wait(self, job_id: str) -> None:
+        submitted = self._submit_times.get(job_id)
+        if submitted is not None:
+            self.telemetry.histogram(
+                "service.queue_wait_seconds", bounds=LATENCY_BOUNDS
+            ).observe(time.monotonic() - submitted)
+
+    def _observe_done(self, job_id: str) -> None:
+        submitted = self._submit_times.pop(job_id, None)
+        if submitted is not None:
+            self.telemetry.histogram(
+                "service.job_seconds", bounds=LATENCY_BOUNDS
+            ).observe(time.monotonic() - submitted)
+
     # -- the run loop --------------------------------------------------
 
     def _wake(self) -> None:
@@ -148,31 +190,46 @@ class JobScheduler:
             self._wakeup.set()
 
     async def run(self) -> None:
-        """Claim and execute jobs until :meth:`stop` (or drain)."""
+        """Claim and execute jobs until :meth:`stop` (or drain).
+
+        Up to :attr:`concurrency` jobs run concurrently, each on its
+        own task; the loop tops the running set back up whenever a
+        slot frees or a submission wakes it.
+        """
         if self._wakeup is None:
             self._wakeup = asyncio.Event()
         while not self._stopped:
-            job = None if self.paused else self.queue.claim()
-            if job is None:
-                if self._draining and self._running_job is None:
+            claimed = False
+            while not self.paused and len(self._running) < self.concurrency:
+                job = self.queue.claim()
+                if job is None:
                     break
-                self._wakeup.clear()
-                try:
-                    await asyncio.wait_for(self._wakeup.wait(), timeout=0.1)
-                except asyncio.TimeoutError:
-                    pass
+                claimed = True
+                self._observe_wait(job.job_id)
+                task = asyncio.create_task(self._execute(job))
+                self._running[job.job_id] = task
+            if claimed:
                 continue
-            await self._execute(job)
+            if self._draining and not self._running:
+                break
+            self._wakeup.clear()
+            try:
+                await asyncio.wait_for(self._wakeup.wait(), timeout=0.1)
+            except asyncio.TimeoutError:
+                pass
+        if self._running:
+            await asyncio.gather(*list(self._running.values()),
+                                 return_exceptions=True)
 
     async def _execute(self, job: Job) -> None:
-        self._running_job = job.job_id
         try:
             outcomes = await asyncio.to_thread(self._run_cells, job)
         except Exception as exc:  # executor machinery itself broke
             outcomes = None
             error = f"executor error: {exc!r}"
         finally:
-            self._running_job = None
+            self._running.pop(job.job_id, None)
+            self._wake()
         if outcomes is not None:
             failures = [o for o in outcomes if not o.ok]
             if not failures:
@@ -222,6 +279,7 @@ class JobScheduler:
         """Terminal bookkeeping: release identity, complete followers."""
         if self._inflight.get(job.job_key) == job.job_id:
             del self._inflight[job.job_key]
+        self._observe_done(job.job_id)
         for follower_id in self._followers.pop(job.job_id, ()):
             if job.state == JobState.DONE:
                 self.queue.mark_done(
@@ -234,18 +292,19 @@ class JobScheduler:
                     f"coalesced primary {job.job_id} quarantined: "
                     f"{job.error}")
                 self.telemetry.counter("service.quarantined").inc()
+            self._observe_done(follower_id)
 
     # -- lifecycle -----------------------------------------------------
 
     def drain(self) -> None:
-        """Finish the running job, then exit; pending jobs stay
+        """Finish the running jobs, then exit; pending jobs stay
         journaled for the next process."""
         self._draining = True
         self.paused = True
         self._wake()
 
     def stop(self) -> None:
-        """Exit the run loop as soon as the current job completes."""
+        """Exit the run loop as soon as the current jobs complete."""
         self._stopped = True
         self._wake()
 
@@ -255,4 +314,10 @@ class JobScheduler:
 
     @property
     def running_job(self) -> Optional[str]:
-        return self._running_job
+        """One of the currently running job ids (None when idle)."""
+        return next(iter(self._running), None)
+
+    @property
+    def running_jobs(self) -> List[str]:
+        """All currently running job ids."""
+        return list(self._running)

@@ -36,29 +36,82 @@ import signal
 import threading
 import time
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Optional, Union
 
 from ..core.experiment import ExperimentSpec
 from ..core.store import ResultStore, result_to_dict
 from ..errors import ServiceError
 from ..obs.telemetry import Telemetry, render_prometheus
+from .httpcommon import BadRequest, read_request, respond
 from .jobs import Job, JobQueue
 from .ratelimit import TokenBucket
 from .scheduler import JobScheduler
 
-__all__ = ["ServiceServer"]
-
-_MAX_BODY_BYTES = 8 * 1024 * 1024
-_STATUS_TEXT = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable",
-}
+__all__ = ["ServiceServer", "client_key_of", "parse_job_body"]
 
 
-class _BadRequest(ServiceError):
-    """Maps to a 400 response."""
+def client_key_of(headers: dict, writer) -> str:
+    """The rate-limit identity of a request.
+
+    ``X-Client-Id`` wins; behind a proxying front-end (the fleet) the
+    original caller arrives in ``X-Forwarded-For``, so that is
+    honoured next — otherwise every client of the fleet would share
+    the front-end's single peer-address bucket.  The first (leftmost)
+    forwarded hop is the originating client.
+    """
+    client = headers.get("x-client-id")
+    if client:
+        return client
+    forwarded = headers.get("x-forwarded-for")
+    if forwarded:
+        first = forwarded.split(",")[0].strip()
+        if first:
+            return first
+    peer = writer.get_extra_info("peername") if writer else None
+    return peer[0] if peer else "anon"
+
+
+def parse_job_body(body: Optional[bytes], client: str) -> Job:
+    """Decode a ``POST /jobs`` body into a :class:`Job`.
+
+    Shared by the single-node server and the fleet front-end so both
+    validate (and hash, for ring routing) identically.  An optional
+    ``"job_id"`` lets a proxy pin the id it already promised its
+    client (failover replay depends on this staying stable).
+    """
+    if not body:
+        raise BadRequest("POST /jobs needs a JSON body")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequest(f"invalid JSON body: {exc}") from None
+    if not isinstance(payload, dict):
+        raise BadRequest("body must be a JSON object")
+    specs = payload.get("specs")
+    if not isinstance(specs, list) or not specs:
+        raise BadRequest("'specs' must be a non-empty list")
+    cells = []
+    for index, entry in enumerate(specs):
+        if not isinstance(entry, dict):
+            raise BadRequest(f"spec #{index} is not an object")
+        entry = dict(entry)
+        key = entry.pop("key", None)
+        key = tuple(key) if isinstance(key, list) else (index,)
+        try:
+            spec = ExperimentSpec(**entry)
+        except TypeError as exc:
+            raise BadRequest(f"spec #{index}: {exc}") from None
+        cells.append((key, spec))
+    priority = payload.get("priority", 10)
+    if not isinstance(priority, int):
+        raise BadRequest("'priority' must be an integer")
+    job = Job.create(cells, priority=priority, client=client)
+    job_id = payload.get("job_id")
+    if job_id is not None:
+        if not isinstance(job_id, str) or not job_id or len(job_id) > 64:
+            raise BadRequest("'job_id' must be a short string")
+        job.job_id = job_id
+    return job
 
 
 class ServiceServer:
@@ -78,9 +131,10 @@ class ServiceServer:
         Pending-job bound before ``429`` backpressure.
     rate, burst:
         Per-client token-bucket rate limit (``rate<=0`` disables).
-    executor_jobs, max_attempts, backoff_base, backoff_cap,
-    executor_retries:
-        Forwarded to the :class:`JobScheduler`.
+    executor_jobs, concurrency, max_attempts, backoff_base,
+    backoff_cap, executor_retries:
+        Forwarded to the :class:`JobScheduler` (``concurrency`` is the
+        number of jobs one worker interleaves at once).
     """
 
     def __init__(
@@ -93,6 +147,7 @@ class ServiceServer:
         rate: float = 0.0,
         burst: int = 20,
         executor_jobs: int = 1,
+        concurrency: int = 1,
         max_attempts: int = 3,
         backoff_base: float = 0.5,
         backoff_cap: float = 30.0,
@@ -108,6 +163,7 @@ class ServiceServer:
         self.scheduler = JobScheduler(
             self.queue, self.store,
             executor_jobs=executor_jobs,
+            concurrency=concurrency,
             max_attempts=max_attempts,
             backoff_base=backoff_base,
             backoff_cap=backoff_cap,
@@ -235,58 +291,33 @@ class ServiceServer:
         try:
             try:
                 method, path, query, headers, body = \
-                    await self._read_request(reader)
-            except _BadRequest as exc:
-                await self._respond(writer, 400, {"error": str(exc)})
+                    await read_request(reader)
+            except BadRequest as exc:
+                await respond(writer, 400, {"error": str(exc)})
                 return
             except (asyncio.IncompleteReadError, ConnectionError,
                     asyncio.LimitOverrunError):
+                return
+            except asyncio.CancelledError:
+                # loop teardown during drain cancels in-flight
+                # handlers; the connection is going away regardless
                 return
             self.telemetry.counter("service.http_requests").inc()
             try:
                 status, payload, extra = self._route(
                     method, path, query, headers, body, writer)
-            except _BadRequest as exc:
+            except BadRequest as exc:
                 status, payload, extra = 400, {"error": str(exc)}, {}
             except Exception as exc:  # never kill the accept loop
                 self.telemetry.counter("service.http_errors").inc()
                 status, payload, extra = (
                     500, {"error": f"internal error: {exc!r}"}, {})
-            await self._respond(writer, status, payload, extra)
+            await respond(writer, status, payload, extra)
         finally:
             try:
                 writer.close()
             except Exception:
                 pass
-
-    async def _read_request(self, reader) -> Tuple[str, str, str, dict,
-                                                   Optional[bytes]]:
-        request_line = (await reader.readline()).decode("latin-1").strip()
-        if not request_line:
-            raise asyncio.IncompleteReadError(b"", None)
-        parts = request_line.split()
-        if len(parts) != 3:
-            raise _BadRequest(f"malformed request line {request_line!r}")
-        method, target, _version = parts
-        path, _, query = target.partition("?")
-        headers = {}
-        while True:
-            line = (await reader.readline()).decode("latin-1").strip()
-            if not line:
-                break
-            name, _, value = line.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        body = None
-        length = headers.get("content-length")
-        if length is not None:
-            try:
-                length = int(length)
-            except ValueError:
-                raise _BadRequest("invalid Content-Length") from None
-            if length > _MAX_BODY_BYTES:
-                raise _BadRequest("request body too large")
-            body = await reader.readexactly(length)
-        return method.upper(), path, query, headers, body
 
     def _route(self, method, path, query, headers, body, writer):
         if path == "/healthz" and method == "GET":
@@ -324,6 +355,7 @@ class ServiceServer:
             "pending": self.queue.pending_count,
             "running": self.queue.running_count,
             "queue_limit": self.queue_limit,
+            "concurrency": self.scheduler.concurrency,
             "store": repr(self.store),
         }
 
@@ -336,10 +368,7 @@ class ServiceServer:
         return 200, snapshot, {}
 
     def _submit(self, headers, body, writer):
-        client = headers.get("x-client-id")
-        if not client:
-            peer = writer.get_extra_info("peername")
-            client = peer[0] if peer else "anon"
+        client = client_key_of(headers, writer)
         allowed, retry_after = self.limiter.allow(client)
         if not allowed:
             self.telemetry.counter("service.rejected_ratelimit").inc()
@@ -347,7 +376,9 @@ class ServiceServer:
                 "retry_after": max(1, int(retry_after + 0.999))}
         if self.scheduler.draining:
             return 503, {"error": "server is draining"}, {}
-        job = self._parse_job(body, client)
+        job = parse_job_body(body, client)
+        if self.queue.get(job.job_id) is not None:
+            raise BadRequest(f"duplicate job id {job.job_id!r}")
         # followers of an in-flight job add no work, so they are always
         # admitted; only jobs that would occupy a queue slot backpressure
         if not self.scheduler.coalesces(job.job_key) and \
@@ -356,53 +387,3 @@ class ServiceServer:
             return 429, {"error": "job queue is full"}, {"retry_after": 2}
         job = self.scheduler.submit(job)
         return 202, {"job": job.summary()}, {}
-
-    def _parse_job(self, body: Optional[bytes], client: str) -> Job:
-        if not body:
-            raise _BadRequest("POST /jobs needs a JSON body")
-        try:
-            payload = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise _BadRequest(f"invalid JSON body: {exc}") from None
-        if not isinstance(payload, dict):
-            raise _BadRequest("body must be a JSON object")
-        specs = payload.get("specs")
-        if not isinstance(specs, list) or not specs:
-            raise _BadRequest("'specs' must be a non-empty list")
-        cells = []
-        for index, entry in enumerate(specs):
-            if not isinstance(entry, dict):
-                raise _BadRequest(f"spec #{index} is not an object")
-            key = entry.pop("key", None)
-            key = tuple(key) if isinstance(key, list) else (index,)
-            try:
-                spec = ExperimentSpec(**entry)
-            except TypeError as exc:
-                raise _BadRequest(f"spec #{index}: {exc}") from None
-            cells.append((key, spec))
-        priority = payload.get("priority", 10)
-        if not isinstance(priority, int):
-            raise _BadRequest("'priority' must be an integer")
-        return Job.create(cells, priority=priority, client=client)
-
-    # -- response writing ----------------------------------------------
-
-    async def _respond(self, writer, status: int, payload,
-                       extra=None) -> None:
-        extra = extra or {}
-        content_type = extra.get("content_type", "application/json")
-        if isinstance(payload, str):
-            body = payload.encode("utf-8")
-        else:
-            body = (json.dumps(payload, indent=1) + "\n").encode("utf-8")
-        head = [
-            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(body)}",
-            "Connection: close",
-        ]
-        if "retry_after" in extra:
-            head.append(f"Retry-After: {extra['retry_after']}")
-        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
-                     + body)
-        await writer.drain()

@@ -1,0 +1,115 @@
+"""Tests for snapshot merging and histogram percentile estimation —
+the fleet's ``/metrics`` aggregation primitives."""
+
+import pytest
+
+from repro.obs.telemetry import (
+    Histogram,
+    Telemetry,
+    histogram_percentile,
+    merge_snapshots,
+    render_prometheus,
+)
+
+
+def hub_with(counter=0, gauge=0.0, observations=()):
+    hub = Telemetry()
+    if counter:
+        hub.counter("service.completed").inc(counter)
+    if gauge:
+        hub.gauge("service.queue_depth").set(gauge)
+    for value in observations:
+        hub.histogram("service.job_seconds",
+                      bounds=(0.1, 1.0, 10.0)).observe(value)
+    return hub
+
+
+class TestHistogramPercentile:
+    def test_empty_histogram_is_zero(self):
+        assert Histogram("h", bounds=(1, 2)).percentile(99) == 0.0
+
+    def test_interpolates_inside_a_bucket(self):
+        hist = Histogram("h", bounds=(10.0, 20.0))
+        for _ in range(10):
+            hist.observe(5.0)  # all in [0, 10]
+        assert hist.percentile(50) == pytest.approx(5.0)
+        assert hist.percentile(100) == pytest.approx(10.0)
+
+    def test_spans_buckets(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for _ in range(50):
+            hist.observe(0.5)
+        for _ in range(50):
+            hist.observe(3.0)
+        assert hist.percentile(50) == pytest.approx(1.0)
+        assert 2.0 <= hist.percentile(99) <= 4.0
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.percentile(99) == 2.0
+
+    def test_snapshot_shaped_input(self):
+        estimate = histogram_percentile(
+            {"bounds": [1.0, 2.0], "counts": [0, 4, 0],
+             "observations": 4}, 50)
+        assert 1.0 < estimate <= 2.0
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            histogram_percentile({"bounds": [], "counts": [0]}, 0)
+
+
+class TestMergeSnapshots:
+    def test_counters_and_gauges_sum(self):
+        merged = merge_snapshots([
+            hub_with(counter=3, gauge=2.0).snapshot(),
+            hub_with(counter=4, gauge=5.0).snapshot(),
+        ])
+        assert merged["counters"]["service.completed"] == 7
+        assert merged["gauges"]["service.queue_depth"] == 7.0
+
+    def test_histograms_merge_preserves_percentiles(self):
+        left = hub_with(observations=[0.05] * 50)
+        right = hub_with(observations=[5.0] * 50)
+        merged = merge_snapshots([left.snapshot(), right.snapshot()])
+        hist = merged["histograms"]["service.job_seconds"]
+        assert hist["observations"] == 100
+        combined = Histogram("all", bounds=(0.1, 1.0, 10.0))
+        for value in [0.05] * 50 + [5.0] * 50:
+            combined.observe(value)
+        assert hist["counts"] == list(combined.counts)
+        assert histogram_percentile(hist, 99) == \
+            pytest.approx(combined.percentile(99))
+        assert hist["mean"] == pytest.approx(combined.mean)
+
+    def test_mismatched_bounds_are_skipped_not_mangled(self):
+        left = Telemetry()
+        left.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+        right = Telemetry()
+        right.histogram("h", bounds=(5.0, 6.0)).observe(5.5)
+        merged = merge_snapshots([left.snapshot(), right.snapshot()])
+        hist = merged["histograms"]["h"]
+        assert hist["bounds"] == [1.0, 2.0]
+        assert hist["observations"] == 1
+
+    def test_disjoint_instruments_union(self):
+        left = Telemetry()
+        left.counter("only.left").inc()
+        right = Telemetry()
+        right.counter("only.right").inc(2)
+        merged = merge_snapshots([left.snapshot(), right.snapshot()])
+        assert merged["counters"] == {"only.left": 1, "only.right": 2}
+
+    def test_empty_input_yields_empty_snapshot(self):
+        merged = merge_snapshots([])
+        assert merged["counters"] == {} and merged["histograms"] == {}
+
+    def test_merged_snapshot_renders_as_prometheus(self):
+        merged = merge_snapshots([
+            hub_with(counter=1, observations=[0.5]).snapshot(),
+            hub_with(counter=2, observations=[2.0]).snapshot(),
+        ])
+        text = render_prometheus(merged)
+        assert "repro_service_completed_total 3" in text
+        assert "repro_service_job_seconds_count 2" in text

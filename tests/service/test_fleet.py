@@ -1,0 +1,204 @@
+"""Integration tests for the multi-worker fleet.
+
+Real worker processes, real HTTP, real journals: these spawn small
+fleets (tiny reference budgets keep each simulated cell fast), drive
+them through the front end, and assert the tentpole guarantees —
+ring-stable routing, fleet-wide dedup through the shared store, and
+kill-one-worker failover with zero lost jobs and results identical to
+a serial in-process baseline.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.store import result_to_dict
+from repro.service.fleet import FleetServer, _job_body
+from repro.service.jobs import Job
+
+TINY = dict(mix="mix1", measured_refs=300, warmup_refs=150,
+            engine_mode="batched")
+
+
+def tiny(seed):
+    return dict(TINY, seed=seed)
+
+
+@pytest.fixture
+def make_fleet():
+    fleets = []
+
+    def build(**kwargs):
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("health_interval", 0.15)
+        kwargs.setdefault("health_fails", 2)
+        kwargs.setdefault("backoff_base", 0.01)
+        fleet = FleetServer(**kwargs).start_in_thread()
+        fleets.append(fleet)
+        return fleet
+
+    yield build
+    for fleet in fleets:
+        try:
+            fleet.shutdown()
+        except Exception:
+            fleet.abort()
+
+
+class FleetClient:
+    """Minimal urllib client; keeps the tests dependency-free."""
+
+    def __init__(self, fleet):
+        self.base = f"http://127.0.0.1:{fleet.port}"
+
+    def post(self, path, payload, headers=None):
+        request = urllib.request.Request(
+            self.base + path, data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json",
+                     **(headers or {})})
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read())
+
+    def get(self, path):
+        with urllib.request.urlopen(self.base + path) as response:
+            return json.loads(response.read())
+
+    def submit(self, specs, **payload):
+        return self.post("/jobs", {"specs": specs, **payload})["job"]
+
+    def wait(self, job_id, timeout=120.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            record = self.get(f"/jobs/{job_id}").get("job")
+            if record and record["state"] in ("done", "quarantined"):
+                return record
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} not terminal in {timeout}s")
+
+
+class TestRoutingAndDedup:
+    def test_submit_routes_by_ring_and_dedups_fleet_wide(self, make_fleet):
+        fleet = make_fleet(workers=2)
+        client = FleetClient(fleet)
+        seeds = list(range(1, 7))
+        ids = [client.submit([tiny(seed)])["job_id"] for seed in seeds]
+
+        # routing is exactly what the ring says, so identical specs
+        # always land on the same worker
+        for seed, job_id in zip(seeds, ids):
+            job = Job.create([((0,), ExperimentSpec(**tiny(seed)))])
+            assert fleet.route_of(job_id) == fleet.ring.lookup(job.job_key)
+        used = {fleet.route_of(job_id) for job_id in ids}
+        assert used == {"w0", "w1"}  # six seeds spread over both workers
+
+        for job_id in ids:
+            assert client.wait(job_id)["state"] == "done"
+
+        # a job spanning every seed is warm *somewhere* even though no
+        # single worker simulated all of them: shared-store dedup
+        combo = client.submit([tiny(seed) for seed in seeds])
+        record = client.wait(combo["job_id"])
+        assert record["state"] == "done"
+        assert record["cells_cached"] == len(seeds)
+        assert record["cells_simulated"] == 0
+        aggregate = client.get("/metrics")["aggregate"]
+        assert aggregate["counters"]["service.dedup_hits"] >= 1
+
+    def test_identical_specs_coalesce_on_one_worker(self, make_fleet):
+        fleet = make_fleet(workers=2)
+        client = FleetClient(fleet)
+        first = client.submit([tiny(97)])
+        second = client.submit([tiny(97)])
+        assert fleet.route_of(first["job_id"]) == \
+            fleet.route_of(second["job_id"])
+        done = [client.wait(j["job_id"]) for j in (first, second)]
+        assert [r["state"] for r in done] == ["done", "done"]
+        assert done[0]["result_keys"] == done[1]["result_keys"]
+
+    def test_duplicate_job_id_rejected(self, make_fleet):
+        fleet = make_fleet(workers=2)
+        client = FleetClient(fleet)
+        job = client.submit([tiny(5)])
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            client.post("/jobs", {"specs": [tiny(6)],
+                                  "job_id": job["job_id"]})
+        assert excinfo.value.code == 400
+
+    def test_healthz_and_metrics_shape(self, make_fleet):
+        fleet = make_fleet(workers=2)
+        client = FleetClient(fleet)
+        health = client.get("/healthz")
+        assert health["status"] == "ok"
+        assert health["live_workers"] == 2
+        assert set(health["workers"]) == {"w0", "w1"}
+        assert health["ring"]["points"] == 2 * fleet.replicas
+        metrics = client.get("/metrics")
+        assert set(metrics) == {"fleet", "workers", "aggregate"}
+        assert set(metrics["workers"]) == {"w0", "w1"}
+        # per-worker depth gauges are stamped into the front-end view
+        assert "fleet.worker_depth.w0" in metrics["fleet"]["gauges"]
+
+
+class TestFailover:
+    def test_kill_one_worker_loses_nothing(self, make_fleet, tmp_path):
+        fleet = make_fleet(workers=3, store=tmp_path / "store",
+                           journal_dir=tmp_path / "journals")
+        client = FleetClient(fleet)
+        seeds = list(range(1, 13))
+        ids = {seed: client.submit([tiny(seed)])["job_id"]
+               for seed in seeds}
+        victim = fleet.live_workers[0]
+        victim_jobs = [j for j in ids.values()
+                       if fleet.route_of(j) == victim]
+        assert victim_jobs  # twelve jobs always touch every worker
+        fleet.kill_worker(victim)
+
+        records = {seed: client.wait(job_id, timeout=180.0)
+                   for seed, job_id in ids.items()}
+        assert all(r["state"] == "done" for r in records.values())
+
+        health = client.get("/healthz")
+        assert health["live_workers"] == 2
+        assert health["workers"][victim]["alive"] is False
+        counters = client.get("/metrics")["fleet"]["counters"]
+        assert counters["fleet.worker_deaths"] == 1
+
+        # results are identical to a serial in-process baseline, byte
+        # for byte: same spec -> same simulation, fleet or no fleet
+        for seed in seeds[:3]:
+            keys = records[seed]["result_keys"]
+            assert len(keys) == 1
+            served = client.get(f"/results/{keys[0]}")["result"]
+            baseline = run_experiment(ExperimentSpec(**tiny(seed)),
+                                      use_cache=False)
+            assert json.dumps(served, sort_keys=True) == \
+                json.dumps(result_to_dict(baseline), sort_keys=True)
+
+    def test_drain_refuses_new_work(self, make_fleet):
+        fleet = make_fleet(workers=2)
+        client = FleetClient(fleet)
+        job = client.submit([tiny(21)])
+        client.wait(job["job_id"])
+        fleet.shutdown()
+        with pytest.raises(Exception):
+            client.submit([tiny(22)])
+
+
+class TestJobBody:
+    def test_round_trips_cells_priority_and_id(self):
+        cells = [((0,), ExperimentSpec(**tiny(1))),
+                 (("a", 2), ExperimentSpec(**tiny(2)))]
+        job = Job.create(cells, priority=3)
+        body = _job_body(job)
+        assert body["job_id"] == job.job_id
+        assert body["priority"] == 3
+        assert [tuple(s["key"]) for s in body["specs"]] == [(0,), ("a", 2)]
+        rebuilt = Job.create(
+            [(tuple(s["key"]),
+              ExperimentSpec(**{k: v for k, v in s.items() if k != "key"}))
+             for s in body["specs"]], priority=body["priority"])
+        assert rebuilt.job_key == job.job_key

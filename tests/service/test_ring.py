@@ -1,0 +1,146 @@
+"""Tests for the consistent-hash ring the fleet routes over.
+
+The two properties the fleet's correctness leans on — balance and
+minimal remap — are checked as hypothesis properties over generated
+membership and key sets, not just hand-picked examples.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.service.ring import HashRing
+
+
+def keyset(seed: int, count: int = 1000):
+    rng = random.Random(seed)
+    return [f"key-{rng.getrandbits(64):016x}" for _ in range(count)]
+
+
+class TestMembership:
+    def test_empty_ring_cannot_route(self):
+        with pytest.raises(ConfigurationError):
+            HashRing().lookup("anything")
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(replicas=0)
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ConfigurationError):
+            ring.add("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(["a"]).remove("b")
+
+    def test_contains_len_nodes(self):
+        ring = HashRing(["b", "a"])
+        assert "a" in ring and "b" in ring and "c" not in ring
+        assert len(ring) == 2
+        assert ring.nodes == ["a", "b"]
+        ring.remove("a")
+        assert "a" not in ring and len(ring) == 1
+
+    def test_describe_counts_virtual_points(self):
+        ring = HashRing(["a", "b"], replicas=16)
+        assert ring.describe() == {
+            "nodes": ["a", "b"], "replicas": 16, "points": 32}
+
+
+class TestRouting:
+    def test_lookup_is_deterministic_across_instances(self):
+        keys = keyset(7, 200)
+        first = HashRing(["w0", "w1", "w2"])
+        second = HashRing(["w2", "w0", "w1"])  # insertion order differs
+        assert [first.lookup(k) for k in keys] == \
+            [second.lookup(k) for k in keys]
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.lookup(k) == "only" for k in keyset(3, 50))
+
+    def test_shares_sums_to_key_count(self):
+        ring = HashRing(["a", "b", "c"])
+        keys = keyset(11, 300)
+        shares = ring.shares(keys)
+        assert sum(shares.values()) == len(keys)
+        assert set(shares) == {"a", "b", "c"}
+
+
+class TestBalanceProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(num_nodes=st.integers(min_value=2, max_value=6),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_key_shares_are_bounded(self, num_nodes, seed):
+        """No node owns a pathological share of the key space.
+
+        With 64 virtual points per node the max/min share stays within
+        a constant factor of the fair 1/N share — the property that
+        makes ring routing usable as fleet load balancing at all.
+        """
+        ring = HashRing([f"w{i}" for i in range(num_nodes)])
+        keys = keyset(seed, 2000)
+        shares = ring.shares(keys)
+        fair = len(keys) / num_nodes
+        assert max(shares.values()) <= 3.0 * fair
+        assert min(shares.values()) >= fair / 4.0
+
+    def test_more_replicas_tighten_balance(self):
+        keys = keyset(5, 4000)
+        nodes = [f"w{i}" for i in range(4)]
+
+        def spread(replicas):
+            shares = HashRing(nodes, replicas=replicas).shares(keys)
+            return max(shares.values()) - min(shares.values())
+
+        assert spread(256) < spread(4)
+
+
+class TestMinimalRemapProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(num_nodes=st.integers(min_value=2, max_value=6),
+           victim=st.integers(min_value=0, max_value=5),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_leave_moves_only_the_dead_nodes_keys(self, num_nodes,
+                                                  victim, seed):
+        """Removing a node re-routes exactly the keys it owned."""
+        nodes = [f"w{i}" for i in range(num_nodes)]
+        dead = nodes[victim % num_nodes]
+        ring = HashRing(nodes)
+        keys = keyset(seed, 500)
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove(dead)
+        after = {k: ring.lookup(k) for k in keys}
+        for key in keys:
+            if before[key] != dead:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != dead
+
+    @settings(max_examples=20, deadline=None)
+    @given(num_nodes=st.integers(min_value=1, max_value=6),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_join_steals_keys_only_for_itself(self, num_nodes, seed):
+        """Adding a node moves keys only *to* the new node."""
+        nodes = [f"w{i}" for i in range(num_nodes)]
+        ring = HashRing(nodes)
+        keys = keyset(seed, 500)
+        before = {k: ring.lookup(k) for k in keys}
+        ring.add("newcomer")
+        after = {k: ring.lookup(k) for k in keys}
+        for key in keys:
+            if after[key] != before[key]:
+                assert after[key] == "newcomer"
+
+    def test_leave_then_rejoin_restores_routes(self):
+        ring = HashRing(["a", "b", "c"])
+        keys = keyset(9, 300)
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove("b")
+        ring.add("b")
+        assert {k: ring.lookup(k) for k in keys} == before

@@ -251,3 +251,102 @@ def test_max_attempts_bounds_total_runs(attempts):
         [(("bad",), tiny_spec(mix="mix99"))])])
     assert job.state == JobState.QUARANTINED
     assert runs == list(range(1, attempts + 1))
+
+
+class TestConcurrency:
+    def test_concurrency_below_one_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            make_scheduler(concurrency=0)
+
+    @pytest.mark.parametrize("concurrency,expected", [(1, 1), (3, 3)])
+    def test_running_set_is_bounded_by_concurrency(self, concurrency,
+                                                   expected):
+        """N jobs overlap iff the scheduler is allowed N slots."""
+        import threading
+        import time as time_mod
+
+        active = []
+        peak = []
+        lock = threading.Lock()
+        scheduler = make_scheduler(concurrency=concurrency)
+
+        def slow(_job):
+            with lock:
+                active.append(1)
+                peak.append(len(active))
+            time_mod.sleep(0.15)
+            with lock:
+                active.pop()
+            return []
+
+        scheduler._run_cells = slow
+        # distinct mixes so the jobs neither dedup nor coalesce
+        jobs = [Job.create([((i,), tiny_spec(seed=100 + i))])
+                for i in range(3)]
+        done = run_jobs(scheduler, jobs)
+        assert all(j.state == JobState.DONE for j in done)
+        assert max(peak) == expected
+
+    def test_short_job_not_stuck_behind_long_one(self):
+        """With two slots a warm job overtakes a slow cold one."""
+        import threading
+
+        release = threading.Event()
+        order = []
+        scheduler = make_scheduler(concurrency=2)
+
+        def gated(job):
+            if job.priority == 1:
+                release.wait(timeout=30)
+            order.append(job.priority)
+            return []
+
+        scheduler._run_cells = gated
+        slow_job = Job.create([((0,), tiny_spec(seed=201))], priority=1)
+        fast_job = Job.create([((0,), tiny_spec(seed=202))], priority=2)
+
+        async def drive():
+            scheduler.submit(slow_job)
+            scheduler.submit(fast_job)
+            runner = asyncio.create_task(scheduler.run())
+            while not scheduler.queue.get(fast_job.job_id).done:
+                await asyncio.sleep(0.02)
+            release.set()
+            while not scheduler.queue.get(slow_job.job_id).done:
+                await asyncio.sleep(0.02)
+            scheduler.stop()
+            await runner
+
+        asyncio.run(asyncio.wait_for(drive(), timeout=60))
+        assert order == [2, 1]
+
+    def test_running_jobs_properties(self):
+        scheduler = make_scheduler()
+        assert scheduler.running_job is None
+        assert scheduler.running_jobs == []
+
+
+class TestLatencyHistograms:
+    def test_queue_wait_and_job_seconds_observed(self):
+        telemetry = Telemetry()
+        scheduler = make_scheduler(telemetry=telemetry)
+        jobs = [Job.create([((i,), tiny_spec(seed=300 + i))])
+                for i in range(2)]
+        run_jobs(scheduler, jobs)
+        wait_hist = telemetry.histograms["service.queue_wait_seconds"]
+        done_hist = telemetry.histograms["service.job_seconds"]
+        assert wait_hist.observations == 2
+        assert done_hist.observations == 2
+        assert done_hist.mean >= wait_hist.mean
+
+    def test_dedup_fast_path_counts_in_job_seconds(self):
+        store = ResultStore()
+        cells = tiny_cells()
+        SweepExecutor(store=store).run(cells)  # pre-warm
+        telemetry = Telemetry()
+        scheduler = make_scheduler(store, telemetry=telemetry)
+        scheduler_submit_sync(scheduler, Job.create(cells))
+        hist = telemetry.histograms["service.job_seconds"]
+        assert hist.observations == 1

@@ -213,3 +213,55 @@ def test_client_raises_on_unreachable_server():
 def test_client_rejects_bad_urls():
     with pytest.raises(ServiceError):
         ServiceClient("ftp://example.com")
+
+
+class TestClientKeying:
+    """Rate-limit identity: X-Client-Id > X-Forwarded-For > peer."""
+
+    class FakeWriter:
+        def __init__(self, peer=("10.0.0.9", 4242)):
+            self._peer = peer
+
+        def get_extra_info(self, name):
+            return self._peer if name == "peername" else None
+
+    def test_explicit_client_id_wins(self):
+        from repro.service.server import client_key_of
+
+        key = client_key_of(
+            {"x-client-id": "alice", "x-forwarded-for": "1.2.3.4"},
+            self.FakeWriter())
+        assert key == "alice"
+
+    def test_forwarded_for_uses_leftmost_hop(self):
+        from repro.service.server import client_key_of
+
+        key = client_key_of(
+            {"x-forwarded-for": "1.2.3.4, 10.0.0.1, 10.0.0.2"},
+            self.FakeWriter())
+        assert key == "1.2.3.4"
+
+    def test_falls_back_to_peer_address(self):
+        from repro.service.server import client_key_of
+
+        assert client_key_of({}, self.FakeWriter()) == "10.0.0.9"
+
+    def test_no_peer_is_anon(self):
+        from repro.service.server import client_key_of
+
+        assert client_key_of({}, self.FakeWriter(peer=None)) == "anon"
+
+    def test_proxied_clients_rate_limited_separately(self, make_server):
+        """Two clients behind one proxy hop get distinct buckets."""
+        server = make_server(rate=0.001, burst=1)
+        body = json.dumps({"specs": [{"mix": "mix1", **TINY}]})
+
+        def submit(xff):
+            return raw_request(
+                server.port, "POST", "/jobs", body=body.encode(),
+                headers={"Content-Type": "application/json",
+                         "X-Forwarded-For": xff})[0]
+
+        assert submit("1.1.1.1") == 202
+        assert submit("2.2.2.2") == 202  # different origin, own bucket
+        assert submit("1.1.1.1, 9.9.9.9") == 429  # same origin: limited
