@@ -262,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(0 = unlimited)")
     serve_p.add_argument("--burst", type=int, default=20,
                          help="per-client burst size for --rate")
+    serve_p.add_argument("--behind-proxy", action="store_true",
+                         help="trust X-Client-Id/X-Forwarded-For for "
+                              "rate-limit identity (only safe when "
+                              "every peer is a trusted proxy)")
     serve_p.add_argument("--max-attempts", type=int, default=3,
                          help="job attempts before quarantine")
     serve_p.add_argument("--backoff", type=float, default=0.5,
@@ -296,6 +300,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "worker (0 = unlimited)")
     fleet_p.add_argument("--burst", type=int, default=20,
                          help="per-client burst size for --rate")
+    fleet_p.add_argument("--behind-proxy", action="store_true",
+                         help="the front end itself sits behind a "
+                              "trusted proxy: honour its clients' "
+                              "X-Client-Id/X-Forwarded-For headers")
     fleet_p.add_argument("--max-attempts", type=int, default=3,
                          help="job attempts before quarantine")
     fleet_p.add_argument("--backoff", type=float, default=0.5,
@@ -816,6 +824,7 @@ def _cmd_serve(args) -> int:
         store=args.store, journal=args.journal,
         host=args.host, port=args.port,
         queue_limit=args.queue_limit, rate=args.rate, burst=args.burst,
+        trust_proxy_headers=args.behind_proxy,
         executor_jobs=args.jobs, concurrency=args.concurrency,
         max_attempts=args.max_attempts,
         backoff_base=args.backoff,
@@ -848,6 +857,7 @@ def _cmd_fleet(args) -> int:
         journal_dir=args.journal_dir,
         host=args.host, port=args.port, replicas=args.replicas,
         health_interval=args.health_interval,
+        trust_proxy_headers=args.behind_proxy,
         queue_limit=args.queue_limit, rate=args.rate, burst=args.burst,
         executor_jobs=args.jobs, concurrency=args.concurrency,
         max_attempts=args.max_attempts, backoff_base=args.backoff,

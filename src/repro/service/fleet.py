@@ -18,7 +18,10 @@ asyncio front end that
   ring (minimal remap — only its keys move) and **journal-replays**
   its non-terminal jobs onto the survivors with their job ids
   preserved, so clients polling through the front end never notice
-  beyond added latency;
+  beyond added latency; replays that bounce off survivor
+  backpressure (429/503) are parked and retried by the health loop
+  until a survivor admits them, with the journaled record served to
+  pollers in the meantime;
 * **aggregates** observability: ``/metrics`` merges every worker's
   telemetry snapshot (per-worker queue depth, queue-wait and
   end-to-end job latency histograms) with the front end's own
@@ -40,6 +43,7 @@ import signal
 import tempfile
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -102,14 +106,39 @@ class WorkerHandle:
 
 @dataclass
 class _Route:
-    """Where one fleet-admitted job lives (and its replay payload)."""
+    """Where one fleet-admitted job lives (and its replay payload).
 
-    worker: str
+    ``worker=None`` means the owning worker died and the job is
+    parked awaiting re-admission (see :class:`_PendingReplay`);
+    ``snapshot`` then carries the journaled record served to pollers
+    until a survivor accepts the replay.
+    """
+
+    worker: Optional[str]
     body: dict
     job_key: str
     client: str
-    final: Optional[dict] = None  # terminal record after worker death
+    snapshot: Optional[dict] = None
     replays: int = 0
+
+
+@dataclass
+class _PendingReplay:
+    """A dead worker's job waiting for a survivor with queue room.
+
+    The first replay attempt happens inline during failover; if every
+    survivor answers 429/503 the job lands here and the health loop
+    keeps retrying until one admits it (or ``replay_retries`` ticks
+    pass, which pins a terminal error so clients see a definitive
+    failure instead of polling forever).
+    """
+
+    job_id: str
+    job_key: str
+    body: dict
+    client: str
+    snapshot: dict
+    attempts: int = 0
 
 
 @dataclass
@@ -154,10 +183,24 @@ class FleetServer:
         immediately regardless.
     proxy_timeout:
         Per-request timeout talking to workers.
+    replay_retries:
+        Health-loop ticks a parked failover replay is retried against
+        survivor backpressure before the job is pinned terminal with
+        an error (default 240 ≈ one minute at the default interval).
+    trust_proxy_headers:
+        Honour ``X-Client-Id``/``X-Forwarded-For`` from the front
+        end's *own* clients (only sane when the fleet itself sits
+        behind another trusted proxy).  Workers always trust these
+        headers from the front end.
     queue_limit, rate, burst, executor_jobs, concurrency,
     max_attempts, backoff_base, backoff_cap, executor_retries:
         Forwarded to each worker's :class:`ServiceServer`.
     """
+
+    FINALS_CAP = 4096
+    """Terminal records pinned at the front end after worker deaths."""
+    SEEN_CAP = 65536
+    """Retired job ids remembered for the duplicate-id check."""
 
     def __init__(
         self,
@@ -170,6 +213,8 @@ class FleetServer:
         health_interval: float = 0.25,
         health_fails: int = 3,
         proxy_timeout: float = 30.0,
+        replay_retries: int = 240,
+        trust_proxy_headers: bool = False,
         telemetry: Optional[Telemetry] = None,
         **worker_knobs,
     ):
@@ -191,11 +236,16 @@ class FleetServer:
         self.health_interval = health_interval
         self.health_fails = health_fails
         self.proxy_timeout = proxy_timeout
+        self.replay_retries = replay_retries
+        self.trust_proxy_headers = trust_proxy_headers
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.store = ResultStore(self.store_path, telemetry=self.telemetry)
         self.ring = HashRing(replicas=replicas)
         self.workers: Dict[str, WorkerHandle] = {}
         self._routes: Dict[str, _Route] = {}
+        self._pending_replays: Dict[str, _PendingReplay] = {}
+        self._finals: "OrderedDict[str, dict]" = OrderedDict()
+        self._seen_ids: "OrderedDict[str, None]" = OrderedDict()
         self._mp = multiprocessing.get_context("spawn")
         self._server: Optional[asyncio.AbstractServer] = None
         self._health_task: Optional[asyncio.Task] = None
@@ -225,6 +275,9 @@ class FleetServer:
             "backoff_base": d.backoff_base,
             "backoff_cap": d.backoff_cap,
             "executor_retries": d.executor_retries,
+            # the only peer a worker hears from is the front end, whose
+            # forwarded identity headers are authoritative
+            "trust_proxy_headers": True,
         }
 
     def _spawn_worker(self, name: str) -> WorkerHandle:
@@ -382,6 +435,10 @@ class FleetServer:
             await asyncio.gather(
                 *(self._check_worker(name) for name in self.live_workers),
                 return_exceptions=True)
+            try:
+                await self._drain_pending_replays()
+            except Exception:
+                self.telemetry.counter("fleet.replay_errors").inc()
 
     async def _check_worker(self, name: str) -> None:
         worker = self.workers.get(name)
@@ -406,19 +463,29 @@ class FleetServer:
                 name, f"{worker.fails} consecutive health failures")
 
     async def _fail_worker(self, name: str, reason: str) -> None:
-        """Remove a dead worker and replay its journal onto survivors."""
+        """Remove a dead worker and replay its journal onto survivors.
+
+        The lock serialises concurrent failure detections (health
+        loop, submit path, poll path).  It is NOT reentrant: any code
+        already holding it (replay discovering a second dead worker)
+        must go through :meth:`_fail_worker_locked` instead.
+        """
         async with self._failover_lock:
-            worker = self.workers.get(name)
-            if worker is None or not worker.alive:
-                return
-            worker.alive = False
-            if name in self.ring:
-                self.ring.remove(name)
-            self.telemetry.counter("fleet.worker_deaths").inc()
-            self.telemetry.gauge("fleet.workers").set(len(self.ring))
-            if worker.process.is_alive():
-                worker.process.kill()
-            await self._replay_journal(worker, reason)
+            await self._fail_worker_locked(name, reason)
+
+    async def _fail_worker_locked(self, name: str, reason: str) -> None:
+        """:meth:`_fail_worker` body; caller holds ``_failover_lock``."""
+        worker = self.workers.get(name)
+        if worker is None or not worker.alive:
+            return
+        worker.alive = False
+        if name in self.ring:
+            self.ring.remove(name)
+        self.telemetry.counter("fleet.worker_deaths").inc()
+        self.telemetry.gauge("fleet.workers").set(len(self.ring))
+        if worker.process.is_alive():
+            worker.process.kill()
+        await self._replay_journal(worker, reason)
 
     async def _replay_journal(self, worker: WorkerHandle,
                               reason: str) -> None:
@@ -429,7 +496,14 @@ class FleetServer:
         what it still owed.  Terminal jobs are pinned at the front end
         (their results live in the shared store); everything else is
         re-submitted — same job id, same cells, same priority — to
-        whichever survivor the shrunken ring now picks.
+        whichever survivor the shrunken ring now picks.  A replay the
+        survivors bounce (429 backpressure, 503) is parked in
+        ``_pending_replays`` and retried by the health loop, never
+        dropped.
+
+        Runs while holding ``_failover_lock``, so forwarding goes
+        through the locked failover path (a survivor found dead here
+        is failed without re-acquiring the lock).
         """
         if not worker.journal.exists():
             return
@@ -438,27 +512,72 @@ class FleetServer:
         for job in recovered.jobs():
             route = self._routes.get(job.job_id)
             if job.state in JobState.TERMINAL:
-                if route is not None:
-                    record = job.to_dict()
-                    record["worker"] = worker.name
-                    route.final = record
+                record = job.to_dict()
+                record["worker"] = worker.name
+                self._pin_final(job.job_id, record)
                 continue
-            body = _job_body(job)
             status, payload = await self._forward(
-                job.job_key, body, {"X-Client-Id": job.client})
+                job.job_key, _job_body(job),
+                {"X-Client-Id": job.client}, locked=True)
             if status == 202 or _is_duplicate(status, payload):
                 self.telemetry.counter("fleet.replayed").inc()
                 if route is not None:
                     route.replays += 1
             else:
+                self._defer_replay(job, route)
+
+    def _defer_replay(self, job, route: Optional[_Route]) -> None:
+        """Park a bounced replay for the health loop to retry."""
+        snapshot = job.to_dict()
+        snapshot["state"] = JobState.SUBMITTED
+        snapshot["worker"] = None
+        if route is not None:
+            route.worker = None
+            route.snapshot = snapshot
+        self._pending_replays[job.job_id] = _PendingReplay(
+            job_id=job.job_id, job_key=job.job_key,
+            body=_job_body(job), client=job.client, snapshot=snapshot)
+        self.telemetry.counter("fleet.replay_deferred").inc()
+
+    async def _drain_pending_replays(self) -> None:
+        """Retry parked replays (health-loop tick, lock not held)."""
+        for job_id in list(self._pending_replays):
+            entry = self._pending_replays.get(job_id)
+            if entry is None:
+                continue
+            status, payload = await self._forward(
+                entry.job_key, entry.body,
+                {"X-Client-Id": entry.client})
+            if status == 202 or _is_duplicate(status, payload):
+                self._pending_replays.pop(job_id, None)
+                route = self._routes.get(job_id)
+                if route is not None:
+                    route.snapshot = None
+                    route.replays += 1
+                self.telemetry.counter("fleet.replayed").inc()
+                continue
+            entry.attempts += 1
+            if entry.attempts >= self.replay_retries:
+                # give the client a definitive failure instead of an
+                # eternally-queued phantom
+                self._pending_replays.pop(job_id, None)
+                record = dict(entry.snapshot)
+                record["state"] = JobState.QUARANTINED
+                record["error"] = (
+                    f"failover replay exhausted after "
+                    f"{entry.attempts} attempts (last status {status})")
+                self._pin_final(job_id, record)
                 self.telemetry.counter("fleet.replay_failures").inc()
 
     async def _forward(self, job_key: str, body: dict,
-                       headers: dict):
+                       headers: dict, locked: bool = False):
         """POST one job to the ring's pick, failing workers over.
 
         Returns ``(status, payload)``; records the route on 202.
         Retries through worker deaths until the ring is empty.
+        ``locked`` means the caller already holds ``_failover_lock``
+        (journal replay), so dead survivors are failed via the
+        non-locking path — re-acquiring the lock here would deadlock.
         """
         for _attempt in range(self.worker_count + 1):
             if len(self.ring) == 0:
@@ -472,7 +591,12 @@ class FleetServer:
                     timeout=self.proxy_timeout)
             except ServiceError:
                 self.telemetry.counter("fleet.rerouted").inc()
-                await self._fail_worker(name, "unreachable during submit")
+                if locked:
+                    await self._fail_worker_locked(
+                        name, "unreachable during submit")
+                else:
+                    await self._fail_worker(
+                        name, "unreachable during submit")
                 continue
             if status == 202:
                 job_id = payload.get("job", {}).get("job_id")
@@ -484,9 +608,58 @@ class FleetServer:
                             client=headers.get("X-Client-Id", "anon"))
                     else:
                         route.worker = name
-                        route.final = None
+                        route.snapshot = None
             return status, payload
         return 502, {"error": "no worker accepted the job"}
+
+    # -- front-end job bookkeeping -------------------------------------
+
+    def _pin_final(self, job_id: str, record: dict) -> None:
+        """Keep a terminal record the workers can no longer serve.
+
+        Bounded: the oldest pinned record falls off once FINALS_CAP is
+        reached (its result still lives in the shared store); the id
+        moves to the seen-set so duplicate submissions stay rejected.
+        """
+        self._routes.pop(job_id, None)
+        self._pending_replays.pop(job_id, None)
+        self._finals[job_id] = record
+        self._finals.move_to_end(job_id)
+        while len(self._finals) > self.FINALS_CAP:
+            old_id, _record = self._finals.popitem(last=False)
+            self._remember_seen(old_id)
+
+    def _remember_seen(self, job_id: str) -> None:
+        self._seen_ids[job_id] = None
+        self._seen_ids.move_to_end(job_id)
+        while len(self._seen_ids) > self.SEEN_CAP:
+            self._seen_ids.popitem(last=False)
+
+    def _retire_route(self, job_id: str) -> None:
+        """Drop a route observed terminal at a live worker.
+
+        The worker keeps the authoritative record (later polls reach
+        it through the broadcast fallback); the front end only needs
+        the id for the duplicate check.  This is what keeps
+        ``_routes`` bounded by in-flight work instead of growing with
+        every job ever admitted.
+        """
+        if self._routes.pop(job_id, None) is not None:
+            self._remember_seen(job_id)
+
+    def _local_job(self, job_id: str) -> Optional[dict]:
+        """A record the front end can serve without any worker."""
+        final = self._finals.get(job_id)
+        if final is not None:
+            return final
+        route = self._routes.get(job_id)
+        if route is not None and route.worker is None \
+                and route.snapshot is not None:
+            return route.snapshot
+        pending = self._pending_replays.get(job_id)
+        if pending is not None:
+            return pending.snapshot
+        return None
 
     # -- request handling ----------------------------------------------
 
@@ -552,14 +725,20 @@ class FleetServer:
     async def _submit(self, headers, body, writer):
         if self._draining:
             return 503, {"error": "fleet is draining"}, {}
-        client = client_key_of(headers, writer)
+        client = client_key_of(headers, writer,
+                               trust_headers=self.trust_proxy_headers)
         job = parse_job_body(body, client)
-        if job.job_id in self._routes:
+        if job.job_id in self._routes or job.job_id in self._finals \
+                or job.job_id in self._seen_ids:
             return 400, {"error": f"duplicate job id {job.job_id!r}"}, {}
         forward_headers = {"X-Client-Id": client}
         peer = writer.get_extra_info("peername")
         if peer:
-            forwarded = headers.get("x-forwarded-for")
+            # only propagate a caller-supplied forwarding chain when
+            # this front end itself trusts its callers; otherwise it
+            # starts a fresh chain at the socket peer
+            forwarded = headers.get("x-forwarded-for") \
+                if self.trust_proxy_headers else None
             forward_headers["X-Forwarded-For"] = (
                 f"{forwarded}, {peer[0]}" if forwarded else peer[0])
         forward_body = _job_body(job)
@@ -575,9 +754,13 @@ class FleetServer:
         return status, payload, extra
 
     async def _get_job(self, job_id: str):
+        record = self._local_job(job_id)
+        if record is not None:
+            return 200, {"job": record}, {}
         route = self._routes.get(job_id)
         if route is None:
-            # not fleet-admitted (or pre-restart): ask every worker
+            # not fleet-admitted (or retired/pre-restart): ask every
+            # worker — whichever ran it keeps the record
             for name in self.live_workers:
                 worker = self.workers[name]
                 try:
@@ -589,33 +772,44 @@ class FleetServer:
                 if status == 200:
                     return 200, payload, {}
             return 404, {"error": "unknown job"}, {}
-        if route.final is not None:
-            return 200, {"job": route.final}, {}
-        worker = self.workers.get(route.worker)
-        if worker is not None and worker.alive:
-            try:
-                status, _h, payload = await fetch(
-                    "127.0.0.1", worker.port, "GET", f"/jobs/{job_id}",
-                    timeout=self.proxy_timeout)
-                return status, payload, {}
-            except ServiceError:
-                await self._fail_worker(route.worker,
-                                        "unreachable during poll")
-        # the worker died: failover just re-routed (or pinned) the job
+        response = await self._poll_route(job_id, route)
+        if response is not None:
+            return response
+        # the owning worker died mid-poll: wait for the in-flight
+        # failover to re-route (or pin/park) the job, then re-check
+        async with self._failover_lock:
+            pass
+        record = self._local_job(job_id)
+        if record is not None:
+            return 200, {"job": record}, {}
         route = self._routes.get(job_id)
-        if route is not None and route.final is not None:
-            return 200, {"job": route.final}, {}
         if route is not None:
-            worker = self.workers.get(route.worker)
-            if worker is not None and worker.alive:
-                try:
-                    status, _h, payload = await fetch(
-                        "127.0.0.1", worker.port, "GET",
-                        f"/jobs/{job_id}", timeout=self.proxy_timeout)
-                    return status, payload, {}
-                except ServiceError:
-                    pass
+            response = await self._poll_route(job_id, route)
+            if response is not None:
+                return response
         return 502, {"error": f"job {job_id} temporarily unroutable"}, {}
+
+    async def _poll_route(self, job_id: str, route: _Route):
+        """Proxy one job poll to its worker; ``None`` if it just died."""
+        if route.worker is None:
+            return None  # parked mid-transition; caller re-checks
+        worker = self.workers.get(route.worker)
+        if worker is None or not worker.alive:
+            return None
+        try:
+            status, _h, payload = await fetch(
+                "127.0.0.1", worker.port, "GET", f"/jobs/{job_id}",
+                timeout=self.proxy_timeout)
+        except ServiceError:
+            await self._fail_worker(route.worker,
+                                    "unreachable during poll")
+            return None
+        if status == 200 and isinstance(payload, dict):
+            record = payload.get("job")
+            if isinstance(record, dict) and \
+                    record.get("state") in JobState.TERMINAL:
+                self._retire_route(job_id)
+        return status, payload, {}
 
     async def _list_jobs(self):
         jobs: List[dict] = []
@@ -631,6 +825,22 @@ class FleetServer:
                 for job in payload.get("jobs", []):
                     job["worker"] = name
                     jobs.append(job)
+        # jobs no live worker can report: terminal records pinned
+        # after a worker death, and parked failover replays
+        listed = {job.get("job_id") for job in jobs}
+        for job_id, record in list(self._finals.items()):
+            if job_id not in listed:
+                listed.add(job_id)
+                jobs.append(_summary_of(record))
+        for job_id, route in list(self._routes.items()):
+            if route.worker is None and route.snapshot is not None \
+                    and job_id not in listed:
+                listed.add(job_id)
+                jobs.append(_summary_of(route.snapshot))
+        for job_id, entry in list(self._pending_replays.items()):
+            if job_id not in listed:
+                listed.add(job_id)
+                jobs.append(_summary_of(entry.snapshot))
         return 200, {"jobs": jobs}, {}
 
     def _healthz(self) -> dict:
@@ -643,6 +853,8 @@ class FleetServer:
             "live_workers": len(self.ring),
             "ring": self.ring.describe(),
             "routed_jobs": len(self._routes),
+            "pinned_jobs": len(self._finals),
+            "pending_replays": len(self._pending_replays),
             "store": repr(self.store),
         }
 
@@ -685,6 +897,15 @@ def _job_body(job) -> dict:
         specs.append(entry)
     return {"specs": specs, "priority": job.priority,
             "job_id": job.job_id}
+
+
+def _summary_of(record: dict) -> dict:
+    """Listing view of a pinned/parked record (specs elided)."""
+    summary = dict(record)
+    cells = summary.get("cells")
+    if isinstance(cells, list):
+        summary["cells"] = len(cells)
+    return summary
 
 
 def _is_duplicate(status: int, payload) -> bool:

@@ -50,23 +50,30 @@ from .scheduler import JobScheduler
 __all__ = ["ServiceServer", "client_key_of", "parse_job_body"]
 
 
-def client_key_of(headers: dict, writer) -> str:
+def client_key_of(headers: dict, writer,
+                  trust_headers: bool = False) -> str:
     """The rate-limit identity of a request.
 
-    ``X-Client-Id`` wins; behind a proxying front-end (the fleet) the
-    original caller arrives in ``X-Forwarded-For``, so that is
-    honoured next — otherwise every client of the fleet would share
-    the front-end's single peer-address bucket.  The first (leftmost)
-    forwarded hop is the originating client.
+    ``X-Client-Id`` and ``X-Forwarded-For`` are whatever the peer
+    chose to send, so a direct client could mint a fresh identity per
+    request and sail past any per-client token bucket.  They are
+    therefore honoured only with ``trust_headers=True`` — the peer is
+    a vouched-for proxy (a fleet worker hearing from its front end,
+    or a server run with ``--behind-proxy``).  Then ``X-Client-Id``
+    wins and the first (leftmost) ``X-Forwarded-For`` hop — the
+    originating client — is next, so clients sharing the proxy hop
+    don't share one bucket.  Untrusted (the default), the socket peer
+    address is the identity.
     """
-    client = headers.get("x-client-id")
-    if client:
-        return client
-    forwarded = headers.get("x-forwarded-for")
-    if forwarded:
-        first = forwarded.split(",")[0].strip()
-        if first:
-            return first
+    if trust_headers:
+        client = headers.get("x-client-id")
+        if client:
+            return client
+        forwarded = headers.get("x-forwarded-for")
+        if forwarded:
+            first = forwarded.split(",")[0].strip()
+            if first:
+                return first
     peer = writer.get_extra_info("peername") if writer else None
     return peer[0] if peer else "anon"
 
@@ -131,6 +138,12 @@ class ServiceServer:
         Pending-job bound before ``429`` backpressure.
     rate, burst:
         Per-client token-bucket rate limit (``rate<=0`` disables).
+    trust_proxy_headers:
+        Key rate-limit buckets on ``X-Client-Id``/``X-Forwarded-For``
+        instead of the socket peer.  Only enable when every direct
+        peer is a trusted proxy (the fleet front end sets this for
+        its workers; standalone, use ``repro serve --behind-proxy``)
+        — the headers are client-controlled and spoofable otherwise.
     executor_jobs, concurrency, max_attempts, backoff_base,
     backoff_cap, executor_retries:
         Forwarded to the :class:`JobScheduler` (``concurrency`` is the
@@ -146,6 +159,7 @@ class ServiceServer:
         queue_limit: int = 64,
         rate: float = 0.0,
         burst: int = 20,
+        trust_proxy_headers: bool = False,
         executor_jobs: int = 1,
         concurrency: int = 1,
         max_attempts: int = 3,
@@ -173,6 +187,7 @@ class ServiceServer:
         self.host = host
         self.port = port
         self.queue_limit = queue_limit
+        self.trust_proxy_headers = trust_proxy_headers
         self.limiter = TokenBucket(rate, burst)
         self._server: Optional[asyncio.base_events.Server] = None
         self._scheduler_task: Optional[asyncio.Task] = None
@@ -368,7 +383,8 @@ class ServiceServer:
         return 200, snapshot, {}
 
     def _submit(self, headers, body, writer):
-        client = client_key_of(headers, writer)
+        client = client_key_of(headers, writer,
+                               trust_headers=self.trust_proxy_headers)
         allowed, retry_after = self.limiter.allow(client)
         if not allowed:
             self.telemetry.counter("service.rejected_ratelimit").inc()

@@ -8,6 +8,7 @@ kill-one-worker failover with zero lost jobs and results identical to
 a serial in-process baseline.
 """
 
+import asyncio
 import json
 import time
 import urllib.error
@@ -17,7 +18,13 @@ import pytest
 
 from repro.core.experiment import ExperimentSpec, run_experiment
 from repro.core.store import result_to_dict
-from repro.service.fleet import FleetServer, _job_body
+from repro.errors import ServiceError
+from repro.service.fleet import (
+    FleetServer,
+    WorkerHandle,
+    _job_body,
+    _PendingReplay,
+)
 from repro.service.jobs import Job
 
 TINY = dict(mix="mix1", measured_refs=300, warmup_refs=150,
@@ -186,6 +193,194 @@ class TestFailover:
         fleet.shutdown()
         with pytest.raises(Exception):
             client.submit([tiny(22)])
+
+    def test_kill_two_workers_still_drains(self, make_fleet, tmp_path):
+        """Cascading failure: replay of the first victim can discover
+        the second mid-flight without deadlocking the failover path."""
+        fleet = make_fleet(workers=3, store=tmp_path / "store",
+                           journal_dir=tmp_path / "journals")
+        client = FleetClient(fleet)
+        ids = [client.submit([tiny(seed)])["job_id"]
+               for seed in range(1, 9)]
+        first, second = fleet.live_workers[:2]
+        fleet.kill_worker(first)
+        fleet.kill_worker(second)
+        records = [client.wait(job_id, timeout=180.0) for job_id in ids]
+        assert all(r["state"] == "done" for r in records)
+        health = client.get("/healthz")
+        assert health["live_workers"] == 1
+
+    def test_dead_workers_terminal_jobs_stay_visible(self, make_fleet,
+                                                     tmp_path):
+        """A job finished on a worker that later dies keeps showing up
+        in both GET /jobs and GET /jobs/<id> (pinned at the front end)."""
+        fleet = make_fleet(workers=2, store=tmp_path / "store",
+                           journal_dir=tmp_path / "journals")
+        client = FleetClient(fleet)
+        probe = Job.create([((0,), ExperimentSpec(**tiny(41)))])
+        victim = fleet.ring.lookup(probe.job_key)
+        job = client.submit([tiny(41)])
+        client.wait(job["job_id"])
+        fleet.kill_worker(victim)
+
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            listing = {j["job_id"]: j
+                       for j in client.get("/jobs")["jobs"]}
+            record = listing.get(job["job_id"])
+            if record is not None and record["state"] == "done" \
+                    and client.get("/healthz")["live_workers"] == 1:
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("terminal job vanished from listings "
+                                 "after its worker died")
+        pinned = client.get(f"/jobs/{job['job_id']}")["job"]
+        assert pinned["state"] == "done"
+        assert pinned["worker"] == victim
+
+
+class TestRouteRetirement:
+    def test_terminal_routes_are_retired_but_still_served(
+            self, make_fleet):
+        fleet = make_fleet(workers=2)
+        client = FleetClient(fleet)
+        job = client.submit([tiny(31)])
+        assert client.wait(job["job_id"])["state"] == "done"
+        # the poll that observed the terminal state dropped the route,
+        # so the front end's memory is bounded by in-flight work
+        assert job["job_id"] not in fleet._routes
+        # the duplicate-id check survives retirement
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            client.post("/jobs", {"specs": [tiny(32)],
+                                  "job_id": job["job_id"]})
+        assert excinfo.value.code == 400
+        # and so do reads: the owning worker still has the record
+        assert client.get(f"/jobs/{job['job_id']}")["job"]["state"] \
+            == "done"
+        assert any(j["job_id"] == job["job_id"]
+                   for j in client.get("/jobs")["jobs"])
+
+
+class FakeProc:
+    """A dead worker process for loop-level failover tests."""
+
+    pid = 0
+
+    def is_alive(self):
+        return False
+
+    def kill(self):
+        pass
+
+
+def offline_fleet(tmp_path, **kwargs):
+    """A FleetServer with hand-built workers and no processes."""
+    kwargs.setdefault("workers", 2)
+    fleet = FleetServer(store=tmp_path / "store",
+                        journal_dir=tmp_path / "journals", **kwargs)
+    for index in range(kwargs["workers"]):
+        name = f"w{index}"
+        fleet.workers[name] = WorkerHandle(
+            name=name, process=FakeProc(), port=1,
+            journal=fleet.journal_dir / f"worker-{name}.jsonl")
+        fleet.ring.add(name)
+    return fleet
+
+
+def parked_replay(fleet, seed=3):
+    """Park one pending replay on ``fleet``; returns its job."""
+    job = Job.create([((0,), ExperimentSpec(**tiny(seed)))])
+    snapshot = job.to_dict()
+    snapshot["state"] = "submitted"
+    snapshot["worker"] = None
+    fleet._pending_replays[job.job_id] = _PendingReplay(
+        job_id=job.job_id, job_key=job.job_key, body=_job_body(job),
+        client="anon", snapshot=snapshot)
+    return job
+
+
+class TestFailoverInternals:
+    def test_cascading_failover_does_not_deadlock(self, tmp_path,
+                                                  monkeypatch):
+        """Journal replay that finds a second dead worker must fail it
+        under the already-held lock, not block re-acquiring it."""
+        from repro.service import fleet as fleet_mod
+        from repro.service.jobs import JobQueue
+
+        fleet = offline_fleet(tmp_path)
+        queue = JobQueue(fleet.workers["w0"].journal)
+        queue.submit(Job.create([((0,), ExperimentSpec(**tiny(1)))]))
+        queue.close()
+
+        async def dead_fetch(*args, **kwargs):
+            raise ServiceError("unreachable")
+
+        monkeypatch.setattr(fleet_mod, "fetch", dead_fetch)
+
+        async def scenario():
+            fleet._failover_lock = asyncio.Lock()
+            # w0's replay forwards to w1, finds it dead too, and must
+            # complete (pre-fix: hangs forever on the failover lock)
+            await asyncio.wait_for(
+                fleet._fail_worker("w0", "test"), timeout=10)
+
+        asyncio.run(scenario())
+        assert fleet.live_workers == []
+        assert len(fleet.ring) == 0
+        # with no survivors the job parks for retry instead of vanishing
+        assert len(fleet._pending_replays) == 1
+        counters = fleet.telemetry.snapshot()["counters"]
+        assert counters["fleet.replay_deferred"] == 1
+
+    def test_parked_replay_retries_until_admitted(self, tmp_path):
+        fleet = offline_fleet(tmp_path)
+        job = parked_replay(fleet)
+        responses = [(429, {"error": "job queue is full"}),
+                     (202, {"job": {"job_id": job.job_id}})]
+
+        async def fake_forward(job_key, body, headers, locked=False):
+            return responses.pop(0)
+
+        fleet._forward = fake_forward
+        asyncio.run(fleet._drain_pending_replays())
+        # bounced on backpressure: parked, not lost, and pollers see
+        # the journaled record instead of a 502
+        assert job.job_id in fleet._pending_replays
+        assert fleet._local_job(job.job_id)["state"] == "submitted"
+        asyncio.run(fleet._drain_pending_replays())
+        assert job.job_id not in fleet._pending_replays
+        counters = fleet.telemetry.snapshot()["counters"]
+        assert counters["fleet.replayed"] == 1
+
+    def test_replay_exhaustion_pins_a_terminal_error(self, tmp_path):
+        fleet = offline_fleet(tmp_path, replay_retries=2)
+        job = parked_replay(fleet)
+
+        async def always_full(job_key, body, headers, locked=False):
+            return 429, {"error": "job queue is full"}
+
+        fleet._forward = always_full
+        asyncio.run(fleet._drain_pending_replays())
+        asyncio.run(fleet._drain_pending_replays())
+        assert job.job_id not in fleet._pending_replays
+        record = fleet._local_job(job.job_id)
+        assert record["state"] == "quarantined"
+        assert "replay exhausted" in record["error"]
+        counters = fleet.telemetry.snapshot()["counters"]
+        assert counters["fleet.replay_failures"] == 1
+
+    def test_pinned_finals_are_bounded(self, tmp_path):
+        fleet = offline_fleet(tmp_path)
+        fleet.FINALS_CAP = 4
+        for index in range(10):
+            fleet._pin_final(f"job-{index}", {"job_id": f"job-{index}",
+                                              "state": "done"})
+        assert len(fleet._finals) == 4
+        # evicted ids still trip the duplicate-id check via the
+        # (itself bounded) seen-set
+        assert "job-0" in fleet._seen_ids
+        assert "job-9" in fleet._finals
 
 
 class TestJobBody:

@@ -114,7 +114,8 @@ class TestBackpressure:
 
 class TestRateLimit:
     def test_second_request_within_burst_window_is_429(self, make_server):
-        server = make_server(rate=0.001, burst=1)
+        server = make_server(rate=0.001, burst=1,
+                             trust_proxy_headers=True)
         client = ServiceClient(f"http://127.0.0.1:{server.port}",
                                client_id="limited")
         server.scheduler.paused = True
@@ -127,7 +128,8 @@ class TestRateLimit:
         assert metrics["counters"]["service.rejected_ratelimit"] == 1
 
     def test_distinct_clients_have_distinct_buckets(self, make_server):
-        server = make_server(rate=0.001, burst=1)
+        server = make_server(rate=0.001, burst=1,
+                             trust_proxy_headers=True)
         server.scheduler.paused = True
         one = ServiceClient(f"http://127.0.0.1:{server.port}",
                             client_id="one")
@@ -216,7 +218,13 @@ def test_client_rejects_bad_urls():
 
 
 class TestClientKeying:
-    """Rate-limit identity: X-Client-Id > X-Forwarded-For > peer."""
+    """Rate-limit identity.
+
+    Trusted (behind a proxy): X-Client-Id > X-Forwarded-For > peer.
+    Untrusted (the default): the socket peer, always — the headers
+    are client-controlled and would let anyone mint a fresh bucket
+    per request.
+    """
 
     class FakeWriter:
         def __init__(self, peer=("10.0.0.9", 4242)):
@@ -225,12 +233,12 @@ class TestClientKeying:
         def get_extra_info(self, name):
             return self._peer if name == "peername" else None
 
-    def test_explicit_client_id_wins(self):
+    def test_explicit_client_id_wins_when_trusted(self):
         from repro.service.server import client_key_of
 
         key = client_key_of(
             {"x-client-id": "alice", "x-forwarded-for": "1.2.3.4"},
-            self.FakeWriter())
+            self.FakeWriter(), trust_headers=True)
         assert key == "alice"
 
     def test_forwarded_for_uses_leftmost_hop(self):
@@ -238,13 +246,22 @@ class TestClientKeying:
 
         key = client_key_of(
             {"x-forwarded-for": "1.2.3.4, 10.0.0.1, 10.0.0.2"},
-            self.FakeWriter())
+            self.FakeWriter(), trust_headers=True)
         assert key == "1.2.3.4"
+
+    def test_untrusted_ignores_identity_headers(self):
+        from repro.service.server import client_key_of
+
+        key = client_key_of(
+            {"x-client-id": "alice", "x-forwarded-for": "1.2.3.4"},
+            self.FakeWriter())
+        assert key == "10.0.0.9"
 
     def test_falls_back_to_peer_address(self):
         from repro.service.server import client_key_of
 
-        assert client_key_of({}, self.FakeWriter()) == "10.0.0.9"
+        assert client_key_of({}, self.FakeWriter(),
+                             trust_headers=True) == "10.0.0.9"
 
     def test_no_peer_is_anon(self):
         from repro.service.server import client_key_of
@@ -252,8 +269,9 @@ class TestClientKeying:
         assert client_key_of({}, self.FakeWriter(peer=None)) == "anon"
 
     def test_proxied_clients_rate_limited_separately(self, make_server):
-        """Two clients behind one proxy hop get distinct buckets."""
-        server = make_server(rate=0.001, burst=1)
+        """Two clients behind one trusted proxy get distinct buckets."""
+        server = make_server(rate=0.001, burst=1,
+                             trust_proxy_headers=True)
         body = json.dumps({"specs": [{"mix": "mix1", **TINY}]})
 
         def submit(xff):
@@ -265,3 +283,22 @@ class TestClientKeying:
         assert submit("1.1.1.1") == 202
         assert submit("2.2.2.2") == 202  # different origin, own bucket
         assert submit("1.1.1.1, 9.9.9.9") == 429  # same origin: limited
+
+    def test_spoofed_identities_cannot_dodge_the_bucket(
+            self, make_server):
+        """A direct client minting ids per request stays one bucket."""
+        server = make_server(rate=0.001, burst=1)
+        server.scheduler.paused = True
+        body = json.dumps({"specs": [{"mix": "mix1", **TINY}]})
+
+        def submit(seed, client_id):
+            payload = json.loads(body)
+            payload["specs"][0]["seed"] = seed
+            return raw_request(
+                server.port, "POST", "/jobs",
+                body=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json",
+                         "X-Client-Id": client_id})[0]
+
+        assert submit(1, "alias-1") == 202
+        assert submit(2, "alias-2") == 429  # same peer: same bucket
