@@ -121,6 +121,96 @@ def _bench_qos_overhead(ctx: BenchContext) -> List[BenchRecord]:
     )]
 
 
+def _bench_obs_tracing(ctx: BenchContext) -> List[BenchRecord]:
+    """Distributed-tracing overhead guard.
+
+    Runs the same grid through :class:`SweepExecutor` with tracing off
+    and on.  The cold pass proves the spans never perturb simulation
+    output (byte-identical serialized results — a hard failure if
+    not); the warm pass times pure executor overhead on store hits,
+    where span bookkeeping is the only extra work.
+    """
+    import json
+    import tempfile
+
+    from ..core.executor import SweepExecutor
+    from ..core.store import result_to_dict
+    from ..obs.tracing import Tracer
+
+    refs = ctx.cell_refs(full=800, quick=300)
+    specs = [
+        _spec(ctx, refs, sharing=sharing, policy=policy,
+              engine_mode="batched")
+        for sharing in ("shared-2", "shared-4")
+        for policy in ("rr", "affinity")
+    ]
+    cells = [((spec.sharing, spec.policy), spec) for spec in specs]
+
+    def grid(tracer) -> tuple:
+        store = ResultStore()
+        executor = SweepExecutor(jobs=1, store=store, tracer=tracer)
+        executor.run(cells)  # cold: simulate and fill the store
+        warm = _timed(lambda: executor.run(cells))  # warm: store hits
+        blobs = [json.dumps(result_to_dict(store.get(spec)),
+                            sort_keys=True) for spec in specs]
+        return warm, blobs
+
+    off_s, off_blobs = grid(None)
+    with tempfile.TemporaryDirectory() as td:
+        tracer = Tracer("bench", log_dir=td)
+        on_s, on_blobs = grid(tracer)
+        spans = len(tracer.spans())
+    if off_blobs != on_blobs:
+        raise ReproError(
+            "tracing perturbed simulation output: results with the "
+            "tracer enabled are not byte-identical")
+
+    # warm service round-trip with and without span logging: the
+    # end-to-end figure the CI overhead guard holds to within 5%
+    from ..service import ServiceClient, ServiceServer
+
+    repeats = 5 if ctx.quick else 15
+    rt_spec = specs[0]
+
+    def roundtrip_ms(trace_dir) -> float:
+        server = ServiceServer(port=0, trace_dir=trace_dir)
+        server.start_in_thread()
+        try:
+            client = ServiceClient(
+                f"http://{server.host}:{server.port}")
+            job = client.submit([rt_spec])  # warm the store
+            client.wait(job["job_id"], timeout=120.0)
+
+            def once():
+                handle = client.submit([rt_spec])
+                client.wait(handle["job_id"], timeout=120.0)
+
+            times = sorted(_timed(once) for _ in range(repeats))
+            return 1000.0 * times[len(times) // 2]  # median
+        finally:
+            server.shutdown()
+
+    rt_off = roundtrip_ms(None)
+    with tempfile.TemporaryDirectory() as td:
+        rt_on = roundtrip_ms(td)
+
+    return [BenchRecord(
+        bench="obs-tracing", target="kernel", quick=ctx.quick,
+        params={"mix": "mix1", "measured_refs": refs,
+                "cells": len(cells), "seed": ctx.seed},
+        metrics={
+            "off_ms": 1000.0 * off_s,
+            "on_ms": 1000.0 * on_s,
+            "overhead_ratio": on_s / max(1e-9, off_s),
+            "roundtrip_off_ms": rt_off,
+            "roundtrip_on_ms": rt_on,
+            "roundtrip_overhead_ratio": rt_on / max(1e-9, rt_off),
+            "byte_identical": 1.0,
+            "spans": float(spans),
+        },
+    )]
+
+
 # ----------------------------------------------------------------------
 # sweep / service basket
 # ----------------------------------------------------------------------
@@ -215,6 +305,7 @@ _BASKET: Dict[str, Callable[[BenchContext], List[BenchRecord]]] = {
     "cell-cold": _bench_cell_cold,
     "cell-warm": _bench_cell_warm,
     "qos-overhead": _bench_qos_overhead,
+    "obs-tracing": _bench_obs_tracing,
     "sweep-throughput": _bench_sweep_throughput,
     "service-roundtrip": _bench_service_roundtrip,
     "service-loadgen": _bench_service_loadgen,

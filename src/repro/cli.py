@@ -202,7 +202,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_p = sub.add_parser(
         "trace", help="run one experiment and export a Chrome trace "
-                      "(Perfetto / chrome://tracing)")
+                      "(Perfetto / chrome://tracing), or with --job "
+                      "collect a distributed job trace from span logs")
+    trace_p.add_argument("--job", default=None, metavar="JOB_ID",
+                         help="collect this job's distributed trace from "
+                              "--trace-dir span logs instead of running "
+                              "an experiment")
+    trace_p.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="span-log directory written by a traced "
+                              "serve/fleet (required with --job)")
     trace_p.add_argument("--mix", default="mix5",
                          help="Table IV mix name or iso-<workload>")
     trace_p.add_argument("--sharing", default="shared-4", choices=_SHARINGS)
@@ -270,6 +278,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="job attempts before quarantine")
     serve_p.add_argument("--backoff", type=float, default=0.5,
                          help="base retry backoff in seconds")
+    serve_p.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="write distributed-tracing span logs here "
+                              "(default: tracing off)")
 
     fleet_p = sub.add_parser(
         "fleet", help="run N workers behind a consistent-hash routing "
@@ -310,6 +321,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="base retry backoff in seconds")
     fleet_p.add_argument("--health-interval", type=float, default=0.25,
                          help="seconds between worker health probes")
+    fleet_p.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="write span logs (front end and every "
+                              "worker) here; default: tracing off")
+
+    top_p = sub.add_parser(
+        "top", help="live dashboard over a running service or fleet's "
+                    "/metrics (htop-style, refreshes in place)")
+    top_p.add_argument("--url", default="http://127.0.0.1:8765",
+                       help="service or fleet base URL")
+    top_p.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between refreshes")
+    top_p.add_argument("--count", type=int, default=0,
+                       help="exit after N refreshes (0 = until Ctrl-C)")
+    top_p.add_argument("--no-clear", action="store_true",
+                       help="append frames instead of clearing the "
+                            "screen (for logs/CI)")
 
     submit_p = sub.add_parser(
         "submit", help="submit an experiment grid to a running service")
@@ -700,9 +727,63 @@ def _cmd_qos(args) -> int:
     return 0
 
 
+def _cmd_trace_job(args) -> int:
+    """``repro trace --job ID``: merge span logs into one job trace."""
+    import json
+
+    from .obs import (CATEGORY_LABELS, align_clocks, collect_spans,
+                      critical_path, spans_to_chrome, trace_for_job,
+                      validate_trace)
+
+    if args.trace_dir is None:
+        raise ReproError("--job needs --trace-dir (the span-log "
+                         "directory the service was started with)")
+    spans, torn = collect_spans(args.trace_dir)
+    if not spans:
+        raise ReproError(f"no span logs under {args.trace_dir}")
+    if torn:
+        print(f"warning: skipped {torn} torn span-log line(s)",
+              file=sys.stderr)
+    spans = align_clocks(spans)
+    job_spans = trace_for_job(spans, args.job)
+    if not job_spans:
+        raise ReproError(f"no spans mention job {args.job!r}; is the "
+                         f"trace directory right and the job finished?")
+    report = validate_trace(job_spans)
+    path = critical_path(job_spans)
+    total_s = path.total_us / 1e6
+    rows = []
+    for cat, micros in sorted(path.segments.items(),
+                              key=lambda kv: -kv[1]):
+        label = CATEGORY_LABELS.get(cat, cat)
+        share = 100.0 * micros / path.total_us if path.total_us else 0.0
+        rows.append([label, f"{micros / 1e6:.3f}s", f"{share:.1f}%"])
+    print(format_table(["Segment", "Time", "Share"], rows,
+                       title=f"Job {args.job}: critical path "
+                             f"({total_s:.3f}s end to end)"))
+    print()
+    processes = sorted({(s.process, s.pid) for s in job_spans})
+    print(f"{len(job_spans)} spans across {len(processes)} process(es): "
+          + ", ".join(f"{name} (pid {pid})" for name, pid in processes))
+    for root in report["roots"]:
+        print(f"root span: {root.name} @ {root.process}")
+    with open(args.out, "w") as handle:
+        json.dump(spans_to_chrome(job_spans), handle, indent=1)
+    print(f"Chrome trace saved to {args.out} "
+          f"(open in Perfetto / chrome://tracing)")
+    if report["orphans"]:
+        names = ", ".join(s.name for s in report["orphans"])
+        print(f"error: {len(report['orphans'])} orphan span(s) with a "
+              f"missing parent: {names}", file=sys.stderr)
+        return EXIT_ERROR
+    return EXIT_OK
+
+
 def _cmd_trace(args) -> int:
     from .obs import Telemetry
 
+    if args.job is not None:
+        return _cmd_trace_job(args)
     telemetry = Telemetry()
     spec = ExperimentSpec(mix=args.mix, sharing=args.sharing,
                           policy=args.policy, seed=args.seed,
@@ -828,6 +909,7 @@ def _cmd_serve(args) -> int:
         executor_jobs=args.jobs, concurrency=args.concurrency,
         max_attempts=args.max_attempts,
         backoff_base=args.backoff,
+        trace_dir=args.trace_dir,
     )
 
     async def _serve() -> None:
@@ -861,6 +943,7 @@ def _cmd_fleet(args) -> int:
         queue_limit=args.queue_limit, rate=args.rate, burst=args.burst,
         executor_jobs=args.jobs, concurrency=args.concurrency,
         max_attempts=args.max_attempts, backoff_base=args.backoff,
+        trace_dir=args.trace_dir,
     )
 
     async def _serve() -> None:
@@ -877,6 +960,39 @@ def _cmd_fleet(args) -> int:
 
     asyncio.run(_serve())
     return EXIT_OK
+
+
+def _cmd_top(args) -> int:
+    import time as _time
+
+    from .analysis.top import render_dashboard
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    previous = None
+    frame = 0
+    while True:
+        payload = client.metrics()
+        try:
+            healthz = client.healthz()
+        except Exception:
+            healthz = None
+        aggregate = payload.get("aggregate", payload)
+        text = render_dashboard(
+            payload, healthz=healthz, previous=previous,
+            interval=args.interval if previous is not None else None)
+        if not args.no_clear:
+            print("\x1b[2J\x1b[H", end="")
+        stamp = _time.strftime("%H:%M:%S")
+        print(f"repro top — {args.url} — {stamp} "
+              f"(refresh {args.interval:g}s)")
+        print()
+        print(text, flush=True)
+        previous = aggregate
+        frame += 1
+        if args.count and frame >= args.count:
+            return EXIT_OK
+        _time.sleep(args.interval)
 
 
 def _cmd_loadgen(args) -> int:
@@ -1098,6 +1214,7 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
+    "top": _cmd_top,
     "loadgen": _cmd_loadgen,
     "bench": _cmd_bench,
     "stats": _cmd_stats,

@@ -65,7 +65,7 @@ RetryCallback = Callable[[tuple, ExperimentSpec, int, str], None]
 """Called as ``on_retry(key, spec, attempt, error)`` before a retry."""
 
 
-def _run_cell(payload: Tuple[int, ExperimentSpec, int]):
+def _run_cell(payload: Tuple):
     """Worker entry point: run one cell, never raise.
 
     Module-level (hence picklable by reference) so it survives the
@@ -73,10 +73,19 @@ def _run_cell(payload: Tuple[int, ExperimentSpec, int]):
     the store; workers only compute.  A positive ``epoch`` samples the
     cell through a worker-local telemetry hub; the sampled series ride
     back to the parent on ``result.series`` (plain JSON, picklable).
+
+    The payload is ``(index, spec, epoch)`` or, when the parent traces,
+    ``(index, spec, epoch, trace)`` with ``trace`` a plain dict
+    (``traceparent``/``log_dir``/``service``) — strings survive the
+    pickle boundary, so the worker joins the parent's trace and appends
+    a ``cell.simulate`` span to its own per-process span log.
     """
-    index, spec, epoch = payload
+    index, spec, epoch = payload[0], payload[1], payload[2]
+    trace = payload[3] if len(payload) > 3 else None
     start = time.perf_counter()
     try:
+        from contextlib import nullcontext
+
         from .experiment import run_experiment
 
         telemetry = None
@@ -84,8 +93,18 @@ def _run_cell(payload: Tuple[int, ExperimentSpec, int]):
             from ..obs.telemetry import Telemetry
 
             telemetry = Telemetry()
-        result = run_experiment(spec, use_cache=False,
-                                telemetry=telemetry, epoch=epoch)
+        span = nullcontext()
+        if trace is not None:
+            from ..obs.tracing import SpanContext, process_tracer
+
+            tracer = process_tracer(trace["log_dir"], trace["service"])
+            span = tracer.start_span(
+                "cell.simulate", cat="sim",
+                parent=SpanContext.parse(trace.get("traceparent")),
+                attrs={"index": index})
+        with span:
+            result = run_experiment(spec, use_cache=False,
+                                    telemetry=telemetry, epoch=epoch)
         return index, result, None, time.perf_counter() - start
     except Exception:
         return index, None, traceback.format_exc(), time.perf_counter() - start
@@ -146,6 +165,7 @@ class SweepExecutor:
         retries: int = 0,
         retry_backoff: float = 0.5,
         on_retry: Optional[RetryCallback] = None,
+        tracer=None,
     ):
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -169,20 +189,29 @@ class SweepExecutor:
         self.retries = retries
         self.retry_backoff = retry_backoff
         self.on_retry = on_retry
+        self.tracer = tracer
 
     def run(
-        self, cells: Sequence[Tuple[tuple, ExperimentSpec]]
+        self, cells: Sequence[Tuple[tuple, ExperimentSpec]],
+        trace_parent=None,
     ) -> List[CellOutcome]:
         """Execute every cell; returns outcomes in input order.
 
         The store is consulted first (warm cells cost nothing), then the
         remaining cells run — deduplicated, so two cells whose specs
         resolve identically simulate once and share the result.
+
+        ``trace_parent`` (a :class:`~repro.obs.tracing.SpanContext`)
+        parents the grid's distributed-trace spans when a ``tracer``
+        was supplied; simulation results are identical either way.
         """
+        import contextlib
+
         from ..obs.trace import WALL_PID, TraceEvent, wall_now_us
         from .store import get_default_store
 
         telemetry = self.telemetry
+        tracer = self.tracer
         store = self.store if self.store is not None else get_default_store()
         resolved = [(key, resolve_defaults(spec)) for key, spec in cells]
         total = len(resolved)
@@ -199,10 +228,20 @@ class SweepExecutor:
             if self.progress is not None:
                 self.progress(done, total, outcome)
 
-        with telemetry.span(f"grid[{total}]", cat="executor"):
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(
+                telemetry.span(f"grid[{total}]", cat="executor"))
+            grid_ctx = None
+            if tracer is not None:
+                grid_span = stack.enter_context(tracer.start_span(
+                    "executor.grid", parent=trace_parent, cat="run",
+                    attrs={"cells": total}))
+                grid_ctx = grid_span.context
+
             # tier 1: the store
             pending: Dict[ExperimentSpec, List[int]] = {}
             for index, (key, spec) in enumerate(resolved):
+                get_start = time.perf_counter()
                 cached = store.get(spec)
                 if cached is not None:
                     telemetry.counter("executor.cache_hits").inc()
@@ -210,14 +249,34 @@ class SweepExecutor:
                         name=f"cached {key}", cat="executor", ph="i",
                         ts=wall_now_us(), pid=WALL_PID,
                     ))
+                    if grid_ctx is not None:
+                        tracer.record_span(
+                            "cell.cached", cat="store",
+                            duration_s=time.perf_counter() - get_start,
+                            parent=grid_ctx, attrs={"key": str(key)})
                     record(index, CellOutcome(key, spec, result=cached,
                                               from_cache=True))
                 else:
                     pending.setdefault(spec, []).append(index)
 
-            # tier 2: simulate the distinct cold specs
-            jobs = [(indices[0], spec, self.epoch)
-                    for spec, indices in pending.items()]
+            # tier 2: simulate the distinct cold specs.  When the cells
+            # fan out over a pool *and* the tracer has a durable log,
+            # context rides in the payload and each worker records its
+            # own span (real pid lanes); otherwise the parent records
+            # the span from the measured wall time.
+            pooled = self.jobs > 1 and len(pending) > 1
+            trace_payload = None
+            if grid_ctx is not None and pooled and tracer.log_dir is not None:
+                trace_payload = {
+                    "traceparent": grid_ctx.to_traceparent(),
+                    "log_dir": str(tracer.log_dir),
+                    "service": f"{tracer.service}-sim",
+                }
+            jobs = [
+                (indices[0], spec, self.epoch) if trace_payload is None
+                else (indices[0], spec, self.epoch, trace_payload)
+                for spec, indices in pending.items()
+            ]
             for index, result, error, wall in self._execute(jobs):
                 key, spec = resolved[index]
                 result, error, wall, retried = self._maybe_retry(
@@ -231,10 +290,22 @@ class SweepExecutor:
                     name=f"cell {key}", cat="executor", duration_s=wall,
                     args={"ok": error is None},
                 )
+                if grid_ctx is not None and trace_payload is None:
+                    tracer.record_span(
+                        "cell.simulate", cat="sim", duration_s=wall,
+                        parent=grid_ctx,
+                        attrs={"key": str(key)},
+                        status="ok" if error is None else "error")
                 if error is None:
+                    put_start = time.perf_counter()
                     store.put(spec, result)
                     if result.series is not None:
                         store.put_series(spec, result.series)
+                    if grid_ctx is not None:
+                        tracer.record_span(
+                            "store.put", cat="store",
+                            duration_s=time.perf_counter() - put_start,
+                            parent=grid_ctx, attrs={"key": str(key)})
                 for cell_index in pending[spec]:
                     cell_key = resolved[cell_index][0]
                     record(cell_index, CellOutcome(

@@ -11,6 +11,7 @@ wall-clock spans, and everything exports to Chrome-trace JSON
 
 from .probes import EpochProbe, VmDelta, VmDeltaTracker
 from .series import TimeSeries, series_from_dict, series_to_dict
+from .slo import SloTracker
 from .telemetry import (
     NULL_TELEMETRY,
     Counter,
@@ -18,7 +19,24 @@ from .telemetry import (
     Histogram,
     NullTelemetry,
     Telemetry,
+    histogram_percentile,
+    merge_snapshots,
     render_prometheus,
+)
+from .tracing import (
+    CATEGORY_LABELS,
+    TRACEPARENT_HEADER,
+    CriticalPath,
+    Span,
+    SpanContext,
+    Tracer,
+    align_clocks,
+    collect_spans,
+    critical_path,
+    process_tracer,
+    spans_to_chrome,
+    trace_for_job,
+    validate_trace,
 )
 from .trace import (
     SIM_PID,
@@ -30,6 +48,22 @@ from .trace import (
 )
 
 __all__ = [
+    "CATEGORY_LABELS",
+    "TRACEPARENT_HEADER",
+    "CriticalPath",
+    "Span",
+    "SpanContext",
+    "SloTracker",
+    "Tracer",
+    "align_clocks",
+    "collect_spans",
+    "critical_path",
+    "histogram_percentile",
+    "merge_snapshots",
+    "process_tracer",
+    "spans_to_chrome",
+    "trace_for_job",
+    "validate_trace",
     "EpochProbe",
     "VmDelta",
     "VmDeltaTracker",

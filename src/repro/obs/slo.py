@@ -1,0 +1,94 @@
+"""Rolling SLO tracking: windowed latency percentiles and error burn.
+
+The telemetry histograms are cumulative-over-process-lifetime; an SLO
+wants *recent* behaviour.  :class:`SloTracker` keeps a sliding time
+window of (latency, error) observations and exports exact percentiles
+plus an error-rate burn gauge (observed error rate over the error
+budget — burn > 1 means the budget is being spent faster than allowed).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+__all__ = ["SloTracker"]
+
+
+class SloTracker:
+    """Sliding-window request tracker.
+
+    ``observe()`` is O(1) amortised; ``snapshot()`` sorts the window
+    (bounded by ``max_samples``) for exact percentiles.
+    """
+
+    def __init__(self, window_s: float = 60.0, error_budget: float = 0.01,
+                 max_samples: int = 4096) -> None:
+        if window_s <= 0:
+            raise ValueError("SLO window must be positive")
+        if not 0 < error_budget <= 1:
+            raise ValueError("error budget must be in (0, 1]")
+        self.window_s = window_s
+        self.error_budget = error_budget
+        self.max_samples = max_samples
+        self._samples: Deque[Tuple[float, float, bool]] = deque(maxlen=max_samples)
+        self._lock = threading.Lock()
+
+    def observe(self, latency_s: float, error: bool = False,
+                now: float = None) -> None:
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            self._samples.append((now, float(latency_s), bool(error)))
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.window_s
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+
+    def _percentile(self, latencies, q: float) -> float:
+        if not latencies:
+            return 0.0
+        if len(latencies) == 1:
+            return latencies[0]
+        pos = (q / 100.0) * (len(latencies) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(latencies) - 1)
+        frac = pos - lo
+        return latencies[lo] * (1 - frac) + latencies[hi] * frac
+
+    def snapshot(self, now: float = None) -> Dict[str, float]:
+        """Current SLO gauges: p50/p99 latency, error rate, burn rate."""
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            self._prune(now)
+            samples = list(self._samples)
+        if not samples:
+            return {
+                "p50_seconds": 0.0,
+                "p99_seconds": 0.0,
+                "error_rate": 0.0,
+                "burn_rate": 0.0,
+                "window_requests": 0.0,
+            }
+        latencies = sorted(lat for _, lat, _ in samples)
+        errors = sum(1 for _, _, err in samples if err)
+        error_rate = errors / len(samples)
+        return {
+            "p50_seconds": self._percentile(latencies, 50.0),
+            "p99_seconds": self._percentile(latencies, 99.0),
+            "error_rate": error_rate,
+            "burn_rate": error_rate / self.error_budget,
+            "window_requests": float(len(samples)),
+        }
+
+    def export(self, telemetry, prefix: str) -> Dict[str, float]:
+        """Set ``<prefix>.<gauge>`` on ``telemetry`` and return them."""
+        gauges = self.snapshot()
+        for key, value in gauges.items():
+            telemetry.gauge(f"{prefix}.{key}").set(value)
+        return gauges

@@ -225,6 +225,7 @@ class Telemetry:
                     "bounds": list(h.bounds),
                     "counts": list(h.counts),
                     "mean": h.mean,
+                    "total": h.total,
                     "observations": h.observations,
                 }
                 for n, h in sorted(self.histograms.items())
@@ -268,9 +269,22 @@ def render_prometheus(snapshot: dict) -> str:
             lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
         cumulative += hist["counts"][-1]
         lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
-        lines.append(f"{metric}_sum {hist.get('mean', 0.0) * hist['observations']}")
+        lines.append(f"{metric}_sum {_hist_total(hist)}")
         lines.append(f"{metric}_count {hist['observations']}")
     return "\n".join(lines) + "\n"
+
+
+def _hist_total(hist: dict) -> float:
+    """Exact sum of a snapshot histogram's observations.
+
+    Prefers the exact ``total`` field (added in the tracing PR); falls
+    back to ``mean * observations`` for snapshots from older emitters,
+    which round-trips the same value modulo float re-division.
+    """
+    total = hist.get("total")
+    if total is not None:
+        return float(total)
+    return hist.get("mean", 0.0) * hist.get("observations", 0)
 
 
 def histogram_percentile(hist: dict, q: float) -> float:
@@ -338,7 +352,7 @@ def merge_snapshots(snapshots: Sequence[dict]) -> dict:
                 histograms[name] = {
                     "bounds": list(hist["bounds"]),
                     "counts": list(hist["counts"]),
-                    "total": hist.get("mean", 0.0) * hist["observations"],
+                    "total": _hist_total(hist),
                     "observations": hist["observations"],
                 }
                 continue
@@ -347,7 +361,7 @@ def merge_snapshots(snapshots: Sequence[dict]) -> dict:
             merged["counts"] = [a + b for a, b in
                                 zip(merged["counts"], hist["counts"])]
             merged["observations"] += hist["observations"]
-            merged["total"] += hist.get("mean", 0.0) * hist["observations"]
+            merged["total"] += _hist_total(hist)
         trace_events += snap.get("trace_events", 0)
         trace_dropped += snap.get("trace_dropped", 0)
     return {
@@ -359,6 +373,7 @@ def merge_snapshots(snapshots: Sequence[dict]) -> dict:
                 "counts": h["counts"],
                 "mean": (h["total"] / h["observations"]
                          if h["observations"] else 0.0),
+                "total": h["total"],
                 "observations": h["observations"],
             }
             for name, h in sorted(histograms.items())

@@ -138,26 +138,29 @@ def chrome_trace_dict(
     ``process_names`` labels the trace rows; by default the two clock
     domains are named so a loaded trace is self-describing.
     """
-    if process_names is None:
-        process_names = {
-            SIM_PID: "simulated time (1 cycle = 1 us)",
-            WALL_PID: "wall clock",
-        }
+    labels = {
+        SIM_PID: "simulated time (1 cycle = 1 us)",
+        WALL_PID: "wall clock",
+    }
+    if process_names is not None:
+        labels.update(process_names)
     trace_events: List[dict] = []
     seen_pids = set()
     for event in events:
         seen_pids.add(event.pid)
         trace_events.append(event.to_json_dict())
+    # Every pid present in the event stream gets a metadata lane label,
+    # so merged multi-process traces render distinct rows in Perfetto
+    # instead of colliding on bare tids.
     metadata = [
         {
             "name": "process_name",
             "ph": "M",
             "pid": pid,
             "tid": 0,
-            "args": {"name": label},
+            "args": {"name": labels.get(pid, f"process {pid}")},
         }
-        for pid, label in sorted(process_names.items())
-        if pid in seen_pids
+        for pid in sorted(seen_pids)
     ]
     return {
         "traceEvents": metadata + trace_events,

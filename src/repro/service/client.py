@@ -46,10 +46,16 @@ class ServiceClient:
     busy_timeout:
         Total time :meth:`submit` keeps retrying through ``429``
         responses before giving up (0 = fail on the first 429).
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`.  When set,
+        :meth:`submit` opens a ``client.submit`` span and sends its
+        context as a ``traceparent`` header, so the server-side trace
+        chains all the way back to the caller.
     """
 
     def __init__(self, url: str, client_id: str = "anon",
-                 timeout: float = 30.0, busy_timeout: float = 0.0):
+                 timeout: float = 30.0, busy_timeout: float = 0.0,
+                 tracer=None):
         parts = urlsplit(url if "//" in url else f"http://{url}")
         if parts.scheme not in ("", "http"):
             raise ServiceError(f"unsupported URL scheme {parts.scheme!r}")
@@ -60,6 +66,7 @@ class ServiceClient:
         self.client_id = client_id
         self.timeout = timeout
         self.busy_timeout = busy_timeout
+        self.tracer = tracer
 
     # -- API calls -----------------------------------------------------
 
@@ -79,18 +86,36 @@ class ServiceClient:
                 entry["key"] = list(keys[index])
             entries.append(entry)
         body = {"specs": entries, "priority": priority}
-        deadline = time.monotonic() + self.busy_timeout
-        while True:
-            status, headers, payload = self._request("POST", "/jobs", body)
-            if status != 429:
-                self._check(status, payload)
-                return payload["job"]
-            retry_after = float(headers.get("retry-after", 1))
-            if time.monotonic() + retry_after > deadline:
-                raise ServiceError(
-                    f"server busy: {payload.get('error', '429')}",
-                    status=429, retry_after=retry_after)
-            time.sleep(retry_after)
+        span = None
+        extra_headers = None
+        if self.tracer is not None:
+            span = self.tracer.start_span("client.submit", cat="route",
+                                          attrs={"client": self.client_id})
+            extra_headers = {"traceparent": span.context.to_traceparent()}
+        try:
+            deadline = time.monotonic() + self.busy_timeout
+            while True:
+                status, headers, payload = self._request(
+                    "POST", "/jobs", body, extra_headers=extra_headers)
+                if status != 429:
+                    self._check(status, payload)
+                    if span is not None:
+                        span.set_attr("job_id",
+                                      payload["job"].get("job_id"))
+                    return payload["job"]
+                retry_after = float(headers.get("retry-after", 1))
+                if time.monotonic() + retry_after > deadline:
+                    raise ServiceError(
+                        f"server busy: {payload.get('error', '429')}",
+                        status=429, retry_after=retry_after)
+                time.sleep(retry_after)
+        except Exception:
+            if span is not None:
+                span.status = "error"
+            raise
+        finally:
+            if span is not None:
+                span.finish()
 
     def job(self, job_id: str) -> dict:
         status, _headers, payload = self._request(
@@ -157,11 +182,15 @@ class ServiceClient:
     # -- plumbing ------------------------------------------------------
 
     def _request(self, method: str, path: str, body: Optional[dict] = None,
-                 raw: bool = False) -> Tuple[int, dict, object]:
+                 raw: bool = False,
+                 extra_headers: Optional[dict] = None,
+                 ) -> Tuple[int, dict, object]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout)
         try:
             headers = {"X-Client-Id": self.client_id}
+            if extra_headers:
+                headers.update(extra_headers)
             data = None
             if body is not None:
                 data = json.dumps(body).encode("utf-8")

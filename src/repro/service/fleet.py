@@ -50,11 +50,13 @@ from typing import Dict, List, Optional, Union
 
 from ..core.store import ResultStore, result_to_dict
 from ..errors import ConfigurationError, ServiceError
+from ..obs.slo import SloTracker
 from ..obs.telemetry import (
     Telemetry,
     merge_snapshots,
     render_prometheus,
 )
+from ..obs.tracing import TRACEPARENT_HEADER, SpanContext, Tracer
 from .httpcommon import BadRequest, fetch, read_request, respond
 from .jobs import JobQueue, JobState
 from .ring import HashRing
@@ -120,6 +122,8 @@ class _Route:
     client: str
     snapshot: Optional[dict] = None
     replays: int = 0
+    trace: Optional[str] = None
+    """``traceparent`` of the front end's accept span, if traced."""
 
 
 @dataclass
@@ -139,6 +143,7 @@ class _PendingReplay:
     client: str
     snapshot: dict
     attempts: int = 0
+    trace: Optional[str] = None
 
 
 @dataclass
@@ -192,6 +197,12 @@ class FleetServer:
         end's *own* clients (only sane when the fleet itself sits
         behind another trusted proxy).  Workers always trust these
         headers from the front end.
+    trace_dir:
+        Shared span-log directory enabling distributed tracing: the
+        front end roots a ``job.accept`` span per submission and every
+        worker (and its executor subprocesses) appends spans to its own
+        log under this directory.  ``repro trace --job <id>
+        --trace-dir <dir>`` merges them.  ``None`` disables tracing.
     queue_limit, rate, burst, executor_jobs, concurrency,
     max_attempts, backoff_base, backoff_cap, executor_retries:
         Forwarded to each worker's :class:`ServiceServer`.
@@ -216,6 +227,7 @@ class FleetServer:
         replay_retries: int = 240,
         trust_proxy_headers: bool = False,
         telemetry: Optional[Telemetry] = None,
+        trace_dir: Optional[Union[str, Path]] = None,
         **worker_knobs,
     ):
         if workers < 1:
@@ -239,6 +251,10 @@ class FleetServer:
         self.replay_retries = replay_retries
         self.trust_proxy_headers = trust_proxy_headers
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.tracer = (Tracer("fleet-front", log_dir=self.trace_dir)
+                       if self.trace_dir is not None else None)
+        self.slo = SloTracker()
         self.store = ResultStore(self.store_path, telemetry=self.telemetry)
         self.ring = HashRing(replicas=replicas)
         self.workers: Dict[str, WorkerHandle] = {}
@@ -278,6 +294,9 @@ class FleetServer:
             # the only peer a worker hears from is the front end, whose
             # forwarded identity headers are authoritative
             "trust_proxy_headers": True,
+            **({"trace_dir": str(self.trace_dir),
+                "trace_service": f"service-{name}"}
+               if self.trace_dir is not None else {}),
         }
 
     def _spawn_worker(self, name: str) -> WorkerHandle:
@@ -398,6 +417,8 @@ class FleetServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self.tracer is not None:
+            self.tracer.flush()
 
     def _install_signal_handlers(self) -> None:
         try:
@@ -516,9 +537,28 @@ class FleetServer:
                 record["worker"] = worker.name
                 self._pin_final(job.job_id, record)
                 continue
+            replay_headers = {"X-Client-Id": job.client}
+            span = None
+            if self.tracer is not None:
+                # re-join the job's original trace: the accept span if
+                # the front end routed it, else the dead worker's
+                # journaled submit context
+                parent = SpanContext.parse(
+                    (route.trace if route is not None else None)
+                    or job.trace)
+                span = self.tracer.start_span(
+                    "job.replay", parent=parent, cat="replay",
+                    attrs={"job_id": job.job_id,
+                           "dead_worker": worker.name})
+                replay_headers[TRACEPARENT_HEADER] = \
+                    span.context.to_traceparent()
             status, payload = await self._forward(
-                job.job_key, _job_body(job),
-                {"X-Client-Id": job.client}, locked=True)
+                job.job_key, _job_body(job), replay_headers, locked=True)
+            if span is not None:
+                span.set_attr("http_status", status)
+                if not (status == 202 or _is_duplicate(status, payload)):
+                    span.status = "error"
+                span.finish()
             if status == 202 or _is_duplicate(status, payload):
                 self.telemetry.counter("fleet.replayed").inc()
                 if route is not None:
@@ -536,7 +576,8 @@ class FleetServer:
             route.snapshot = snapshot
         self._pending_replays[job.job_id] = _PendingReplay(
             job_id=job.job_id, job_key=job.job_key,
-            body=_job_body(job), client=job.client, snapshot=snapshot)
+            body=_job_body(job), client=job.client, snapshot=snapshot,
+            trace=(route.trace if route is not None else None) or job.trace)
         self.telemetry.counter("fleet.replay_deferred").inc()
 
     async def _drain_pending_replays(self) -> None:
@@ -545,9 +586,23 @@ class FleetServer:
             entry = self._pending_replays.get(job_id)
             if entry is None:
                 continue
+            retry_headers = {"X-Client-Id": entry.client}
+            span = None
+            if self.tracer is not None:
+                span = self.tracer.start_span(
+                    "job.replay", parent=SpanContext.parse(entry.trace),
+                    cat="replay",
+                    attrs={"job_id": job_id,
+                           "attempt": entry.attempts + 1})
+                retry_headers[TRACEPARENT_HEADER] = \
+                    span.context.to_traceparent()
             status, payload = await self._forward(
-                entry.job_key, entry.body,
-                {"X-Client-Id": entry.client})
+                entry.job_key, entry.body, retry_headers)
+            if span is not None:
+                span.set_attr("http_status", status)
+                if not (status == 202 or _is_duplicate(status, payload)):
+                    span.status = "error"
+                span.finish()
             if status == 202 or _is_duplicate(status, payload):
                 self._pending_replays.pop(job_id, None)
                 route = self._routes.get(job_id)
@@ -605,7 +660,8 @@ class FleetServer:
                     if route is None:
                         self._routes[job_id] = _Route(
                             worker=name, body=body, job_key=job_key,
-                            client=headers.get("X-Client-Id", "anon"))
+                            client=headers.get("X-Client-Id", "anon"),
+                            trace=headers.get(TRACEPARENT_HEADER))
                     else:
                         route.worker = name
                         route.snapshot = None
@@ -680,6 +736,7 @@ class FleetServer:
                 # handlers; the connection is going away regardless
                 return
             self.telemetry.counter("fleet.http_requests").inc()
+            route_start = time.monotonic()
             try:
                 status, payload, extra = await self._route_request(
                     method, path, query, headers, body, writer)
@@ -689,6 +746,8 @@ class FleetServer:
                 self.telemetry.counter("fleet.http_errors").inc()
                 status, payload, extra = (
                     500, {"error": f"internal error: {exc!r}"}, {})
+            self.slo.observe(time.monotonic() - route_start,
+                             error=status >= 500)
             await respond(writer, status, payload, extra)
         finally:
             try:
@@ -723,6 +782,21 @@ class FleetServer:
     # -- endpoints -----------------------------------------------------
 
     async def _submit(self, headers, body, writer):
+        if self.tracer is None:
+            return await self._submit_inner(headers, body, writer, None)
+        # The fleet's accept span is the trace root for untraced
+        # clients; a client-minted traceparent parents it instead.
+        parent = SpanContext.parse(headers.get(TRACEPARENT_HEADER))
+        with self.tracer.start_span("job.accept", parent=parent,
+                                    cat="route") as span:
+            status, payload, extra = await self._submit_inner(
+                headers, body, writer, span)
+            span.set_attr("http_status", status)
+            if status >= 400:
+                span.status = "error"
+            return status, payload, extra
+
+    async def _submit_inner(self, headers, body, writer, span):
         if self._draining:
             return 503, {"error": "fleet is draining"}, {}
         client = client_key_of(headers, writer,
@@ -732,6 +806,11 @@ class FleetServer:
                 or job.job_id in self._seen_ids:
             return 400, {"error": f"duplicate job id {job.job_id!r}"}, {}
         forward_headers = {"X-Client-Id": client}
+        if span is not None:
+            span.set_attr("job_id", job.job_id)
+            span.set_attr("client", client)
+            forward_headers[TRACEPARENT_HEADER] = \
+                span.context.to_traceparent()
         peer = writer.get_extra_info("peername")
         if peer:
             # only propagate a caller-supplied forwarding chain when
@@ -745,9 +824,15 @@ class FleetServer:
         start = time.monotonic()
         status, payload = await self._forward(
             job.job_key, forward_body, forward_headers)
+        elapsed = time.monotonic() - start
         self.telemetry.histogram(
             "fleet.submit_seconds", bounds=LATENCY_BOUNDS
-        ).observe(time.monotonic() - start)
+        ).observe(elapsed)
+        if span is not None:
+            self.tracer.record_span(
+                "fleet.forward", cat="route", duration_s=elapsed,
+                parent=span.context,
+                attrs={"job_id": job.job_id, "http_status": status})
         extra = {}
         if status == 429:
             extra["retry_after"] = 2
@@ -874,6 +959,7 @@ class FleetServer:
 
         await asyncio.gather(*(grab(name) for name in self.live_workers),
                              return_exceptions=True)
+        self.slo.export(self.telemetry, "fleet.slo")
         own = self.telemetry.snapshot()
         own.pop("series", None)
         for name, snap in worker_snaps.items():

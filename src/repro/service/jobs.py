@@ -94,6 +94,8 @@ class Job:
     result_keys: List[str] = field(default_factory=list)
     cells_cached: int = 0
     cells_simulated: int = 0
+    trace: Optional[str] = None
+    """Incoming ``traceparent`` context of the submit, if traced."""
 
     def __post_init__(self) -> None:
         if not self.cells:
@@ -136,6 +138,7 @@ class Job:
             "result_keys": list(self.result_keys),
             "cells_cached": self.cells_cached,
             "cells_simulated": self.cells_simulated,
+            "trace": self.trace,
         }
 
     def summary(self) -> dict:
@@ -164,6 +167,7 @@ class Job:
             result_keys=list(payload.get("result_keys", [])),
             cells_cached=payload.get("cells_cached", 0),
             cells_simulated=payload.get("cells_simulated", 0),
+            trace=payload.get("trace"),
         )
 
 

@@ -43,6 +43,7 @@ from typing import Dict, List, Optional
 from ..core.executor import SweepExecutor
 from ..core.store import ResultStore, spec_key
 from ..errors import ConfigurationError
+from ..obs.tracing import SpanContext
 from .jobs import Job, JobQueue, JobState
 
 __all__ = ["JobScheduler", "LATENCY_BOUNDS"]
@@ -87,6 +88,7 @@ class JobScheduler:
         backoff_cap: float = 30.0,
         executor_retries: int = 1,
         telemetry=None,
+        tracer=None,
     ):
         if telemetry is None:
             from ..obs.telemetry import NULL_TELEMETRY
@@ -104,9 +106,16 @@ class JobScheduler:
         self.backoff_cap = backoff_cap
         self.executor_retries = executor_retries
         self.telemetry = telemetry
+        self.tracer = tracer
         self._inflight: Dict[str, str] = {}  # job_key -> primary job_id
         self._followers: Dict[str, List[str]] = {}
         self._submit_times: Dict[str, float] = {}
+        # tracing bookkeeping: pre-minted e2e span context (children are
+        # recorded against it before the e2e span itself lands) and the
+        # epoch-us wall stamp of the submit for backdating.
+        self._job_ctx: Dict[str, tuple] = {}
+        self._submit_wall: Dict[str, int] = {}
+        self._run_ctx: Dict[str, object] = {}
         # created lazily inside the run loop: binding an asyncio.Event
         # at construction time would capture the wrong loop on py3.9
         self._wakeup: Optional[asyncio.Event] = None
@@ -131,6 +140,14 @@ class JobScheduler:
         """
         self.telemetry.counter("service.submitted").inc()
         self._submit_times[job.job_id] = time.monotonic()
+        if self.tracer is not None:
+            # Mint the job's end-to-end span context *now*: children
+            # (queue wait, run, executor) parent to it even though the
+            # e2e span itself is only recorded at the terminal state.
+            parent = SpanContext.parse(job.trace)
+            self._job_ctx[job.job_id] = (
+                self.tracer.new_context(parent), parent)
+            self._submit_wall[job.job_id] = time.time_ns() // 1000
         primary = self._inflight.get(job.job_key)
         if primary is not None and self.coalesces(job.job_key):
             job.coalesced_with = primary
@@ -171,17 +188,44 @@ class JobScheduler:
 
     def _observe_wait(self, job_id: str) -> None:
         submitted = self._submit_times.get(job_id)
-        if submitted is not None:
-            self.telemetry.histogram(
-                "service.queue_wait_seconds", bounds=LATENCY_BOUNDS
-            ).observe(time.monotonic() - submitted)
+        if submitted is None:
+            return
+        wait = time.monotonic() - submitted
+        self.telemetry.histogram(
+            "service.queue_wait_seconds", bounds=LATENCY_BOUNDS
+        ).observe(wait)
+        if self.tracer is not None and job_id in self._job_ctx:
+            ctx, _parent = self._job_ctx[job_id]
+            self.tracer.record_span(
+                "job.queue_wait", cat="queue", duration_s=wait,
+                parent=ctx, ts_us=self._submit_wall.get(job_id),
+                attrs={"job_id": job_id})
 
     def _observe_done(self, job_id: str) -> None:
         submitted = self._submit_times.pop(job_id, None)
-        if submitted is not None:
-            self.telemetry.histogram(
-                "service.job_seconds", bounds=LATENCY_BOUNDS
-            ).observe(time.monotonic() - submitted)
+        if submitted is None:
+            self._job_ctx.pop(job_id, None)
+            self._submit_wall.pop(job_id, None)
+            return
+        elapsed = time.monotonic() - submitted
+        self.telemetry.histogram(
+            "service.job_seconds", bounds=LATENCY_BOUNDS
+        ).observe(elapsed)
+        entry = self._job_ctx.pop(job_id, None)
+        wall = self._submit_wall.pop(job_id, None)
+        if self.tracer is not None and entry is not None:
+            ctx, parent = entry
+            job = self.queue.get(job_id)
+            status = "ok"
+            if job is not None and job.state == JobState.QUARANTINED:
+                status = "error"
+            attrs = {"job_id": job_id}
+            if job is not None:
+                attrs["state"] = job.state
+            self.tracer.record_span(
+                "job.e2e", cat="job", duration_s=elapsed,
+                parent=parent, context=ctx, ts_us=wall,
+                attrs=attrs, status=status)
 
     # -- the run loop --------------------------------------------------
 
@@ -222,6 +266,11 @@ class JobScheduler:
                                  return_exceptions=True)
 
     async def _execute(self, job: Job) -> None:
+        run_ctx = None
+        run_t0 = time.monotonic()
+        if self.tracer is not None and job.job_id in self._job_ctx:
+            run_ctx = self.tracer.new_context(self._job_ctx[job.job_id][0])
+            self._run_ctx[job.job_id] = run_ctx
         try:
             outcomes = await asyncio.to_thread(self._run_cells, job)
         except Exception as exc:  # executor machinery itself broke
@@ -229,7 +278,15 @@ class JobScheduler:
             error = f"executor error: {exc!r}"
         finally:
             self._running.pop(job.job_id, None)
+            self._run_ctx.pop(job.job_id, None)
             self._wake()
+            if run_ctx is not None and job.job_id in self._job_ctx:
+                self.tracer.record_span(
+                    "job.run", cat="run",
+                    duration_s=time.monotonic() - run_t0,
+                    parent=self._job_ctx[job.job_id][0], context=run_ctx,
+                    attrs={"job_id": job.job_id,
+                           "attempt": job.attempts})
         if outcomes is not None:
             failures = [o for o in outcomes if not o.ok]
             if not failures:
@@ -260,13 +317,15 @@ class JobScheduler:
 
     def _run_cells(self, job: Job):
         """Worker-thread body: one executor run over the job's cells."""
+        run_ctx = self._run_ctx.get(job.job_id)
         executor = SweepExecutor(
             jobs=self.executor_jobs,
             store=self.store,
             telemetry=self.telemetry,
             retries=self.executor_retries,
+            tracer=self.tracer,
         )
-        return executor.run(job.cells)
+        return executor.run(job.cells, trace_parent=run_ctx)
 
     def _requeue(self, job_id: str) -> None:
         job = self.queue.get(job_id)

@@ -41,7 +41,9 @@ from typing import Optional, Union
 from ..core.experiment import ExperimentSpec
 from ..core.store import ResultStore, result_to_dict
 from ..errors import ServiceError
+from ..obs.slo import SloTracker
 from ..obs.telemetry import Telemetry, render_prometheus
+from ..obs.tracing import TRACEPARENT_HEADER, SpanContext, Tracer
 from .httpcommon import BadRequest, read_request, respond
 from .jobs import Job, JobQueue
 from .ratelimit import TokenBucket
@@ -148,6 +150,13 @@ class ServiceServer:
     backoff_cap, executor_retries:
         Forwarded to the :class:`JobScheduler` (``concurrency`` is the
         number of jobs one worker interleaves at once).
+    trace_dir, trace_service:
+        When ``trace_dir`` is set the server joins distributed traces:
+        incoming ``traceparent`` headers parent a ``service.submit``
+        span, context flows through scheduler and executor, and spans
+        land in a per-process log under ``trace_dir`` (see
+        ``docs/observability.md``).  ``None`` (default) disables
+        tracing entirely.
     """
 
     def __init__(
@@ -167,8 +176,13 @@ class ServiceServer:
         backoff_cap: float = 30.0,
         executor_retries: int = 1,
         telemetry: Optional[Telemetry] = None,
+        trace_dir: Optional[Union[str, Path]] = None,
+        trace_service: str = "service",
     ):
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.tracer = (Tracer(trace_service, log_dir=trace_dir)
+                       if trace_dir is not None else None)
+        self.slo = SloTracker()
         if isinstance(store, ResultStore):
             self.store = store
         else:
@@ -183,6 +197,7 @@ class ServiceServer:
             backoff_cap=backoff_cap,
             executor_retries=executor_retries,
             telemetry=self.telemetry,
+            tracer=self.tracer,
         )
         self.host = host
         self.port = port
@@ -289,6 +304,8 @@ class ServiceServer:
             self._server.close()
             await self._server.wait_closed()
         self.queue.close()
+        if self.tracer is not None:
+            self.tracer.flush()
 
     def _install_signal_handlers(self) -> None:
         try:
@@ -318,6 +335,7 @@ class ServiceServer:
                 # handlers; the connection is going away regardless
                 return
             self.telemetry.counter("service.http_requests").inc()
+            route_start = time.monotonic()
             try:
                 status, payload, extra = self._route(
                     method, path, query, headers, body, writer)
@@ -327,6 +345,8 @@ class ServiceServer:
                 self.telemetry.counter("service.http_errors").inc()
                 status, payload, extra = (
                     500, {"error": f"internal error: {exc!r}"}, {})
+            self.slo.observe(time.monotonic() - route_start,
+                             error=status >= 500)
             await respond(writer, status, payload, extra)
         finally:
             try:
@@ -375,6 +395,7 @@ class ServiceServer:
         }
 
     def _metrics(self, query: str):
+        self.slo.export(self.telemetry, "service.slo")
         snapshot = self.telemetry.snapshot()
         if "format=prometheus" in query:
             text = render_prometheus(snapshot)
@@ -383,6 +404,19 @@ class ServiceServer:
         return 200, snapshot, {}
 
     def _submit(self, headers, body, writer):
+        if self.tracer is None:
+            return self._submit_inner(headers, body, writer, None)
+        parent = SpanContext.parse(headers.get(TRACEPARENT_HEADER))
+        with self.tracer.start_span("service.submit", parent=parent,
+                                    cat="route") as span:
+            status, payload, extra = self._submit_inner(
+                headers, body, writer, span)
+            span.set_attr("http_status", status)
+            if status >= 400:
+                span.status = "error"
+            return status, payload, extra
+
+    def _submit_inner(self, headers, body, writer, span):
         client = client_key_of(headers, writer,
                                trust_headers=self.trust_proxy_headers)
         allowed, retry_after = self.limiter.allow(client)
@@ -401,5 +435,11 @@ class ServiceServer:
                 self.queue.pending_count >= self.queue_limit:
             self.telemetry.counter("service.rejected_backpressure").inc()
             return 429, {"error": "job queue is full"}, {"retry_after": 2}
+        if span is not None:
+            # the scheduler parents the job's e2e span under this
+            # submit span; the context must survive a journal replay
+            job.trace = span.context.to_traceparent()
+            span.set_attr("job_id", job.job_id)
+            span.set_attr("client", client)
         job = self.scheduler.submit(job)
         return 202, {"job": job.summary()}, {}

@@ -1,0 +1,20 @@
+"""Tests for the obs-tracing benchmark (the CI overhead guard)."""
+
+from repro.bench.basket import BenchContext, bench_names, run_basket
+
+
+class TestObsTracingBench:
+    def test_registered_in_the_basket(self):
+        assert "obs-tracing" in bench_names()
+
+    def test_quick_run_proves_byte_identity(self):
+        ctx = BenchContext(quick=True, refs=120, jobs=1)
+        (record,) = run_basket(["obs-tracing"], ctx)
+        assert record.bench == "obs-tracing"
+        assert record.target == "kernel"
+        metrics = record.metrics
+        assert metrics["byte_identical"] == 1.0
+        assert metrics["spans"] > 0
+        assert metrics["off_ms"] > 0 and metrics["on_ms"] > 0
+        assert metrics["roundtrip_off_ms"] > 0
+        assert metrics["roundtrip_overhead_ratio"] > 0

@@ -53,3 +53,23 @@ class TestDeterminismGuard:
         traced = run_experiment(SPEC, use_cache=False, telemetry=Telemetry())
         assert traced.series is None
         assert canonical(plain) == canonical(traced)
+
+    def test_distributed_tracing_is_also_zero_perturbation(self, tmp_path):
+        # the executor under a live Tracer (spans + durable log) must
+        # produce the same bytes as a bare run of the same specs
+        from repro.core.executor import SweepExecutor
+        from repro.core.store import ResultStore
+        from repro.obs.tracing import Tracer
+
+        cells = [(("cell",), SPEC)]
+        plain_store = ResultStore()
+        SweepExecutor(jobs=1, store=plain_store).run(cells)
+
+        traced_store = ResultStore()
+        tracer = Tracer("det-test", log_dir=tmp_path)
+        SweepExecutor(jobs=1, store=traced_store,
+                      tracer=tracer).run(cells)
+
+        assert tracer.spans(), "tracer recorded nothing"
+        assert canonical(plain_store.get(SPEC)) == \
+            canonical(traced_store.get(SPEC))

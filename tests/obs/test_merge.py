@@ -113,3 +113,60 @@ class TestMergeSnapshots:
         text = render_prometheus(merged)
         assert "repro_service_completed_total 3" in text
         assert "repro_service_job_seconds_count 2" in text
+
+    def test_merge_is_associative(self):
+        a = hub_with(counter=1, gauge=1.0,
+                     observations=[0.05, 0.5]).snapshot()
+        b = hub_with(counter=2, observations=[5.0]).snapshot()
+        c = hub_with(gauge=3.0, observations=[0.2, 20.0]).snapshot()
+        left_first = merge_snapshots([merge_snapshots([a, b]), c])
+        right_first = merge_snapshots([a, merge_snapshots([b, c])])
+        flat = merge_snapshots([a, b, c])
+        for merged in (left_first, right_first):
+            assert merged["counters"] == flat["counters"]
+            assert merged["gauges"] == flat["gauges"]
+            assert merged["histograms"] == flat["histograms"]
+
+    def test_merge_single_snapshot_is_identity(self):
+        snap = hub_with(counter=3, gauge=2.0,
+                        observations=[0.05, 5.0]).snapshot()
+        merged = merge_snapshots([snap])
+        assert merged["counters"] == snap["counters"]
+        assert merged["histograms"]["service.job_seconds"]["counts"] == \
+            snap["histograms"]["service.job_seconds"]["counts"]
+
+
+class TestExactSums:
+    def test_single_bucket_histogram_percentiles(self):
+        hist = Histogram("h", bounds=(1.0,))
+        for value in (0.2, 0.4, 0.9):
+            hist.observe(value)
+        # every rank interpolates inside the one [0, 1] bucket
+        assert hist.percentile(50) == pytest.approx(0.5)
+        assert hist.percentile(100) == pytest.approx(1.0)
+
+    def test_prometheus_sum_is_exact_not_mean_times_count(self):
+        hub = Telemetry()
+        hist = hub.histogram("x_seconds", bounds=(1.0, 2.0))
+        for value in (0.1, 0.2, 0.25, 2.0):
+            hist.observe(value)
+        text = render_prometheus(hub.snapshot())
+        assert "repro_x_seconds_sum 2.55" in text
+
+    def test_merged_sum_is_exact(self):
+        left = hub_with(observations=[0.125, 0.25])
+        right = hub_with(observations=[0.5])
+        merged = merge_snapshots([left.snapshot(), right.snapshot()])
+        assert merged["histograms"]["service.job_seconds"]["total"] == \
+            pytest.approx(0.875)
+        text = render_prometheus(merged)
+        assert "repro_service_job_seconds_sum 0.875" in text
+
+    def test_merge_tolerates_snapshots_without_total(self):
+        # pre-upgrade snapshots (e.g. from an old worker) carry only
+        # mean/observations; the merge falls back to mean * count
+        snap = hub_with(observations=[0.2, 0.4]).snapshot()
+        del snap["histograms"]["service.job_seconds"]["total"]
+        merged = merge_snapshots([snap])
+        assert merged["histograms"]["service.job_seconds"]["total"] == \
+            pytest.approx(0.6)

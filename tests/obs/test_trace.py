@@ -78,6 +78,23 @@ class TestChromeTraceExport:
         metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
         assert {m["pid"] for m in metadata} == {SIM_PID, WALL_PID}
 
+    def test_unknown_pids_get_distinct_fallback_labels(self):
+        # merged multi-process traces: every OS pid present in the
+        # stream must render as its own named lane, not collide
+        payload = chrome_trace_dict([ev(pid=1234), ev(pid=5678)])
+        metadata = {e["pid"]: e["args"]["name"]
+                    for e in payload["traceEvents"] if e["ph"] == "M"}
+        assert metadata == {1234: "process 1234", 5678: "process 5678"}
+
+    def test_caller_labels_override_fallbacks(self):
+        payload = chrome_trace_dict(
+            [ev(pid=1234), ev(pid=SIM_PID)],
+            process_names={1234: "worker w0 (pid 1234)"})
+        metadata = {e["pid"]: e["args"]["name"]
+                    for e in payload["traceEvents"] if e["ph"] == "M"}
+        assert metadata[1234] == "worker w0 (pid 1234)"
+        assert "cycle" in metadata[SIM_PID]
+
     def test_export_writes_loadable_json(self, tmp_path):
         events = [
             ev(name="span", ph="X", ts=0.0, dur=3.0, pid=WALL_PID),

@@ -383,6 +383,50 @@ class TestFailoverInternals:
         assert "job-9" in fleet._finals
 
 
+class TestFleetTracing:
+    def test_two_worker_fleet_yields_one_connected_trace(
+            self, make_fleet, tmp_path):
+        from repro.obs import (align_clocks, collect_spans, critical_path,
+                               trace_for_job, validate_trace)
+
+        trace_dir = tmp_path / "traces"
+        fleet = make_fleet(workers=2, trace_dir=trace_dir)
+        client = FleetClient(fleet)
+        job = client.submit([tiny(1)])
+        record = client.wait(job["job_id"])
+        assert record["state"] == "done"
+        fleet.shutdown()  # drains workers; every tracer flushes
+
+        spans, torn = collect_spans(trace_dir)
+        assert torn == 0
+        tree = trace_for_job(align_clocks(spans), job["job_id"])
+        assert tree
+        report = validate_trace(tree)
+        assert report["orphans"] == []
+        assert len(report["roots"]) == 1
+        root = report["roots"][0]
+        assert root.name == "job.accept"
+        assert root.process == "fleet-front"
+
+        names = {s.name for s in tree}
+        assert {"job.accept", "fleet.forward", "service.submit",
+                "job.e2e", "job.run", "executor.grid"} <= names
+        # front end and worker are different OS processes
+        assert len({s.pid for s in tree}) >= 2
+        worker_procs = {s.process for s in tree
+                        if s.process.startswith("service-")}
+        assert worker_procs <= {"service-w0", "service-w1"}
+        assert len(worker_procs) == 1  # one job routes to one worker
+
+        path = critical_path(tree)
+        assert sum(path.segments.values()) == path.total_us
+        assert path.segments.get("sim", 0) > 0
+
+    def test_trace_dir_off_is_the_default(self, make_fleet):
+        fleet = make_fleet(workers=2)
+        assert fleet.tracer is None
+
+
 class TestJobBody:
     def test_round_trips_cells_priority_and_id(self):
         cells = [((0,), ExperimentSpec(**tiny(1))),
