@@ -15,6 +15,12 @@ from .persist import load_result, result_from_dict, result_to_dict, save_result
 from .qos_report import compare_policies, policy_table
 from .replication import ReplicationSnapshot, measure_replication
 from .report import bar, format_kv, format_series, format_table
+from .sched_report import (
+    compare_sched_policies,
+    sched_report,
+    sched_table,
+    sched_verdict,
+)
 from .timeline import render_metric, sparkline, timeline_report
 
 __all__ = [
@@ -37,6 +43,10 @@ __all__ = [
     "save_result",
     "compare_policies",
     "policy_table",
+    "compare_sched_policies",
+    "sched_report",
+    "sched_table",
+    "sched_verdict",
     "ReplicationSnapshot",
     "measure_replication",
     "bar",

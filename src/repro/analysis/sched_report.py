@@ -1,0 +1,162 @@
+"""Scheduling-policy comparison: static placements vs. adaptive policies.
+
+The paper evaluates four *static* placement policies and shows how much
+consolidation interference each leaves on the table.  The scheduling
+layer (:mod:`repro.sched`) closes the loop with adaptive policies; this
+module asks the evaluation question that motivates them: *on a given
+mix and machine shape, does any adaptive policy beat the best static
+placement* on weighted speedup, and what does that buy or cost in
+fairness?
+
+:func:`compare_sched_policies` runs one cell per scheduling policy —
+expanding the ``"static"`` baseline into one cell per placement policy
+so "best static" means the best of the paper's four — and scores each
+with the shared QoS scorecard (:class:`repro.qos.metrics.QosReport`:
+weighted/harmonic speedup, Jain fairness, worst slowdown).
+:func:`sched_table` folds the cells into rows for
+:func:`repro.analysis.report.format_table`, and :func:`sched_verdict`
+states the best-static vs. best-adaptive outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from ..core.experiment import ExperimentResult, ExperimentSpec, run_experiment
+
+if TYPE_CHECKING:  # lazy at runtime: repro.qos.metrics imports
+    # repro.analysis back for jains_index
+    from ..qos.metrics import QosReport
+
+__all__ = [
+    "DEFAULT_SCHED_POLICIES",
+    "DEFAULT_PLACEMENTS",
+    "sched_report",
+    "compare_sched_policies",
+    "sched_table",
+    "sched_verdict",
+]
+
+DEFAULT_SCHED_POLICIES = ("static", "contention", "adaptive", "hetero")
+"""Scheduling policies compared by default."""
+
+DEFAULT_PLACEMENTS = ("rr", "affinity", "rr-aff", "random")
+"""The paper's four static placement policies (Section III-D)."""
+
+
+def sched_report(result: ExperimentResult) -> "QosReport":
+    """Score one run, carrying the scheduler's account as control data.
+
+    Reuses the QoS scorecard — per-VM slowdowns vs. memoized isolation
+    baselines, weighted/harmonic speedup, Jain fairness — but attaches
+    ``result.sched`` (migrations, control epochs) instead of the QoS
+    controller summary, so sched tables can show migration counts.
+    """
+    from ..qos.metrics import QosReport, per_vm_slowdowns
+
+    control = dict(getattr(result, "sched", None) or {})
+    policy = str(control.get("policy", "")) or "none"
+    return QosReport(
+        policy=policy,
+        slowdowns=per_vm_slowdowns(result),
+        workloads={vm.vm_id: vm.workload for vm in result.vm_metrics},
+        control=control,
+    )
+
+
+def compare_sched_policies(
+    mix: str,
+    policies: Sequence[str] = DEFAULT_SCHED_POLICIES,
+    base: Optional[ExperimentSpec] = None,
+    placements: Sequence[str] = DEFAULT_PLACEMENTS,
+    use_cache: bool = True,
+    telemetry=None,
+) -> Dict[str, "QosReport"]:
+    """Score every scheduling policy on one mix.
+
+    Returns ``{label: QosReport}`` in evaluation order.  ``base``
+    carries the machine shape (cores, over-commit, heterogeneity,
+    churn) plus run length / seed / scale.  The ``"static"`` entry
+    expands into one legacy cell per placement in ``placements``
+    (labelled ``static/<placement>``, with no scheduling hook at all —
+    byte-identical to the paper's runs); each adaptive policy runs once
+    from ``base``'s own initial placement, labelled by its name.  A
+    live ``telemetry`` hub (passed through to every cell) accumulates
+    the ``sched.*`` counters across the adaptive cells.
+    """
+    template = base or ExperimentSpec(mix=mix)
+    out: Dict[str, "QosReport"] = {}
+    for policy in policies:
+        if policy == "static":
+            for placement in placements:
+                spec = replace(template, mix=mix, policy=placement,
+                               sched_policy="")
+                result = run_experiment(spec, use_cache=use_cache,
+                                        telemetry=telemetry)
+                out[f"static/{placement}"] = sched_report(result)
+        else:
+            spec = replace(template, mix=mix, sched_policy=policy)
+            result = run_experiment(spec, use_cache=use_cache,
+                                    telemetry=telemetry)
+            out[policy] = sched_report(result)
+    return out
+
+
+def sched_table(
+    reports: Dict[str, "QosReport"],
+) -> Tuple[List[str], List[list]]:
+    """Fold :func:`compare_sched_policies` output into (headers, rows).
+
+    One row per policy cell: the four scorecard metrics plus the number
+    of migrations the scheduler actually applied (``-`` for static
+    cells, which have no scheduling hook).
+    """
+    headers = ["Policy", "WeightedSpeedup", "HarmonicSpeedup",
+               "Fairness", "MaxSlowdown", "Migrations"]
+    rows: List[list] = []
+    for label, report in reports.items():
+        migrations = report.control.get("migrations")
+        rows.append([
+            label,
+            round(report.weighted_speedup, 3),
+            round(report.harmonic_speedup, 3),
+            round(report.fairness, 3),
+            round(report.max_slowdown, 3),
+            "-" if migrations is None else int(migrations),
+        ])
+    return headers, rows
+
+
+def sched_verdict(reports: Dict[str, "QosReport"]) -> Dict[str, object]:
+    """Best-static vs. best-adaptive comparison of one mix's cells.
+
+    Static cells are those labelled ``static/...`` (or bare
+    ``static``).  Returns a JSON-friendly dict with the winning labels,
+    their weighted speedups, the adaptive-over-static speedup gain, and
+    the fairness change of the winning adaptive cell relative to the
+    best static one (negative = fairness regressed).
+    """
+    static = {label: r for label, r in reports.items()
+              if label == "static" or label.startswith("static/")}
+    dynamic = {label: r for label, r in reports.items()
+               if label not in static}
+    verdict: Dict[str, object] = {}
+    if static:
+        best_static = max(static, key=lambda k: static[k].weighted_speedup)
+        verdict["best_static"] = best_static
+        verdict["best_static_weighted_speedup"] = round(
+            static[best_static].weighted_speedup, 6)
+    if dynamic:
+        best_dynamic = max(dynamic, key=lambda k: dynamic[k].weighted_speedup)
+        verdict["best_adaptive"] = best_dynamic
+        verdict["best_adaptive_weighted_speedup"] = round(
+            dynamic[best_dynamic].weighted_speedup, 6)
+    if static and dynamic:
+        s = static[verdict["best_static"]]
+        d = dynamic[verdict["best_adaptive"]]
+        verdict["speedup_gain"] = round(
+            d.weighted_speedup - s.weighted_speedup, 6)
+        verdict["fairness_change"] = round(d.fairness - s.fairness, 6)
+        verdict["adaptive_wins"] = d.weighted_speedup > s.weighted_speedup
+    return verdict

@@ -121,6 +121,25 @@ def _bench_qos_overhead(ctx: BenchContext) -> List[BenchRecord]:
     )]
 
 
+def _bench_sched_overhead(ctx: BenchContext) -> List[BenchRecord]:
+    """Wall-clock overhead of the contention-aware scheduling hook."""
+    refs = ctx.cell_refs(full=1500, quick=300)
+    base = _spec(ctx, refs, sharing="shared", engine_mode="reference")
+    sched = replace(base, sched_policy="contention", sched_epoch=10_000)
+    t_base = _timed(lambda: run_experiment(base, use_cache=False))
+    t_sched = _timed(lambda: run_experiment(sched, use_cache=False))
+    return [BenchRecord(
+        bench="sched-overhead", target="kernel", quick=ctx.quick,
+        params={"mix": base.mix, "measured_refs": refs,
+                "policy": "contention", "seed": ctx.seed},
+        metrics={
+            "plain_seconds": t_base,
+            "sched_seconds": t_sched,
+            "overhead_ratio": t_sched / max(1e-9, t_base),
+        },
+    )]
+
+
 def _bench_obs_tracing(ctx: BenchContext) -> List[BenchRecord]:
     """Distributed-tracing overhead guard.
 
@@ -305,6 +324,7 @@ _BASKET: Dict[str, Callable[[BenchContext], List[BenchRecord]]] = {
     "cell-cold": _bench_cell_cold,
     "cell-warm": _bench_cell_warm,
     "qos-overhead": _bench_qos_overhead,
+    "sched-overhead": _bench_sched_overhead,
     "obs-tracing": _bench_obs_tracing,
     "sweep-throughput": _bench_sweep_throughput,
     "service-roundtrip": _bench_service_roundtrip,

@@ -17,6 +17,12 @@
     One experiment under a dynamic cache-QoS policy (``--policy ucp``,
     ``--policy target-slowdown --target 1.3``, ...) with a scorecard:
     per-VM slowdown, weighted/harmonic speedup, fairness, violations.
+``sched``
+    Compare scheduling policies on one mix (the paper's static
+    placements vs. the adaptive policies of :mod:`repro.sched`), with
+    per-policy weighted/harmonic speedup, fairness, and migration
+    counts plus a best-static vs. best-adaptive verdict; takes the
+    heterogeneity / over-commit / churn shape flags.
 ``suite``
     Run a canned experiment suite by name (``repro suite list`` shows
     the registry); takes the same ``--jobs`` / ``--store`` flags.
@@ -128,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--vm-quota", action="store_true",
                        help="enable per-VM way-quota partitioning")
     _add_qos_flags(run_p)
+    _add_sched_flags(run_p)
     _add_engine_flag(run_p)
     run_p.add_argument("--rebind", default="", choices=("", "random",
                                                         "affinity"),
@@ -153,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seed", type=int, default=0)
     _add_engine_flag(sweep_p)
     _add_qos_flags(sweep_p)
+    _add_sched_flags(sweep_p)
     _add_executor_flags(sweep_p)
     _add_telemetry_flags(sweep_p)
 
@@ -185,6 +193,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "and print the comparison")
     qos_p.add_argument("--json", default=None, metavar="PATH",
                        help="save the scorecard as JSON")
+
+    sched_p = sub.add_parser(
+        "sched", help="compare scheduling policies (static placements "
+                      "vs. adaptive) on one mix")
+    sched_p.add_argument("--mix", default="mix7",
+                         help="Table IV mix name")
+    sched_p.add_argument("--policies", default="static,contention,adaptive",
+                         help="comma-separated scheduling policies; "
+                              "'static' expands to one cell per "
+                              "placement policy")
+    sched_p.add_argument("--placement", default="affinity",
+                         choices=_POLICIES,
+                         help="initial placement for the adaptive cells")
+    sched_p.add_argument("--sharing", default="shared", choices=_SHARINGS,
+                         help="L2 sharing degree (default: fully shared)")
+    sched_p.add_argument("--sched-epoch", type=int, default=10_000,
+                         help="scheduling control period in cycles")
+    sched_p.add_argument("--cores", type=int, default=16)
+    sched_p.add_argument("--slots-per-core", type=int, default=1,
+                         help=">1 over-commits cores")
+    sched_p.add_argument("--core-speeds", default="",
+                         help="per-core speed classes, e.g. "
+                              "'1.0x8,0.5x8' (empty = homogeneous)")
+    sched_p.add_argument("--l2-asym", default="",
+                         help="per-domain L2 associativities, e.g. "
+                              "'16x2,8x2' (empty = uniform)")
+    sched_p.add_argument("--vm-schedule", default="",
+                         help="per-VM start[:stop] cycles, "
+                              "comma-separated (VM churn)")
+    sched_p.add_argument("--refs", type=int, default=None)
+    sched_p.add_argument("--warmup", type=int, default=None)
+    sched_p.add_argument("--seed", type=int, default=0)
+    sched_p.add_argument("--json", default=None, metavar="PATH",
+                         help="save the comparison + verdict as JSON")
+    sched_p.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="write the accumulated sched.* telemetry "
+                              "counters in Prometheus text format")
 
     suite_p = sub.add_parser(
         "suite", help="run a canned experiment suite by name")
@@ -469,6 +514,24 @@ def _add_qos_flags(parser) -> None:
                         help="QoS control period in simulated cycles")
 
 
+def _add_sched_flags(parser) -> None:
+    parser.add_argument("--sched-policy", default="",
+                        help="adaptive scheduling policy (static, "
+                             "contention, adaptive, hetero); "
+                             "empty = off")
+    parser.add_argument("--sched-epoch", type=int, default=10_000,
+                        help="scheduling control period in cycles")
+    parser.add_argument("--core-speeds", default="",
+                        help="per-core speed classes, e.g. '1.0x8,0.5x8' "
+                             "(empty = homogeneous)")
+    parser.add_argument("--l2-asym", default="",
+                        help="per-domain L2 associativities, e.g. "
+                             "'16x2,8x2' (empty = uniform)")
+    parser.add_argument("--vm-schedule", default="",
+                        help="per-VM start[:stop] cycles, comma-"
+                             "separated (VM churn; empty = none)")
+
+
 def _add_telemetry_flags(parser) -> None:
     parser.add_argument("--telemetry", action="store_true",
                         help="enable the telemetry hub (counters, "
@@ -538,6 +601,11 @@ def _spec_from_args(args) -> ExperimentSpec:
         qos_policy=args.qos_policy,
         qos_target=args.qos_target,
         qos_epoch=args.qos_epoch,
+        sched_policy=args.sched_policy,
+        sched_epoch=args.sched_epoch,
+        core_speeds=args.core_speeds,
+        l2_asym=args.l2_asym,
+        vm_schedule=args.vm_schedule,
         engine_mode=args.engine,
     )
     if args.scale is not None:
@@ -602,6 +670,15 @@ def _cmd_run(args) -> int:
             "quota adjustments": result.qos.get("quota_adjustments", 0),
             "rebinds": result.qos.get("rebinds", 0),
         }))
+    if result.sched:
+        print()
+        print(format_kv("Scheduling", {
+            "policy": result.sched.get("policy"),
+            "control epochs": result.sched.get("control_epochs", 0),
+            "migrations": result.sched.get("migrations", 0),
+            "proposed": result.sched.get("proposed", 0),
+            "refused": result.sched.get("refused", 0),
+        }))
     if result.series is not None:
         _print_timeline(result.series)
     if args.series_out:
@@ -630,6 +707,11 @@ def _cmd_sweep(args) -> int:
                           qos_policy=args.qos_policy,
                           qos_target=args.qos_target,
                           qos_epoch=args.qos_epoch,
+                          sched_policy=args.sched_policy,
+                          sched_epoch=args.sched_epoch,
+                          core_speeds=args.core_speeds,
+                          l2_asym=args.l2_asym,
+                          vm_schedule=args.vm_schedule,
                           engine_mode=args.engine)
     suite = sharing_policy_suite(args.mix, sharings=_SHARINGS,
                                  policies=_POLICIES, base=base)
@@ -724,6 +806,81 @@ def _cmd_qos(args) -> int:
         with open(args.json, "w") as handle:
             json.dump(report.to_dict(), handle, indent=2)
         print(f"\nscorecard saved to {args.json}")
+    return 0
+
+
+def _cmd_sched(args) -> int:
+    from .analysis.sched_report import (
+        compare_sched_policies,
+        sched_table,
+        sched_verdict,
+    )
+    from .obs import Telemetry
+
+    policies = tuple(
+        p.strip() for p in args.policies.split(",") if p.strip()
+    )
+    if not policies:
+        raise ReproError("--policies names no scheduling policy")
+    base = ExperimentSpec(
+        mix=args.mix, sharing=args.sharing, policy=args.placement,
+        seed=args.seed, measured_refs=args.refs, warmup_refs=args.warmup,
+        num_cores=args.cores, slots_per_core=args.slots_per_core,
+        core_speeds=args.core_speeds, l2_asym=args.l2_asym,
+        vm_schedule=args.vm_schedule, sched_epoch=args.sched_epoch,
+    )
+    telemetry = Telemetry() if args.metrics_out else None
+    # bypass the cache: the scheduler's live account (result.sched) is
+    # not part of the serialized result, so a cache hit would lose it
+    reports = compare_sched_policies(
+        args.mix, policies=policies, base=base,
+        use_cache=False, telemetry=telemetry,
+    )
+    headers, rows = sched_table(reports)
+    shape = [f"{args.cores} cores"]
+    if args.slots_per_core > 1:
+        shape.append(f"x{args.slots_per_core} slots")
+    if args.core_speeds:
+        shape.append(f"speeds {args.core_speeds}")
+    if args.l2_asym:
+        shape.append(f"L2 {args.l2_asym}")
+    if args.vm_schedule:
+        shape.append("churn")
+    print(format_table(
+        headers, rows,
+        title=f"Scheduling: {args.mix} / {args.sharing} "
+              f"({', '.join(shape)})"))
+    verdict = sched_verdict(reports)
+    if "best_static" in verdict and "best_adaptive" in verdict:
+        print()
+        print(format_kv("Verdict", {
+            "best static": f"{verdict['best_static']} "
+                           f"({verdict['best_static_weighted_speedup']:.3f})",
+            "best adaptive":
+                f"{verdict['best_adaptive']} "
+                f"({verdict['best_adaptive_weighted_speedup']:.3f})",
+            "speedup gain": f"{verdict['speedup_gain']:+.3f}",
+            "fairness change": f"{verdict['fairness_change']:+.3f}",
+            "adaptive wins": "yes" if verdict["adaptive_wins"] else "no",
+        }))
+    if args.metrics_out:
+        from .obs import render_prometheus
+
+        with open(args.metrics_out, "w") as handle:
+            handle.write(render_prometheus(telemetry.snapshot()))
+        print(f"\nmetrics written to {args.metrics_out}")
+    if args.json:
+        import json
+
+        payload = {
+            "mix": args.mix,
+            "policies": {label: report.to_dict()
+                         for label, report in reports.items()},
+            "verdict": verdict,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\ncomparison saved to {args.json}")
     return 0
 
 
@@ -1207,6 +1364,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "qos": _cmd_qos,
+    "sched": _cmd_sched,
     "suite": _cmd_suite,
     "trace": _cmd_trace,
     "profile": _cmd_profile,

@@ -41,7 +41,12 @@ from typing import Dict, List, Optional, Set
 
 from ..errors import ConfigurationError
 from ..machine.chip import Chip
-from ..machine.config import MachineConfig, SharingDegree
+from ..machine.config import (
+    MachineConfig,
+    SharingDegree,
+    parse_core_speeds,
+    parse_domain_assoc,
+)
 from ..sim.factory import EngineRequest, make_engine, resolve_mode
 from ..sim.rng import RngFactory
 from ..vm.hypervisor import Hypervisor
@@ -166,6 +171,32 @@ class ExperimentSpec:
     dir_cache_entries:
         Per-tile directory-cache capacity override; 0 = the machine
         default (16K entries).
+    sched_policy:
+        Adaptive scheduling policy (see :mod:`repro.sched`):
+        ``"static"`` (the no-op baseline, byte-identical to no
+        scheduler), ``"contention"``, ``"adaptive"``, or ``"hetero"``.
+        Empty (default) disables the scheduling layer entirely.
+        Mutually exclusive with ``rebind`` — both migrate threads.
+    sched_epoch:
+        Control period in simulated cycles between scheduling
+        decisions.
+    core_speeds:
+        Per-core relative speed classes as a spec string (e.g.
+        ``"1.0x8,0.5x8"``: eight fast cores, eight at half speed);
+        empty = homogeneous (the paper's machine).  Heterogeneous runs
+        stay on the reference engines.
+    l2_asym:
+        Asymmetric L2 domains as per-domain associativities (e.g.
+        ``"16x2,8x2"`` at shared-4: two 16-way and two 8-way domains);
+        empty = the uniform Table III geometry.  Incompatible with the
+        way-quota owners (``l2_vm_quota`` / ``qos_policy``), which
+        assume uniform domain associativity.
+    vm_schedule:
+        Per-VM arrival/departure times, comma-separated
+        ``start[:stop]`` cycles (e.g. ``"0,0:120000,40000"``): VM
+        churn for the scheduling layer.  Empty = every VM runs start
+        to finish (the paper's methodology).  Requires single-slot,
+        statically-bound runs and replaces ``start_stagger``.
     engine_mode:
         Execution kernel (see :mod:`repro.sim.factory`):
         ``"reference"`` (event-driven, the default), ``"batched"``
@@ -194,6 +225,11 @@ class ExperimentSpec:
     rebind: str = ""
     rebind_interval: int = 100_000
     dir_cache_entries: int = 0  # 0 = machine default (16K per tile)
+    sched_policy: str = ""
+    sched_epoch: int = 10_000
+    core_speeds: str = ""
+    l2_asym: str = ""
+    vm_schedule: str = ""
     engine_mode: str = "reference"
 
     def normalized(self) -> "ExperimentSpec":
@@ -241,6 +277,9 @@ def resolve_defaults(spec: ExperimentSpec) -> ExperimentSpec:
             spec.engine_mode,
             slots_per_core=spec.slots_per_core,
             rebind=spec.rebind,
+            sched=spec.sched_policy,
+            heterogeneous=bool(spec.core_speeds or spec.l2_asym),
+            vm_schedule=bool(spec.vm_schedule),
         ),
     )
 
@@ -288,6 +327,12 @@ class ExperimentResult:
     runs with ``spec.qos_policy`` set.  Like ``series`` it is excluded
     from the result codec, so a ``static-equal`` run serializes
     byte-identically to the legacy static-quota path.
+
+    ``sched`` holds the scheduling hook's end-of-run account (the
+    :meth:`repro.sched.hook.SchedHook.summary` dict: policy, control
+    epochs, migrations proposed/applied/refused, final thread->core
+    binding) for runs with ``spec.sched_policy`` set; excluded from the
+    result codec like ``qos``.
     """
 
     spec: ExperimentSpec
@@ -301,6 +346,7 @@ class ExperimentResult:
     assignments: List[List[int]] = field(default_factory=list)
     series: Optional[Dict[str, list]] = None
     qos: Optional[Dict[str, object]] = None
+    sched: Optional[Dict[str, object]] = None
 
     def metrics_for(self, workload: str) -> List[VMMetrics]:
         """All VM metrics of one workload, in VM order."""
@@ -343,6 +389,43 @@ def _make_rebinder(kind: str, chip: Chip, rng_factory: RngFactory):
     raise ConfigurationError(
         f"unknown rebinder {kind!r}; choose 'random' or 'affinity'"
     )
+
+
+def _parse_vm_schedule(text: str, num_vms: int):
+    """Parse ``spec.vm_schedule`` into (start_offsets, stop_times).
+
+    One comma-separated ``start[:stop]`` entry per VM, both in cycles;
+    an omitted stop means "runs to completion".
+    """
+    entries = [token.strip() for token in text.split(",")]
+    if len(entries) != num_vms:
+        raise ConfigurationError(
+            f"vm_schedule has {len(entries)} entries for {num_vms} VMs"
+        )
+    starts: List[int] = []
+    stops: List[Optional[int]] = []
+    for vm_index, entry in enumerate(entries):
+        start_text, sep, stop_text = entry.partition(":")
+        try:
+            start = int(start_text)
+            stop = int(stop_text) if sep else None
+        except ValueError:
+            raise ConfigurationError(
+                f"vm_schedule entry {entry!r} for VM {vm_index} is not "
+                f"'start[:stop]' with integer cycles"
+            )
+        if start < 0:
+            raise ConfigurationError(
+                f"vm_schedule start {start} for VM {vm_index} is negative"
+            )
+        if stop is not None and stop <= start:
+            raise ConfigurationError(
+                f"vm_schedule stop {stop} for VM {vm_index} must exceed "
+                f"its start {start}"
+            )
+        starts.append(start)
+        stops.append(stop)
+    return starts, stops
 
 
 def _apply_vm_quotas(chip: Chip, assignments) -> None:
@@ -414,6 +497,35 @@ def run_experiment(
         )
     if spec.qos_policy and spec.qos_epoch <= 0:
         raise ConfigurationError("qos_epoch must be positive")
+    if spec.sched_policy:
+        if spec.sched_epoch <= 0:
+            raise ConfigurationError("sched_epoch must be positive")
+        if spec.rebind:
+            raise ConfigurationError(
+                "sched_policy and rebind both migrate threads; "
+                "pick one migration mechanism"
+            )
+    if spec.vm_schedule:
+        if spec.slots_per_core > 1:
+            raise ConfigurationError(
+                "vm_schedule (VM churn) requires single-slot runs"
+            )
+        if spec.rebind:
+            raise ConfigurationError(
+                "vm_schedule cannot be combined with the rebind phase "
+                "rebinder; use a sched_policy for dynamic placement"
+            )
+        if spec.start_stagger:
+            raise ConfigurationError(
+                "vm_schedule supersedes start_stagger; encode the "
+                "arrival times in the schedule"
+            )
+    if spec.l2_asym and (spec.qos_policy or spec.l2_vm_quota):
+        raise ConfigurationError(
+            "asymmetric L2 domains (l2_asym) are incompatible with the "
+            "way-quota owners (qos_policy / l2_vm_quota), which assume "
+            "uniform domain associativity"
+        )
     if store is None:
         store = get_default_store()
     if use_cache:
@@ -445,6 +557,12 @@ def run_experiment(
     )
     if spec.dir_cache_entries:
         machine_params["directory_cache_entries"] = spec.dir_cache_entries
+    if spec.core_speeds:
+        machine_params["core_speeds"] = parse_core_speeds(
+            spec.core_speeds, spec.num_cores)
+    if spec.l2_asym:
+        machine_params["l2_domain_assoc"] = parse_domain_assoc(
+            spec.l2_asym, spec.sharing_degree.num_domains(spec.num_cores))
     config = MachineConfig(**machine_params).scaled(spec.scale)
     chip = Chip(config)
     rng_factory = RngFactory(spec.seed)
@@ -464,6 +582,10 @@ def run_experiment(
         [i * spec.start_stagger for i in range(len(profiles))]
         if spec.start_stagger else ()
     )
+    stop_times = ()
+    if spec.vm_schedule:
+        start_offsets, stop_times = _parse_vm_schedule(
+            spec.vm_schedule, len(profiles))
     phases = None
     if spec.phase_plan:
         from ..workloads.phases import get_phase_plan
@@ -476,6 +598,7 @@ def run_experiment(
         warmup_refs=spec.warmup_refs,
         slots_per_core=spec.slots_per_core,
         start_offsets=start_offsets,
+        stop_times=stop_times,
         phases=phases,
     )
     hypervisor.check_isolation()
@@ -485,7 +608,7 @@ def run_experiment(
         raise ConfigurationError(
             "dynamic rebinding and over-commit cannot be combined"
         )
-    control = None
+    qos_hook = None
     if spec.qos_policy:
         from ..qos.controllers import TargetSlowdown, make_controller
         from ..qos.hook import QosHook
@@ -502,7 +625,7 @@ def run_experiment(
             for vm_id, profile in enumerate(profiles):
                 iso = run_isolated(profile.name, template=spec)
                 baseline_cpr[vm_id] = iso.vm_metrics[0].cycles / per_thread
-        control = QosHook(
+        qos_hook = QosHook(
             chip, contexts, controller, assignments,
             epoch=spec.qos_epoch, telemetry=telemetry,
             hypervisor=hypervisor, baseline_cpr=baseline_cpr,
@@ -510,6 +633,24 @@ def run_experiment(
             vm_workloads={vm.vm_id: vm.workload_name
                           for vm in hypervisor.vms},
         )
+    sched_hook = None
+    if spec.sched_policy:
+        from ..sched import SchedHook, make_sched_policy
+
+        sched_hook = SchedHook(
+            chip, contexts, make_sched_policy(spec.sched_policy),
+            epoch=spec.sched_epoch, telemetry=telemetry,
+            hypervisor=hypervisor,
+            slots_per_core=spec.slots_per_core,
+            rng=rng_factory.stream("sched"),
+        )
+    control = qos_hook if sched_hook is None else sched_hook
+    if qos_hook is not None and sched_hook is not None:
+        from ..sched import CompositeControl
+
+        # QoS first: quota decisions land before the same epoch's
+        # migrations
+        control = CompositeControl([qos_hook, sched_hook])
     rebinder = (
         _make_rebinder(spec.rebind, chip, rng_factory) if spec.rebind else None
     )
@@ -598,8 +739,10 @@ def run_experiment(
         from ..obs.series import series_to_dict
 
         result.series = series_to_dict(telemetry.series)
-    if control is not None:
-        result.qos = control.summary()
+    if qos_hook is not None:
+        result.qos = qos_hook.summary()
+    if sched_hook is not None:
+        result.sched = sched_hook.summary()
     if use_cache:
         store.put(spec, result)
         if result.series is not None:

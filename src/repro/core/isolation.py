@@ -40,12 +40,15 @@ def isolation_spec(
     QoS fields are always cleared: a baseline is by definition an
     uncontrolled single-VM run (and the ``target-slowdown`` controller
     fetches these baselines itself, so inheriting ``qos_policy`` would
-    recurse)."""
+    recurse).  Scheduling, churn, and heterogeneity fields are cleared
+    for the same reason: the baseline is the workload alone on the
+    paper's homogeneous, symmetric machine."""
     if template is None:
         return ExperimentSpec(mix=f"iso-{workload}", sharing=sharing, policy=policy)
     return replace(
         template, mix=f"iso-{workload}", sharing=sharing, policy=policy,
         qos_policy="", qos_target=0.0,
+        sched_policy="", vm_schedule="", core_speeds="", l2_asym="",
     )
 
 

@@ -39,6 +39,7 @@ __all__ = [
     "sharing_policy_suite",
     "mixes_suite",
     "qos_suite",
+    "sched_suite",
     "SUITES",
     "suite_names",
     "get_suite",
@@ -266,10 +267,41 @@ def qos_suite(
     )
 
 
+def sched_suite(
+    mix: str = "mix5",
+    policies: Sequence[str] = None,
+    base: Optional[ExperimentSpec] = None,
+) -> ExperimentSuite:
+    """One cell per scheduling policy on a fully shared L2.
+
+    The empty-string cell is the legacy statically-placed run every
+    adaptive policy is compared against (``"static"`` would add the
+    hook but never migrate — byte-identical results, useful only for
+    overhead measurements).  ``hetero`` is omitted by default because
+    it is a no-op on a homogeneous machine; add it with an explicit
+    ``core_speeds`` in ``base``.
+    """
+    if policies is None:
+        policies = ["", "contention", "adaptive"]
+    base = base or ExperimentSpec(mix=mix)
+    # fully shared L2 for the same reason as qos_suite: every VM in
+    # one domain, so contention signals have something to measure
+    base = replace(base, mix=mix, sharing="shared")
+    return ExperimentSuite.build(
+        f"sched/{mix}", base,
+        description=(
+            "Scheduling-policy comparison on a fully shared L2 "
+            "('' = static legacy run)"
+        ),
+        sched_policy=list(policies),
+    )
+
+
 SUITES: Dict[str, Callable[..., ExperimentSuite]] = {
     "sharing-policy": sharing_policy_suite,
     "mixes": mixes_suite,
     "qos": qos_suite,
+    "sched": sched_suite,
 }
 """Canned suite factories addressable by name (``repro suite <name>``)."""
 

@@ -63,12 +63,12 @@ class Chip:
             CoreCacheStack(core, config.l0_geometry, config.l1_geometry)
             for core in range(config.num_cores)
         ]
-        l2_geometry = config.l2_geometry()
+        l2_geometries = config.l2_domain_geometries()
         self.domains: List[L2Domain] = []
         for domain_id, members in enumerate(self.placement.domains):
             domain = L2Domain(
                 domain_id,
-                l2_geometry,
+                l2_geometries[domain_id],
                 members,
                 policy=make_policy(config.l2_replacement, seed=domain_id),
             )
@@ -424,6 +424,24 @@ class Chip:
             "memory": self.memory.mean_queue_depth(now),
             "link": self.mesh.mean_link_queue_depth(now),
         }
+
+    def l2_domain_queue_depths(self, now: int) -> List[float]:
+        """Per-domain L2 bank backlog at ``now`` (read-only).
+
+        The per-domain breakdown of :meth:`queue_depths`'s ``l2``
+        entry; contention-aware schedulers rank domains with it.
+        """
+        return [s.queue_depth(now) for s in self.l2_servers]
+
+    @property
+    def inverse_core_speeds(self):
+        """Per-core think-cycle multipliers, or ``None`` if homogeneous.
+
+        The engines consult this once at startup; ``None`` keeps their
+        exact legacy arithmetic (byte-identical homogeneous runs).
+        """
+        inverse = self.config.inverse_core_speeds()
+        return inverse or None
 
     def l2_occupancy_share(self) -> Dict[int, float]:
         """Each VM's share of all resident L2 lines, chip-wide.

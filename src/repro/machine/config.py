@@ -24,7 +24,13 @@ from typing import Tuple
 from ..caches.geometry import L0_GEOMETRY, L1_GEOMETRY, CacheGeometry
 from ..errors import ConfigurationError
 
-__all__ = ["SharingDegree", "MachineConfig", "DEFAULT_MEMORY_TILES"]
+__all__ = [
+    "SharingDegree",
+    "MachineConfig",
+    "DEFAULT_MEMORY_TILES",
+    "parse_core_speeds",
+    "parse_domain_assoc",
+]
 
 
 class SharingDegree(enum.IntEnum):
@@ -109,6 +115,14 @@ class MachineConfig:
     control_flits: int = 1
     data_flits: int = 5
     l2_replacement: str = "lru"
+    # Heterogeneity knobs (both default to "homogeneous"):
+    #   core_speeds — one relative speed per core (1.0 = Table III
+    #   baseline); a core at 0.5 spends twice the compute cycles per
+    #   reference.  l2_domain_assoc — one associativity per L2 domain,
+    #   overriding the uniform l2_assoc; sets per domain stay constant
+    #   so capacity scales with associativity.
+    core_speeds: Tuple[float, ...] = ()
+    l2_domain_assoc: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
@@ -139,6 +153,30 @@ class MachineConfig:
             raise ConfigurationError("need at least one memory controller tile")
         if self.memory_latency <= 0:
             raise ConfigurationError("memory_latency must be positive")
+        if self.core_speeds:
+            if len(self.core_speeds) != self.num_cores:
+                raise ConfigurationError(
+                    f"core_speeds needs one entry per core: got "
+                    f"{len(self.core_speeds)} for {self.num_cores} cores"
+                )
+            for speed in self.core_speeds:
+                if not speed > 0:
+                    raise ConfigurationError(
+                        f"core speeds must be positive, got {speed}"
+                    )
+        if self.l2_domain_assoc:
+            if len(self.l2_domain_assoc) != self.num_domains:
+                raise ConfigurationError(
+                    f"l2_domain_assoc needs one entry per L2 domain: got "
+                    f"{len(self.l2_domain_assoc)} for "
+                    f"{self.num_domains} domains"
+                )
+            for assoc in self.l2_domain_assoc:
+                if not isinstance(assoc, int) or assoc < 1:
+                    raise ConfigurationError(
+                        f"L2 domain associativity must be a positive "
+                        f"integer, got {assoc!r}"
+                    )
 
     # ------------------------------------------------------------------
 
@@ -166,6 +204,44 @@ class MachineConfig:
             assoc=self.l2_assoc,
             latency=self.l2_latency,
         )
+
+    def l2_domain_geometries(self) -> Tuple[CacheGeometry, ...]:
+        """Per-domain L2 geometries, honouring ``l2_domain_assoc``.
+
+        Asymmetric domains keep the uniform set count and vary ways,
+        so every per-domain capacity stays realizable (power-of-two
+        sets) while "big" and "small" partitions differ in both
+        capacity and conflict tolerance.
+        """
+        base = self.l2_geometry()
+        if not self.l2_domain_assoc:
+            return (base,) * self.num_domains
+        return tuple(
+            CacheGeometry(
+                size_bytes=base.num_sets * assoc * base.block_bytes,
+                assoc=assoc,
+                latency=self.l2_latency,
+            )
+            for assoc in self.l2_domain_assoc
+        )
+
+    def inverse_core_speeds(self) -> Tuple[float, ...]:
+        """Per-core compute-cycle multipliers, or ``()`` if homogeneous.
+
+        A core at speed ``s`` multiplies its think cycles by ``1/s``.
+        An all-1.0 speed vector is reported as homogeneous so the
+        engines keep their exact legacy arithmetic.
+        """
+        if not self.core_speeds:
+            return ()
+        if all(speed == 1.0 for speed in self.core_speeds):
+            return ()
+        return tuple(1.0 / speed for speed in self.core_speeds)
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when speed classes or asymmetric L2 domains are set."""
+        return bool(self.inverse_core_speeds() or self.l2_domain_assoc)
 
     def with_sharing(self, sharing) -> "MachineConfig":
         """Copy of this config at a different sharing degree."""
@@ -227,3 +303,80 @@ class MachineConfig:
             "Memory latency": f"{self.memory_latency} cycles",
             "Thread to core assignment": "RR, Affinity, RR-Affinity, Random",
         }
+
+
+# ----------------------------------------------------------------------
+# spec-string parsers for the heterogeneity knobs
+# ----------------------------------------------------------------------
+
+
+def _expand_spec_list(text: str, what: str) -> list:
+    """Expand ``"a x4, b x2"`` run-length syntax into a flat list."""
+    items = []
+    for raw in text.split(","):
+        token = raw.strip()
+        if not token:
+            raise ConfigurationError(f"empty entry in {what} spec {text!r}")
+        value, _, count = token.partition("x")
+        repeat = 1
+        if count:
+            try:
+                repeat = int(count)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad repeat count {count!r} in {what} spec {text!r}"
+                ) from None
+            if repeat < 1:
+                raise ConfigurationError(
+                    f"repeat count must be >= 1 in {what} spec {text!r}"
+                )
+        items.extend([value.strip()] * repeat)
+    return items
+
+
+def parse_core_speeds(text: str, num_cores: int) -> Tuple[float, ...]:
+    """Parse a core-speed spec string, e.g. ``"1.0x8,0.5x8"``.
+
+    Comma-separated relative speeds, one per core, with an optional
+    ``xN`` run-length suffix per entry.  Returns ``()`` for an empty
+    string (homogeneous machine).
+    """
+    if not text.strip():
+        return ()
+    tokens = _expand_spec_list(text, "core-speed")
+    try:
+        speeds = tuple(float(tok) for tok in tokens)
+    except ValueError:
+        raise ConfigurationError(
+            f"core-speed spec {text!r} has a non-numeric entry"
+        ) from None
+    if len(speeds) != num_cores:
+        raise ConfigurationError(
+            f"core-speed spec {text!r} names {len(speeds)} cores; "
+            f"the machine has {num_cores}"
+        )
+    return speeds
+
+
+def parse_domain_assoc(text: str, num_domains: int) -> Tuple[int, ...]:
+    """Parse an asymmetric-L2 spec string, e.g. ``"16x2,8x2"``.
+
+    Comma-separated per-domain associativities with an optional ``xN``
+    run-length suffix.  Returns ``()`` for an empty string (uniform
+    L2 domains).
+    """
+    if not text.strip():
+        return ()
+    tokens = _expand_spec_list(text, "L2-associativity")
+    try:
+        assocs = tuple(int(tok) for tok in tokens)
+    except ValueError:
+        raise ConfigurationError(
+            f"L2-associativity spec {text!r} has a non-integer entry"
+        ) from None
+    if len(assocs) != num_domains:
+        raise ConfigurationError(
+            f"L2-associativity spec {text!r} names {len(assocs)} domains; "
+            f"the machine has {num_domains}"
+        )
+    return assocs

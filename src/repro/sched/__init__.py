@@ -1,0 +1,51 @@
+"""Adaptive, contention-aware scheduling on top of the paper's model.
+
+The paper fixes thread placement at launch (its four static policies)
+and measures the consolidation interference that results.  This
+package closes the loop: per-epoch contention sensing
+(:mod:`repro.sched.signals`), a registry of scheduling policies from
+the do-nothing static baseline to contention-aware migration,
+adaptive over-commit allocation, and heterogeneity-aware placement
+(:mod:`repro.sched.policies`), and the engine-side actuation hook
+that applies migrations with an explicit cost charge
+(:mod:`repro.sched.hook`).
+
+Select a policy per experiment with ``ExperimentSpec.sched_policy`` /
+``sched_epoch``; compare policies with the ``repro sched`` CLI
+command backed by :mod:`repro.analysis.sched_report`.  See
+``docs/scheduling.md`` for the model.
+"""
+
+from .hook import CompositeControl, SchedHook
+from .policies import (
+    SCHED_POLICIES,
+    SCHED_POLICY_NAMES,
+    AdaptiveAllocation,
+    ContentionAwareMigration,
+    HeteroAware,
+    SchedDecision,
+    Scheduler,
+    SchedView,
+    StaticPlacement,
+    make_sched_policy,
+)
+from .signals import SchedSensor, SchedWindow, ThreadDelta, ThreadDeltaTracker
+
+__all__ = [
+    "CompositeControl",
+    "SchedHook",
+    "SCHED_POLICIES",
+    "SCHED_POLICY_NAMES",
+    "AdaptiveAllocation",
+    "ContentionAwareMigration",
+    "HeteroAware",
+    "SchedDecision",
+    "Scheduler",
+    "SchedView",
+    "StaticPlacement",
+    "make_sched_policy",
+    "SchedSensor",
+    "SchedWindow",
+    "ThreadDelta",
+    "ThreadDeltaTracker",
+]

@@ -1,0 +1,203 @@
+"""Contention signals for the adaptive scheduling layer.
+
+The scheduling subsystem senses the machine the same way the QoS and
+observability layers do — by differencing the cumulative, read-only
+counters the engine maintains anyway (see
+:class:`~repro.obs.probes.VmDeltaTracker`) and pulling queue-depth /
+occupancy snapshots through the chip's inspection methods.  What it
+adds is *per-thread* resolution: migration decisions need to know
+which thread on a contended L2 domain is starving, not just which VM.
+
+:class:`SchedSensor` folds three signal families into one
+:class:`SchedWindow` per control epoch:
+
+* per-thread deltas (:class:`ThreadDelta`) — references, L1/L2
+  misses, miss-latency cycles, and think cycles inside the window;
+* per-VM deltas — the same :class:`~repro.obs.probes.VmDelta` records
+  the QoS controllers consume, for VM-level fairness signals;
+* chip pressure — per-domain L2 bank backlog
+  (:meth:`~repro.machine.chip.Chip.l2_domain_queue_depths`) and, when
+  an engine actuator is attached, the live per-core run queues.
+
+Everything here is strictly read-only with respect to the machine;
+sensing cannot perturb timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..obs.probes import VmDelta, VmDeltaTracker
+
+__all__ = ["ThreadDelta", "ThreadDeltaTracker", "SchedWindow", "SchedSensor"]
+
+
+class ThreadDelta:
+    """One thread's activity inside a sensing window.
+
+    Counts are deltas over the window except ``issued`` (cumulative
+    references issued, warm-up included — the progress signal).  Stats
+    deltas cover the thread's *measured* window only, so a thread in
+    warm-up or past completion shows zero ``refs``; policies treat
+    those threads as having no contention signal.
+    """
+
+    __slots__ = ("thread_id", "vm_id", "core_id", "refs", "l1_misses",
+                 "l2_misses", "miss_latency_cycles", "think_cycles",
+                 "issued")
+
+    def __init__(self, thread_id: int, vm_id: int, core_id: int,
+                 refs: int, l1_misses: int, l2_misses: int,
+                 miss_latency_cycles: int, think_cycles: int,
+                 issued: int):
+        self.thread_id = thread_id
+        self.vm_id = vm_id
+        self.core_id = core_id
+        self.refs = refs
+        self.l1_misses = l1_misses
+        self.l2_misses = l2_misses
+        self.miss_latency_cycles = miss_latency_cycles
+        self.think_cycles = think_cycles
+        self.issued = issued
+
+    @property
+    def miss_rate(self) -> float:
+        """L2 misses per L2 access (L1 miss) inside the window."""
+        return self.l2_misses / self.l1_misses if self.l1_misses else 0.0
+
+    @property
+    def mean_miss_latency(self) -> float:
+        """Average L1-miss latency — the paper's miss-latency metric."""
+        return (self.miss_latency_cycles / self.l1_misses
+                if self.l1_misses else 0.0)
+
+    @property
+    def stall_per_ref(self) -> float:
+        """Miss-latency cycles per reference: memory-boundedness."""
+        return self.miss_latency_cycles / self.refs if self.refs else 0.0
+
+    @property
+    def think_per_ref(self) -> float:
+        """Compute cycles per reference: core-speed sensitivity."""
+        return self.think_cycles / self.refs if self.refs else 0.0
+
+
+class ThreadDeltaTracker:
+    """Turns cumulative per-thread counters into window deltas.
+
+    The per-thread analogue of
+    :class:`~repro.obs.probes.VmDeltaTracker`; both difference the
+    same read-only :class:`~repro.sim.engine.ThreadStats` counters.
+    """
+
+    def __init__(self, threads):
+        self.threads = list(threads)
+        self._prev: Dict[int, tuple] = {
+            t.thread_id: (0, 0, 0, 0, 0) for t in self.threads
+        }
+
+    def snapshot(self) -> Dict[int, ThreadDelta]:
+        """Deltas since the previous snapshot, keyed by thread id."""
+        out: Dict[int, ThreadDelta] = {}
+        for thread in self.threads:
+            stats = thread.stats
+            cur = (stats.refs, stats.l1_misses, stats.l2_misses,
+                   stats.miss_latency_cycles, stats.think_cycles)
+            prev = self._prev[thread.thread_id]
+            self._prev[thread.thread_id] = cur
+            out[thread.thread_id] = ThreadDelta(
+                thread_id=thread.thread_id,
+                vm_id=thread.vm_id,
+                core_id=thread.core_id,
+                refs=cur[0] - prev[0],
+                l1_misses=cur[1] - prev[1],
+                l2_misses=cur[2] - prev[2],
+                miss_latency_cycles=cur[3] - prev[3],
+                think_cycles=cur[4] - prev[4],
+                issued=thread.issued,
+            )
+        return out
+
+
+class SchedWindow:
+    """Everything a scheduling policy sees at one control epoch."""
+
+    __slots__ = ("now", "threads", "vms", "domain_queues", "queues",
+                 "domain_of_core")
+
+    def __init__(self, now: int, threads: Dict[int, ThreadDelta],
+                 vms: Dict[int, VmDelta],
+                 domain_queues: Optional[List[float]],
+                 queues: Optional[Dict[int, List[int]]],
+                 domain_of_core: Optional[List[int]]):
+        self.now = now
+        #: per-thread window deltas, keyed by thread id
+        self.threads = threads
+        #: per-VM window deltas (QoS-compatible), keyed by VM id
+        self.vms = vms
+        #: per-domain L2 bank backlog, or ``None`` off-chip
+        self.domain_queues = domain_queues
+        #: per-core run queues from the engine actuator (head = active
+        #: thread), or ``None`` when no actuator is attached
+        self.queues = queues
+        #: core -> L2 domain map, or ``None`` off-chip
+        self.domain_of_core = domain_of_core
+
+    def threads_on_domain(self, domain: int) -> List[ThreadDelta]:
+        """Window deltas of the threads currently on ``domain``."""
+        mapping = self.domain_of_core
+        if mapping is None:
+            return []
+        return [d for d in self.threads.values()
+                if mapping[d.core_id] == domain]
+
+    def domain_pressure(self, domain: int) -> float:
+        """Contention estimate for one L2 domain.
+
+        The mean miss latency of the domain's active threads, inflated
+        by the domain's bank backlog: miss latency captures how much
+        each access suffers, the queue term how much demand is still
+        piling up behind it.
+        """
+        members = [d for d in self.threads_on_domain(domain) if d.refs]
+        latency = (sum(d.mean_miss_latency for d in members) / len(members)
+                   if members else 0.0)
+        depth = (self.domain_queues[domain]
+                 if self.domain_queues is not None else 0.0)
+        return latency * (1.0 + depth)
+
+
+class SchedSensor:
+    """Builds one :class:`SchedWindow` per control epoch.
+
+    Like :class:`~repro.qos.sensors.EpochSensor`, the machine's
+    inspection methods are duck-typed so the sensor also works against
+    the trivial fake machines in the engine tests (those windows just
+    lack domain signals).
+    """
+
+    def __init__(self, machine, threads):
+        self.threads = list(threads)
+        self._thread_tracker = ThreadDeltaTracker(self.threads)
+        self._vm_tracker = VmDeltaTracker(self.threads)
+        self._domain_depths = getattr(machine, "l2_domain_queue_depths", None)
+        self.domain_of_core: Optional[List[int]] = None
+        domain_of = getattr(machine, "domain_of_core", None)
+        config = getattr(machine, "config", None)
+        if domain_of is not None and config is not None:
+            self.domain_of_core = [
+                domain_of(core) for core in range(config.num_cores)
+            ]
+
+    def window(self, now: int,
+               queues: Optional[Dict[int, List[int]]] = None) -> SchedWindow:
+        depths = (self._domain_depths(now)
+                  if self._domain_depths is not None else None)
+        return SchedWindow(
+            now=now,
+            threads=self._thread_tracker.snapshot(),
+            vms=self._vm_tracker.snapshot(),
+            domain_queues=depths,
+            queues=queues,
+            domain_of_core=self.domain_of_core,
+        )

@@ -145,6 +145,12 @@ class ThreadContext:
         paper flags workload start times as a methodological variable
         worth exploring (Section VIII); staggered starts let the
         start-time ablation do exactly that.
+    stop_time:
+        Cycle at which the thread *departs* (VM churn): at its first
+        issue at or past this cycle the thread retires instead of
+        issuing, freeing its core for the rest of the run.  ``None``
+        (the default) keeps the paper's semantics — threads run until
+        every VM completes.
     """
 
     def __init__(
@@ -156,6 +162,7 @@ class ThreadContext:
         measured_refs: int,
         warmup_refs: int = 0,
         start_time: int = 0,
+        stop_time: Optional[int] = None,
     ):
         if measured_refs <= 0:
             raise ValueError("measured_refs must be positive")
@@ -163,6 +170,8 @@ class ThreadContext:
             raise ValueError("warmup_refs must be non-negative")
         if start_time < 0:
             raise ValueError("start_time must be non-negative")
+        if stop_time is not None and stop_time <= start_time:
+            raise ValueError("stop_time must be after start_time")
         self.thread_id = thread_id
         self.vm_id = vm_id
         self.core_id = core_id
@@ -170,6 +179,7 @@ class ThreadContext:
         self.measured_refs = measured_refs
         self.warmup_refs = warmup_refs
         self.start_time = start_time
+        self.stop_time = stop_time
         self.issued = 0
         self.stats = ThreadStats()
         self.completion_time: Optional[int] = None
@@ -257,6 +267,72 @@ class Engine:
         # Completed VMs keep running while others finish; 32x the
         # measured demand is far beyond any legitimate imbalance.
         self.max_steps = max_steps if max_steps is not None else 32 * demand
+        # heterogeneous cores: per-core think-cycle multipliers, or
+        # None on a homogeneous machine (exact legacy arithmetic)
+        self._inv_speeds = getattr(machine, "inverse_core_speeds", None)
+        # one-shot issue delays charged by scheduler migrations
+        self._delays: Dict[int, int] = {}
+        self._has_stops = any(t.stop_time is not None for t in threads)
+        # threads that departed via stop_time (VM churn)
+        self._retired: set = set()
+
+    # ------------------------------------------------------------------
+    # scheduler actuation (see repro.sched.hook.SchedHook)
+    # ------------------------------------------------------------------
+
+    def run_queues(self) -> Dict[int, List[int]]:
+        """Per-core thread binding as singleton run queues.
+
+        Mirrors :meth:`repro.sim.overcommit.OvercommitEngine.run_queues`
+        so epoch hooks can treat both engines uniformly; on this engine
+        every queue holds exactly the one running thread.  Cores freed
+        by departed (churned) threads are omitted — they are idle.
+        """
+        return {
+            t.core_id: [tid]
+            for tid, t in sorted(self.threads.items())
+            if tid not in self._retired
+        }
+
+    def apply_migrations(
+        self, moves: Dict[int, int], now: int, penalty: int = 0
+    ) -> int:
+        """Atomically rebind threads to new cores at a control epoch.
+
+        ``moves`` maps thread id to destination core.  The post-move
+        binding must still place at most one thread per core (swaps
+        are expressed by moving both parties), otherwise
+        :class:`SimulationError` — schedulers are expected to propose
+        valid permutations.  Each moved thread is charged ``penalty``
+        cycles before its next issue, modelling the cold-cache /
+        context-transfer cost of the migration.  Returns the number of
+        threads actually moved (no-op moves are skipped).
+        """
+        real = {
+            tid: core
+            for tid, core in moves.items()
+            if tid in self.threads
+            and tid not in self._retired
+            and self.threads[tid].core_id != core
+        }
+        if not real:
+            return 0
+        new_core = {
+            t.thread_id: t.core_id
+            for t in self.threads.values()
+            if t.thread_id not in self._retired
+        }
+        new_core.update(real)
+        if len(set(new_core.values())) != len(new_core):
+            raise SimulationError(
+                "scheduler migration would bind two threads to one core; "
+                f"proposed moves: {sorted(real.items())}"
+            )
+        for tid, core in real.items():
+            self.threads[tid].core_id = core
+            if penalty:
+                self._delays[tid] = self._delays.get(tid, 0) + penalty
+        return len(real)
 
     def run(self) -> EngineResult:
         """Execute until every VM has completed its measured references.
@@ -267,6 +343,7 @@ class Engine:
         the property the FIFO contention servers rely on.
         """
         threads = self.threads
+        inv = self._inv_speeds
         pending: Dict[int, tuple] = {}
         heap: List[Tuple[int, int]] = []
         for tid in sorted(threads):
@@ -277,7 +354,11 @@ class Engine:
                     "generators must be infinite (restart on completion)"
                 )
             pending[tid] = ref
-            heap.append((threads[tid].start_time + ref[2], tid))
+            think = (
+                ref[2] if inv is None
+                else int(ref[2] * inv[threads[tid].core_id])
+            )
+            heap.append((threads[tid].start_time + think, tid))
         heapq.heapify(heap)
 
         vm_pending: Dict[int, int] = {}
@@ -293,6 +374,8 @@ class Engine:
         # per step instead of a Python call into an early-returning
         # on_step
         control_due = control.next_due if control is not None else None
+        delays = self._delays
+        has_stops = self._has_stops
         steps = 0
         while pending_vms > 0:
             steps += 1
@@ -307,7 +390,32 @@ class Engine:
             if control_due is not None and issue_time >= control_due:
                 control.on_step(issue_time)
                 control_due = control.next_due
+            if delays:
+                # a scheduler migration charged this thread a one-shot
+                # cost: push its issue out and retry (same re-insertion
+                # pattern as the MigratingEngine)
+                extra = delays.pop(tid, 0)
+                if extra:
+                    heapq.heappush(heap, (issue_time + extra, tid))
+                    continue
             thread = threads[tid]
+            if has_stops and thread.stop_time is not None \
+                    and issue_time >= thread.stop_time:
+                # VM churn: the thread departs at its first issue past
+                # stop_time.  A truncated measured window completes at
+                # departure; the freed core stays idle for the rest of
+                # the run (dynamic schedulers may migrate onto it).
+                self._retired.add(tid)
+                if thread.completion_time is None:
+                    thread.completion_time = issue_time
+                    vm = thread.vm_id
+                    vm_pending[vm] -= 1
+                    if vm_pending[vm] == 0:
+                        vm_completion[vm] = issue_time
+                        pending_vms -= 1
+                        if probe is not None:
+                            probe.on_vm_complete(vm, issue_time)
+                continue
             block, access, think = pending[tid]
             result = self.machine.access(
                 thread.core_id, block, bool(access), issue_time
@@ -319,6 +427,10 @@ class Engine:
             window_start = thread.warmup_refs
             window_end = window_start + thread.measured_refs
             if window_start <= index < window_end:
+                if inv is not None:
+                    # charge the think cycles the thread actually spent
+                    # on its (possibly slow) core
+                    think = int(think * inv[thread.core_id])
                 thread.stats.record(access, think, result)
                 if thread.issued == window_end:
                     thread.completion_time = finish
@@ -336,7 +448,11 @@ class Engine:
                     "generators must be infinite (restart on completion)"
                 )
             pending[tid] = next_ref
-            heapq.heappush(heap, (finish + next_ref[2], tid))
+            next_think = (
+                next_ref[2] if inv is None
+                else int(next_ref[2] * inv[thread.core_id])
+            )
+            heapq.heappush(heap, (finish + next_think, tid))
 
         # The run "finishes" when the last VM completes: the maximum
         # completion time.  (The last *popped* issue_time undercounts

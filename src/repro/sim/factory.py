@@ -79,6 +79,27 @@ class EngineRequest:
     epoch_refs: int = DEFAULT_EPOCH_REFS
 
 
+def _control_rebinds(request: EngineRequest) -> bool:
+    """True when the control hook may rebind threads mid-run.
+
+    Scheduler hooks (and composites containing one) declare this with
+    ``pins_reference``; such runs must stay on the reference engines
+    regardless of shape.
+    """
+    return bool(getattr(request.control, "pins_reference", False))
+
+
+def _machine_heterogeneous(request: EngineRequest) -> bool:
+    config = getattr(request.machine, "config", None)
+    return bool(config is not None
+                and getattr(config, "heterogeneous", False))
+
+
+def _has_stop_times(request: EngineRequest) -> bool:
+    return any(getattr(t, "stop_time", None) is not None
+               for t in request.threads)
+
+
 def _build_reference(request: EngineRequest):
     if request.slots_per_core > 1:
         engine = OvercommitEngine(
@@ -95,12 +116,17 @@ def _build_reference(request: EngineRequest):
             interval=request.rebind_interval,
             control=request.control,
         )
-    return Engine(
+    engine = Engine(
         request.machine,
         request.threads,
         probe=request.probe,
         control=request.control,
     )
+    if _control_rebinds(request):
+        # a rebinding hook needs the engine's migration actuator (and
+        # run-queue snapshots for sensing)
+        request.control.bind_actuator(engine)
+    return engine
 
 
 def _build_batched(request: EngineRequest):
@@ -113,6 +139,22 @@ def _build_batched(request: EngineRequest):
         raise ConfigurationError(
             "the batched engine does not support dynamic rebinding; "
             "use engine_mode='reference' with rebind set"
+        )
+    if _control_rebinds(request):
+        raise ConfigurationError(
+            "the batched engine does not support rebinding control "
+            "hooks (schedulers); use engine_mode='reference'"
+        )
+    if _machine_heterogeneous(request):
+        raise ConfigurationError(
+            "the batched engine does not model heterogeneous chips "
+            "(core speed classes / asymmetric L2); use "
+            "engine_mode='reference'"
+        )
+    if _has_stop_times(request):
+        raise ConfigurationError(
+            "the batched engine does not support VM churn "
+            "(stop times); use engine_mode='reference'"
         )
     return BatchedEngine(
         request.machine,
@@ -143,11 +185,16 @@ def engine_modes() -> list:
 
 
 def resolve_mode(mode: str, *, slots_per_core: int = 1,
-                 rebind: str = "") -> str:
+                 rebind: str = "", sched: str = "",
+                 heterogeneous: bool = False,
+                 vm_schedule: bool = False) -> str:
     """Resolve ``"auto"`` to a concrete registry mode for a run shape.
 
-    ``"auto"`` picks ``"batched"`` only when the shape supports it (one
-    slot per core, no rebinding) and numpy is importable — the pure-
+    ``"auto"`` picks ``"batched"`` only when the shape supports it —
+    one slot per core, no dynamic rebinding of *any* kind (the
+    ``rebind`` phase rebinder or a ``sched`` scheduling policy, both
+    of which may call ``rebind_thread`` mid-run), a homogeneous chip,
+    and no VM churn schedule — and numpy is importable; the pure-
     Python folding fallback exists for constrained environments, but
     ``auto`` should never silently choose the slow path.  Explicitly
     requesting ``"batched"`` without numpy is honoured (the fallback
@@ -155,7 +202,9 @@ def resolve_mode(mode: str, *, slots_per_core: int = 1,
     """
     mode = (mode or "auto").strip().lower()
     if mode == "auto":
-        if slots_per_core == 1 and not rebind and HAVE_NUMPY:
+        if (slots_per_core == 1 and not rebind and not sched
+                and not heterogeneous and not vm_schedule
+                and HAVE_NUMPY):
             return "batched"
         return "reference"
     if mode not in _REGISTRY:
@@ -176,5 +225,8 @@ def make_engine(request: EngineRequest, mode: str = "auto"):
         mode,
         slots_per_core=request.slots_per_core,
         rebind="rebind" if request.rebinder is not None else "",
+        sched="sched" if _control_rebinds(request) else "",
+        heterogeneous=_machine_heterogeneous(request),
+        vm_schedule=_has_stop_times(request),
     )
     return _REGISTRY[concrete](request)

@@ -82,6 +82,14 @@ class OvercommitEngine:
         self._quantum_left: Dict[int, int] = {}
         self._bind = None
         self.qos_rebinds = 0
+        # heterogeneous cores: per-core think multipliers, or None on
+        # a homogeneous machine (exact legacy arithmetic)
+        self._inv_speeds = getattr(machine, "inverse_core_speeds", None)
+
+    def _think(self, core: int, think: int) -> int:
+        """Think cycles as spent on ``core`` (scaled when heterogeneous)."""
+        inv = self._inv_speeds
+        return think if inv is None else int(think * inv[core])
 
     # -- QoS actuator surface (used by repro.qos.hook.QosHook) ---------
 
@@ -117,7 +125,8 @@ class OvercommitEngine:
             self._quantum_left[core] = self.quantum_refs
             heapq.heappush(
                 self._heap,
-                (now + self.switch_penalty + self._pending[tid][2], core),
+                (now + self.switch_penalty
+                 + self._think(core, self._pending[tid][2]), core),
             )
             if self._bind is not None:
                 self._bind(core, thread.vm_id)
@@ -145,7 +154,9 @@ class OvercommitEngine:
             thread = threads[tid]
             if bind is not None:
                 bind(core, thread.vm_id)
-            heap.append((thread.start_time + pending[tid][2], core))
+            heap.append(
+                (thread.start_time + self._think(core, pending[tid][2]), core)
+            )
             quantum_left[core] = self.quantum_refs
         heapq.heapify(heap)
 
@@ -186,7 +197,7 @@ class OvercommitEngine:
             window_start = thread.warmup_refs
             window_end = window_start + thread.measured_refs
             if window_start <= index < window_end:
-                thread.stats.record(access, think, result)
+                thread.stats.record(access, self._think(core, think), result)
                 if thread.issued == window_end:
                     thread.completion_time = finish
                     vm = thread.vm_id
@@ -213,7 +224,9 @@ class OvercommitEngine:
                 if quantum_left[core] <= 0:
                     quantum_left[core] = self.quantum_refs
                 next_tid = tid
-            heapq.heappush(heap, (finish + pending[next_tid][2], core))
+            heapq.heappush(
+                heap, (finish + self._think(core, pending[next_tid][2]), core)
+            )
 
         final_time = max(vm_completion.values())
         if control is not None:

@@ -78,6 +78,7 @@ class Hypervisor:
         batch_size: int = 4096,
         slots_per_core: int = 1,
         start_offsets: Sequence[int] = (),
+        stop_times: Sequence = (),
         phases=None,
     ) -> List[ThreadContext]:
         """Create one VM per profile and return all thread contexts.
@@ -101,6 +102,9 @@ class Hypervisor:
         start_offsets:
             Optional per-VM start times in cycles (the paper's
             workload-start-time methodological variable).
+        stop_times:
+            Optional per-VM departure times in cycles (``None`` for
+            "runs to completion"): VM churn for the scheduling layer.
         """
         if len(profiles) != len(assignments):
             raise ConfigurationError(
@@ -111,6 +115,10 @@ class Hypervisor:
         if start_offsets and len(start_offsets) != len(profiles):
             raise ConfigurationError(
                 f"{len(start_offsets)} start offsets for {len(profiles)} VMs"
+            )
+        if stop_times and len(stop_times) != len(profiles):
+            raise ConfigurationError(
+                f"{len(stop_times)} stop times for {len(profiles)} VMs"
             )
         total_threads = sum(len(cores) for cores in assignments)
         capacity = self.chip.config.num_cores * slots_per_core
@@ -157,6 +165,7 @@ class Hypervisor:
             self.vms.append(vm)
             self._next_block = base + profile.partition_blocks + PARTITION_GUARD_BLOCKS
             offset = start_offsets[vm_index] if start_offsets else 0
+            stop = stop_times[vm_index] if stop_times else None
             for thread_index, core in enumerate(cores):
                 self.chip.bind_core_to_vm(core, vm_id)
                 contexts.append(
@@ -168,6 +177,7 @@ class Hypervisor:
                         measured_refs=measured_refs,
                         warmup_refs=warmup_refs,
                         start_time=offset,
+                        stop_time=stop,
                     )
                 )
                 thread_id += 1

@@ -121,7 +121,7 @@ class TestCannedSuites:
 
     def test_registry(self):
         assert set(suite_names()) == set(SUITES) == {
-            "sharing-policy", "mixes", "qos"}
+            "sharing-policy", "mixes", "qos", "sched"}
         suite = get_suite("sharing-policy", mix="mix3")
         assert suite.name == "sharing-policy/mix3"
 

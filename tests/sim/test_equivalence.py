@@ -67,6 +67,39 @@ def test_batched_matches_reference_within_tolerance(mix):
         )
 
 
+_SCHED_REFS = 800
+_SCHED_WARMUP = 400
+
+
+@pytest.mark.parametrize("mix", TABLE_IV_MIXES)
+def test_static_sched_hook_is_byte_identical(mix):
+    """The determinism guard of the scheduling layer: a ``static``
+    scheduler senses every epoch but never migrates, so a run under
+    the hook must be byte-identical to the legacy run on every mix."""
+    plain = run_experiment(
+        ExperimentSpec(mix=mix, measured_refs=_SCHED_REFS,
+                       warmup_refs=_SCHED_WARMUP, seed=1),
+        use_cache=False,
+    )
+    hooked = run_experiment(
+        ExperimentSpec(mix=mix, measured_refs=_SCHED_REFS,
+                       warmup_refs=_SCHED_WARMUP, seed=1,
+                       sched_policy="static"),
+        use_cache=False,
+    )
+    assert hooked.final_time == plain.final_time
+    for vm_plain, vm_hooked in zip(plain.vm_metrics, hooked.vm_metrics):
+        assert vm_hooked.cycles == vm_plain.cycles
+        assert vm_hooked.l1_misses == vm_plain.l1_misses
+        assert vm_hooked.l2_misses == vm_plain.l2_misses
+        assert (vm_hooked.miss_latency_cycles
+                == vm_plain.miss_latency_cycles)
+    assert hooked.chip_summary == plain.chip_summary
+    assert hooked.sched is not None
+    assert hooked.sched["migrations"] == 0
+    assert hooked.sched["control_epochs"] > 0
+
+
 def test_chip_counters_same_magnitude():
     """Chip-wide coherence traffic agrees in magnitude (2x band) —
     a sanity net under the per-VM bounds, not a precision claim."""

@@ -196,6 +196,71 @@ class TestQosCommand:
         assert "qos/mix7" in out
 
 
+class TestSchedCommand:
+    def test_sched_defaults(self):
+        args = build_parser().parse_args(["sched"])
+        assert args.mix == "mix7"
+        assert args.policies == "static,contention,adaptive"
+        assert args.placement == "affinity"
+
+    def test_sched_run(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "sched", "--mix", "mix7", "--refs", "300",
+            "--seed", "1", "--policies", "static,contention",
+            "--placement", "affinity")
+        assert code == 0
+        assert "WeightedSpeedup" in out
+        assert "static/rr" in out
+        assert "contention" in out
+        assert "best static" in out
+        assert "adaptive wins" in out
+
+    def test_sched_metrics_out(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        code, _out, _err = run_cli(
+            capsys, "sched", "--mix", "mix4", "--refs", "300",
+            "--seed", "1", "--policies", "adaptive",
+            "--slots-per-core", "2", "--metrics-out", str(path))
+        assert code == 0
+        text = path.read_text()
+        assert "repro_sched_migrations_total" in text
+
+    def test_sched_json_artifact(self, capsys, tmp_path):
+        path = tmp_path / "sched.json"
+        code, _out, _err = run_cli(
+            capsys, "sched", "--mix", "mix7", "--refs", "300",
+            "--seed", "1", "--policies", "static,contention",
+            "--json", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert "verdict" in payload
+        assert "static/affinity" in payload["policies"]
+        assert "contention" in payload["policies"]
+
+    def test_run_accepts_sched_policy_flag(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "run", "--mix", "mix7", "--sharing", "shared",
+            "--refs", "300", "--seed", "1",
+            "--sched-policy", "contention")
+        assert code == 0
+        assert "Scheduling" in out
+        assert "migrations" in out
+
+    def test_unknown_sched_policy_is_clean_error(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "sched", "--policies", "nope", "--refs", "200",
+            "--seed", "1")
+        assert code == 2
+        assert "unknown scheduling policy" in err
+
+    def test_suite_sched(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "suite", "sched", "--mix", "mix7", "--refs", "300",
+            "--seed", "1")
+        assert code == 0
+        assert "sched/mix7" in out
+
+
 class TestSweepExecutorFlags:
     def test_sweep_with_jobs(self, capsys):
         code, out, _err = run_cli(
