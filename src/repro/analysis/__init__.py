@@ -15,6 +15,14 @@ from .persist import load_result, result_from_dict, result_to_dict, save_result
 from .qos_report import compare_policies, policy_table
 from .replication import ReplicationSnapshot, measure_replication
 from .report import bar, format_kv, format_series, format_table
+from .scenario_report import (
+    compare_scenario_policies,
+    scenario_report,
+    scenario_scorecard,
+    scenario_table,
+    scenario_verdict,
+    scenario_window_rows,
+)
 from .sched_report import (
     compare_sched_policies,
     sched_report,
@@ -47,6 +55,12 @@ __all__ = [
     "sched_report",
     "sched_table",
     "sched_verdict",
+    "compare_scenario_policies",
+    "scenario_report",
+    "scenario_scorecard",
+    "scenario_table",
+    "scenario_verdict",
+    "scenario_window_rows",
     "ReplicationSnapshot",
     "measure_replication",
     "bar",

@@ -140,6 +140,33 @@ def _bench_sched_overhead(ctx: BenchContext) -> List[BenchRecord]:
     )]
 
 
+def _bench_scenario_overhead(ctx: BenchContext) -> List[BenchRecord]:
+    """Wall-clock overhead of scripted scenario actuation.
+
+    Runs the diurnal-web roster once as a plain static spec (its
+    ``scn-`` mix resolves without the control hook) and once under the
+    full scenario — diurnal load actuation plus a scripted departure —
+    on the same over-committed shared-4 machine.
+    """
+    refs = ctx.cell_refs(full=1500, quick=300)
+    base = ExperimentSpec(
+        mix="scn-diurnal-web", sharing="shared-4", slots_per_core=2,
+        measured_refs=refs, seed=ctx.seed, engine_mode="reference")
+    scripted = replace(base, scenario="diurnal-web")
+    t_base = _timed(lambda: run_experiment(base, use_cache=False))
+    t_scenario = _timed(lambda: run_experiment(scripted, use_cache=False))
+    return [BenchRecord(
+        bench="scenario-overhead", target="kernel", quick=ctx.quick,
+        params={"scenario": "diurnal-web", "measured_refs": refs,
+                "slots_per_core": 2, "seed": ctx.seed},
+        metrics={
+            "plain_seconds": t_base,
+            "scenario_seconds": t_scenario,
+            "overhead_ratio": t_scenario / max(1e-9, t_base),
+        },
+    )]
+
+
 def _bench_obs_tracing(ctx: BenchContext) -> List[BenchRecord]:
     """Distributed-tracing overhead guard.
 
@@ -325,6 +352,7 @@ _BASKET: Dict[str, Callable[[BenchContext], List[BenchRecord]]] = {
     "cell-warm": _bench_cell_warm,
     "qos-overhead": _bench_qos_overhead,
     "sched-overhead": _bench_sched_overhead,
+    "scenario-overhead": _bench_scenario_overhead,
     "obs-tracing": _bench_obs_tracing,
     "sweep-throughput": _bench_sweep_throughput,
     "service-roundtrip": _bench_service_roundtrip,

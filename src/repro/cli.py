@@ -231,6 +231,57 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the accumulated sched.* telemetry "
                               "counters in Prometheus text format")
 
+    scn_p = sub.add_parser(
+        "scenario", help="run a time-varying consolidation scenario and "
+                         "score policies against it")
+    scn_p.add_argument("name", nargs="?", default=None,
+                       help="scenario name (see --list), or omit with "
+                            "--file / --list / --calibrate")
+    scn_p.add_argument("--list", action="store_true", dest="list_scenarios",
+                       help="list registered scenarios and exit")
+    scn_p.add_argument("--calibrate", action="store_true",
+                       help="print the Table-II-style calibration table "
+                            "for the scenario workload families and exit")
+    scn_p.add_argument("--file", default=None, metavar="PATH",
+                       help="load a JSON scenario file (registers it "
+                            "under its own name)")
+    scn_p.add_argument("--export", default=None, metavar="PATH",
+                       help="write the selected scenario as JSON and exit")
+    scn_p.add_argument("--policies", default="static,contention,adaptive",
+                       help="comma-separated scheduling policies; "
+                            "'static' expands to one cell per "
+                            "placement policy")
+    scn_p.add_argument("--placement", default="affinity",
+                       choices=_POLICIES,
+                       help="initial placement for the adaptive cells")
+    scn_p.add_argument("--sharing", default="shared-4", choices=_SHARINGS,
+                       help="L2 sharing degree (default: shared-4, so "
+                            "domain-aware policies have domains to act "
+                            "on)")
+    scn_p.add_argument("--slots-per-core", type=int, default=2,
+                       dest="slots_per_core", metavar="N",
+                       help="run-queue slots per core (default: 2 — "
+                            "consolidation scenarios over-commit the "
+                            "machine; pass 1 for the paper's "
+                            "one-thread-per-core shape)")
+    scn_p.add_argument("--sched-epoch", type=int, default=10_000,
+                       help="scheduling control period in cycles "
+                            "(the scenario's own epoch drives its "
+                            "load/phase actuation)")
+    scn_p.add_argument("--cores", type=int, default=16)
+    scn_p.add_argument("--refs", type=int, default=None)
+    scn_p.add_argument("--warmup", type=int, default=None)
+    scn_p.add_argument("--seed", type=int, default=0)
+    scn_p.add_argument("--windows", action="store_true",
+                       help="also print the per-window load/issued "
+                            "attribution of the first adaptive cell")
+    scn_p.add_argument("--json", default=None, metavar="PATH",
+                       help="save the scorecard + verdict as JSON")
+    scn_p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the accumulated scenario.*/sched.* "
+                            "telemetry counters in Prometheus text "
+                            "format")
+
     suite_p = sub.add_parser(
         "suite", help="run a canned experiment suite by name")
     suite_p.add_argument("name",
@@ -884,6 +935,135 @@ def _cmd_sched(args) -> int:
     return 0
 
 
+def _cmd_scenario(args) -> int:
+    from .analysis.scenario_report import (
+        compare_scenario_policies,
+        scenario_table,
+        scenario_verdict,
+        scenario_window_rows,
+    )
+    from .obs import Telemetry
+    from .scenarios import (
+        get_scenario,
+        load_scenario_file,
+        save_scenario_file,
+        scenario_names,
+    )
+
+    if args.list_scenarios:
+        from .scenarios import BUILTIN_SCENARIOS
+
+        rows = []
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            kind = "built-in" if name in BUILTIN_SCENARIOS else "custom"
+            rows.append([name, kind, len(scenario.roster),
+                         scenario.curve.kind, scenario.description])
+        print(format_table(
+            ["Scenario", "Kind", "VMs", "Curve", "Description"], rows,
+            title="Registered scenarios"))
+        return 0
+    if args.calibrate:
+        from .workloads import SCENARIO_WORKLOADS, calibration_table
+
+        print(calibration_table(sorted(SCENARIO_WORKLOADS),
+                                measured_refs=args.refs, seed=args.seed or 1))
+        return 0
+
+    if args.file:
+        scenario = load_scenario_file(args.file)
+        if args.name and args.name != scenario.name:
+            raise ReproError(
+                f"--file defines scenario {scenario.name!r}, "
+                f"not {args.name!r}")
+    elif args.name:
+        scenario = get_scenario(args.name)
+    else:
+        raise ReproError("name a scenario (see --list) or pass --file")
+
+    if args.export:
+        save_scenario_file(scenario, args.export)
+        print(f"scenario {scenario.name!r} written to {args.export}")
+        return 0
+
+    policies = tuple(
+        p.strip() for p in args.policies.split(",") if p.strip()
+    )
+    if not policies:
+        raise ReproError("--policies names no scheduling policy")
+    slots = args.slots_per_core
+    if scenario.has_arrivals and slots > 1:
+        # over-commit honours start times only for run-queue heads, so
+        # arrival scenarios run on the paper's one-thread-per-core shape
+        print(f"note: {scenario.name!r} scripts VM arrivals; "
+              "running single-slot")
+        slots = 1
+    base = ExperimentSpec(
+        mix=scenario.mix_name, sharing=args.sharing, policy=args.placement,
+        seed=args.seed, measured_refs=args.refs, warmup_refs=args.warmup,
+        num_cores=args.cores, sched_epoch=args.sched_epoch,
+        slots_per_core=slots,
+    )
+    telemetry = Telemetry() if args.metrics_out else None
+    # bypass the cache: the live scenario/sched accounts are not part
+    # of the serialized result, so a cache hit would lose them
+    reports = compare_scenario_policies(
+        scenario.name, policies=policies, base=base,
+        use_cache=False, telemetry=telemetry,
+    )
+    headers, rows = scenario_table(reports)
+    print(format_table(
+        headers, rows,
+        title=f"Scenario: {scenario.name} / {args.sharing} "
+              f"({args.cores} cores x {slots} slots, "
+              f"curve {scenario.curve.kind}, epoch {scenario.epoch})"))
+    verdict = scenario_verdict(reports)
+    if "best_static" in verdict and "best_adaptive" in verdict:
+        print()
+        print(format_kv("Verdict", {
+            "best static": f"{verdict['best_static']} "
+                           f"({verdict['best_static_weighted_speedup']:.3f})",
+            "best adaptive":
+                f"{verdict['best_adaptive']} "
+                f"({verdict['best_adaptive_weighted_speedup']:.3f})",
+            "speedup gain": f"{verdict['speedup_gain']:+.3f}",
+            "fairness change": f"{verdict['fairness_change']:+.3f}",
+            "adaptive wins": "yes" if verdict["adaptive_wins"] else "no",
+        }))
+    if args.windows:
+        shown = next(
+            (r for label, r in reports.items()
+             if not label.startswith("static")),
+            next(iter(reports.values())),
+        )
+        w_headers, w_rows = scenario_window_rows(shown.control)
+        if w_rows:
+            print()
+            print(format_table(
+                w_headers, w_rows,
+                title=f"Windows ({shown.policy} cell)"))
+    if args.metrics_out:
+        from .obs import render_prometheus
+
+        with open(args.metrics_out, "w") as handle:
+            handle.write(render_prometheus(telemetry.snapshot()))
+        print(f"\nmetrics written to {args.metrics_out}")
+    if args.json:
+        import json
+
+        payload = {
+            "scenario": scenario.name,
+            "curve": scenario.curve.kind,
+            "policies": {label: report.to_dict()
+                         for label, report in reports.items()},
+            "verdict": verdict,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nscorecard saved to {args.json}")
+    return 0
+
+
 def _cmd_trace_job(args) -> int:
     """``repro trace --job ID``: merge span logs into one job trace."""
     import json
@@ -1365,6 +1545,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "qos": _cmd_qos,
     "sched": _cmd_sched,
+    "scenario": _cmd_scenario,
     "suite": _cmd_suite,
     "trace": _cmd_trace,
     "profile": _cmd_profile,

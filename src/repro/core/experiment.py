@@ -197,6 +197,17 @@ class ExperimentSpec:
         churn for the scheduling layer.  Empty = every VM runs start
         to finish (the paper's methodology).  Requires single-slot,
         statically-bound runs and replaces ``start_stagger``.
+    scenario:
+        Name of a time-varying consolidation scenario (see
+        :mod:`repro.scenarios`).  The scenario supplies the roster
+        (``mix`` must be its ``scn-<name>`` mix), per-VM phase plans,
+        arrival/departure churn, scripted phase switches, and a load
+        curve actuated by a
+        :class:`~repro.scenarios.hook.ScenarioHook` at the scenario's
+        epoch.  Empty = a static run (the paper's methodology).
+        Mutually exclusive with ``phase_plan``, ``vm_schedule``,
+        ``start_stagger``, and ``rebind`` — the scenario owns all of
+        those axes; composes with ``qos_policy`` and ``sched_policy``.
     engine_mode:
         Execution kernel (see :mod:`repro.sim.factory`):
         ``"reference"`` (event-driven, the default), ``"batched"``
@@ -230,6 +241,7 @@ class ExperimentSpec:
     core_speeds: str = ""
     l2_asym: str = ""
     vm_schedule: str = ""
+    scenario: str = ""
     engine_mode: str = "reference"
 
     def normalized(self) -> "ExperimentSpec":
@@ -280,6 +292,7 @@ def resolve_defaults(spec: ExperimentSpec) -> ExperimentSpec:
             sched=spec.sched_policy,
             heterogeneous=bool(spec.core_speeds or spec.l2_asym),
             vm_schedule=bool(spec.vm_schedule),
+            scenario=bool(spec.scenario),
         ),
     )
 
@@ -288,6 +301,12 @@ def resolve_mix(name: str) -> Mix:
     """Map a spec's mix string to a :class:`~repro.core.mixes.Mix`."""
     if name.startswith("iso-"):
         return isolated_mix(name[len("iso-"):])
+    if name.startswith("scn-"):
+        # scenario rosters resolve through the scenario registry so the
+        # mix is always consistent with the scenario that owns it
+        from ..scenarios.registry import get_scenario
+
+        return get_scenario(name[len("scn-"):]).to_mix()
     return get_mix(name)
 
 
@@ -333,6 +352,13 @@ class ExperimentResult:
     epochs, migrations proposed/applied/refused, final thread->core
     binding) for runs with ``spec.sched_policy`` set; excluded from the
     result codec like ``qos``.
+
+    ``scenario`` holds the scenario hook's end-of-run account (the
+    :meth:`repro.scenarios.hook.ScenarioHook.summary` dict: control
+    epochs, load adjustments, switches applied, per-window issued
+    attribution, per-VM script accounting) for runs with
+    ``spec.scenario`` set; excluded from the result codec like ``qos``
+    and ``sched``.
     """
 
     spec: ExperimentSpec
@@ -347,6 +373,7 @@ class ExperimentResult:
     series: Optional[Dict[str, list]] = None
     qos: Optional[Dict[str, object]] = None
     sched: Optional[Dict[str, object]] = None
+    scenario: Optional[Dict[str, object]] = None
 
     def metrics_for(self, workload: str) -> List[VMMetrics]:
         """All VM metrics of one workload, in VM order."""
@@ -526,6 +553,34 @@ def run_experiment(
             "way-quota owners (qos_policy / l2_vm_quota), which assume "
             "uniform domain associativity"
         )
+    scenario = None
+    if spec.scenario:
+        from ..scenarios.registry import get_scenario
+
+        scenario = get_scenario(spec.scenario)
+        if spec.mix != scenario.mix_name:
+            raise ConfigurationError(
+                f"a scenario spec's mix must be the scenario's own "
+                f"roster mix: expected {scenario.mix_name!r}, got "
+                f"{spec.mix!r} (use scenario_spec() to build one)"
+            )
+        for conflicting, label in (
+            (spec.phase_plan, "phase_plan"),
+            (spec.vm_schedule, "vm_schedule"),
+            (spec.start_stagger, "start_stagger"),
+            (spec.rebind, "rebind"),
+        ):
+            if conflicting:
+                raise ConfigurationError(
+                    f"scenario runs own the {label} axis; encode it in "
+                    f"the scenario instead of setting spec.{label}"
+                )
+        if scenario.has_arrivals and spec.slots_per_core > 1:
+            raise ConfigurationError(
+                "scenario arrivals require single-slot runs (the "
+                "over-commit engine honours start times only for run-"
+                "queue heads); departures compose with over-commit"
+            )
     if store is None:
         store = get_default_store()
     if use_cache:
@@ -591,6 +646,16 @@ def run_experiment(
         from ..workloads.phases import get_phase_plan
 
         phases = get_phase_plan(spec.phase_plan)
+    vm_phases = ()
+    if scenario is not None:
+        # the scenario owns churn and phase plans: compile its roster
+        # into the engine-native start/stop and per-VM plan machinery
+        if scenario.has_churn:
+            start_offsets = scenario.start_offsets()
+            stop_times = scenario.stop_times()
+        plans = scenario.vm_phase_plans()
+        if any(plan is not None for plan in plans):
+            vm_phases = plans
     contexts = hypervisor.launch(
         profiles,
         assignments,
@@ -600,6 +665,7 @@ def run_experiment(
         start_offsets=start_offsets,
         stop_times=stop_times,
         phases=phases,
+        vm_phases=vm_phases,
     )
     hypervisor.check_isolation()
     if spec.l2_vm_quota:
@@ -644,13 +710,27 @@ def run_experiment(
             slots_per_core=spec.slots_per_core,
             rng=rng_factory.stream("sched"),
         )
-    control = qos_hook if sched_hook is None else sched_hook
-    if qos_hook is not None and sched_hook is not None:
+    scenario_hook = None
+    if scenario is not None:
+        from ..scenarios.hook import ScenarioHook
+
+        scenario_hook = ScenarioHook(
+            scenario, hypervisor.vms, contexts,
+            rng=rng_factory.stream("scenario"), telemetry=telemetry,
+        )
+    hooks = [hook for hook in (scenario_hook, qos_hook, sched_hook)
+             if hook is not None]
+    if not hooks:
+        control = None
+    elif len(hooks) == 1:
+        control = hooks[0]
+    else:
         from ..sched import CompositeControl
 
-        # QoS first: quota decisions land before the same epoch's
-        # migrations
-        control = CompositeControl([qos_hook, sched_hook])
+        # scenario first (load/phase actuation shapes the epoch the
+        # controllers sense), then QoS, then the scheduler — quota
+        # decisions land before the same epoch's migrations
+        control = CompositeControl(hooks)
     rebinder = (
         _make_rebinder(spec.rebind, chip, rng_factory) if spec.rebind else None
     )
@@ -743,6 +823,8 @@ def run_experiment(
         result.qos = qos_hook.summary()
     if sched_hook is not None:
         result.sched = sched_hook.summary()
+    if scenario_hook is not None:
+        result.scenario = scenario_hook.summary()
     if use_cache:
         store.put(spec, result)
         if result.series is not None:

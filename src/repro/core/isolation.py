@@ -48,7 +48,8 @@ def isolation_spec(
     return replace(
         template, mix=f"iso-{workload}", sharing=sharing, policy=policy,
         qos_policy="", qos_target=0.0,
-        sched_policy="", vm_schedule="", core_speeds="", l2_asym="",
+        sched_policy="", vm_schedule="", scenario="", core_speeds="",
+        l2_asym="",
     )
 
 

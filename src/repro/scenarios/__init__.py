@@ -1,0 +1,43 @@
+"""Time-varying consolidation scenarios (ISSUE 10's subsystem).
+
+Declarative :class:`Scenario` objects — a VM roster with arrivals,
+departures, per-VM phase plans and scripted behavioural switches, plus
+a load curve — actuated at epoch boundaries through the engines'
+control slot by :class:`ScenarioHook`.  See ``docs/scenarios.md``.
+"""
+
+from .hook import ScenarioHook
+from .model import (
+    LoadCurve,
+    PhaseSwitch,
+    Scenario,
+    VMSlot,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from .registry import (
+    BUILTIN_SCENARIOS,
+    get_scenario,
+    load_scenario_file,
+    register_scenario,
+    save_scenario_file,
+    scenario_names,
+)
+from .spec import scenario_spec
+
+__all__ = [
+    "LoadCurve",
+    "PhaseSwitch",
+    "VMSlot",
+    "Scenario",
+    "ScenarioHook",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "BUILTIN_SCENARIOS",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "load_scenario_file",
+    "save_scenario_file",
+    "scenario_spec",
+]

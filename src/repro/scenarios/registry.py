@@ -1,0 +1,208 @@
+"""Named scenarios: the built-in catalogue plus user scenario files.
+
+Four built-ins cover the time-varying axes the subsystem adds:
+
+``diurnal-web``
+    A consolidated web stack under a sinusoidal day/night load curve,
+    with a batch ``gups`` tenant that departs mid-run — the headline
+    scenario for the policy × scenario scorecard (an adaptive
+    scheduler can reclaim the vacated cache domain; a static placement
+    cannot).
+``batch-interference``
+    A steady OLTP/web roster disturbed by a ``silo`` batch job that
+    arrives mid-run while a step curve raises offered load.
+``churn-storm``
+    Staggered arrivals and departures across the whole roster under
+    jittered load — the stress case for seeded determinism.
+``phase-flip``
+    Scripted compute↔communicate behavioural switches on half the
+    roster, the scenario-file analogue of the cyclic ``burst`` phase
+    plan.
+
+User scenarios come from JSON files (:func:`load_scenario_file`,
+format in ``docs/scenarios.md``) and can be registered under their
+name for the duration of the process.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from .model import (
+    LoadCurve,
+    PhaseSwitch,
+    Scenario,
+    VMSlot,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+__all__ = [
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "load_scenario_file",
+    "save_scenario_file",
+    "BUILTIN_SCENARIOS",
+]
+
+
+def _builtin() -> Dict[str, Scenario]:
+    diurnal_web = Scenario(
+        name="diurnal-web",
+        description=(
+            "Consolidated web stack under a day/night load curve; a "
+            "gups batch tenant departs mid-run, freeing cores and "
+            "cache capacity an adaptive scheduler can reclaim."
+        ),
+        roster=(
+            VMSlot(workload="specweb"),
+            VMSlot(workload="tpcw"),
+            VMSlot(workload="specjbb"),
+            VMSlot(workload="gups", departure=60_000),
+        ),
+        curve=LoadCurve(kind="diurnal", base=1.0, amplitude=0.35,
+                        period=80_000),
+        epoch=5_000,
+    )
+    batch_interference = Scenario(
+        name="batch-interference",
+        description=(
+            "Steady OLTP/web tenants disturbed by a silo batch job "
+            "arriving mid-run while a step curve raises offered load."
+        ),
+        roster=(
+            VMSlot(workload="specjbb"),
+            VMSlot(workload="specjbb"),
+            VMSlot(workload="tpcw"),
+            VMSlot(workload="silo", arrival=40_000),
+        ),
+        curve=LoadCurve(kind="step", base=1.0, at=40_000, level=1.3),
+        epoch=5_000,
+    )
+    churn_storm = Scenario(
+        name="churn-storm",
+        description=(
+            "Staggered arrivals and departures across the roster under "
+            "jittered load — the determinism stress case."
+        ),
+        roster=(
+            VMSlot(workload="tpcw"),
+            VMSlot(workload="btree", arrival=15_000),
+            VMSlot(workload="xsbench", arrival=30_000, departure=90_000),
+            VMSlot(workload="gups", departure=60_000),
+        ),
+        curve=LoadCurve(kind="burst", base=1.0, at=35_000, level=1.4,
+                        width=30_000, jitter=0.15),
+        epoch=5_000,
+    )
+    phase_flip = Scenario(
+        name="phase-flip",
+        description=(
+            "Scripted compute-to-communicate behavioural flips on half "
+            "the roster: sharing intensity rises mid-run, then falls "
+            "back."
+        ),
+        roster=(
+            VMSlot(
+                workload="specjbb",
+                switches=(
+                    PhaseSwitch(at=30_000, overrides=(
+                        ("p_migratory", 0.10),
+                        ("p_shared_read", 0.45),
+                        ("scan_slide", 0.5),
+                    )),
+                    PhaseSwitch(at=70_000, overrides=(
+                        ("p_migratory", 0.01),
+                        ("p_shared_read", 0.10),
+                        ("scan_slide", 0.05),
+                    )),
+                ),
+            ),
+            VMSlot(
+                workload="silo",
+                switches=(
+                    PhaseSwitch(at=30_000, overrides=(
+                        ("p_migratory", 0.30),
+                        ("write_prob_migratory", 0.80),
+                    )),
+                ),
+            ),
+            VMSlot(workload="tpch"),
+            VMSlot(workload="specweb"),
+        ),
+        curve=LoadCurve(),
+        epoch=5_000,
+    )
+    return {
+        scenario.name: scenario
+        for scenario in (diurnal_web, batch_interference, churn_storm,
+                         phase_flip)
+    }
+
+
+BUILTIN_SCENARIOS: Dict[str, Scenario] = _builtin()
+
+_CUSTOM_SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, overwrite: bool = False) -> None:
+    """Register a scenario for name-based lookup in this process.
+
+    Built-in names cannot be shadowed; custom names need
+    ``overwrite=True`` to be replaced.
+    """
+    if scenario.name in BUILTIN_SCENARIOS:
+        raise ConfigurationError(
+            f"cannot shadow the built-in scenario {scenario.name!r}")
+    if scenario.name in _CUSTOM_SCENARIOS and not overwrite:
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} is already registered "
+            f"(pass overwrite=True to replace it)")
+    _CUSTOM_SCENARIOS[scenario.name] = scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name (built-ins first, then registered)."""
+    try:
+        return BUILTIN_SCENARIOS[name]
+    except KeyError:
+        pass
+    try:
+        return _CUSTOM_SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: "
+            f"{', '.join(scenario_names())}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(set(BUILTIN_SCENARIOS) | set(_CUSTOM_SCENARIOS))
+
+
+def load_scenario_file(path, register: bool = True) -> Scenario:
+    """Parse a JSON scenario file; registers the result by default so
+    spec resolution (``mix="scn-<name>"``) can find it."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"scenario file {path} is not valid JSON: {error}"
+            ) from None
+    scenario = scenario_from_dict(payload)
+    if register and scenario.name not in BUILTIN_SCENARIOS:
+        register_scenario(scenario, overwrite=True)
+    return scenario
+
+
+def save_scenario_file(scenario: Scenario, path) -> None:
+    """Write a scenario as JSON (round-trips via
+    :func:`load_scenario_file`)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(scenario_to_dict(scenario), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,33 @@
+"""Spec construction for scenario runs.
+
+A scenario spec carries two coupled fields: ``scenario`` (the name)
+and ``mix`` (the scenario's own ``scn-<name>`` roster mix).
+:func:`scenario_spec` builds them consistently so callers never have
+to spell the invariant by hand.
+"""
+
+from __future__ import annotations
+
+from ..core.experiment import ExperimentSpec
+from ..errors import ConfigurationError
+from .registry import get_scenario
+
+__all__ = ["scenario_spec"]
+
+
+def scenario_spec(name: str, **overrides) -> ExperimentSpec:
+    """An :class:`~repro.core.experiment.ExperimentSpec` for scenario
+    ``name``, with ``mix`` pinned to the scenario's roster mix.
+
+    ``overrides`` are any other spec fields (sharing, policy, seed,
+    refs, sched_policy, ...); overriding ``mix`` or ``scenario`` is
+    rejected — those two belong to the scenario.
+    """
+    for owned in ("mix", "scenario"):
+        if owned in overrides:
+            raise ConfigurationError(
+                f"scenario_spec owns the {owned!r} field; "
+                f"pick a different scenario instead of overriding it")
+    scenario = get_scenario(name)
+    return ExperimentSpec(
+        mix=scenario.mix_name, scenario=scenario.name, **overrides)

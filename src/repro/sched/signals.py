@@ -193,9 +193,18 @@ class SchedSensor:
                queues: Optional[Dict[int, List[int]]] = None) -> SchedWindow:
         depths = (self._domain_depths(now)
                   if self._domain_depths is not None else None)
+        threads = self._thread_tracker.snapshot()
+        if queues is not None:
+            # the engine's queues omit departed (churned) threads, whose
+            # contexts keep a stale core binding; sensing them would let
+            # a policy pick a departed thread as a migration partner and
+            # propose a collision with the live thread on that core
+            live = {tid for queue in queues.values() for tid in queue}
+            threads = {tid: delta for tid, delta in threads.items()
+                       if tid in live}
         return SchedWindow(
             now=now,
-            threads=self._thread_tracker.snapshot(),
+            threads=threads,
             vms=self._vm_tracker.snapshot(),
             domain_queues=depths,
             queues=queues,

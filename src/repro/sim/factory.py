@@ -89,6 +89,16 @@ def _control_rebinds(request: EngineRequest) -> bool:
     return bool(getattr(request.control, "pins_reference", False))
 
 
+def _control_is_scenario(request: EngineRequest) -> bool:
+    """True when the control hook (or a composite child) is a scenario
+    hook — such runs retarget traces mid-run and must stay on the
+    reference engines."""
+    control = request.control
+    return bool(getattr(control, "is_scenario_control", False) or any(
+        getattr(child, "is_scenario_control", False)
+        for child in getattr(control, "children", ())))
+
+
 def _machine_heterogeneous(request: EngineRequest) -> bool:
     config = getattr(request.machine, "config", None)
     return bool(config is not None
@@ -140,6 +150,12 @@ def _build_batched(request: EngineRequest):
             "the batched engine does not support dynamic rebinding; "
             "use engine_mode='reference' with rebind set"
         )
+    if _control_is_scenario(request):
+        raise ConfigurationError(
+            "the batched engine does not support scenario control "
+            "(mid-run retargeting and load scaling); use "
+            "engine_mode='reference'"
+        )
     if _control_rebinds(request):
         raise ConfigurationError(
             "the batched engine does not support rebinding control "
@@ -187,14 +203,16 @@ def engine_modes() -> list:
 def resolve_mode(mode: str, *, slots_per_core: int = 1,
                  rebind: str = "", sched: str = "",
                  heterogeneous: bool = False,
-                 vm_schedule: bool = False) -> str:
+                 vm_schedule: bool = False,
+                 scenario: bool = False) -> str:
     """Resolve ``"auto"`` to a concrete registry mode for a run shape.
 
     ``"auto"`` picks ``"batched"`` only when the shape supports it —
     one slot per core, no dynamic rebinding of *any* kind (the
     ``rebind`` phase rebinder or a ``sched`` scheduling policy, both
     of which may call ``rebind_thread`` mid-run), a homogeneous chip,
-    and no VM churn schedule — and numpy is importable; the pure-
+    no VM churn schedule, and no time-varying ``scenario`` (which
+    retargets traces mid-run) — and numpy is importable; the pure-
     Python folding fallback exists for constrained environments, but
     ``auto`` should never silently choose the slow path.  Explicitly
     requesting ``"batched"`` without numpy is honoured (the fallback
@@ -204,7 +222,7 @@ def resolve_mode(mode: str, *, slots_per_core: int = 1,
     if mode == "auto":
         if (slots_per_core == 1 and not rebind and not sched
                 and not heterogeneous and not vm_schedule
-                and HAVE_NUMPY):
+                and not scenario and HAVE_NUMPY):
             return "batched"
         return "reference"
     if mode not in _REGISTRY:
@@ -228,5 +246,6 @@ def make_engine(request: EngineRequest, mode: str = "auto"):
         sched="sched" if _control_rebinds(request) else "",
         heterogeneous=_machine_heterogeneous(request),
         vm_schedule=_has_stop_times(request),
+        scenario=_control_is_scenario(request),
     )
     return _REGISTRY[concrete](request)

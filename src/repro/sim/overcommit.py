@@ -12,6 +12,10 @@ assumed.
 Measurement semantics match :class:`~repro.sim.engine.Engine`: per-
 thread warm-up then a measured window, per-VM completion at the last
 thread's window end, finished VMs keep running until all complete.
+VM churn composes the same way it does on the base engine: a thread
+with a ``stop_time`` retires at its first issue past it, leaving its
+run-queue slot free (a fully drained queue idles the core until a
+scheduler migrates a waiting thread onto it).
 """
 
 from __future__ import annotations
@@ -82,6 +86,9 @@ class OvercommitEngine:
         self._quantum_left: Dict[int, int] = {}
         self._bind = None
         self.qos_rebinds = 0
+        self._has_stops = any(t.stop_time is not None for t in threads)
+        # threads that departed via stop_time (VM churn)
+        self._retired: set = set()
         # heterogeneous cores: per-core think multipliers, or None on
         # a homogeneous machine (exact legacy arithmetic)
         self._inv_speeds = getattr(machine, "inverse_core_speeds", None)
@@ -94,8 +101,13 @@ class OvercommitEngine:
     # -- QoS actuator surface (used by repro.qos.hook.QosHook) ---------
 
     def run_queues(self) -> Dict[int, List[int]]:
-        """Snapshot of each core's run queue (head = active thread)."""
-        return {core: list(queue) for core, queue in self._queues.items()}
+        """Snapshot of each core's run queue (head = active thread).
+
+        Queues drained by departed (churned) threads are omitted, like
+        the base engine's freed cores — those cores are idle.
+        """
+        return {core: list(queue) for core, queue in self._queues.items()
+                if queue}
 
     def rebind_thread(self, tid: int, core: int, now: int):
         """Migrate a *waiting* thread to another core's run queue.
@@ -169,6 +181,7 @@ class OvercommitEngine:
         control = self.control
         # epoch-gated like the base engine: int compare per step
         control_due = control.next_due if control is not None else None
+        has_stops = self._has_stops
         steps = 0
         issue_time = 0
         context_switches = 0
@@ -188,6 +201,36 @@ class OvercommitEngine:
             queue = queues[core]
             tid = queue[0]
             thread = threads[tid]
+            if has_stops and thread.stop_time is not None \
+                    and issue_time >= thread.stop_time:
+                # VM churn: the head thread departs at its first issue
+                # past stop_time, freeing its queue slot.  A truncated
+                # measured window completes at departure.  The next
+                # queued thread takes the core (one switch penalty); a
+                # drained queue idles the core until a scheduler
+                # migrates a waiting thread onto it.
+                queue.popleft()
+                self._retired.add(tid)
+                if thread.completion_time is None:
+                    thread.completion_time = issue_time
+                    vm = thread.vm_id
+                    vm_pending[vm] -= 1
+                    if vm_pending[vm] == 0:
+                        vm_completion[vm] = issue_time
+                        pending_vms -= 1
+                if queue:
+                    next_tid = queue[0]
+                    quantum_left[core] = self.quantum_refs
+                    context_switches += 1
+                    if bind is not None \
+                            and threads[next_tid].vm_id != thread.vm_id:
+                        bind(core, threads[next_tid].vm_id)
+                    heapq.heappush(
+                        heap,
+                        (issue_time + self.switch_penalty
+                         + self._think(core, pending[next_tid][2]), core),
+                    )
+                continue
             block, access, think = pending[tid]
             result = self.machine.access(core, block, bool(access), issue_time)
             finish = issue_time + result.latency + 1

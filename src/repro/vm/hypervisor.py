@@ -80,6 +80,7 @@ class Hypervisor:
         start_offsets: Sequence[int] = (),
         stop_times: Sequence = (),
         phases=None,
+        vm_phases: Sequence = (),
     ) -> List[ThreadContext]:
         """Create one VM per profile and return all thread contexts.
 
@@ -105,7 +106,21 @@ class Hypervisor:
         stop_times:
             Optional per-VM departure times in cycles (``None`` for
             "runs to completion"): VM churn for the scheduling layer.
+        phases, vm_phases:
+            Cyclic phase plans for the generators — ``phases`` applies
+            one plan to every VM; ``vm_phases`` gives each VM its own
+            plan (``None`` entries stay steady).  Scenario rosters use
+            the latter; the two are mutually exclusive.
         """
+        if phases is not None and vm_phases:
+            raise ConfigurationError(
+                "pass either a global phase plan or per-VM plans, not both"
+            )
+        if vm_phases and len(vm_phases) != len(profiles):
+            raise ConfigurationError(
+                f"{len(vm_phases)} per-VM phase plans for "
+                f"{len(profiles)} VMs"
+            )
         if len(profiles) != len(assignments):
             raise ConfigurationError(
                 f"{len(profiles)} profiles but {len(assignments)} assignments"
@@ -147,13 +162,14 @@ class Hypervisor:
                 )
             vm_id = len(self.vms)
             base = self._next_block
+            vm_plan = vm_phases[vm_index] if vm_phases else phases
             instance = WorkloadInstance(
                 profile,
                 instance_id=vm_id,
                 base_block=base,
                 rng_stream=self.rng_factory.stream,
                 batch_size=batch_size,
-                phases=phases,
+                phases=vm_plan,
             )
             vm = VirtualMachine(
                 vm_id=vm_id,

@@ -2,6 +2,7 @@
 
 from .calibrate import (
     WorkloadStatistics,
+    calibration_table,
     count_blocks_touched,
     measure_workload_statistics,
 )
@@ -13,11 +14,17 @@ from .checkpoint import (
 )
 from .generator import ThreadTrace, WorkloadInstance
 from .library import (
+    BTREE,
+    GUPS,
+    PAPER_WORKLOADS,
+    SCENARIO_WORKLOADS,
+    SILO,
     SPECJBB,
     SPECWEB,
     TPCH,
     TPCW,
     WORKLOADS,
+    XSBENCH,
     get_profile,
     workload_names,
 )
@@ -32,6 +39,7 @@ from .sampling import PowerLawSampler, UniformSampler
 
 __all__ = [
     "WorkloadStatistics",
+    "calibration_table",
     "count_blocks_touched",
     "measure_workload_statistics",
     "checkpoint_from_json",
@@ -40,10 +48,16 @@ __all__ = [
     "save_checkpoint",
     "ThreadTrace",
     "WorkloadInstance",
+    "BTREE",
+    "GUPS",
+    "SILO",
     "SPECJBB",
     "SPECWEB",
     "TPCH",
     "TPCW",
+    "XSBENCH",
+    "PAPER_WORKLOADS",
+    "SCENARIO_WORKLOADS",
     "WORKLOADS",
     "get_profile",
     "workload_names",

@@ -17,7 +17,12 @@ from typing import Optional
 
 from .profile import WorkloadProfile
 
-__all__ = ["WorkloadStatistics", "measure_workload_statistics", "count_blocks_touched"]
+__all__ = [
+    "WorkloadStatistics",
+    "measure_workload_statistics",
+    "count_blocks_touched",
+    "calibration_table",
+]
 
 
 @dataclass(frozen=True)
@@ -87,6 +92,34 @@ def measure_workload_statistics(
         blocks_touched_fullscale=int(touched / scale),
         l2_miss_rate=vm.miss_rate,
     )
+
+
+def calibration_table(
+    workloads,
+    measured_refs: Optional[int] = None,
+    seed: int = 0,
+    scale: Optional[float] = None,
+) -> str:
+    """Render a Table-II-style calibration table for ``workloads``.
+
+    One measured row per workload (c2c%, clean%, dirty%, full-scale
+    blocks touched, private-L2 miss rate) — the rendered calibration
+    artefact for the scenario workload families (``repro scenario
+    --calibrate`` prints it; the golden rows live in
+    ``tests/workloads/test_new_families.py``).
+    """
+    from ..analysis.report import format_table
+
+    rows = []
+    for workload in workloads:
+        stats = measure_workload_statistics(
+            workload, measured_refs=measured_refs, seed=seed, scale=scale)
+        name, c2c, clean, dirty, blocks = stats.row()
+        rows.append([name, f"{c2c}%", f"{clean}%", f"{dirty}%",
+                     f"{blocks:,}", round(stats.l2_miss_rate, 3)])
+    return format_table(
+        ["Workload", "C2C", "Clean", "Dirty", "Blocks", "L2 miss rate"],
+        rows, title="Workload calibration (Table II procedure)")
 
 
 def count_blocks_touched(

@@ -95,6 +95,10 @@ class ThreadTrace:
             phase.apply_to(profile) for phase in self._phases
         )
         self._phase_cycle_refs = sum(p.refs for p in self._phases)
+        # scenario actuation state (see repro.scenarios): a think-cycle
+        # multiplier applied at consumption time.  1.0 leaves the
+        # stream untouched, so non-scenario runs stay byte-identical.
+        self._load_scale = 1.0
 
     # ------------------------------------------------------------------
 
@@ -104,7 +108,11 @@ class ThreadTrace:
     def __next__(self) -> Ref:
         if not self._pending:
             self._refill()
-        return self._pending.pop()
+        ref = self._pending.pop()
+        scale = self._load_scale
+        if scale != 1.0:
+            return (ref[0], ref[1], int(ref[2] * scale))
+        return ref
 
     def references(self) -> Iterator[MemoryReference]:
         """The same stream as typed :class:`MemoryReference` records."""
@@ -134,7 +142,54 @@ class ThreadTrace:
             chunk.reverse()
             rows.extend(chunk)
         blocks, writes, thinks = zip(*rows)
+        scale = self._load_scale
+        if scale != 1.0:
+            thinks = [int(t * scale) for t in thinks]
         return list(blocks), list(writes), list(thinks)
+
+    # ------------------------------------------------------------------
+    # scenario actuation (see repro.scenarios.hook)
+    # ------------------------------------------------------------------
+
+    def set_load_scale(self, scale: float) -> None:
+        """Scale all subsequent think cycles by ``scale``.
+
+        The scenario layer's load-curve actuator: <1 models higher
+        offered load (references issue faster), >1 lighter load.  The
+        scale applies at consumption time, so the random streams —
+        hence the *block* sequence — are unchanged, and a scale of 1.0
+        restores the exact unscaled stream.
+        """
+        if scale <= 0:
+            raise WorkloadError(
+                f"load scale must be positive, got {scale}")
+        self._load_scale = float(scale)
+
+    def retarget(self, **overrides) -> None:
+        """Switch the trace's behavioural parameters mid-run.
+
+        The scenario layer's phase-switch actuator: replaces the
+        profile with a behavioural variant (the same parameter set a
+        :class:`~repro.workloads.phases.Phase` may override — the pool
+        layout is fixed at launch) and drops any pre-generated
+        references, so the switch takes effect at the very next
+        reference consumed.  Deterministic: actuated at the same cycle
+        with the same overrides, two runs generate identical streams.
+        """
+        from .phases import BEHAVIOURAL_PARAMS
+
+        for param in overrides:
+            if param not in BEHAVIOURAL_PARAMS:
+                raise WorkloadError(
+                    f"retarget of structural or unknown parameter "
+                    f"{param!r}; allowed: {sorted(BEHAVIOURAL_PARAMS)}"
+                )
+        variant = self.profile.with_overrides(**overrides)
+        self.profile = variant
+        self._phase_profiles = tuple(
+            phase.apply_to(variant) for phase in self._phases
+        )
+        self._pending.clear()
 
     # ------------------------------------------------------------------
 
@@ -232,6 +287,7 @@ class ThreadTrace:
             "count": self._count,
             "pending": list(self._pending),
             "rng_state": self._rng.bit_generator.state,
+            "load_scale": self._load_scale,
         }
 
     def restore(self, state: dict) -> None:
@@ -250,6 +306,7 @@ class ThreadTrace:
         self._count = state["count"]
         self._pending = [tuple(ref) for ref in state["pending"]]
         self._rng.bit_generator.state = state["rng_state"]
+        self._load_scale = float(state.get("load_scale", 1.0))
 
 
 class WorkloadInstance:

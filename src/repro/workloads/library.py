@@ -26,6 +26,28 @@ The qualitative levers:
   a hot migratory pool makes most transfers dirty.
 * **SPECweb** — like SPECjbb with a bigger footprint and looser
   sharing.
+
+Scenario workload families
+--------------------------
+The scenario subsystem (:mod:`repro.scenarios`) adds four further
+statistical families, calibrated with the same Table-II procedure
+(:func:`~repro.workloads.calibrate.measure_workload_statistics` on the
+private-cache configuration; golden rows live in
+``tests/workloads/test_new_families.py`` and ``docs/scenarios.md``):
+
+* **btree** — pointer-chasing index lookups (a ``btree``-like kernel):
+  random key probes with poor private locality; the shared upper index
+  levels give a modest clean-transfer fraction.
+* **gups** — uniform random-access updates (a ``gups``-like kernel):
+  a huge, nearly uniformly-touched table updated read-modify-write;
+  almost every miss goes to memory (c2c ≈ 0).
+* **xsbench** — streaming lookups in a large read-only shared table
+  (an ``xsbench``-like kernel): the pipelined scan dominates, so
+  transfers are overwhelmingly clean, like SPECjbb but with a larger
+  pool and faster scan.
+* **silo** — in-memory OLTP (a ``silo``-like kernel): version counters
+  and commit records form a hot migratory pool, so a large share of
+  transfers are dirty, like TPC-H.
 """
 
 from __future__ import annotations
@@ -40,7 +62,13 @@ __all__ = [
     "TPCH",
     "SPECJBB",
     "SPECWEB",
+    "BTREE",
+    "GUPS",
+    "XSBENCH",
+    "SILO",
     "WORKLOADS",
+    "PAPER_WORKLOADS",
+    "SCENARIO_WORKLOADS",
     "get_profile",
     "workload_names",
 ]
@@ -141,15 +169,125 @@ SPECWEB = WorkloadProfile(
 )
 
 
-WORKLOADS: Dict[str, WorkloadProfile] = {
+# ----------------------------------------------------------------------
+# scenario workload families (see the module docstring)
+# ----------------------------------------------------------------------
+
+BTREE = WorkloadProfile(
+    name="btree",
+    description="Pointer-chasing in-memory index (btree-like)",
+    setup="In-memory B+-tree over a synthetic key space",
+    execution="Random key probes with occasional inserts",
+    footprint_blocks=450_000,
+    threads=4,
+    frac_shared_read=0.30,
+    frac_migratory=0.006,
+    p_shared_read=0.20,
+    p_migratory=0.02,
+    write_prob_shared=0.01,
+    write_prob_migratory=0.50,
+    write_prob_private=0.08,
+    scan_window=6000,
+    scan_lag=800,
+    scan_slide=0.08,
+    skew_migratory=3.0,
+    skew_private=1.4,
+    think_mean=2.0,
+)
+
+GUPS = WorkloadProfile(
+    name="gups",
+    description="Uniform random-access table updates (gups-like)",
+    setup="Giant updates-per-second kernel on one large table",
+    execution="Read-modify-write of uniformly random table entries",
+    footprint_blocks=1_400_000,
+    threads=4,
+    frac_shared_read=0.02,
+    frac_migratory=0.001,
+    p_hot=0.30,
+    p_shared_read=0.01,
+    p_migratory=0.004,
+    write_prob_shared=0.02,
+    write_prob_migratory=0.50,
+    write_prob_private=0.50,
+    scan_window=1500,
+    scan_lag=400,
+    scan_slide=0.10,
+    skew_migratory=3.0,
+    skew_private=1.05,
+    think_mean=2.0,
+)
+
+XSBENCH = WorkloadProfile(
+    name="xsbench",
+    description="Streaming lookups in a shared read-only table "
+                "(xsbench-like)",
+    setup="Unionized cross-section lookup table shared by all threads",
+    execution="Continuous random macroscopic cross-section lookups",
+    footprint_blocks=800_000,
+    threads=4,
+    frac_shared_read=0.75,
+    frac_migratory=0.002,
+    p_hot=0.30,
+    p_shared_read=0.60,
+    p_migratory=0.006,
+    write_prob_shared=0.0,
+    write_prob_migratory=0.50,
+    write_prob_private=0.05,
+    scan_window=3500,
+    scan_lag=400,
+    scan_slide=0.55,
+    skew_migratory=3.0,
+    skew_private=2.8,
+    think_mean=2.0,
+)
+
+SILO = WorkloadProfile(
+    name="silo",
+    description="In-memory OLTP with optimistic concurrency "
+                "(silo-like)",
+    setup="Main-memory transaction engine, TPC-C-style new-order mix",
+    execution="Short read-write transactions with commit-time "
+              "validation",
+    footprint_blocks=500_000,
+    threads=4,
+    frac_shared_read=0.30,
+    frac_migratory=0.06,
+    p_shared_read=0.15,
+    p_migratory=0.17,
+    write_prob_shared=0.01,
+    write_prob_migratory=0.60,
+    write_prob_private=0.12,
+    scan_window=2800,
+    scan_lag=650,
+    scan_slide=0.15,
+    skew_migratory=1.8,
+    skew_private=3.2,
+    think_mean=2.0,
+)
+
+
+PAPER_WORKLOADS: Dict[str, WorkloadProfile] = {
     profile.name: profile for profile in (TPCW, SPECJBB, TPCH, SPECWEB)
 }
-"""Registry of the paper's workloads, keyed by short name."""
+"""The paper's four commercial workloads (Tables I & II)."""
+
+SCENARIO_WORKLOADS: Dict[str, WorkloadProfile] = {
+    profile.name: profile for profile in (BTREE, GUPS, XSBENCH, SILO)
+}
+"""The scenario subsystem's additional workload families."""
+
+WORKLOADS: Dict[str, WorkloadProfile] = {
+    **PAPER_WORKLOADS,
+    **SCENARIO_WORKLOADS,
+}
+"""Registry of all workloads, keyed by short name."""
 
 
 def get_profile(name: str) -> WorkloadProfile:
     """Look a profile up by name (``tpcw``, ``tpch``, ``specjbb``,
-    ``specweb``); raises :class:`~repro.errors.WorkloadError` otherwise."""
+    ``specweb``, or a scenario family ``btree``/``gups``/``xsbench``/
+    ``silo``); raises :class:`~repro.errors.WorkloadError` otherwise."""
     try:
         return WORKLOADS[name.lower()]
     except KeyError:

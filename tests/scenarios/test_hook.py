@@ -1,0 +1,197 @@
+"""Unit tests for the scenario actuation hook (stubbed traces)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Telemetry
+from repro.scenarios.hook import ScenarioHook
+from repro.scenarios.model import LoadCurve, PhaseSwitch, Scenario, VMSlot
+
+
+class FakeTrace:
+    def __init__(self):
+        self.scales = []
+        self.retargets = []
+
+    def set_load_scale(self, scale):
+        self.scales.append(scale)
+
+    def retarget(self, **overrides):
+        self.retargets.append(overrides)
+
+
+class FakeInstance:
+    def __init__(self, n=2):
+        self.traces = [FakeTrace() for _ in range(n)]
+
+
+class FakeVM:
+    def __init__(self, vm_id, workload):
+        self.vm_id = vm_id
+        self.workload_name = workload
+        self.instance = FakeInstance()
+
+
+class FakeThread:
+    def __init__(self, thread_id, vm_id):
+        self.thread_id = thread_id
+        self.vm_id = vm_id
+        self.issued = 0
+
+
+def build(scenario, rng=None, telemetry=None):
+    vms = [FakeVM(i, slot.workload)
+           for i, slot in enumerate(scenario.roster)]
+    threads = [FakeThread(2 * i + j, i)
+               for i in range(len(vms)) for j in range(2)]
+    hook = ScenarioHook(scenario, vms, threads, rng=rng,
+                        telemetry=telemetry)
+    return hook, vms, threads
+
+
+def scenario_with(curve=LoadCurve(), roster=None, epoch=5_000):
+    roster = roster or (VMSlot(workload="tpcw"), VMSlot(workload="gups"))
+    return Scenario(name="unit", roster=roster, curve=curve, epoch=epoch)
+
+
+class TestEpochGating:
+    def test_next_due_starts_one_epoch_in(self):
+        hook, _, _ = build(scenario_with(epoch=7_000))
+        assert hook.next_due == 7_000
+
+    def test_on_step_rearms_from_actual_instant(self):
+        hook, _, _ = build(scenario_with(epoch=5_000))
+        hook.on_step(12_345)
+        assert hook.next_due == 17_345
+        assert hook.control_epochs == 1
+
+    def test_early_steps_do_nothing(self):
+        hook, _, _ = build(scenario_with(epoch=5_000))
+        hook.on_step(4_999)
+        assert hook.control_epochs == 0
+
+    def test_roster_vm_count_must_match(self):
+        scenario = scenario_with()
+        vms = [FakeVM(0, "tpcw")]  # one VM for a two-slot roster
+        with pytest.raises(ConfigurationError, match="roster"):
+            ScenarioHook(scenario, vms, [])
+
+
+class TestLoadActuation:
+    def test_flat_curve_never_touches_traces(self):
+        hook, vms, _ = build(scenario_with(LoadCurve()))
+        for now in (5_000, 10_000, 15_000):
+            hook.on_step(now)
+        hook.finish(20_000)
+        assert hook.load_adjustments == 0
+        assert all(not t.scales for vm in vms for t in vm.instance.traces)
+
+    def test_step_curve_scales_every_trace_once(self):
+        curve = LoadCurve(kind="step", base=1.0, at=8_000, level=2.0)
+        hook, vms, _ = build(scenario_with(curve))
+        hook.on_step(5_000)   # before the step: load 1.0, no change
+        hook.on_step(10_000)  # after: think scale 1/2
+        assert hook.load_adjustments == 1
+        for vm in vms:
+            for trace in vm.instance.traces:
+                assert trace.scales == [0.5]
+
+    def test_unchanged_load_not_reapplied(self):
+        curve = LoadCurve(kind="step", base=1.0, at=0, level=1.25)
+        hook, vms, _ = build(scenario_with(curve))
+        hook.on_step(5_000)
+        hook.on_step(10_000)
+        hook.on_step(15_000)
+        assert hook.load_adjustments == 1
+
+    def test_jitter_consumes_the_seeded_stream(self):
+        curve = LoadCurve(jitter=0.2)
+        hook_a, vms_a, _ = build(scenario_with(curve),
+                                 rng=random.Random(9))
+        hook_b, vms_b, _ = build(scenario_with(curve),
+                                 rng=random.Random(9))
+        for now in (5_000, 10_000):
+            hook_a.on_step(now)
+            hook_b.on_step(now)
+        scales_a = [t.scales for vm in vms_a for t in vm.instance.traces]
+        scales_b = [t.scales for vm in vms_b for t in vm.instance.traces]
+        assert scales_a == scales_b
+        assert hook_a.load_adjustments > 0
+
+
+class TestSwitchActuation:
+    def test_switch_fires_at_first_epoch_at_or_after_cycle(self):
+        roster = (
+            VMSlot(workload="silo", switches=(
+                PhaseSwitch(at=7_000, overrides=(("p_migratory", 0.3),)),)),
+            VMSlot(workload="tpcw"),
+        )
+        hook, vms, _ = build(scenario_with(roster=roster))
+        hook.on_step(5_000)
+        assert hook.switches_applied == 0
+        hook.on_step(10_000)
+        assert hook.switches_applied == 1
+        for trace in vms[0].instance.traces:
+            assert trace.retargets == [{"p_migratory": 0.3}]
+        assert all(not t.retargets for t in vms[1].instance.traces)
+
+    def test_multiple_due_switches_fire_in_order(self):
+        roster = (
+            VMSlot(workload="silo", switches=(
+                PhaseSwitch(at=1_000, overrides=(("p_migratory", 0.3),)),
+                PhaseSwitch(at=2_000, overrides=(("p_migratory", 0.05),)),
+            )),
+        )
+        hook, vms, _ = build(scenario_with(roster=roster))
+        hook.on_step(5_000)
+        assert hook.switches_applied == 2
+        assert vms[0].instance.traces[0].retargets == [
+            {"p_migratory": 0.3}, {"p_migratory": 0.05}]
+
+
+class TestWindowsAndSummary:
+    def test_windows_attribute_issued_deltas_per_vm(self):
+        hook, _, threads = build(scenario_with())
+        threads[0].issued = 10
+        threads[1].issued = 5
+        hook.on_step(5_000)
+        threads[0].issued = 25
+        threads[2].issued = 7
+        hook.on_step(10_000)
+        assert hook.windows[0]["issued"] == {"0": 15, "1": 0}
+        assert hook.windows[1]["issued"] == {"0": 15, "1": 7}
+        assert hook.windows[0]["start"] == 0
+        assert hook.windows[1]["start"] == 5_000
+
+    def test_finish_closes_the_trailing_window(self):
+        hook, _, threads = build(scenario_with())
+        hook.on_step(5_000)
+        threads[3].issued = 4
+        hook.finish(7_500)
+        assert hook.windows[-1]["end"] == 7_500
+        assert hook.windows[-1]["issued"]["1"] == 4
+
+    def test_summary_shape(self):
+        roster = (VMSlot(workload="tpcw"),
+                  VMSlot(workload="gups", departure=60_000))
+        hook, _, _ = build(scenario_with(roster=roster))
+        hook.on_step(5_000)
+        hook.finish(9_000)
+        summary = hook.summary()
+        assert summary["scenario"] == "unit"
+        assert summary["control_epochs"] == 1
+        assert summary["per_vm"]["1"]["departure"] == 60_000
+        assert summary["per_vm"]["0"]["departure"] is None
+        assert len(summary["windows"]) == 2
+
+    def test_telemetry_counters_registered_and_counted(self):
+        telemetry = Telemetry()
+        curve = LoadCurve(kind="step", base=1.0, at=0, level=1.5)
+        hook, _, _ = build(scenario_with(curve), telemetry=telemetry)
+        hook.on_step(5_000)
+        hook.finish(6_000)
+        counters = telemetry.snapshot()["counters"]
+        assert counters["scenario.control_epochs"] == 1
+        assert counters["scenario.load_adjustments"] == 1

@@ -1,0 +1,198 @@
+"""Tests for the declarative scenario model and its JSON codec."""
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.scenarios.model import (
+    LoadCurve,
+    PhaseSwitch,
+    Scenario,
+    VMSlot,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.scenarios.registry import BUILTIN_SCENARIOS
+
+
+class TestLoadCurve:
+    def test_constant_default_is_flat(self):
+        assert LoadCurve().is_flat
+        assert LoadCurve().load_at(0) == 1.0
+        assert LoadCurve().load_at(123_456) == 1.0
+
+    def test_constant_off_nominal_is_not_flat(self):
+        assert not LoadCurve(base=1.2).is_flat
+
+    def test_jitter_breaks_flatness(self):
+        assert not LoadCurve(jitter=0.1).is_flat
+
+    def test_diurnal_peaks_a_quarter_period_in(self):
+        curve = LoadCurve(kind="diurnal", base=1.0, amplitude=0.4,
+                          period=100_000)
+        assert curve.load_at(0) == pytest.approx(1.0)
+        assert curve.load_at(25_000) == pytest.approx(1.4)
+        assert curve.load_at(75_000) == pytest.approx(0.6)
+
+    def test_step_switches_at_onset_forever(self):
+        curve = LoadCurve(kind="step", base=1.0, at=10_000, level=1.5)
+        assert curve.load_at(9_999) == 1.0
+        assert curve.load_at(10_000) == 1.5
+        assert curve.load_at(10**9) == 1.5
+
+    def test_burst_returns_to_base(self):
+        curve = LoadCurve(kind="burst", base=1.0, at=10_000, level=1.5,
+                          width=5_000)
+        assert curve.load_at(9_999) == 1.0
+        assert curve.load_at(12_000) == 1.5
+        assert curve.load_at(15_000) == 1.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(kind="sawtooth"),
+        dict(base=0.0),
+        dict(amplitude=-0.1),
+        dict(kind="diurnal", period=0),
+        dict(kind="diurnal", base=1.0, amplitude=1.0),
+        dict(kind="step", level=0.0),
+        dict(kind="step", at=-1),
+        dict(kind="burst", width=0),
+        dict(jitter=1.0),
+        dict(jitter=-0.1),
+    ])
+    def test_invalid_curves_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LoadCurve(**kwargs)
+
+
+class TestPhaseSwitch:
+    def test_behavioural_override_accepted(self):
+        switch = PhaseSwitch(at=1000, overrides=(("p_migratory", 0.2),))
+        assert switch.at == 1000
+
+    def test_structural_override_rejected(self):
+        with pytest.raises(ConfigurationError, match="structural or unknown"):
+            PhaseSwitch(at=1000, overrides=(("private_blocks", 9000),))
+
+    def test_empty_overrides_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSwitch(at=1000, overrides=())
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSwitch(at=-1, overrides=(("p_hot", 0.5),))
+
+
+class TestVMSlot:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            VMSlot(workload="no-such-family")
+
+    def test_unknown_phase_plan_rejected(self):
+        with pytest.raises(WorkloadError):
+            VMSlot(workload="tpcw", phase_plan="no-such-plan")
+
+    def test_departure_must_follow_arrival(self):
+        with pytest.raises(ConfigurationError, match="departure"):
+            VMSlot(workload="tpcw", arrival=5_000, departure=5_000)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VMSlot(workload="tpcw", arrival=-1)
+
+    def test_switches_must_increase(self):
+        s1 = PhaseSwitch(at=2_000, overrides=(("p_hot", 0.5),))
+        s2 = PhaseSwitch(at=1_000, overrides=(("p_hot", 0.6),))
+        with pytest.raises(ConfigurationError, match="increasing"):
+            VMSlot(workload="tpcw", switches=(s1, s2))
+
+
+class TestScenario:
+    def test_mix_name_carries_prefix(self):
+        scenario = Scenario(name="s", roster=(VMSlot(workload="tpcw"),))
+        assert scenario.mix_name == "scn-s"
+
+    def test_to_mix_groups_consecutive_workloads(self):
+        scenario = Scenario(name="s", roster=(
+            VMSlot(workload="specjbb"),
+            VMSlot(workload="specjbb"),
+            VMSlot(workload="tpcw"),
+            VMSlot(workload="specjbb"),
+        ))
+        assert scenario.to_mix().components == (
+            ("specjbb", 2), ("tpcw", 1), ("specjbb", 1))
+
+    def test_churn_properties(self):
+        steady = Scenario(name="s", roster=(VMSlot(workload="tpcw"),))
+        assert not steady.has_churn
+        assert steady.is_static
+        arriving = Scenario(name="s", roster=(
+            VMSlot(workload="tpcw", arrival=1_000),))
+        assert arriving.has_arrivals and not arriving.has_departures
+        departing = Scenario(name="s", roster=(
+            VMSlot(workload="tpcw", departure=1_000),))
+        assert departing.has_departures and not departing.has_arrivals
+        assert arriving.has_churn and departing.has_churn
+
+    def test_switches_break_staticness(self):
+        scenario = Scenario(name="s", roster=(
+            VMSlot(workload="tpcw", switches=(
+                PhaseSwitch(at=1_000, overrides=(("p_hot", 0.5),)),)),
+        ))
+        assert scenario.has_switches
+        assert not scenario.is_static
+
+    def test_empty_roster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="s", roster=())
+
+    def test_whitespace_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="bad name", roster=(VMSlot(workload="tpcw"),))
+
+    def test_non_positive_epoch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="s", roster=(VMSlot(workload="tpcw"),), epoch=0)
+
+    def test_start_stop_compilation(self):
+        scenario = Scenario(name="s", roster=(
+            VMSlot(workload="tpcw"),
+            VMSlot(workload="gups", arrival=5_000, departure=50_000),
+        ))
+        assert scenario.start_offsets() == [0, 5_000]
+        assert scenario.stop_times() == [None, 50_000]
+
+
+class TestCodec:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_SCENARIOS))
+    def test_builtins_round_trip(self, name):
+        scenario = BUILTIN_SCENARIOS[name]
+        assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            scenario_from_dict({"name": "x"})
+        with pytest.raises(ConfigurationError, match="missing"):
+            scenario_from_dict({"roster": []})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario_from_dict([1, 2, 3])
+
+    def test_unknown_curve_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="load-curve"):
+            scenario_from_dict({
+                "name": "x",
+                "roster": [{"workload": "tpcw"}],
+                "curve": {"kind": "constant", "slope": 2},
+            })
+
+    def test_switch_overrides_survive_round_trip(self):
+        scenario = Scenario(name="s", roster=(
+            VMSlot(workload="silo", switches=(
+                PhaseSwitch(at=10_000, overrides=(
+                    ("p_migratory", 0.3), ("write_prob_migratory", 0.8))),
+            )),
+        ))
+        again = scenario_from_dict(scenario_to_dict(scenario))
+        assert again.roster[0].switches[0].at == 10_000
+        assert dict(again.roster[0].switches[0].overrides) == {
+            "p_migratory": 0.3, "write_prob_migratory": 0.8}

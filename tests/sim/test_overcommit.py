@@ -28,9 +28,10 @@ def refs(seq):
     return itertools.cycle(seq)
 
 
-def thread(tid, vm=0, core=0, measured=20, block=1, start=0):
+def thread(tid, vm=0, core=0, measured=20, block=1, start=0, stop=None):
     return ThreadContext(tid, vm, core, refs([(block, 0, 0)]),
-                         measured_refs=measured, start_time=start)
+                         measured_refs=measured, start_time=start,
+                         stop_time=stop)
 
 
 class TestTimeMultiplexing:
@@ -92,6 +93,67 @@ class TestTimeMultiplexing:
         threads = [thread(0, vm=0, core=0, measured=5, start=1000)]
         OvercommitEngine(machine, threads).run()
         assert machine.calls[0][2] >= 1000
+
+
+class TestChurnRetirement:
+    """stop_time retires the queue head mid-run (scenario VM churn)."""
+
+    def test_departing_thread_stops_issuing_at_stop_time(self):
+        machine = RecordingMachine()
+        threads = [thread(0, vm=0, core=0, measured=1000, stop=200),
+                   thread(1, vm=1, core=0, block=2, measured=50)]
+        result = OvercommitEngine(machine, threads, quantum_refs=5,
+                                  switch_penalty=0).run()
+        assert result.thread_stats[0].refs < 1000
+        assert result.thread_stats[1].refs == 50
+        departed_issues = [c for c in machine.calls
+                           if c[1] == 1 and c[2] >= 200]
+        assert not departed_issues
+
+    def test_departure_counts_as_vm_completion(self):
+        machine = RecordingMachine()
+        threads = [thread(0, vm=0, core=0, measured=1000, stop=200),
+                   thread(1, vm=1, core=0, block=2, measured=50)]
+        result = OvercommitEngine(machine, threads, quantum_refs=5,
+                                  switch_penalty=0).run()
+        assert result.vm_completion_times[0] >= 200
+        assert result.vm_completion_times[0] <= \
+            result.vm_completion_times[1]
+
+    def test_next_queued_thread_takes_the_core(self):
+        machine = RecordingMachine()
+        threads = [thread(0, vm=0, core=0, measured=1000, stop=50),
+                   thread(1, vm=1, core=0, block=2, measured=30)]
+        engine = OvercommitEngine(machine, threads, quantum_refs=1000,
+                                  switch_penalty=0)
+        result = engine.run()
+        # with a quantum longer than the run, the only switch is the
+        # handover at retirement
+        assert result.context_switches == 1
+        assert (0, 1) in machine.bindings
+        assert result.thread_stats[1].refs == 30
+
+    def test_drained_queue_idles_its_core(self):
+        machine = RecordingMachine()
+        threads = [thread(0, vm=0, core=0, measured=1000, stop=50),
+                   thread(1, vm=1, core=1, block=2, measured=40)]
+        engine = OvercommitEngine(machine, threads, quantum_refs=5,
+                                  switch_penalty=0)
+        result = engine.run()
+        assert result.thread_stats[1].refs == 40
+        assert 0 not in engine.run_queues()
+        assert engine.run_queues()[1] == [1]
+
+    def test_no_stop_times_is_the_fast_path(self):
+        machine = RecordingMachine()
+        threads = [thread(0, vm=0, core=0, measured=10),
+                   thread(1, vm=1, core=0, block=2, measured=10)]
+        engine = OvercommitEngine(machine, threads, quantum_refs=5,
+                                  switch_penalty=0)
+        assert not engine._has_stops
+        result = engine.run()
+        assert result.thread_stats[0].refs == 10
+        assert result.thread_stats[1].refs == 10
 
 
 class TestValidation:

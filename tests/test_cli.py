@@ -261,6 +261,116 @@ class TestSchedCommand:
         assert "sched/mix7" in out
 
 
+class TestScenarioCommand:
+    @pytest.fixture(autouse=True)
+    def fresh_registry(self):
+        from repro.scenarios import registry
+
+        saved = dict(registry._CUSTOM_SCENARIOS)
+        yield
+        registry._CUSTOM_SCENARIOS.clear()
+        registry._CUSTOM_SCENARIOS.update(saved)
+
+    def test_scenario_defaults(self):
+        args = build_parser().parse_args(["scenario", "diurnal-web"])
+        assert args.sharing == "shared-4"
+        assert args.slots_per_core == 2
+        assert args.policies == "static,contention,adaptive"
+
+    def test_list_names_the_builtins(self, capsys):
+        code, out, _err = run_cli(capsys, "scenario", "--list")
+        assert code == 0
+        for name in ("diurnal-web", "batch-interference", "churn-storm",
+                     "phase-flip"):
+            assert name in out
+        assert "built-in" in out
+
+    def test_calibrate_prints_new_families(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "scenario", "--calibrate", "--refs", "600",
+            "--seed", "1")
+        assert code == 0
+        for family in ("btree", "gups", "silo", "xsbench"):
+            assert family in out
+
+    def test_export_then_file_round_trips(self, capsys, tmp_path):
+        exported = tmp_path / "scn.json"
+        code, out, _err = run_cli(
+            capsys, "scenario", "diurnal-web", "--export", str(exported))
+        assert code == 0
+        assert "written to" in out
+        payload = json.loads(exported.read_text())
+        payload["name"] = "my-diurnal"
+        edited = tmp_path / "edited.json"
+        edited.write_text(json.dumps(payload))
+        again = tmp_path / "again.json"
+        code, _out, _err = run_cli(
+            capsys, "scenario", "--file", str(edited),
+            "--export", str(again))
+        assert code == 0
+        reloaded = json.loads(again.read_text())
+        assert reloaded["name"] == "my-diurnal"
+        assert reloaded["roster"] == payload["roster"]
+        assert reloaded["curve"] == payload["curve"]
+
+    def test_file_name_mismatch_is_clean_error(self, capsys, tmp_path):
+        exported = tmp_path / "scn.json"
+        run_cli(capsys, "scenario", "phase-flip", "--export",
+                str(exported))
+        code, _out, err = run_cli(
+            capsys, "scenario", "other-name", "--file", str(exported))
+        assert code == 2
+        assert "phase-flip" in err
+
+    def test_scorecard_run_with_json(self, capsys, tmp_path):
+        path = tmp_path / "scorecard.json"
+        code, out, _err = run_cli(
+            capsys, "scenario", "phase-flip", "--refs", "300",
+            "--warmup", "100", "--seed", "1",
+            "--policies", "static,adaptive", "--json", str(path))
+        assert code == 0
+        assert "Scenario: phase-flip" in out
+        assert "adaptive wins" in out
+        assert "LoadAdj" in out
+        payload = json.loads(path.read_text())
+        assert payload["scenario"] == "phase-flip"
+        assert payload["curve"] == "constant"
+        assert "adaptive" in payload["policies"]
+        assert "adaptive_wins" in payload["verdict"]
+
+    def test_windows_table_rendered(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "scenario", "diurnal-web", "--refs", "300",
+            "--warmup", "100", "--seed", "1",
+            "--policies", "adaptive", "--windows")
+        assert code == 0
+        assert "Windows (adaptive cell)" in out
+        assert "Load" in out
+
+    def test_arrivals_fall_back_to_single_slot(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "scenario", "churn-storm", "--refs", "300",
+            "--warmup", "100", "--seed", "1", "--policies", "adaptive")
+        assert code == 0
+        assert "running single-slot" in out
+        assert "x 1 slots" in out
+
+    def test_metrics_out_counts_scenario_epochs(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        code, _out, _err = run_cli(
+            capsys, "scenario", "phase-flip", "--refs", "300",
+            "--warmup", "100", "--seed", "1",
+            "--policies", "adaptive", "--metrics-out", str(path))
+        assert code == 0
+        text = path.read_text()
+        assert "repro_scenario_control_epochs_total" in text
+
+    def test_nameless_invocation_is_clean_error(self, capsys):
+        code, _out, err = run_cli(capsys, "scenario")
+        assert code == 2
+        assert "--list" in err
+
+
 class TestSweepExecutorFlags:
     def test_sweep_with_jobs(self, capsys):
         code, out, _err = run_cli(

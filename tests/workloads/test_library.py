@@ -4,6 +4,8 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.workloads.library import (
+    PAPER_WORKLOADS,
+    SCENARIO_WORKLOADS,
     SPECJBB,
     SPECWEB,
     TPCH,
@@ -15,8 +17,17 @@ from repro.workloads.library import (
 
 
 class TestRegistry:
-    def test_all_four_present(self):
-        assert workload_names() == ["specjbb", "specweb", "tpch", "tpcw"]
+    def test_paper_four_present(self):
+        assert sorted(PAPER_WORKLOADS) == [
+            "specjbb", "specweb", "tpch", "tpcw"]
+
+    def test_scenario_families_present(self):
+        assert sorted(SCENARIO_WORKLOADS) == [
+            "btree", "gups", "silo", "xsbench"]
+
+    def test_registry_is_the_union(self):
+        assert workload_names() == sorted(
+            list(PAPER_WORKLOADS) + list(SCENARIO_WORKLOADS))
 
     def test_lookup_case_insensitive(self):
         assert get_profile("TPC-W".replace("-", "").lower()) is TPCW
